@@ -1,0 +1,41 @@
+//! P1: SPFA difference-constraint feasibility — the yield evaluator's hot
+//! path (one call per Monte-Carlo chip).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psbi_timing::feasibility::{Arc, DiffSolver};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random feasible-ish chain system of `n` variables.
+fn chain_system(n: usize, seed: u64) -> (Vec<Arc>, Vec<(i64, i64)>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut arcs = Vec::new();
+    for i in 0..(n - 1) as u32 {
+        arcs.push(Arc::new(i, i + 1, rng.gen_range(-2..8)));
+        arcs.push(Arc::new(i + 1, i, rng.gen_range(0..8)));
+    }
+    // A few long-range constraints.
+    for _ in 0..n / 4 {
+        let a = rng.gen_range(0..n as u32);
+        let b = rng.gen_range(0..n as u32);
+        if a != b {
+            arcs.push(Arc::new(a, b, rng.gen_range(0..12)));
+        }
+    }
+    (arcs, vec![(-20, 20); n])
+}
+
+fn bench_feasibility(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spfa_feasibility");
+    for n in [32usize, 256, 2048] {
+        let (arcs, bounds) = chain_system(n, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut solver = DiffSolver::new();
+            b.iter(|| solver.solve_bounded(n, &arcs, &bounds).is_feasible());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_feasibility);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! P5: the end-to-end insertion flow on a miniature circuit (kept small so
+//! `cargo bench` stays interactive; the `table1` binary is the full-scale
+//! harness).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psbi_core::flow::{BufferInsertionFlow, FlowConfig, TargetPeriod};
+use psbi_netlist::bench_suite;
+
+fn bench_flow(c: &mut Criterion) {
+    let circuit = bench_suite::tiny_demo(1);
+    let cfg = FlowConfig {
+        samples: 60,
+        yield_samples: 120,
+        calibration_samples: 120,
+        seed: 9,
+        target: TargetPeriod::SigmaFactor(0.0),
+        threads: 1,
+        ..FlowConfig::default()
+    };
+    let mut group = c.benchmark_group("flow");
+    group.sample_size(10);
+    group.bench_function("tiny_demo_end_to_end", |b| {
+        b.iter(|| {
+            BufferInsertionFlow::new(&circuit, cfg.clone())
+                .unwrap()
+                .run()
+                .nb
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_flow);
+criterion_main!(benches);

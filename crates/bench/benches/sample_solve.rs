@@ -1,0 +1,86 @@
+//! P3: the per-sample buffer-minimisation solver — the flow's inner loop.
+//! Measures solving one violated Monte-Carlo chip (region extraction,
+//! support branch-and-bound, concentration MILP).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psbi_core::solve::{BufferSpace, PushObjective, SampleSolver, SolverOptions};
+use psbi_liberty::Library;
+use psbi_netlist::bench_suite;
+use psbi_timing::graph::TimingGraph;
+use psbi_timing::sample::{chip_rng, sample_canonical, SampleTiming};
+use psbi_timing::seq::SequentialGraph;
+use psbi_timing::{constraint, IntegerConstraints};
+use psbi_variation::VariationModel;
+
+fn bench_sample_solve(c: &mut Criterion) {
+    let circuit = bench_suite::small_demo(2);
+    let lib = Library::industry_like();
+    let model = VariationModel::paper_defaults();
+    let tg = TimingGraph::build(&circuit, &lib, &model).unwrap();
+    let sg = SequentialGraph::extract(&tg);
+    let skews = vec![0.0; sg.n_ffs];
+
+    // Calibrate a period around the median so roughly half the samples
+    // violate (the expensive case).
+    let mut periods = Vec::new();
+    let mut st = SampleTiming::for_graph(&sg);
+    for k in 0..200 {
+        let (globals, mut rng) = chip_rng(5, k);
+        sample_canonical(&sg, &globals, &mut rng, &mut st);
+        periods.push(constraint::min_period(&sg, &st, &skews).period);
+    }
+    let mu = psbi_variation::mean(&periods);
+    let step = mu / 160.0;
+    let space = BufferSpace::floating(sg.n_ffs, 20);
+
+    // Pre-draw a violated sample.
+    let mut ic = IntegerConstraints::for_graph(&sg);
+    let mut violated_idx = 0;
+    for k in 0..200 {
+        let (globals, mut rng) = chip_rng(5, k);
+        sample_canonical(&sg, &globals, &mut rng, &mut st);
+        ic.build(&sg, &st, &skews, mu, step);
+        if !ic.feasible_at_zero() {
+            violated_idx = k;
+            break;
+        }
+    }
+    let (globals, mut rng) = chip_rng(5, violated_idx);
+    sample_canonical(&sg, &globals, &mut rng, &mut st);
+    ic.build(&sg, &st, &skews, mu, step);
+    assert!(!ic.feasible_at_zero(), "expected a violated sample");
+
+    let opts = SolverOptions::default();
+    c.bench_function("solve_min_count_violated", |b| {
+        let mut solver = SampleSolver::new();
+        b.iter(|| {
+            solver
+                .solve(&sg, &ic, &space, PushObjective::None, &opts)
+                .count()
+        })
+    });
+    c.bench_function("solve_push_to_zero_violated", |b| {
+        let mut solver = SampleSolver::new();
+        b.iter(|| {
+            solver
+                .solve(&sg, &ic, &space, PushObjective::ToZero, &opts)
+                .count()
+        })
+    });
+
+    // The common fast path: a feasible sample (no violations).
+    let mut ic_ok = IntegerConstraints::for_graph(&sg);
+    ic_ok.build(&sg, &st, &skews, mu * 1.6, step);
+    assert!(ic_ok.feasible_at_zero());
+    c.bench_function("solve_feasible_sample", |b| {
+        let mut solver = SampleSolver::new();
+        b.iter(|| {
+            solver
+                .solve(&sg, &ic_ok, &space, PushObjective::ToZero, &opts)
+                .count()
+        })
+    });
+}
+
+criterion_group!(benches, bench_sample_solve);
+criterion_main!(benches);

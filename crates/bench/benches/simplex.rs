@@ -1,0 +1,49 @@
+//! P2: the in-workspace LP/MILP solver on problems shaped like the
+//! per-region concentration MILPs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psbi_milp::{Model, Op};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A region-shaped MILP: `n` integer tunings with indicator binaries, a
+/// budget row, difference constraints and |·| objectives.
+fn region_milp(n: usize, seed: u64) -> Model {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Model::new();
+    let ks: Vec<_> = (0..n)
+        .map(|i| m.add_var(format!("k{i}"), -20.0, 20.0, 0.0, true))
+        .collect();
+    let mut cterms = Vec::new();
+    for (i, &k) in ks.iter().enumerate() {
+        let c = m.add_binary(format!("c{i}"), 0.0);
+        m.add_indicator(k, c, 20.0);
+        cterms.push((c, 1.0));
+    }
+    m.add_cons(cterms, Op::Le, (n / 3).max(1) as f64);
+    for i in 0..n.saturating_sub(1) {
+        let w = rng.gen_range(-3i64..6) as f64;
+        m.add_cons(vec![(ks[i], 1.0), (ks[i + 1], -1.0)], Op::Le, w);
+    }
+    for &k in &ks {
+        m.add_abs_deviation(k, 0.0, 1.0);
+    }
+    m
+}
+
+fn bench_milp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("milp_region");
+    for n in [4usize, 8, 12] {
+        let m = region_milp(n, 3);
+        group.bench_function(format!("solve_n{n}"), |b| b.iter(|| m.solve().status));
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("lp_relaxation");
+    let m = region_milp(16, 5);
+    group.bench_function("solve_lp_n16", |b| b.iter(|| m.solve_lp().status));
+    group.finish();
+}
+
+criterion_group!(benches, bench_milp);
+criterion_main!(benches);

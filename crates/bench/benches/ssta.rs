@@ -1,0 +1,50 @@
+//! P4: SSTA extraction and per-sample Monte-Carlo throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psbi_liberty::Library;
+use psbi_netlist::bench_suite;
+use psbi_timing::graph::TimingGraph;
+use psbi_timing::sample::{chip_rng, sample_canonical, GateLevelSampler, SampleTiming};
+use psbi_timing::seq::SequentialGraph;
+use psbi_variation::VariationModel;
+
+fn bench_ssta(c: &mut Criterion) {
+    let circuit = bench_suite::small_demo(1);
+    let lib = Library::industry_like();
+    let model = VariationModel::paper_defaults();
+
+    c.bench_function("timing_graph_build_small", |b| {
+        b.iter(|| TimingGraph::build(&circuit, &lib, &model).unwrap().num_ffs())
+    });
+
+    let tg = TimingGraph::build(&circuit, &lib, &model).unwrap();
+    c.bench_function("ssta_extract_small", |b| {
+        b.iter(|| SequentialGraph::extract(&tg).edges.len())
+    });
+
+    let sg = SequentialGraph::extract(&tg);
+    let mut st = SampleTiming::for_graph(&sg);
+    c.bench_function("sample_canonical_small", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            let (globals, mut rng) = chip_rng(9, k);
+            k += 1;
+            sample_canonical(&sg, &globals, &mut rng, &mut st);
+            st.edge_max[0]
+        })
+    });
+
+    let mut gls = GateLevelSampler::new(&tg);
+    c.bench_function("sample_gate_level_small", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            let (globals, mut rng) = chip_rng(9, k);
+            k += 1;
+            gls.sample(&tg, &sg, &globals, &mut rng, &mut st);
+            st.edge_max[0]
+        })
+    });
+}
+
+criterion_group!(benches, bench_ssta);
+criterion_main!(benches);

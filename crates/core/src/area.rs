@@ -1,0 +1,112 @@
+//! Buffer area estimation.
+//!
+//! The paper's motivation for narrowing tuning ranges is area: "the ranges
+//! of buffers are much smaller than the maximum buffer range 20 so that the
+//! area taken by inserted buffers can be reduced" (§IV).  Following the
+//! buffer structure of Fig. 1 (a chain of delay elements selected by
+//! configuration bits), a buffer covering `range` steps needs `range` delay
+//! elements and `⌈log2(range + 1)⌉` configuration register bits.
+
+use crate::group::Group;
+use serde::{Deserialize, Serialize};
+
+/// Area summary of a buffer deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AreaReport {
+    /// Physical buffers.
+    pub buffers: usize,
+    /// Total delay elements (one per covered step).
+    pub delay_elements: u64,
+    /// Total configuration register bits.
+    pub config_bits: u64,
+    /// Delay elements a naive design (every buffer at the maximum range)
+    /// would need for the same buffer count.
+    pub max_range_elements: u64,
+}
+
+impl AreaReport {
+    /// Computes the report for a set of physical buffers.
+    ///
+    /// `max_range` is the hardware's maximum range in steps (paper: 20).
+    pub fn of(groups: &[Group], max_range: u32) -> Self {
+        let mut delay_elements = 0u64;
+        let mut config_bits = 0u64;
+        for g in groups {
+            let range = g.range().max(0) as u64;
+            delay_elements += range;
+            config_bits += bits_for(range);
+        }
+        Self {
+            buffers: groups.len(),
+            delay_elements,
+            config_bits,
+            max_range_elements: groups.len() as u64 * u64::from(max_range),
+        }
+    }
+
+    /// Fraction of the naive maximum-range area actually used (`< 1` when
+    /// concentration narrowed the windows).
+    pub fn area_saving(&self) -> f64 {
+        if self.max_range_elements == 0 {
+            return 0.0;
+        }
+        1.0 - self.delay_elements as f64 / self.max_range_elements as f64
+    }
+}
+
+/// Configuration bits needed to select one of `range + 1` settings.
+fn bits_for(range: u64) -> u64 {
+    let settings = range + 1;
+    let mut bits = 0;
+    while (1u64 << bits) < settings {
+        bits += 1;
+    }
+    bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group(lo: i64, hi: i64) -> Group {
+        Group {
+            members: vec![0],
+            lo,
+            hi,
+            usage: 1,
+        }
+    }
+
+    #[test]
+    fn bits_follow_log2() {
+        assert_eq!(bits_for(0), 0); // a fixed buffer needs no register
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 3);
+        assert_eq!(bits_for(20), 5); // the paper's 20-step buffer: 5 bits
+    }
+
+    #[test]
+    fn report_accumulates() {
+        let groups = [group(0, 8), group(-2, 2), group(5, 5)];
+        let r = AreaReport::of(&groups, 20);
+        assert_eq!(r.buffers, 3);
+        assert_eq!(r.delay_elements, 8 + 4);
+        assert_eq!(r.config_bits, 4 + 3);
+        assert_eq!(r.max_range_elements, 60);
+        assert!(r.area_saving() > 0.7);
+    }
+
+    #[test]
+    fn empty_deployment() {
+        let r = AreaReport::of(&[], 20);
+        assert_eq!(r.buffers, 0);
+        assert_eq!(r.area_saving(), 0.0);
+    }
+
+    #[test]
+    fn full_range_saves_nothing() {
+        let r = AreaReport::of(&[group(0, 20)], 20);
+        assert!(r.area_saving().abs() < 1e-12);
+    }
+}

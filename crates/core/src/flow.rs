@@ -1,0 +1,974 @@
+//! The end-to-end buffer-insertion flow (paper Fig. 3).
+//!
+//! ```text
+//! circuit, statistical gate delays, buffer spec, target T
+//!   │ calibrate µT, σT (unbuffered Monte Carlo)
+//!   ├─ step 1: min-count pass (III-A1) → prune (III-A2)
+//!   │          → push-to-zero pass (III-A3) → window assignment (III-A4)
+//!   ├─ step 2: optional refit pass (III-B1, skipped when misses < 0.1 %)
+//!   │          → concentrate-to-average pass (III-B2) → final ranges
+//!   ├─ step 3: grouping by correlation & distance (III-C) → cap
+//!   └─ yield evaluation on a fresh sample stream
+//! ```
+//!
+//! All passes run the *same* deterministic chip population (per-sample
+//! seeded RNGs), are embarrassingly parallel (crossbeam scoped threads) and
+//! bit-reproducible regardless of thread count.
+
+use crate::group::{group_buffers, BufferCandidate, Group, GroupConfig};
+use crate::prune::{prune, PruneConfig, PruneReport};
+use crate::solve::{BufferSpace, PushObjective, SampleSolver, SolverOptions};
+use crate::yield_eval::{Deployment, YieldReport};
+use psbi_liberty::Library;
+use psbi_netlist::{Circuit, NetlistError, Placement, SkewConfig};
+use psbi_timing::feasibility::DiffSolver;
+use psbi_timing::graph::TimingGraph;
+use psbi_timing::sample::{chip_rng, sample_canonical, GateLevelSampler, SampleTiming};
+use psbi_timing::{constraint, IntegerConstraints, SequentialGraph};
+use psbi_variation::seeding::stream_seed;
+use psbi_variation::{Histogram, VariationModel};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// How the target clock period is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TargetPeriod {
+    /// `T = µT + k·σT` where µT/σT come from the unbuffered calibration
+    /// run.  The paper evaluates `k ∈ {0, 1, 2}` (yields ≈ 50 / 84 / 98 %).
+    SigmaFactor(f64),
+    /// An absolute period in picoseconds.
+    Absolute(f64),
+}
+
+/// Flow configuration; the defaults mirror the paper's experimental setup
+/// except for the sample counts, which are sized for interactive runs
+/// (raise [`FlowConfig::samples`] to 10 000 to match the paper exactly).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowConfig {
+    /// Monte-Carlo samples driving insertion (paper: 10 000).
+    pub samples: usize,
+    /// Fresh samples for yield evaluation.
+    pub yield_samples: usize,
+    /// Samples for the µT/σT calibration run.
+    pub calibration_samples: usize,
+    /// Master seed; all streams derive from it.
+    pub seed: u64,
+    /// Target clock period.
+    pub target: TargetPeriod,
+    /// Discrete tuning steps per buffer (paper: 20).
+    pub steps: u32,
+    /// Maximum buffer range as a fraction of the clock period (paper: 1/8).
+    pub range_fraction: f64,
+    /// Pruning thresholds (paper: remove ≤1 unless neighbour ≥5 @10 000).
+    pub prune: PruneConfig,
+    /// Step-2 refit is skipped when fewer than this fraction of samples
+    /// have tunings outside the assigned windows (paper: 0.1 %).
+    pub skip_refit_threshold: f64,
+    /// Grouping thresholds (paper: r ≥ 0.8, distance ≤ 10× spacing).
+    pub grouping: GroupConfig,
+    /// Enable the push-to-zero / concentrate-to-average objectives
+    /// (disable for ablation A1).
+    pub concentrate: bool,
+    /// Keep zero inside the final windows, so untouched chips can always
+    /// stay untouched (the paper's constraint (13) requires the assigned
+    /// range window to contain 0 in both steps; disabling this is ablation
+    /// A4 and can *reduce* yield at relaxed targets).
+    pub force_zero_in_range: bool,
+    /// Worker threads (0 = all available cores).
+    pub threads: usize,
+    /// Use exact gate-level sampling instead of canonical edge forms
+    /// (ablation A3; much slower).
+    pub gate_level_sampling: bool,
+    /// Per-sample solver limits.
+    pub solver: SolverOptions,
+    /// Clock-skew generator; `None` scales to the circuit's mean stage
+    /// delay as in §IV ("we also added clock skews").
+    pub skew: Option<SkewConfig>,
+    /// Record per-stage histograms for this many most-used buffers
+    /// (regenerates the paper's Fig. 5).
+    pub record_histograms: usize,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        Self {
+            samples: 2_000,
+            yield_samples: 4_000,
+            calibration_samples: 2_000,
+            seed: 42,
+            target: TargetPeriod::SigmaFactor(0.0),
+            steps: 20,
+            range_fraction: 1.0 / 8.0,
+            prune: PruneConfig::default(),
+            skip_refit_threshold: 0.001,
+            grouping: GroupConfig::default(),
+            concentrate: true,
+            force_zero_in_range: true,
+            threads: 0,
+            gate_level_sampling: false,
+            solver: SolverOptions::default(),
+            skew: None,
+            record_histograms: 0,
+        }
+    }
+}
+
+/// Errors raised when building a flow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowError {
+    /// The circuit failed validation.
+    Netlist(NetlistError),
+    /// The circuit has no register-to-register timing paths.
+    NoSequentialPaths,
+    /// A configuration value is out of range.
+    Config(String),
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::Netlist(e) => write!(f, "netlist error: {e}"),
+            FlowError::NoSequentialPaths => write!(f, "circuit has no sequential timing paths"),
+            FlowError::Config(m) => write!(f, "invalid configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+impl From<NetlistError> for FlowError {
+    fn from(e: NetlistError) -> Self {
+        FlowError::Netlist(e)
+    }
+}
+
+/// Per-stage wall-clock times in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RuntimeBreakdown {
+    /// µT/σT calibration.
+    pub calibration_s: f64,
+    /// Step 1 (A1 + prune + A3 + windows).
+    pub step1_s: f64,
+    /// Step 2 (refit + concentrate + ranges).
+    pub step2_s: f64,
+    /// Step 3 (grouping + cap).
+    pub step3_s: f64,
+    /// Yield evaluation.
+    pub yield_s: f64,
+    /// Whole flow.
+    pub total_s: f64,
+}
+
+/// Diagnostic counters from the sampling passes.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct StageStats {
+    /// Samples unfixable in the A1 pass (even with every buffer).
+    pub a1_infeasible: u64,
+    /// Samples unfixable in the final pass (fixed windows).
+    pub b2_infeasible: u64,
+    /// Samples solved approximately (node caps hit).
+    pub inexact_samples: u64,
+    /// Fraction of samples with tunings outside the assigned windows.
+    pub miss_fraction: f64,
+    /// Whether the step-2 refit pass ran (miss fraction ≥ threshold).
+    pub refit_ran: bool,
+    /// Total nonzero tunings in the A1 pass.
+    pub a1_total_tunings: u64,
+    /// Fraction of calibration samples with unbuffered hold violations.
+    pub hold_fail_fraction: f64,
+}
+
+/// Histogram snapshots of one buffer across stages (paper Fig. 5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BufferSnapshot {
+    /// Flip-flop index.
+    pub ff: usize,
+    /// Tuning histogram after the min-count pass (scattered — Fig. 5a).
+    pub scattered: Vec<(i64, u64)>,
+    /// Histogram after push-to-zero (Fig. 5b).
+    pub pushed: Vec<(i64, u64)>,
+    /// Assigned window (Fig. 5b).
+    pub window: (i64, i64),
+    /// Histogram after concentration toward the average (Fig. 5c).
+    pub concentrated: Vec<(i64, u64)>,
+    /// Final reduced range (Fig. 5c).
+    pub final_range: (i64, i64),
+}
+
+/// Everything the flow produces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InsertionResult {
+    /// Circuit name.
+    pub circuit: String,
+    /// Flip-flop count.
+    pub n_ffs: usize,
+    /// Gate count.
+    pub n_gates: usize,
+    /// Calibrated mean of the unbuffered minimum period (ps).
+    pub mu_t: f64,
+    /// Calibrated std-dev of the unbuffered minimum period (ps).
+    pub sigma_t: f64,
+    /// Target clock period used (ps).
+    pub period: f64,
+    /// Buffer step δ (ps).
+    pub step: f64,
+    /// Number of physical buffers inserted (paper's `Nb`).
+    pub nb: usize,
+    /// Average buffer range in steps (paper's `Ab`).
+    pub ab: f64,
+    /// Yield without buffers at `period` (paper's `Yo`), in percent.
+    pub yield_baseline: f64,
+    /// Yield with buffers (paper's `Y`), in percent.
+    pub yield_with_buffers: f64,
+    /// Improvement `Y − Yo` in percentage points (paper's `Yi`).
+    pub improvement: f64,
+    /// Chips rescued / broken by the buffers in the evaluation stream.
+    pub rescued: usize,
+    /// Chips passing baseline but failing with buffers (windows without 0).
+    pub broken: usize,
+    /// Final physical buffers.
+    pub groups: Vec<Group>,
+    /// Final deployment (for configuration / further evaluation).
+    pub deployment: Deployment,
+    /// Pruning outcome.
+    pub prune: PruneReport,
+    /// Grouping statistics.
+    pub correlated_pairs: usize,
+    /// Pairs merged (correlation and distance both passed).
+    pub merged_pairs: usize,
+    /// Buffer count before grouping.
+    pub buffers_before_grouping: usize,
+    /// Sampling diagnostics.
+    pub stats: StageStats,
+    /// Fig. 5 snapshots (when requested).
+    pub snapshots: Vec<BufferSnapshot>,
+    /// Wall-clock times.
+    pub runtime: RuntimeBreakdown,
+}
+
+impl InsertionResult {
+    /// Buffer area estimate following the paper's Fig. 1 structure.
+    pub fn area(&self) -> crate::area::AreaReport {
+        crate::area::AreaReport::of(&self.groups, 20)
+    }
+}
+
+/// The flow object: build once per circuit, run per target period.
+pub struct BufferInsertionFlow<'a> {
+    circuit: &'a Circuit,
+    cfg: FlowConfig,
+    #[allow(dead_code)]
+    lib: Library,
+    #[allow(dead_code)]
+    model: VariationModel,
+    tg: TimingGraph<'a>,
+    sg: SequentialGraph,
+    placement: Placement,
+    skews: Vec<f64>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Push {
+    CountOnly,
+    ToZero,
+    ToTargets,
+}
+
+/// Accumulated output of one sampling pass.
+struct PassOutput {
+    counts: Vec<u64>,
+    hist: Vec<Histogram>,
+    min_k: Vec<i64>,
+    max_k: Vec<i64>,
+    infeasible: u64,
+    inexact: u64,
+    /// Tuning value per (buffered slot, sample); recorded when requested.
+    columns: Option<Vec<Vec<f32>>>,
+    /// FF → slot map for `columns`.
+    slot_of_ff: Vec<u32>,
+}
+
+const NONE: u32 = u32::MAX;
+
+impl<'a> BufferInsertionFlow<'a> {
+    /// Builds a flow with the default industry-like library and the paper's
+    /// variation model.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the circuit is malformed, has no sequential paths, or the
+    /// configuration is invalid.
+    pub fn new(circuit: &'a Circuit, cfg: FlowConfig) -> Result<Self, FlowError> {
+        Self::with_library(circuit, cfg, Library::industry_like(), VariationModel::paper_defaults())
+    }
+
+    /// Builds a flow with an explicit library and variation model.
+    ///
+    /// # Errors
+    ///
+    /// As [`BufferInsertionFlow::new`].
+    pub fn with_library(
+        circuit: &'a Circuit,
+        cfg: FlowConfig,
+        lib: Library,
+        model: VariationModel,
+    ) -> Result<Self, FlowError> {
+        if cfg.samples == 0 || cfg.yield_samples == 0 || cfg.calibration_samples == 0 {
+            return Err(FlowError::Config("sample counts must be positive".into()));
+        }
+        if cfg.steps == 0 {
+            return Err(FlowError::Config("steps must be positive".into()));
+        }
+        if cfg.range_fraction.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
+            || !cfg.range_fraction.is_finite()
+        {
+            return Err(FlowError::Config("range_fraction must be positive".into()));
+        }
+        model
+            .validate()
+            .map_err(FlowError::Config)?;
+        let tg = TimingGraph::build(circuit, &lib, &model)?;
+        let sg = SequentialGraph::extract(&tg);
+        if sg.edges.is_empty() {
+            return Err(FlowError::NoSequentialPaths);
+        }
+        let placement = Placement::grid(circuit, 1.0);
+        let skew_cfg = cfg
+            .skew
+            .unwrap_or_else(|| SkewConfig::scaled_to(sg.mean_stage_delay()));
+        let skews = skew_cfg.assign(circuit, stream_seed(cfg.seed, "skew"));
+        Ok(Self {
+            circuit,
+            cfg,
+            lib,
+            model,
+            tg,
+            sg,
+            placement,
+            skews,
+        })
+    }
+
+    /// The sequential timing graph the flow operates on.
+    pub fn sequential_graph(&self) -> &SequentialGraph {
+        &self.sg
+    }
+
+    /// The fixed clock-tree skews (ps, per dense FF index).
+    pub fn skews(&self) -> &[f64] {
+        &self.skews
+    }
+
+    /// The flip-flop placement used for grouping distances.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Classifies fresh evaluation chips into speed bins (the paper's
+    /// future-work "clock binning"), with and without `deployment`'s
+    /// buffers.  Bin periods are in ps, ascending; `step` is the
+    /// design-time buffer step from [`InsertionResult::step`].
+    pub fn evaluate_speed_bins(
+        &self,
+        deployment: &crate::yield_eval::Deployment,
+        periods: &[f64],
+        step: f64,
+    ) -> crate::binning::BinningReport {
+        let stream = stream_seed(self.cfg.seed, "yield");
+        let mut gls = self
+            .cfg
+            .gate_level_sampling
+            .then(|| GateLevelSampler::new(&self.tg));
+        crate::binning::classify(
+            &self.sg,
+            deployment,
+            &self.skews,
+            periods,
+            step,
+            self.cfg.yield_samples,
+            |k, st| self.fill_sample(stream, k, st, &mut gls),
+        )
+    }
+
+    /// Builds the integer constraints of one chip from a named sample
+    /// stream — lets examples and tests replay exact chips (e.g. the
+    /// post-silicon configuration example replays the yield stream).
+    pub fn sample_constraints(
+        &self,
+        stream: &str,
+        index: u64,
+        period: f64,
+        step: f64,
+    ) -> IntegerConstraints {
+        let mut st = SampleTiming::for_graph(&self.sg);
+        let mut gls = self
+            .cfg
+            .gate_level_sampling
+            .then(|| GateLevelSampler::new(&self.tg));
+        self.fill_sample(stream_seed(self.cfg.seed, stream), index, &mut st, &mut gls);
+        let mut ic = IntegerConstraints::for_graph(&self.sg);
+        ic.build(&self.sg, &st, &self.skews, period, step);
+        ic
+    }
+
+    fn threads(&self) -> usize {
+        if self.cfg.threads > 0 {
+            self.cfg.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    }
+
+    fn fill_sample(
+        &self,
+        stream: u64,
+        index: u64,
+        st: &mut SampleTiming,
+        gls: &mut Option<GateLevelSampler>,
+    ) {
+        let (globals, mut rng) = chip_rng(stream, index);
+        match gls {
+            Some(g) => g.sample(&self.tg, &self.sg, &globals, &mut rng, st),
+            None => sample_canonical(&self.sg, &globals, &mut rng, st),
+        }
+    }
+
+    /// Unbuffered Monte-Carlo calibration: (µT, σT, hold-fail fraction).
+    fn calibrate(&self) -> (f64, f64, f64) {
+        let stream = stream_seed(self.cfg.seed, "calibrate");
+        let n = self.cfg.calibration_samples;
+        let workers = self.threads();
+        let chunk = n.div_ceil(workers);
+        let results: Vec<(Vec<f64>, u64)> = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for w in 0..workers {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(n);
+                if lo >= hi {
+                    break;
+                }
+                handles.push(scope.spawn(move |_| {
+                    let mut st = SampleTiming::for_graph(&self.sg);
+                    let mut gls = self
+                        .cfg
+                        .gate_level_sampling
+                        .then(|| GateLevelSampler::new(&self.tg));
+                    let mut periods = Vec::with_capacity(hi - lo);
+                    let mut hold_fails = 0u64;
+                    for k in lo..hi {
+                        self.fill_sample(stream, k as u64, &mut st, &mut gls);
+                        let mp = constraint::min_period(&self.sg, &st, &self.skews);
+                        periods.push(mp.period);
+                        if !mp.hold_ok {
+                            hold_fails += 1;
+                        }
+                    }
+                    (periods, hold_fails)
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        })
+        .expect("calibration scope");
+        let mut periods = Vec::with_capacity(n);
+        let mut hold_fails = 0u64;
+        for (p, h) in results {
+            periods.extend(p);
+            hold_fails += h;
+        }
+        (
+            psbi_variation::mean(&periods),
+            psbi_variation::stddev(&periods),
+            hold_fails as f64 / n as f64,
+        )
+    }
+
+    /// One parallel sampling pass over the insertion stream.
+    #[allow(clippy::too_many_arguments)]
+    fn run_pass(
+        &self,
+        space: &BufferSpace,
+        push: Push,
+        targets: Option<&[f64]>,
+        record_matrix: bool,
+        period: f64,
+        step: f64,
+    ) -> PassOutput {
+        let stream = stream_seed(self.cfg.seed, "insert");
+        let n_ffs = self.sg.n_ffs;
+        let samples = self.cfg.samples;
+        let workers = self.threads();
+        let chunk = samples.div_ceil(workers);
+
+        // Slot map for the tuning matrix.
+        let mut slot_of_ff = vec![NONE; n_ffs];
+        let mut n_slots = 0u32;
+        if record_matrix {
+            for (slot, has) in slot_of_ff.iter_mut().zip(&space.has_buffer) {
+                if *has {
+                    *slot = n_slots;
+                    n_slots += 1;
+                }
+            }
+        }
+        let slot_of_ff_ref = &slot_of_ff;
+
+        struct Local {
+            counts: Vec<u64>,
+            hist: Vec<Histogram>,
+            min_k: Vec<i64>,
+            max_k: Vec<i64>,
+            infeasible: u64,
+            inexact: u64,
+            rows: Vec<Vec<f32>>,
+        }
+
+        let locals: Vec<Local> = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for w in 0..workers {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(samples);
+                if lo >= hi {
+                    break;
+                }
+                handles.push(scope.spawn(move |_| {
+                    let mut st = SampleTiming::for_graph(&self.sg);
+                    let mut gls = self
+                        .cfg
+                        .gate_level_sampling
+                        .then(|| GateLevelSampler::new(&self.tg));
+                    let mut ic = IntegerConstraints::for_graph(&self.sg);
+                    let mut solver = SampleSolver::new();
+                    let mut local = Local {
+                        counts: vec![0; n_ffs],
+                        hist: vec![Histogram::new(); n_ffs],
+                        min_k: vec![i64::MAX; n_ffs],
+                        max_k: vec![i64::MIN; n_ffs],
+                        infeasible: 0,
+                        inexact: 0,
+                        rows: Vec::new(),
+                    };
+                    for k in lo..hi {
+                        self.fill_sample(stream, k as u64, &mut st, &mut gls);
+                        ic.build(&self.sg, &st, &self.skews, period, step);
+                        let objective = match push {
+                            Push::CountOnly => PushObjective::None,
+                            Push::ToZero => PushObjective::ToZero,
+                            Push::ToTargets => PushObjective::ToTargets(
+                                targets.expect("targets provided for ToTargets"),
+                            ),
+                        };
+                        let r = solver.solve(&self.sg, &ic, space, objective, &self.cfg.solver);
+                        let mut row = if record_matrix {
+                            vec![0.0f32; n_slots as usize]
+                        } else {
+                            Vec::new()
+                        };
+                        if !r.feasible {
+                            local.infeasible += 1;
+                        } else {
+                            if !r.exact {
+                                local.inexact += 1;
+                            }
+                            for (ff, kv) in &r.tunings {
+                                let f = *ff as usize;
+                                local.counts[f] += 1;
+                                local.hist[f].add(*kv);
+                                local.min_k[f] = local.min_k[f].min(*kv);
+                                local.max_k[f] = local.max_k[f].max(*kv);
+                                if record_matrix {
+                                    let slot = slot_of_ff_ref[f];
+                                    if slot != NONE {
+                                        row[slot as usize] = *kv as f32;
+                                    }
+                                }
+                            }
+                        }
+                        if record_matrix {
+                            local.rows.push(row);
+                        }
+                    }
+                    local
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        })
+        .expect("pass scope");
+
+        // Merge (chunks are ordered, so matrix rows concatenate in order).
+        let mut out = PassOutput {
+            counts: vec![0; n_ffs],
+            hist: vec![Histogram::new(); n_ffs],
+            min_k: vec![i64::MAX; n_ffs],
+            max_k: vec![i64::MIN; n_ffs],
+            infeasible: 0,
+            inexact: 0,
+            columns: record_matrix.then(|| vec![Vec::with_capacity(samples); n_slots as usize]),
+            slot_of_ff,
+        };
+        for local in locals {
+            for ff in 0..n_ffs {
+                out.counts[ff] += local.counts[ff];
+                for (v, c) in local.hist[ff].iter() {
+                    out.hist[ff].add_n(v, c);
+                }
+                out.min_k[ff] = out.min_k[ff].min(local.min_k[ff]);
+                out.max_k[ff] = out.max_k[ff].max(local.max_k[ff]);
+            }
+            out.infeasible += local.infeasible;
+            out.inexact += local.inexact;
+            if let Some(columns) = &mut out.columns {
+                for row in &local.rows {
+                    for (slot, v) in row.iter().enumerate() {
+                        columns[slot].push(*v);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Parallel yield evaluation on the fresh "yield" stream.
+    fn evaluate_yield(&self, deployment: &Deployment, period: f64, step: f64) -> YieldReport {
+        let stream = stream_seed(self.cfg.seed, "yield");
+        let samples = self.cfg.yield_samples;
+        let workers = self.threads();
+        let chunk = samples.div_ceil(workers);
+        let reports: Vec<YieldReport> = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for w in 0..workers {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(samples);
+                if lo >= hi {
+                    break;
+                }
+                handles.push(scope.spawn(move |_| {
+                    let mut st = SampleTiming::for_graph(&self.sg);
+                    let mut gls = self
+                        .cfg
+                        .gate_level_sampling
+                        .then(|| GateLevelSampler::new(&self.tg));
+                    let mut ic = IntegerConstraints::for_graph(&self.sg);
+                    let mut solver = DiffSolver::new();
+                    let mut arcs = Vec::new();
+                    let mut report = YieldReport::default();
+                    for k in lo..hi {
+                        self.fill_sample(stream, k as u64, &mut st, &mut gls);
+                        ic.build(&self.sg, &st, &self.skews, period, step);
+                        let baseline = ic.feasible_at_zero();
+                        let buffered =
+                            deployment.chip_passes(&self.sg, &ic, &mut solver, &mut arcs);
+                        report.record(baseline, buffered);
+                    }
+                    report
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        })
+        .expect("yield scope");
+        let mut merged = YieldReport::default();
+        for r in &reports {
+            merged.merge(r);
+        }
+        merged
+    }
+
+    /// Runs the complete flow.
+    pub fn run(&self) -> InsertionResult {
+        let t_total = Instant::now();
+        let steps = self.cfg.steps as i64;
+        let n_ffs = self.sg.n_ffs;
+
+        // Calibration.
+        let t0 = Instant::now();
+        let (mu_t, sigma_t, hold_fail_fraction) = self.calibrate();
+        let period = match self.cfg.target {
+            TargetPeriod::SigmaFactor(k) => mu_t + k * sigma_t,
+            TargetPeriod::Absolute(t) => t,
+        };
+        let tau = period * self.cfg.range_fraction;
+        let step = tau / self.cfg.steps as f64;
+        let calibration_s = t0.elapsed().as_secs_f64();
+
+        // ---- Step 1 ----
+        let t1 = Instant::now();
+        let mut space = BufferSpace::floating(n_ffs, steps);
+        let a1 = self.run_pass(&space, Push::CountOnly, None, false, period, step);
+        let prune_report = prune(
+            &self.sg,
+            &a1.counts,
+            &mut space,
+            &self.cfg.prune,
+            self.cfg.samples as u64,
+        );
+        let a3_push = if self.cfg.concentrate { Push::ToZero } else { Push::CountOnly };
+        let a3 = self.run_pass(&space, a3_push, None, false, period, step);
+        // Window assignment (III-A4): most-covering window containing 0.
+        let mut miss_events = 0u64;
+        for ff in 0..n_ffs {
+            if !space.has_buffer[ff] {
+                continue;
+            }
+            let (r, covered) = a3.hist[ff].best_window(steps, true);
+            space.bounds[ff] = (r, r + steps);
+            miss_events += a3.hist[ff].total() - covered;
+        }
+        let miss_fraction = miss_events as f64 / self.cfg.samples as f64;
+        let step1_s = t1.elapsed().as_secs_f64();
+
+        // ---- Step 2 ----
+        let t2 = Instant::now();
+        let refit_ran = miss_fraction >= self.cfg.skip_refit_threshold;
+        let b1 = if refit_ran {
+            self.run_pass(&space, Push::CountOnly, None, false, period, step)
+        } else {
+            // Reuse the step-1 tunings (they already respect the windows).
+            PassOutput {
+                counts: a3.counts.clone(),
+                hist: a3.hist.clone(),
+                min_k: a3.min_k.clone(),
+                max_k: a3.max_k.clone(),
+                infeasible: a3.infeasible,
+                inexact: a3.inexact,
+                columns: None,
+                slot_of_ff: vec![NONE; n_ffs],
+            }
+        };
+        // Per-buffer average tuning (mean of nonzero tunings, III-B2).
+        let targets: Vec<f64> = (0..n_ffs)
+            .map(|ff| {
+                let h = &b1.hist[ff];
+                let total = h.total();
+                if total == 0 {
+                    0.0
+                } else {
+                    h.iter().map(|(v, c)| v as f64 * c as f64).sum::<f64>() / total as f64
+                }
+            })
+            .collect();
+        let b2_push = if self.cfg.concentrate { Push::ToTargets } else { Push::CountOnly };
+        let b2 = self.run_pass(&space, b2_push, Some(&targets), true, period, step);
+        let step2_s = t2.elapsed().as_secs_f64();
+
+        // ---- Step 3 ----
+        let t3 = Instant::now();
+        // Final ranges: min/max observed tunings; unused buffers dropped.
+        let mut candidates: Vec<BufferCandidate> = Vec::new();
+        for ff in 0..n_ffs {
+            if !space.has_buffer[ff] || b2.counts[ff] == 0 {
+                continue;
+            }
+            let (mut lo, mut hi) = (b2.min_k[ff], b2.max_k[ff]);
+            if self.cfg.force_zero_in_range {
+                lo = lo.min(0);
+                hi = hi.max(0);
+            }
+            let slot = b2.slot_of_ff[ff];
+            let column = b2
+                .columns
+                .as_ref()
+                .and_then(|c| (slot != NONE).then(|| c[slot as usize].clone()))
+                .unwrap_or_default();
+            candidates.push(BufferCandidate {
+                ff,
+                lo,
+                hi,
+                usage: b2.counts[ff],
+                column,
+            });
+        }
+        let buffers_before_grouping = candidates.len();
+        let grouping = group_buffers(&candidates, &self.placement, &self.cfg.grouping);
+        let deployment = Deployment::from_grouping(n_ffs, &grouping);
+        let step3_s = t3.elapsed().as_secs_f64();
+
+        // ---- Yield ----
+        let t4 = Instant::now();
+        let report = self.evaluate_yield(&deployment, period, step);
+        let yield_s = t4.elapsed().as_secs_f64();
+
+        // Fig. 5 snapshots for the most-used buffers.
+        let mut snapshots = Vec::new();
+        if self.cfg.record_histograms > 0 {
+            let mut by_usage: Vec<&BufferCandidate> = candidates.iter().collect();
+            by_usage.sort_by_key(|c| std::cmp::Reverse(c.usage));
+            for cand in by_usage.into_iter().take(self.cfg.record_histograms) {
+                let ff = cand.ff;
+                snapshots.push(BufferSnapshot {
+                    ff,
+                    scattered: a1.hist[ff].iter().collect(),
+                    pushed: a3.hist[ff].iter().collect(),
+                    window: (space.bounds[ff].0, space.bounds[ff].1),
+                    concentrated: b2.hist[ff].iter().collect(),
+                    final_range: (cand.lo, cand.hi),
+                });
+            }
+        }
+
+        let groups = grouping.groups.clone();
+        let ab = grouping.average_range();
+        InsertionResult {
+            circuit: self.circuit.name.clone(),
+            n_ffs,
+            n_gates: self.circuit.num_gates(),
+            mu_t,
+            sigma_t,
+            period,
+            step,
+            nb: groups.len(),
+            ab,
+            yield_baseline: 100.0 * report.yield_baseline(),
+            yield_with_buffers: 100.0 * report.yield_buffered(),
+            improvement: 100.0 * (report.yield_buffered() - report.yield_baseline()),
+            rescued: report.rescued,
+            broken: report.broken,
+            groups,
+            deployment,
+            prune: prune_report,
+            correlated_pairs: grouping.correlated_pairs,
+            merged_pairs: grouping.merged_pairs,
+            buffers_before_grouping,
+            stats: StageStats {
+                a1_infeasible: a1.infeasible,
+                b2_infeasible: b2.infeasible,
+                inexact_samples: a1.inexact + a3.inexact + b2.inexact,
+                miss_fraction,
+                refit_ran,
+                a1_total_tunings: a1.counts.iter().sum(),
+                hold_fail_fraction,
+            },
+            snapshots,
+            runtime: RuntimeBreakdown {
+                calibration_s,
+                step1_s,
+                step2_s,
+                step3_s,
+                yield_s,
+                total_s: t_total.elapsed().as_secs_f64(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psbi_netlist::bench_suite;
+
+    fn quick_cfg() -> FlowConfig {
+        FlowConfig {
+            samples: 120,
+            yield_samples: 300,
+            calibration_samples: 300,
+            seed: 7,
+            threads: 2,
+            ..FlowConfig::default()
+        }
+    }
+
+    #[test]
+    fn end_to_end_on_tiny_circuit() {
+        let c = bench_suite::tiny_demo(1);
+        let flow = BufferInsertionFlow::new(&c, quick_cfg()).unwrap();
+        let r = flow.run();
+        assert_eq!(r.n_ffs, 24);
+        assert!(r.mu_t > 0.0);
+        assert!(r.sigma_t > 0.0);
+        assert!(r.period >= r.mu_t * 0.5);
+        // Baseline at µT should be mid-range, buffers should not hurt.
+        assert!(r.yield_baseline > 20.0 && r.yield_baseline < 80.0,
+            "baseline {}", r.yield_baseline);
+        assert!(r.yield_with_buffers >= r.yield_baseline - 1e-9);
+        assert!(r.runtime.total_s > 0.0);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let c = bench_suite::tiny_demo(2);
+        let mut cfg1 = quick_cfg();
+        cfg1.threads = 1;
+        let mut cfg4 = quick_cfg();
+        cfg4.threads = 4;
+        let r1 = BufferInsertionFlow::new(&c, cfg1).unwrap().run();
+        let r4 = BufferInsertionFlow::new(&c, cfg4).unwrap().run();
+        assert_eq!(r1.nb, r4.nb);
+        assert_eq!(r1.groups, r4.groups);
+        assert_eq!(r1.yield_with_buffers, r4.yield_with_buffers);
+        assert_eq!(r1.yield_baseline, r4.yield_baseline);
+    }
+
+    #[test]
+    fn higher_sigma_target_means_higher_baseline_yield() {
+        let c = bench_suite::tiny_demo(3);
+        let mut cfg0 = quick_cfg();
+        cfg0.target = TargetPeriod::SigmaFactor(0.0);
+        let mut cfg2 = quick_cfg();
+        cfg2.target = TargetPeriod::SigmaFactor(2.0);
+        let r0 = BufferInsertionFlow::new(&c, cfg0).unwrap().run();
+        let r2 = BufferInsertionFlow::new(&c, cfg2).unwrap().run();
+        assert!(r2.yield_baseline > r0.yield_baseline + 20.0,
+            "2σ {} vs µ {}", r2.yield_baseline, r0.yield_baseline);
+        assert!(r2.yield_baseline > 90.0);
+    }
+
+    #[test]
+    fn absolute_period_is_respected() {
+        let c = bench_suite::tiny_demo(4);
+        let mut cfg = quick_cfg();
+        cfg.target = TargetPeriod::Absolute(1234.5);
+        let flow = BufferInsertionFlow::new(&c, cfg).unwrap();
+        let r = flow.run();
+        assert_eq!(r.period, 1234.5);
+    }
+
+    #[test]
+    fn snapshots_recorded_when_requested() {
+        let c = bench_suite::tiny_demo(5);
+        let mut cfg = quick_cfg();
+        cfg.record_histograms = 2;
+        let r = BufferInsertionFlow::new(&c, cfg).unwrap().run();
+        assert!(r.snapshots.len() <= 2);
+        for s in &r.snapshots {
+            assert!(!s.concentrated.is_empty());
+            assert!(s.window.1 - s.window.0 == 20);
+            assert!(s.final_range.0 <= s.final_range.1);
+        }
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let c = bench_suite::tiny_demo(6);
+        let mut cfg = quick_cfg();
+        cfg.samples = 0;
+        assert!(matches!(
+            BufferInsertionFlow::new(&c, cfg),
+            Err(FlowError::Config(_))
+        ));
+        let mut cfg = quick_cfg();
+        cfg.steps = 0;
+        assert!(BufferInsertionFlow::new(&c, cfg).is_err());
+        let mut cfg = quick_cfg();
+        cfg.range_fraction = -1.0;
+        assert!(BufferInsertionFlow::new(&c, cfg).is_err());
+    }
+
+    #[test]
+    fn grouping_never_increases_buffer_count() {
+        let c = bench_suite::tiny_demo(8);
+        let r = BufferInsertionFlow::new(&c, quick_cfg()).unwrap().run();
+        assert!(r.nb <= r.buffers_before_grouping);
+        // Every group window must be within the floating range.
+        for g in &r.groups {
+            assert!(g.lo >= -20 && g.hi <= 20);
+            assert!(g.lo <= g.hi);
+        }
+    }
+
+    #[test]
+    fn max_buffers_cap_enforced() {
+        let c = bench_suite::tiny_demo(9);
+        let mut cfg = quick_cfg();
+        cfg.grouping.max_buffers = Some(1);
+        let r = BufferInsertionFlow::new(&c, cfg).unwrap().run();
+        assert!(r.nb <= 1);
+    }
+}

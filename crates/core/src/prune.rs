@@ -1,0 +1,193 @@
+//! Buffer pruning (paper §III-A2, Fig. 4).
+//!
+//! After the first sampling pass, buffers that were adjusted at most
+//! `low` times *and* have no critical neighbour (a FF adjusted at least
+//! `critical` times) are removed.  The paper uses `low = 1`, `critical = 5`
+//! at 10 000 samples; thresholds scale linearly with the sample count when
+//! [`PruneConfig::reference_samples`] is set.
+
+use crate::solve::BufferSpace;
+use psbi_timing::SequentialGraph;
+use serde::{Deserialize, Serialize};
+
+/// Pruning thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PruneConfig {
+    /// Remove buffers with at most this many tunings…
+    pub low: u64,
+    /// …unless a neighbour has at least this many tunings.
+    pub critical: u64,
+    /// Sample count the thresholds are calibrated for (paper: 10 000).
+    /// When `Some`, thresholds are scaled by `samples / reference`.
+    pub reference_samples: Option<u64>,
+}
+
+impl Default for PruneConfig {
+    fn default() -> Self {
+        Self {
+            low: 1,
+            critical: 5,
+            reference_samples: Some(10_000),
+        }
+    }
+}
+
+impl PruneConfig {
+    /// Thresholds effective at `samples` Monte-Carlo samples.
+    pub fn effective(&self, samples: u64) -> (u64, u64) {
+        match self.reference_samples {
+            Some(reference) if reference > 0 => {
+                let scale = samples as f64 / reference as f64;
+                let low = ((self.low as f64 * scale).round() as u64).max(1);
+                let critical = ((self.critical as f64 * scale).round() as u64).max(2);
+                (low, critical)
+            }
+            _ => (self.low, self.critical),
+        }
+    }
+}
+
+/// What pruning did.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PruneReport {
+    /// FFs whose buffers were removed.
+    pub removed: Vec<usize>,
+    /// Buffers remaining after pruning.
+    pub kept: usize,
+    /// Effective `low` threshold used.
+    pub low: u64,
+    /// Effective `critical` threshold used.
+    pub critical: u64,
+}
+
+/// Prunes rarely-used buffers in place.
+///
+/// `counts[i]` is the number of samples in which FF `i`'s buffer was
+/// adjusted during the first pass.
+///
+/// # Panics
+///
+/// Panics if `counts` is not one entry per FF.
+pub fn prune(
+    sg: &SequentialGraph,
+    counts: &[u64],
+    space: &mut BufferSpace,
+    cfg: &PruneConfig,
+    samples: u64,
+) -> PruneReport {
+    assert_eq!(counts.len(), sg.n_ffs, "one count per FF");
+    let (low, critical) = cfg.effective(samples);
+    let mut removed = Vec::new();
+    for i in 0..sg.n_ffs {
+        if !space.has_buffer[i] {
+            continue;
+        }
+        if counts[i] > low {
+            continue;
+        }
+        let near_critical = sg.neighbors(i).any(|j| counts[j] >= critical);
+        if !near_critical {
+            removed.push(i);
+        }
+    }
+    for &i in &removed {
+        space.has_buffer[i] = false;
+    }
+    PruneReport {
+        kept: space.num_buffers(),
+        removed,
+        low,
+        critical,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psbi_timing::seq::SeqEdge;
+    use psbi_variation::CanonicalForm;
+
+    fn chain_graph(n: usize) -> SequentialGraph {
+        let edges = (0..n - 1)
+            .map(|i| SeqEdge {
+                from: i as u32,
+                to: (i + 1) as u32,
+                max_delay: CanonicalForm::constant(1.0),
+                min_delay: CanonicalForm::constant(1.0),
+            })
+            .collect();
+        SequentialGraph::from_parts(
+            n,
+            edges,
+            vec![CanonicalForm::constant(1.0); n],
+            vec![CanonicalForm::constant(1.0); n],
+        )
+    }
+
+    #[test]
+    fn fig4_example() {
+        // Counts mirroring Fig. 4: a node with count 1 whose neighbours are
+        // not critical is pruned; one adjacent to a critical node stays.
+        let sg = chain_graph(5);
+        // 20 - 5 - 1 - 1 - 1 : the "1" next to "5" (critical) is kept,
+        // the middle and last "1"s… middle one neighbours a kept-1 (not
+        // critical) and last-1 → pruned; last-1 neighbours middle-1 → pruned.
+        let counts = [20, 5, 1, 1, 1];
+        let mut space = BufferSpace::floating(5, 20);
+        let report = prune(&sg, &counts, &mut space, &PruneConfig::default(), 10_000);
+        assert!(space.has_buffer[0]);
+        assert!(space.has_buffer[1]);
+        assert!(space.has_buffer[2], "adjacent to critical node 1");
+        assert!(!space.has_buffer[3]);
+        assert!(!space.has_buffer[4]);
+        assert_eq!(report.kept, 3);
+        assert_eq!(report.removed, vec![3, 4]);
+    }
+
+    #[test]
+    fn zero_count_always_pruned_without_critical_neighbour() {
+        let sg = chain_graph(3);
+        let counts = [0, 0, 0];
+        let mut space = BufferSpace::floating(3, 20);
+        let report = prune(&sg, &counts, &mut space, &PruneConfig::default(), 10_000);
+        assert_eq!(report.kept, 0);
+    }
+
+    #[test]
+    fn heavily_used_buffers_survive() {
+        let sg = chain_graph(3);
+        let counts = [100, 200, 300];
+        let mut space = BufferSpace::floating(3, 20);
+        let report = prune(&sg, &counts, &mut space, &PruneConfig::default(), 10_000);
+        assert_eq!(report.kept, 3);
+        assert!(report.removed.is_empty());
+    }
+
+    #[test]
+    fn thresholds_scale_with_samples() {
+        let cfg = PruneConfig::default();
+        assert_eq!(cfg.effective(10_000), (1, 5));
+        // At 1 000 samples the critical threshold shrinks but stays >= 2.
+        let (low, critical) = cfg.effective(1_000);
+        assert_eq!(low, 1);
+        assert_eq!(critical, 2);
+        // At 100 000 samples thresholds grow.
+        assert_eq!(cfg.effective(100_000), (10, 50));
+        // Disabled scaling keeps raw values.
+        let raw = PruneConfig { reference_samples: None, ..cfg };
+        assert_eq!(raw.effective(123), (1, 5));
+    }
+
+    #[test]
+    fn already_pruned_buffers_are_ignored() {
+        let sg = chain_graph(3);
+        let counts = [0, 50, 0];
+        let mut space = BufferSpace::floating(3, 20);
+        space.has_buffer[0] = false;
+        let report = prune(&sg, &counts, &mut space, &PruneConfig::default(), 10_000);
+        // FF0 was already gone; FF2 survives thanks to critical FF1.
+        assert!(!report.removed.contains(&0));
+        assert!(space.has_buffer[2]);
+        assert_eq!(report.kept, 2);
+    }
+}

@@ -1,0 +1,1016 @@
+//! The per-sample buffer-minimisation solver.
+//!
+//! For one Monte-Carlo sample the paper solves two ILPs (eqs. (8)–(13) and
+//! (14)–(17)): first minimise the number of adjusted buffers `Σ c_i`, then
+//! — with that count as a budget — minimise the total tuning magnitude.
+//! This module solves the same problems exactly but exploits their
+//! structure:
+//!
+//! * **Localisation.** Only constraints violated at `x = 0` force tunings.
+//!   In any *minimal* solution, every connected component of the tuned set
+//!   (in the constraint graph) touches a violated constraint — otherwise
+//!   zeroing that component keeps feasibility and is smaller.  A component
+//!   of `m` tuned buffers therefore lies within `m` hops of a violated
+//!   endpoint, so solving inside a radius-`R` region is globally optimal as
+//!   soon as the optimum count is `≤ R`; the region is grown until that
+//!   holds (or it saturates its connected component, proving
+//!   infeasibility).
+//! * **Support-set branch and bound.** Inside a region the search branches
+//!   on "buffer is adjusted / not adjusted".  Feasibility of a candidate
+//!   support is a bounded difference-constraint system —
+//!   [`psbi_timing::DiffSolver`] decides it in near-linear time — and a
+//!   matching over still-uncovered violated constraints gives a
+//!   vertex-cover lower bound.
+//! * **Value concentration.** With the budget fixed, `min Σ|x_i − a_i|` is
+//!   solved as a MILP ([`psbi_milp`]) with indicator constraints — the
+//!   exact formulation of the paper's eqs. (14)–(21) — on the small region.
+//!
+//! The generic big-M MILP formulation of the whole problem is also
+//! available ([`SampleSolver::solve_reference_milp`]) and is used by tests
+//! to cross-validate the specialised path.
+
+use psbi_milp::{Model, Op, Status};
+use psbi_timing::feasibility::{Arc, DiffSolver, Feasibility};
+use psbi_timing::{IntegerConstraints, SequentialGraph};
+
+/// Which buffers exist and their tuning windows (in steps).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BufferSpace {
+    /// Per FF: does it (still) have a tuning buffer?
+    pub has_buffer: Vec<bool>,
+    /// Per FF: inclusive tuning bounds in steps (only meaningful where
+    /// `has_buffer`).  Must contain 0 so that "not adjusted" is feasible.
+    pub bounds: Vec<(i64, i64)>,
+}
+
+impl BufferSpace {
+    /// Every FF gets a buffer with the paper's step-1 floating window: the
+    /// window of width `steps` must contain both 0 and the tuning value, so
+    /// the value ranges over `[-steps, steps]`.
+    pub fn floating(n_ffs: usize, steps: i64) -> Self {
+        Self {
+            has_buffer: vec![true; n_ffs],
+            bounds: vec![(-steps, steps); n_ffs],
+        }
+    }
+
+    /// Number of FFs with buffers.
+    pub fn num_buffers(&self) -> usize {
+        self.has_buffer.iter().filter(|b| **b).count()
+    }
+
+    /// Validates that all active windows contain zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns the index of the first offending FF.
+    pub fn validate(&self) -> Result<(), usize> {
+        for (i, has) in self.has_buffer.iter().enumerate() {
+            if *has {
+                let (lo, hi) = self.bounds[i];
+                if lo > 0 || hi < 0 {
+                    return Err(i);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Secondary objective after the buffer count is minimised.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PushObjective<'a> {
+    /// Stop after minimising the count (paper §III-A1 / §III-B1).
+    None,
+    /// Minimise `Σ|x_i|` (paper §III-A3).
+    ToZero,
+    /// Minimise `Σ|x_i − a_i|` with per-FF targets (paper §III-B2).
+    ToTargets(&'a [f64]),
+}
+
+/// Tunable solver limits.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SolverOptions {
+    /// Initial region radius (hops around violated constraints).
+    pub region_radius: usize,
+    /// Hard cap on FFs per region (beyond it results are marked inexact).
+    pub region_cap: usize,
+    /// Maximum branch-and-bound nodes per region before greedy fallback.
+    pub bb_node_cap: usize,
+    /// Regions larger than this solve the concentration MILP on the fixed
+    /// optimal support instead of branching over supports.
+    pub exact_push_cap: usize,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        Self {
+            region_radius: 2,
+            region_cap: 48,
+            bb_node_cap: 3_000,
+            exact_push_cap: 14,
+        }
+    }
+}
+
+/// Solution of one sample.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SampleResult {
+    /// Can this chip be configured at all (with the given buffer space)?
+    pub feasible: bool,
+    /// Whether the result is proven optimal (greedy fallbacks clear this).
+    pub exact: bool,
+    /// Nonzero tunings `(ff_index, steps)`.
+    pub tunings: Vec<(u32, i64)>,
+}
+
+impl SampleResult {
+    /// Number of adjusted buffers (the paper's `n_k`).
+    pub fn count(&self) -> usize {
+        self.tunings.len()
+    }
+}
+
+/// Normalised constraint `k(a) − k(b) ≤ bound` with FF endpoints.
+#[derive(Debug, Clone, Copy)]
+struct RegCons {
+    a: u32,
+    b: u32,
+    bound: i64,
+}
+
+/// Reusable per-sample solver (one per worker thread).
+#[derive(Debug, Default)]
+pub struct SampleSolver {
+    diff: DiffSolver,
+    /// Scratch: per-FF region id (or `NONE`).
+    region_of: Vec<u32>,
+    /// Scratch: per-FF variable slot within a support check.
+    var_of: Vec<u32>,
+    /// Scratch: visited stamp for BFS.
+    dist: Vec<u32>,
+}
+
+const NONE: u32 = u32::MAX;
+
+impl SampleSolver {
+    /// Creates a solver with empty workspaces.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Solves one sample: minimum buffer count, then (optionally) value
+    /// concentration.
+    pub fn solve(
+        &mut self,
+        sg: &SequentialGraph,
+        ic: &IntegerConstraints,
+        space: &BufferSpace,
+        push: PushObjective<'_>,
+        opts: &SolverOptions,
+    ) -> SampleResult {
+        let n = sg.n_ffs;
+        debug_assert_eq!(space.has_buffer.len(), n);
+
+        // 1. Violated constraints at x = 0.
+        let mut violated: Vec<RegCons> = Vec::new();
+        for (e, edge) in sg.edges.iter().enumerate() {
+            if ic.setup_bound[e] < 0 {
+                violated.push(RegCons {
+                    a: edge.from,
+                    b: edge.to,
+                    bound: ic.setup_bound[e],
+                });
+            }
+            if ic.hold_bound[e] < 0 {
+                violated.push(RegCons {
+                    a: edge.to,
+                    b: edge.from,
+                    bound: ic.hold_bound[e],
+                });
+            }
+        }
+        if violated.is_empty() {
+            return SampleResult {
+                feasible: true,
+                exact: true,
+                tunings: Vec::new(),
+            };
+        }
+        // A violated constraint between two bufferless FFs is unfixable.
+        for v in &violated {
+            if !space.has_buffer[v.a as usize] && !space.has_buffer[v.b as usize] {
+                return SampleResult {
+                    feasible: false,
+                    exact: true,
+                    tunings: Vec::new(),
+                };
+            }
+        }
+
+        // 2. Infeasibility screen at full saturation: if the chip cannot be
+        // configured even with *every* buffer free, no region growth can
+        // help (a negative cycle stays negative), so decide this once with
+        // a single SPFA instead of growing regions toward it.
+        if !self.chip_fixable(sg, ic, space) {
+            return SampleResult {
+                feasible: false,
+                exact: true,
+                tunings: Vec::new(),
+            };
+        }
+
+        // 3. Region growth: solve at the initial radius, then — if some
+        // region's optimal count exceeds the radius — once more at
+        // radius = count, which provably contains a global optimum (any
+        // better solution's components span fewer hops).  Two rounds
+        // suffice; a third guards the inexact (node-capped) case.
+        let mut radius = opts.region_radius;
+        for round in 0..3 {
+            let regions = self.collect_regions(sg, space, &violated, radius);
+            let mut all_tunings: Vec<(u32, i64)> = Vec::new();
+            let mut exact = true;
+            let mut need_radius = radius;
+            for region in &regions {
+                let sol = self.solve_region(ic, space, region, push, opts);
+                match sol {
+                    RegionOutcome::Feasible {
+                        tunings,
+                        count,
+                        exact: ex,
+                    } => {
+                        if count > radius && !region.saturated {
+                            need_radius = need_radius.max(count);
+                        }
+                        all_tunings.extend(tunings);
+                        exact &= ex;
+                    }
+                    RegionOutcome::Infeasible => {
+                        // The chip as a whole is fixable (screened above);
+                        // a region-local infeasibility means the region is
+                        // too small — grow it.
+                        need_radius = need_radius.max(radius * 2 + 1);
+                        exact = false;
+                    }
+                }
+            }
+            if need_radius == radius || round == 2 {
+                return SampleResult {
+                    feasible: true,
+                    exact: exact && need_radius == radius,
+                    tunings: all_tunings,
+                };
+            }
+            radius = need_radius;
+        }
+        unreachable!("growth loop returns within three rounds");
+    }
+
+    /// One SPFA over the whole circuit with every buffer free: can this
+    /// chip be configured at all?
+    fn chip_fixable(
+        &mut self,
+        sg: &SequentialGraph,
+        ic: &IntegerConstraints,
+        space: &BufferSpace,
+    ) -> bool {
+        let n = sg.n_ffs;
+        self.var_of.clear();
+        self.var_of.resize(n, NONE);
+        let mut vars: Vec<u32> = Vec::new();
+        for ff in 0..n {
+            if space.has_buffer[ff] {
+                self.var_of[ff] = vars.len() as u32;
+                vars.push(ff as u32);
+            }
+        }
+        let root = vars.len() as u32;
+        let mut arcs: Vec<Arc> = Vec::with_capacity(2 * sg.edges.len());
+        let resolve = |ff: u32, var_of: &[u32]| -> u32 {
+            let v = var_of[ff as usize];
+            if v == NONE {
+                root
+            } else {
+                v
+            }
+        };
+        for (e, edge) in sg.edges.iter().enumerate() {
+            let vf = resolve(edge.from, &self.var_of);
+            let vt = resolve(edge.to, &self.var_of);
+            // Setup: k_from − k_to ≤ sb → arc to→from.
+            let sb = ic.setup_bound[e];
+            if vf == root && vt == root {
+                if sb < 0 {
+                    return false;
+                }
+            } else {
+                arcs.push(Arc::new(vt, vf, sb));
+            }
+            let hb = ic.hold_bound[e];
+            if vf == root && vt == root {
+                if hb < 0 {
+                    return false;
+                }
+            } else {
+                arcs.push(Arc::new(vf, vt, hb));
+            }
+        }
+        let bounds: Vec<(i64, i64)> = vars.iter().map(|&ff| space.bounds[ff as usize]).collect();
+        self.diff.solve_bounded(vars.len(), &arcs, &bounds).is_feasible()
+    }
+
+    /// Builds regions: buffered FFs within `radius` hops of a violated
+    /// constraint endpoint, split into connected components.
+    fn collect_regions(
+        &mut self,
+        sg: &SequentialGraph,
+        space: &BufferSpace,
+        violated: &[RegCons],
+        radius: usize,
+    ) -> Vec<Region> {
+        let n = sg.n_ffs;
+        self.dist.clear();
+        self.dist.resize(n, NONE);
+        let mut frontier: Vec<u32> = Vec::new();
+        for v in violated {
+            for ff in [v.a, v.b] {
+                if space.has_buffer[ff as usize] && self.dist[ff as usize] == NONE {
+                    self.dist[ff as usize] = 0;
+                    frontier.push(ff);
+                }
+            }
+        }
+        // Multi-source BFS over buffered adjacency.
+        let mut collected: Vec<u32> = frontier.clone();
+        let mut d = 0usize;
+        while d < radius && !frontier.is_empty() {
+            d += 1;
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for v in sg.neighbors(u as usize) {
+                    if space.has_buffer[v] && self.dist[v] == NONE {
+                        self.dist[v] = d as u32;
+                        next.push(v as u32);
+                        collected.push(v as u32);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        // Saturation: no neighbour of the collected set is buffered and
+        // uncollected (the set already fills its connected components).
+        // Components of the induced subgraph.
+        self.region_of.clear();
+        self.region_of.resize(n, NONE);
+        let mut regions: Vec<Region> = Vec::new();
+        for &start in &collected {
+            if self.region_of[start as usize] != NONE {
+                continue;
+            }
+            let rid = regions.len() as u32;
+            let mut ffs = vec![start];
+            self.region_of[start as usize] = rid;
+            let mut stack = vec![start];
+            let mut saturated = true;
+            while let Some(u) = stack.pop() {
+                for v in sg.neighbors(u as usize) {
+                    if !space.has_buffer[v] {
+                        continue;
+                    }
+                    if self.dist[v] == NONE {
+                        saturated = false; // a buffered FF just outside
+                        continue;
+                    }
+                    if self.region_of[v] == NONE {
+                        self.region_of[v] = rid;
+                        ffs.push(v as u32);
+                        stack.push(v as u32);
+                    }
+                }
+            }
+            regions.push(Region {
+                ffs,
+                cons: Vec::new(),
+                saturated,
+            });
+        }
+        // Attach constraints: any setup/hold constraint touching a region
+        // FF.  An edge never spans two regions (adjacent collected FFs are
+        // in the same component), so marking edges globally is safe.
+        let mut edge_seen = vec![false; sg.edges.len()];
+        for region in regions.iter_mut() {
+            for &ff in &region.ffs {
+                for &e in sg.out_edges(ff as usize).iter().chain(sg.in_edges(ff as usize)) {
+                    if edge_seen[e as usize] {
+                        continue;
+                    }
+                    edge_seen[e as usize] = true;
+                    let edge = &sg.edges[e as usize];
+                    region.cons.push(ConsRef {
+                        a: edge.from,
+                        b: edge.to,
+                        edge: e,
+                        kind: Kind::Setup,
+                    });
+                    region.cons.push(ConsRef {
+                        a: edge.to,
+                        b: edge.from,
+                        edge: e,
+                        kind: Kind::Hold,
+                    });
+                }
+            }
+        }
+        regions
+    }
+
+    /// Solves one region.
+    fn solve_region(
+        &mut self,
+        ic: &IntegerConstraints,
+        space: &BufferSpace,
+        region: &Region,
+        push: PushObjective<'_>,
+        opts: &SolverOptions,
+    ) -> RegionOutcome {
+        let m = region.ffs.len();
+        // Map ff -> local slot.
+        self.var_of.clear();
+        self.var_of.resize(space.has_buffer.len(), NONE);
+        for (slot, &ff) in region.ffs.iter().enumerate() {
+            self.var_of[ff as usize] = slot as u32;
+        }
+        // Materialise constraints with bounds.
+        let cons: Vec<RegCons> = region
+            .cons
+            .iter()
+            .map(|c| RegCons {
+                a: c.a,
+                b: c.b,
+                bound: match c.kind {
+                    Kind::Setup => ic.setup_bound[c.edge as usize],
+                    Kind::Hold => ic.hold_bound[c.edge as usize],
+                },
+            })
+            .collect();
+        let violated_local: Vec<usize> = cons
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.bound < 0)
+            .map(|(i, _)| i)
+            .collect();
+
+        // Branch and bound over supports.
+        let mut search = SupportSearch {
+            solver: &mut self.diff,
+            var_of: &self.var_of,
+            region_ffs: &region.ffs,
+            cons: &cons,
+            violated: &violated_local,
+            bounds: &space.bounds,
+            best: None,
+            nodes: 0,
+            node_cap: opts.bb_node_cap,
+            exact: true,
+        };
+        let mut state = vec![Decision::Undecided; m];
+        // Quick relaxation check with everything allowed.
+        let Feasibility::Feasible(full_witness) = search.feasible_support(&state, true) else {
+            return RegionOutcome::Infeasible;
+        };
+        if m > opts.region_cap {
+            // Region too large for exact search: sparsify the full witness
+            // greedily (drop small tunings while feasibility holds).
+            let (support, witness) = search.sparsify(&full_witness);
+            let count = support.len();
+            let tunings =
+                self.finish_region(region, &cons, space, count, &support, &witness, push, opts);
+            return RegionOutcome::Feasible {
+                tunings,
+                count,
+                exact: false,
+            };
+        }
+        search.recurse(&mut state);
+        let (count, support, witness, exact) = match search.best.take() {
+            Some(b) => (b.0, b.1, b.2, search.exact),
+            None if !search.exact => {
+                // Node cap exhausted with no incumbent: fall back to the
+                // sparsified relaxation witness.
+                let (support, witness) = search.sparsify(&full_witness);
+                let count = support.len();
+                let tunings = self
+                    .finish_region(region, &cons, space, count, &support, &witness, push, opts);
+                return RegionOutcome::Feasible {
+                    tunings,
+                    count,
+                    exact: false,
+                };
+            }
+            None => return RegionOutcome::Infeasible,
+        };
+
+        let tunings =
+            self.finish_region(region, &cons, space, count, &support, &witness, push, opts);
+        RegionOutcome::Feasible {
+            tunings,
+            count,
+            exact,
+        }
+    }
+
+    /// Applies the push objective to a solved region.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_region(
+        &mut self,
+        region: &Region,
+        cons: &[RegCons],
+        space: &BufferSpace,
+        count: usize,
+        support: &[u32],
+        witness: &[i64],
+        push: PushObjective<'_>,
+        opts: &SolverOptions,
+    ) -> Vec<(u32, i64)> {
+        match push {
+            PushObjective::None => support
+                .iter()
+                .zip(witness)
+                .filter(|(_, k)| **k != 0)
+                .map(|(ff, k)| (*ff, *k))
+                .collect(),
+            PushObjective::ToZero => self.concentrate(
+                region, cons, space, count, support, witness, None, opts,
+            ),
+            PushObjective::ToTargets(targets) => self.concentrate(
+                region,
+                cons,
+                space,
+                count,
+                support,
+                witness,
+                Some(targets),
+                opts,
+            ),
+        }
+    }
+
+    /// Solves `min Σ|k_i − a_i|` subject to the constraints and the buffer
+    /// budget, as a MILP over the region (paper eqs. (14)–(21)).
+    #[allow(clippy::too_many_arguments)]
+    fn concentrate(
+        &mut self,
+        region: &Region,
+        cons: &[RegCons],
+        space: &BufferSpace,
+        budget: usize,
+        support: &[u32],
+        witness: &[i64],
+        targets: Option<&[f64]>,
+        opts: &SolverOptions,
+    ) -> Vec<(u32, i64)> {
+        let m = region.ffs.len();
+        let over_supports = m <= opts.exact_push_cap;
+        // Very large supports (greedy fallback on oversized regions): skip
+        // the MILP and keep the witness values.
+        const PUSH_SUPPORT_CAP: usize = 48;
+        if !over_supports && support.len() > PUSH_SUPPORT_CAP {
+            return support
+                .iter()
+                .zip(witness)
+                .filter(|(_, k)| **k != 0)
+                .map(|(ff, k)| (*ff, *k))
+                .collect();
+        }
+        let mut model = Model::new();
+        model.node_limit = 30_000;
+        // Variables for either the full region (support is chosen by the
+        // model) or just the fixed optimal support.
+        let active: Vec<u32> = if over_supports {
+            region.ffs.clone()
+        } else {
+            support.to_vec()
+        };
+        let mut var_slot = vec![NONE; self.var_of.len()];
+        let mut kvars = Vec::with_capacity(active.len());
+        for (s, &ff) in active.iter().enumerate() {
+            var_slot[ff as usize] = s as u32;
+            let (lo, hi) = space.bounds[ff as usize];
+            let k = model.add_var(format!("k{ff}"), lo as f64, hi as f64, 0.0, true);
+            kvars.push(k);
+        }
+        if over_supports {
+            let mut cterms = Vec::with_capacity(active.len());
+            for (s, &ff) in active.iter().enumerate() {
+                let c = model.add_binary(format!("c{ff}"), 0.0);
+                let (lo, hi) = space.bounds[ff as usize];
+                let big_m = (lo.abs().max(hi.abs()) as f64).max(1.0);
+                model.add_indicator(kvars[s], c, big_m);
+                cterms.push((c, 1.0));
+            }
+            model.add_cons(cterms, Op::Le, budget as f64);
+        }
+        for c in cons {
+            let sa = var_slot[c.a as usize];
+            let sb = var_slot[c.b as usize];
+            let mut terms = Vec::new();
+            if sa != NONE {
+                terms.push((kvars[sa as usize], 1.0));
+            }
+            if sb != NONE {
+                terms.push((kvars[sb as usize], -1.0));
+            }
+            if terms.is_empty() {
+                continue; // root-root, checked during feasibility
+            }
+            model.add_cons(terms, Op::Le, c.bound as f64);
+        }
+        for (s, &ff) in active.iter().enumerate() {
+            let target = targets.map_or(0.0, |t| t[ff as usize]);
+            model.add_abs_deviation(kvars[s], target, 1.0);
+        }
+        let sol = model.solve();
+        if matches!(sol.status, Status::Optimal | Status::Feasible) {
+            active
+                .iter()
+                .enumerate()
+                .map(|(s, &ff)| (ff, sol.int_value(kvars[s])))
+                .filter(|(_, k)| *k != 0)
+                .collect()
+        } else {
+            // Should not happen (feasibility proven); fall back to witness.
+            support
+                .iter()
+                .zip(witness)
+                .filter(|(_, k)| **k != 0)
+                .map(|(ff, k)| (*ff, *k))
+                .collect()
+        }
+    }
+
+    /// Solves the paper's full big-M ILP over *all* buffered FFs at once —
+    /// exponentially slower but a direct transcription of eqs. (8)–(17);
+    /// used by tests as a reference oracle.
+    pub fn solve_reference_milp(
+        &mut self,
+        sg: &SequentialGraph,
+        ic: &IntegerConstraints,
+        space: &BufferSpace,
+        push: PushObjective<'_>,
+    ) -> SampleResult {
+        let n = sg.n_ffs;
+        let mut model = Model::new();
+        let mut kvars = vec![None; n];
+        let mut cterms = Vec::new();
+        let mut cvars = vec![None; n];
+        for ff in 0..n {
+            if !space.has_buffer[ff] {
+                continue;
+            }
+            let (lo, hi) = space.bounds[ff];
+            let k = model.add_var(format!("k{ff}"), lo as f64, hi as f64, 0.0, true);
+            let c = model.add_binary(format!("c{ff}"), 1.0);
+            let big_m = (lo.abs().max(hi.abs()) as f64).max(1.0);
+            model.add_indicator(k, c, big_m);
+            kvars[ff] = Some(k);
+            cvars[ff] = Some(c);
+            cterms.push((c, 1.0));
+        }
+        let add_cons = |model: &mut Model, a: usize, b: usize, bound: i64| -> bool {
+            match (kvars[a], kvars[b]) {
+                (None, None) => bound >= 0,
+                (ka, kb) => {
+                    let mut terms = Vec::new();
+                    if let Some(k) = ka {
+                        terms.push((k, 1.0));
+                    }
+                    if let Some(k) = kb {
+                        terms.push((k, -1.0));
+                    }
+                    model.add_cons(terms, Op::Le, bound as f64);
+                    true
+                }
+            }
+        };
+        for (e, edge) in sg.edges.iter().enumerate() {
+            let (i, j) = (edge.from as usize, edge.to as usize);
+            if !add_cons(&mut model, i, j, ic.setup_bound[e])
+                || !add_cons(&mut model, j, i, ic.hold_bound[e])
+            {
+                return SampleResult {
+                    feasible: false,
+                    exact: true,
+                    tunings: Vec::new(),
+                };
+            }
+        }
+        let first = model.solve();
+        if first.status != Status::Optimal {
+            return SampleResult {
+                feasible: false,
+                exact: first.status == Status::Infeasible,
+                tunings: Vec::new(),
+            };
+        }
+        let nk = first.objective.round() as usize;
+        let result_vals = match push {
+            PushObjective::None => first,
+            _ => {
+                // Second stage: budget + |.| objective.
+                let mut m2 = model.clone();
+                for c in cvars.iter().flatten() {
+                    m2.set_objective(*c, 0.0);
+                }
+                m2.add_cons(
+                    cvars.iter().flatten().map(|c| (*c, 1.0)).collect(),
+                    Op::Le,
+                    nk as f64,
+                );
+                for ff in 0..n {
+                    if let Some(k) = kvars[ff] {
+                        let t = match push {
+                            PushObjective::ToTargets(t) => t[ff],
+                            _ => 0.0,
+                        };
+                        m2.add_abs_deviation(k, t, 1.0);
+                    }
+                }
+                let second = m2.solve();
+                if matches!(second.status, Status::Optimal | Status::Feasible) {
+                    second
+                } else {
+                    first
+                }
+            }
+        };
+        let tunings = (0..n)
+            .filter_map(|ff| {
+                kvars[ff].and_then(|k| {
+                    let v = result_vals.int_value(k);
+                    (v != 0).then_some((ff as u32, v))
+                })
+            })
+            .collect();
+        SampleResult {
+            feasible: true,
+            exact: true,
+            tunings,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Kind {
+    Setup,
+    Hold,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ConsRef {
+    a: u32,
+    b: u32,
+    edge: u32,
+    kind: Kind,
+}
+
+#[derive(Debug)]
+struct Region {
+    ffs: Vec<u32>,
+    cons: Vec<ConsRef>,
+    saturated: bool,
+}
+
+enum RegionOutcome {
+    Feasible {
+        tunings: Vec<(u32, i64)>,
+        count: usize,
+        exact: bool,
+    },
+    Infeasible,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Decision {
+    In,
+    Out,
+    Undecided,
+}
+
+/// Branch-and-bound over support sets.
+struct SupportSearch<'a> {
+    solver: &'a mut DiffSolver,
+    var_of: &'a [u32],
+    region_ffs: &'a [u32],
+    cons: &'a [RegCons],
+    violated: &'a [usize],
+    bounds: &'a [(i64, i64)],
+    /// `(count, support ffs, witness values per support entry)`.
+    best: Option<(usize, Vec<u32>, Vec<i64>)>,
+    nodes: usize,
+    node_cap: usize,
+    exact: bool,
+}
+
+impl SupportSearch<'_> {
+    /// Greedy fallback for oversized regions: start from the all-variables
+    /// witness and drop tunings (smallest magnitude first) while the system
+    /// stays feasible.  Returns `(support, witness values)`.
+    fn sparsify(&mut self, full_witness: &[i64]) -> (Vec<u32>, Vec<i64>) {
+        let m = self.region_ffs.len();
+        let mut state: Vec<Decision> = (0..m)
+            .map(|i| {
+                if full_witness[i] != 0 {
+                    Decision::In
+                } else {
+                    Decision::Out
+                }
+            })
+            .collect();
+        // Candidates ordered by |value| ascending: cheap drops first.
+        let mut order: Vec<usize> = (0..m).filter(|&i| full_witness[i] != 0).collect();
+        order.sort_by_key(|&i| full_witness[i].abs());
+        for &i in &order {
+            state[i] = Decision::Out;
+            if !self.feasible_support(&state, false).is_feasible() {
+                state[i] = Decision::In;
+            }
+        }
+        let support: Vec<u32> = state
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| **d == Decision::In)
+            .map(|(i, _)| self.region_ffs[i])
+            .collect();
+        let witness = match self.feasible_support(&state, false) {
+            Feasibility::Feasible(w) => w,
+            Feasibility::Infeasible => {
+                unreachable!("sparsify only removes while feasibility holds")
+            }
+        };
+        (support, witness)
+    }
+
+    /// Feasibility with support = In (or In ∪ Undecided when `relaxed`).
+    fn feasible_support(&mut self, state: &[Decision], relaxed: bool) -> Feasibility {
+        let mut vars: Vec<u32> = Vec::new();
+        let mut slot = vec![NONE; state.len()];
+        for (i, d) in state.iter().enumerate() {
+            let included = match d {
+                Decision::In => true,
+                Decision::Undecided => relaxed,
+                Decision::Out => false,
+            };
+            if included {
+                slot[i] = vars.len() as u32;
+                vars.push(self.region_ffs[i]);
+            }
+        }
+        let root = vars.len() as u32;
+        let mut arcs: Vec<Arc> = Vec::new();
+        for c in self.cons {
+            let la = self.local_of(c.a);
+            let lb = self.local_of(c.b);
+            let va = la.map_or(root, |l| if slot[l] != NONE { slot[l] } else { root });
+            let vb = lb.map_or(root, |l| if slot[l] != NONE { slot[l] } else { root });
+            if va == root && vb == root {
+                if c.bound < 0 {
+                    return Feasibility::Infeasible;
+                }
+                continue;
+            }
+            // k(a) − k(b) ≤ bound  →  arc b → a with weight bound.
+            arcs.push(Arc::new(vb, va, c.bound));
+        }
+        let bounds: Vec<(i64, i64)> = vars
+            .iter()
+            .map(|&ff| self.bounds[ff as usize])
+            .collect();
+        self.solver.solve_bounded(vars.len(), &arcs, &bounds)
+    }
+
+    #[inline]
+    fn local_of(&self, ff: u32) -> Option<usize> {
+        let v = self.var_of[ff as usize];
+        (v != NONE).then_some(v as usize)
+    }
+
+    fn in_count(state: &[Decision]) -> usize {
+        state.iter().filter(|d| **d == Decision::In).count()
+    }
+
+    /// Matching-based lower bound: violated constraints not covered by In
+    /// whose endpoints are still undecided each need one more buffer, and
+    /// vertex-disjoint ones need distinct buffers.
+    fn matching_lb(&self, state: &[Decision]) -> usize {
+        let mut used = vec![false; state.len()];
+        let mut lb = 0usize;
+        for &v in self.violated {
+            let c = &self.cons[v];
+            let la = self.local_of(c.a);
+            let lb_ = self.local_of(c.b);
+            let covered = [la, lb_].iter().any(|l| {
+                l.is_some_and(|i| state[i] == Decision::In)
+            });
+            if covered {
+                continue;
+            }
+            // Usable endpoints: undecided, unused so far.
+            let mut usable: Vec<usize> = Vec::new();
+            for l in [la, lb_].into_iter().flatten() {
+                if state[l] == Decision::Undecided && !used[l] {
+                    usable.push(l);
+                }
+            }
+            if usable.is_empty() {
+                continue; // handled by feasibility pruning
+            }
+            // Claim both endpoints so the next edge must be disjoint.
+            for l in [la, lb_].into_iter().flatten() {
+                used[l] = true;
+            }
+            lb += 1;
+        }
+        lb
+    }
+
+    fn recurse(&mut self, state: &mut Vec<Decision>) {
+        self.nodes += 1;
+        if self.nodes > self.node_cap {
+            self.exact = false;
+            return;
+        }
+        let in_count = Self::in_count(state);
+        if let Some((best, _, _)) = &self.best {
+            if in_count >= *best {
+                return;
+            }
+            if in_count + self.matching_lb(state) >= *best {
+                return;
+            }
+        }
+        // Relaxation: can anything still work?
+        if !self.feasible_support(state, true).is_feasible() {
+            return;
+        }
+        // Is In alone already enough?
+        if let Feasibility::Feasible(w) = self.feasible_support(state, false) {
+            let support: Vec<u32> = state
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| **d == Decision::In)
+                .map(|(i, _)| self.region_ffs[i])
+                .collect();
+            // Witness values for support vars come first in `w` in the
+            // same order as the support listing above.
+            let values: Vec<i64> = w[..support.len()].to_vec();
+            let better = self.best.as_ref().is_none_or(|(c, _, _)| support.len() < *c);
+            if better {
+                self.best = Some((support.len(), support, values));
+            }
+            return;
+        }
+        // Branch: pick an undecided endpoint of an uncovered violated
+        // constraint; fall back to any undecided vertex.
+        let pick = self.pick_branch_var(state);
+        let Some(v) = pick else {
+            return; // everything decided yet infeasible with In
+        };
+        state[v] = Decision::In;
+        self.recurse(state);
+        state[v] = Decision::Out;
+        self.recurse(state);
+        state[v] = Decision::Undecided;
+    }
+
+    fn pick_branch_var(&self, state: &[Decision]) -> Option<usize> {
+        // Count appearances of undecided vars in uncovered violated
+        // constraints; pick the most frequent.
+        let mut score = vec![0usize; state.len()];
+        for &v in self.violated {
+            let c = &self.cons[v];
+            let la = self.local_of(c.a);
+            let lb = self.local_of(c.b);
+            let covered = [la, lb]
+                .iter()
+                .any(|l| l.is_some_and(|i| state[i] == Decision::In));
+            if covered {
+                continue;
+            }
+            for l in [la, lb].into_iter().flatten() {
+                if state[l] == Decision::Undecided {
+                    score[l] += 1;
+                }
+            }
+        }
+        let best = score
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| **s > 0 && state[*i] == Decision::Undecided)
+            .max_by_key(|(_, s)| **s)
+            .map(|(i, _)| i);
+        best.or_else(|| state.iter().position(|d| *d == Decision::Undecided))
+    }
+}
+
+#[cfg(test)]
+mod tests;

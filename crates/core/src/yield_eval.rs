@@ -1,0 +1,290 @@
+//! Yield evaluation on fresh Monte-Carlo samples.
+//!
+//! A manufactured chip passes at clock period `T` iff the difference-
+//! constraint system over the deployed (possibly grouped) buffers is
+//! feasible.  Without buffers that reduces to "every floored slack is
+//! non-negative".  Feasibility per chip is decided by
+//! [`psbi_timing::DiffSolver`] in near-linear time, so yield evaluation
+//! needs no ILP at all.
+
+use crate::group::Grouping;
+use psbi_timing::feasibility::{Arc, DiffSolver};
+use psbi_timing::{IntegerConstraints, SequentialGraph};
+use serde::{Deserialize, Serialize};
+
+const NONE: u32 = u32::MAX;
+
+/// The final buffer deployment: which FFs share which physical buffer and
+/// the buffer windows (in steps).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Deployment {
+    /// Per FF: physical buffer (group) id, or none.
+    pub var_of_ff: Vec<u32>,
+    /// Window per physical buffer.
+    pub bounds: Vec<(i64, i64)>,
+}
+
+impl Deployment {
+    /// A deployment with no buffers at all.
+    pub fn none(n_ffs: usize) -> Self {
+        Self {
+            var_of_ff: vec![NONE; n_ffs],
+            bounds: Vec::new(),
+        }
+    }
+
+    /// Builds the deployment from a grouping result.
+    pub fn from_grouping(n_ffs: usize, grouping: &Grouping) -> Self {
+        let mut var_of_ff = vec![NONE; n_ffs];
+        let mut bounds = Vec::with_capacity(grouping.groups.len());
+        for (g, group) in grouping.groups.iter().enumerate() {
+            for &ff in &group.members {
+                var_of_ff[ff] = g as u32;
+            }
+            bounds.push((group.lo, group.hi));
+        }
+        Self { var_of_ff, bounds }
+    }
+
+    /// Number of physical buffers.
+    pub fn num_buffers(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Builds the constraint arcs of one sample.  Returns `false` when a
+    /// constraint between two bufferless FFs is violated (chip dead).
+    ///
+    /// `k(a) − k(b) ≤ w` becomes an arc `b → a` of weight `w`; the root
+    /// variable is `self.num_buffers()`.
+    pub fn build_arcs(
+        &self,
+        sg: &SequentialGraph,
+        ic: &IntegerConstraints,
+        arcs: &mut Vec<Arc>,
+    ) -> bool {
+        arcs.clear();
+        let root = self.num_buffers() as u32;
+        for (e, edge) in sg.edges.iter().enumerate() {
+            let vf = self.var_of_ff[edge.from as usize];
+            let vt = self.var_of_ff[edge.to as usize];
+            let (vf, vt) = (
+                if vf == NONE { root } else { vf },
+                if vt == NONE { root } else { vt },
+            );
+            // Setup: k_from − k_to ≤ sb.
+            let sb = ic.setup_bound[e];
+            if vf == root && vt == root {
+                if sb < 0 {
+                    return false;
+                }
+            } else {
+                arcs.push(Arc::new(vt, vf, sb));
+            }
+            // Hold: k_to − k_from ≤ hb.
+            let hb = ic.hold_bound[e];
+            if vf == root && vt == root {
+                if hb < 0 {
+                    return false;
+                }
+            } else {
+                arcs.push(Arc::new(vf, vt, hb));
+            }
+        }
+        true
+    }
+
+    /// Decides whether one sample chip can be configured.
+    pub fn chip_passes(
+        &self,
+        sg: &SequentialGraph,
+        ic: &IntegerConstraints,
+        solver: &mut DiffSolver,
+        arcs: &mut Vec<Arc>,
+    ) -> bool {
+        if !self.build_arcs(sg, ic, arcs) {
+            return false;
+        }
+        solver
+            .solve_bounded(self.num_buffers(), arcs, &self.bounds)
+            .is_feasible()
+    }
+}
+
+/// Aggregated yield over an evaluation stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct YieldReport {
+    /// Chips evaluated.
+    pub samples: usize,
+    /// Chips passing without any buffer.
+    pub baseline_pass: usize,
+    /// Chips passing with the deployed buffers.
+    pub buffered_pass: usize,
+    /// Chips failing baseline but rescued by buffers.
+    pub rescued: usize,
+    /// Chips passing baseline but broken by buffers (possible when a
+    /// window excludes zero).
+    pub broken: usize,
+}
+
+impl YieldReport {
+    /// Baseline yield in `[0, 1]`.
+    pub fn yield_baseline(&self) -> f64 {
+        if self.samples == 0 {
+            return 0.0;
+        }
+        self.baseline_pass as f64 / self.samples as f64
+    }
+
+    /// Yield with buffers in `[0, 1]`.
+    pub fn yield_buffered(&self) -> f64 {
+        if self.samples == 0 {
+            return 0.0;
+        }
+        self.buffered_pass as f64 / self.samples as f64
+    }
+
+    /// Merges another report into this one.
+    pub fn merge(&mut self, other: &YieldReport) {
+        self.samples += other.samples;
+        self.baseline_pass += other.baseline_pass;
+        self.buffered_pass += other.buffered_pass;
+        self.rescued += other.rescued;
+        self.broken += other.broken;
+    }
+
+    /// Records one chip outcome.
+    pub fn record(&mut self, baseline: bool, buffered: bool) {
+        self.samples += 1;
+        if baseline {
+            self.baseline_pass += 1;
+        }
+        if buffered {
+            self.buffered_pass += 1;
+        }
+        if !baseline && buffered {
+            self.rescued += 1;
+        }
+        if baseline && !buffered {
+            self.broken += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::Group;
+    use psbi_timing::seq::SeqEdge;
+    use psbi_variation::CanonicalForm;
+
+    fn graph(n: usize, edges: &[(u32, u32)]) -> SequentialGraph {
+        SequentialGraph::from_parts(
+            n,
+            edges
+                .iter()
+                .map(|(a, b)| SeqEdge {
+                    from: *a,
+                    to: *b,
+                    max_delay: CanonicalForm::constant(1.0),
+                    min_delay: CanonicalForm::constant(1.0),
+                })
+                .collect(),
+            vec![CanonicalForm::constant(1.0); n],
+            vec![CanonicalForm::constant(1.0); n],
+        )
+    }
+
+    fn ic(setup: &[i64], hold: &[i64]) -> IntegerConstraints {
+        IntegerConstraints {
+            setup_bound: setup.to_vec(),
+            hold_bound: hold.to_vec(),
+        }
+    }
+
+    #[test]
+    fn no_buffers_chip_passes_iff_bounds_nonnegative() {
+        let sg = graph(2, &[(0, 1)]);
+        let dep = Deployment::none(2);
+        let mut solver = DiffSolver::new();
+        let mut arcs = Vec::new();
+        assert!(dep.chip_passes(&sg, &ic(&[0], &[0]), &mut solver, &mut arcs));
+        assert!(!dep.chip_passes(&sg, &ic(&[-1], &[0]), &mut solver, &mut arcs));
+        assert!(!dep.chip_passes(&sg, &ic(&[3], &[-2]), &mut solver, &mut arcs));
+    }
+
+    #[test]
+    fn buffer_rescues_setup_violation() {
+        let sg = graph(2, &[(0, 1)]);
+        let grouping = Grouping {
+            groups: vec![Group { members: vec![1], lo: 0, hi: 5, usage: 1 }],
+            dropped: vec![],
+            correlated_pairs: 0,
+            merged_pairs: 0,
+        };
+        let dep = Deployment::from_grouping(2, &grouping);
+        let mut solver = DiffSolver::new();
+        let mut arcs = Vec::new();
+        // k0 − k1 ≤ −3: buffer on FF1 with window up to +5 fixes it.
+        assert!(dep.chip_passes(&sg, &ic(&[-3], &[9]), &mut solver, &mut arcs));
+        // But −7 is beyond the window.
+        assert!(!dep.chip_passes(&sg, &ic(&[-7], &[9]), &mut solver, &mut arcs));
+    }
+
+    #[test]
+    fn shared_buffer_cannot_fix_intra_group_violation() {
+        // Both FFs in the same group: their relative shift is always 0.
+        let sg = graph(2, &[(0, 1)]);
+        let grouping = Grouping {
+            groups: vec![Group { members: vec![0, 1], lo: -5, hi: 5, usage: 2 }],
+            dropped: vec![],
+            correlated_pairs: 1,
+            merged_pairs: 1,
+        };
+        let dep = Deployment::from_grouping(2, &grouping);
+        let mut solver = DiffSolver::new();
+        let mut arcs = Vec::new();
+        assert!(!dep.chip_passes(&sg, &ic(&[-1], &[9]), &mut solver, &mut arcs));
+        assert!(dep.chip_passes(&sg, &ic(&[0], &[9]), &mut solver, &mut arcs));
+    }
+
+    #[test]
+    fn window_excluding_zero_can_break_a_passing_chip() {
+        // FF1's buffer window is [3, 5]: it ALWAYS delays FF1 by ≥ 3 steps.
+        // Chip passes baseline (bounds 0) but hold on the edge then fails:
+        // hold bound 2 < k1 − k0 = 3.
+        let sg = graph(2, &[(0, 1)]);
+        let grouping = Grouping {
+            groups: vec![Group { members: vec![1], lo: 3, hi: 5, usage: 1 }],
+            dropped: vec![],
+            correlated_pairs: 0,
+            merged_pairs: 0,
+        };
+        let dep = Deployment::from_grouping(2, &grouping);
+        let mut solver = DiffSolver::new();
+        let mut arcs = Vec::new();
+        let c = ic(&[9], &[2]);
+        let baseline = Deployment::none(2).chip_passes(&sg, &c, &mut solver, &mut arcs);
+        assert!(baseline);
+        assert!(!dep.chip_passes(&sg, &c, &mut solver, &mut arcs));
+    }
+
+    #[test]
+    fn report_accounting() {
+        let mut r = YieldReport::default();
+        r.record(true, true);
+        r.record(false, true);
+        r.record(false, false);
+        r.record(true, false);
+        assert_eq!(r.samples, 4);
+        assert_eq!(r.baseline_pass, 2);
+        assert_eq!(r.buffered_pass, 2);
+        assert_eq!(r.rescued, 1);
+        assert_eq!(r.broken, 1);
+        assert!((r.yield_baseline() - 0.5).abs() < 1e-12);
+        let mut other = YieldReport::default();
+        other.record(true, true);
+        r.merge(&other);
+        assert_eq!(r.samples, 5);
+        assert_eq!(r.baseline_pass, 3);
+    }
+}

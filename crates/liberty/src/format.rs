@@ -1,0 +1,509 @@
+//! The `.plib` text format: a small, human-editable library exchange format
+//! with a strict parser and a writer that round-trips exactly.
+//!
+//! ```text
+//! library "industry_like" {
+//!   wire_cap_per_fanout 0.6;
+//!   cell INV_X1 { function INV; inputs 1; intrinsic 9; drive 5.5;
+//!                 input_cap 1; sens 0.95 0.4 0.62; }
+//!   ff DFF_X1 { setup 22; hold 6; clk_q 34; drive 6; d_cap 1.3;
+//!               clk_cap 1.1; sens 0.9 0.4 0.62; }
+//! }
+//! ```
+
+use crate::cells::{CellDef, CellFunction, FlipFlopDef, Library};
+use psbi_variation::N_PARAMS;
+
+/// Error raised while parsing a `.plib` document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line where the problem was detected.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Num(f64),
+    LBrace,
+    RBrace,
+    Semi,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self { src, pos: 0, line: 1 }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    fn next_tok(&mut self) -> Result<Option<(Tok, usize)>, ParseError> {
+        let bytes = self.src.as_bytes();
+        loop {
+            while self.pos < bytes.len() {
+                let c = bytes[self.pos];
+                if c == b'\n' {
+                    self.line += 1;
+                    self.pos += 1;
+                } else if c.is_ascii_whitespace() {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            // Comments: `#` or `//` to end of line.
+            if self.pos < bytes.len()
+                && (bytes[self.pos] == b'#'
+                    || (bytes[self.pos] == b'/'
+                        && self.pos + 1 < bytes.len()
+                        && bytes[self.pos + 1] == b'/'))
+            {
+                while self.pos < bytes.len() && bytes[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+                continue;
+            }
+            break;
+        }
+        if self.pos >= bytes.len() {
+            return Ok(None);
+        }
+        let line = self.line;
+        let c = bytes[self.pos];
+        let tok = match c {
+            b'{' => {
+                self.pos += 1;
+                Tok::LBrace
+            }
+            b'}' => {
+                self.pos += 1;
+                Tok::RBrace
+            }
+            b';' => {
+                self.pos += 1;
+                Tok::Semi
+            }
+            b'"' => {
+                self.pos += 1;
+                let start = self.pos;
+                while self.pos < bytes.len() && bytes[self.pos] != b'"' {
+                    if bytes[self.pos] == b'\n' {
+                        return Err(self.err("unterminated string"));
+                    }
+                    self.pos += 1;
+                }
+                if self.pos >= bytes.len() {
+                    return Err(self.err("unterminated string"));
+                }
+                let s = self.src[start..self.pos].to_string();
+                self.pos += 1;
+                Tok::Str(s)
+            }
+            c if c.is_ascii_digit() || c == b'-' || c == b'+' || c == b'.' => {
+                let start = self.pos;
+                self.pos += 1;
+                while self.pos < bytes.len()
+                    && (bytes[self.pos].is_ascii_alphanumeric()
+                        || bytes[self.pos] == b'.'
+                        || bytes[self.pos] == b'-'
+                        || bytes[self.pos] == b'+')
+                {
+                    self.pos += 1;
+                }
+                let text = &self.src[start..self.pos];
+                let v: f64 = text
+                    .parse()
+                    .map_err(|_| self.err(format!("invalid number `{text}`")))?;
+                Tok::Num(v)
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = self.pos;
+                while self.pos < bytes.len()
+                    && (bytes[self.pos].is_ascii_alphanumeric() || bytes[self.pos] == b'_')
+                {
+                    self.pos += 1;
+                }
+                Tok::Ident(self.src[start..self.pos].to_string())
+            }
+            other => {
+                return Err(self.err(format!("unexpected character `{}`", other as char)));
+            }
+        };
+        Ok(Some((tok, line)))
+    }
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    at: usize,
+}
+
+impl Parser {
+    fn peek_line(&self) -> usize {
+        self.toks
+            .get(self.at)
+            .map(|(_, l)| *l)
+            .or_else(|| self.toks.last().map(|(_, l)| *l))
+            .unwrap_or(1)
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.peek_line(),
+            message: message.into(),
+        }
+    }
+
+    fn next(&mut self) -> Result<Tok, ParseError> {
+        let t = self
+            .toks
+            .get(self.at)
+            .map(|(t, _)| t.clone())
+            .ok_or_else(|| self.err("unexpected end of input"))?;
+        self.at += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
+        let got = self.next()?;
+        if &got == want {
+            Ok(())
+        } else {
+            Err(ParseError {
+                line: self.toks[self.at - 1].1,
+                message: format!("expected {what}, got {got:?}"),
+            })
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.next()? {
+            Tok::Ident(s) => Ok(s),
+            other => Err(ParseError {
+                line: self.toks[self.at - 1].1,
+                message: format!("expected {what}, got {other:?}"),
+            }),
+        }
+    }
+
+    fn number(&mut self, what: &str) -> Result<f64, ParseError> {
+        match self.next()? {
+            Tok::Num(v) => Ok(v),
+            other => Err(ParseError {
+                line: self.toks[self.at - 1].1,
+                message: format!("expected number for {what}, got {other:?}"),
+            }),
+        }
+    }
+
+    fn sens(&mut self) -> Result<[f64; N_PARAMS], ParseError> {
+        let mut s = [0.0; N_PARAMS];
+        for v in &mut s {
+            *v = self.number("sensitivity")?;
+        }
+        Ok(s)
+    }
+}
+
+/// Parses a `.plib` document into a [`Library`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] pointing at the offending line for any lexical,
+/// syntactic or semantic (duplicate-name / invalid-field) problem.
+///
+/// ```
+/// let text = psbi_liberty::to_text(&psbi_liberty::Library::industry_like());
+/// let lib = psbi_liberty::parse(&text).expect("round trip");
+/// assert_eq!(lib.name, "industry_like");
+/// ```
+pub fn parse(src: &str) -> Result<Library, ParseError> {
+    let mut lx = Lexer::new(src);
+    let mut toks = Vec::new();
+    while let Some(t) = lx.next_tok()? {
+        toks.push(t);
+    }
+    let mut p = Parser { toks, at: 0 };
+
+    let kw = p.ident("`library`")?;
+    if kw != "library" {
+        return Err(p.err(format!("expected `library`, got `{kw}`")));
+    }
+    let name = match p.next()? {
+        Tok::Str(s) | Tok::Ident(s) => s,
+        other => return Err(p.err(format!("expected library name, got {other:?}"))),
+    };
+    p.expect(&Tok::LBrace, "`{`")?;
+    let mut lib = Library::new(name);
+
+    loop {
+        match p.next()? {
+            Tok::RBrace => break,
+            Tok::Ident(section) => match section.as_str() {
+                "wire_cap_per_fanout" => {
+                    lib.wire_cap_per_fanout = p.number("wire_cap_per_fanout")?;
+                    p.expect(&Tok::Semi, "`;`")?;
+                }
+                "cell" => {
+                    let line = p.peek_line();
+                    let cell = parse_cell(&mut p)?;
+                    lib.add_cell(cell)
+                        .map_err(|e| ParseError { line, message: e.to_string() })?;
+                }
+                "ff" => {
+                    let line = p.peek_line();
+                    let ff = parse_ff(&mut p)?;
+                    lib.add_ff(ff)
+                        .map_err(|e| ParseError { line, message: e.to_string() })?;
+                }
+                other => {
+                    return Err(p.err(format!("unknown section `{other}`")));
+                }
+            },
+            other => return Err(p.err(format!("expected section or `}}`, got {other:?}"))),
+        }
+    }
+    Ok(lib)
+}
+
+fn parse_cell(p: &mut Parser) -> Result<CellDef, ParseError> {
+    let name = p.ident("cell name")?;
+    p.expect(&Tok::LBrace, "`{`")?;
+    let mut function = None;
+    let mut inputs = None;
+    let mut intrinsic = None;
+    let mut drive = None;
+    let mut input_cap = None;
+    let mut sens = None;
+    loop {
+        match p.next()? {
+            Tok::RBrace => break,
+            Tok::Ident(field) => {
+                match field.as_str() {
+                    "function" => {
+                        let tok = p.ident("function token")?;
+                        function = Some(CellFunction::from_token(&tok).ok_or_else(|| {
+                            p.err(format!("unknown cell function `{tok}`"))
+                        })?);
+                    }
+                    "inputs" => inputs = Some(p.number("inputs")? as u8),
+                    "intrinsic" => intrinsic = Some(p.number("intrinsic")?),
+                    "drive" => drive = Some(p.number("drive")?),
+                    "input_cap" => input_cap = Some(p.number("input_cap")?),
+                    "sens" => sens = Some(p.sens()?),
+                    other => return Err(p.err(format!("unknown cell field `{other}`"))),
+                }
+                p.expect(&Tok::Semi, "`;`")?;
+            }
+            other => return Err(p.err(format!("expected cell field, got {other:?}"))),
+        }
+    }
+    let missing = |f: &str| ParseError {
+        line: p.peek_line(),
+        message: format!("cell `{name}` is missing field `{f}`"),
+    };
+    Ok(CellDef {
+        function: function.ok_or_else(|| missing("function"))?,
+        inputs: inputs.ok_or_else(|| missing("inputs"))?,
+        intrinsic: intrinsic.ok_or_else(|| missing("intrinsic"))?,
+        drive: drive.ok_or_else(|| missing("drive"))?,
+        input_cap: input_cap.ok_or_else(|| missing("input_cap"))?,
+        sens: sens.ok_or_else(|| missing("sens"))?,
+        name,
+    })
+}
+
+fn parse_ff(p: &mut Parser) -> Result<FlipFlopDef, ParseError> {
+    let name = p.ident("ff name")?;
+    p.expect(&Tok::LBrace, "`{`")?;
+    let mut setup = None;
+    let mut hold = None;
+    let mut clk_q = None;
+    let mut drive = None;
+    let mut d_cap = None;
+    let mut clk_cap = None;
+    let mut sens = None;
+    loop {
+        match p.next()? {
+            Tok::RBrace => break,
+            Tok::Ident(field) => {
+                match field.as_str() {
+                    "setup" => setup = Some(p.number("setup")?),
+                    "hold" => hold = Some(p.number("hold")?),
+                    "clk_q" => clk_q = Some(p.number("clk_q")?),
+                    "drive" => drive = Some(p.number("drive")?),
+                    "d_cap" => d_cap = Some(p.number("d_cap")?),
+                    "clk_cap" => clk_cap = Some(p.number("clk_cap")?),
+                    "sens" => sens = Some(p.sens()?),
+                    other => return Err(p.err(format!("unknown ff field `{other}`"))),
+                }
+                p.expect(&Tok::Semi, "`;`")?;
+            }
+            other => return Err(p.err(format!("expected ff field, got {other:?}"))),
+        }
+    }
+    let missing = |f: &str| ParseError {
+        line: p.peek_line(),
+        message: format!("ff `{name}` is missing field `{f}`"),
+    };
+    Ok(FlipFlopDef {
+        setup: setup.ok_or_else(|| missing("setup"))?,
+        hold: hold.ok_or_else(|| missing("hold"))?,
+        clk_to_q: clk_q.ok_or_else(|| missing("clk_q"))?,
+        drive: drive.ok_or_else(|| missing("drive"))?,
+        d_cap: d_cap.ok_or_else(|| missing("d_cap"))?,
+        clk_cap: clk_cap.ok_or_else(|| missing("clk_cap"))?,
+        sens: sens.ok_or_else(|| missing("sens"))?,
+        name,
+    })
+}
+
+/// Serialises a [`Library`] to `.plib` text that [`parse`] accepts.
+///
+/// ```
+/// let lib = psbi_liberty::Library::industry_like();
+/// let text = psbi_liberty::to_text(&lib);
+/// assert!(text.contains("cell INV_X1"));
+/// ```
+pub fn to_text(lib: &Library) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "library \"{}\" {{", lib.name);
+    let _ = writeln!(out, "  wire_cap_per_fanout {};", lib.wire_cap_per_fanout);
+    for c in lib.cells() {
+        let _ = writeln!(
+            out,
+            "  cell {} {{ function {}; inputs {}; intrinsic {}; drive {}; input_cap {}; sens {} {} {}; }}",
+            c.name,
+            c.function.token(),
+            c.inputs,
+            c.intrinsic,
+            c.drive,
+            c.input_cap,
+            c.sens[0],
+            c.sens[1],
+            c.sens[2],
+        );
+    }
+    for ff in lib.ffs() {
+        let _ = writeln!(
+            out,
+            "  ff {} {{ setup {}; hold {}; clk_q {}; drive {}; d_cap {}; clk_cap {}; sens {} {} {}; }}",
+            ff.name,
+            ff.setup,
+            ff.hold,
+            ff.clk_to_q,
+            ff.drive,
+            ff.d_cap,
+            ff.clk_cap,
+            ff.sens[0],
+            ff.sens[1],
+            ff.sens[2],
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_builtin() {
+        let lib = Library::industry_like();
+        let text = to_text(&lib);
+        let parsed = parse(&text).expect("parse back");
+        assert_eq!(parsed.name, lib.name);
+        assert_eq!(parsed.cells().len(), lib.cells().len());
+        assert_eq!(parsed.ffs().len(), lib.ffs().len());
+        assert_eq!(parsed.cell("NAND2_X1"), lib.cell("NAND2_X1"));
+        assert_eq!(parsed.ff("DFF_X1"), lib.ff("DFF_X1"));
+        assert_eq!(parsed.wire_cap_per_fanout, lib.wire_cap_per_fanout);
+    }
+
+    #[test]
+    fn parses_comments_and_whitespace() {
+        let src = r#"
+# a comment
+library "mini" {
+  // another comment
+  wire_cap_per_fanout 0.5;
+  cell I { function INV; inputs 1; intrinsic 10; drive 5;
+           input_cap 1; sens 0.9 0.4 0.6; }
+  ff F { setup 20; hold 5; clk_q 30; drive 6; d_cap 1; clk_cap 1;
+         sens 0.9 0.4 0.6; }
+}
+"#;
+        let lib = parse(src).expect("parses");
+        assert_eq!(lib.name, "mini");
+        assert!(lib.validate().is_ok());
+    }
+
+    #[test]
+    fn missing_field_is_reported() {
+        let src = r#"library x { cell I { function INV; inputs 1; intrinsic 10;
+            drive 5; sens 0.9 0.4 0.6; } }"#;
+        let err = parse(src).unwrap_err();
+        assert!(err.message.contains("input_cap"), "{err}");
+    }
+
+    #[test]
+    fn unknown_function_is_reported() {
+        let src = "library x { cell I { function FROB; inputs 1; intrinsic 1; drive 1; input_cap 1; sens 0 0 0; } }";
+        let err = parse(src).unwrap_err();
+        assert!(err.message.contains("FROB"), "{err}");
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let src = "library x {\n  wire_cap_per_fanout banana;\n}";
+        let err = parse(src).unwrap_err();
+        assert_eq!(err.line, 2, "{err}");
+    }
+
+    #[test]
+    fn duplicate_cell_rejected_at_parse() {
+        let src = r#"library x {
+  cell I { function INV; inputs 1; intrinsic 1; drive 1; input_cap 1; sens 0 0 0; }
+  cell I { function INV; inputs 1; intrinsic 1; drive 1; input_cap 1; sens 0 0 0; }
+}"#;
+        let err = parse(src).unwrap_err();
+        assert!(err.message.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn unterminated_string_is_reported() {
+        let err = parse("library \"oops {").unwrap_err();
+        assert!(err.message.contains("unterminated"), "{err}");
+    }
+
+    #[test]
+    fn negative_numbers_lex() {
+        let src = "library x { wire_cap_per_fanout 0.5; cell I { function INV; inputs 1; intrinsic 1; drive 1; input_cap 1; sens -0.1 0 0; } ff F { setup 1; hold 1; clk_q 1; drive 1; d_cap 1; clk_cap 1; sens 0 0 0; } }";
+        let lib = parse(src).expect("parses");
+        assert_eq!(lib.cell("I").unwrap().sens[0], -0.1);
+    }
+}

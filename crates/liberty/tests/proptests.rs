@@ -1,0 +1,105 @@
+//! Property-based tests: `.plib` round trips and delay-model invariants.
+
+use proptest::prelude::*;
+use psbi_liberty::{parse, to_text, CellDef, CellFunction, FlipFlopDef, Library};
+use psbi_variation::VariationModel;
+
+fn arb_function() -> impl Strategy<Value = CellFunction> {
+    use CellFunction::*;
+    prop_oneof![
+        Just(Inv),
+        Just(Buf),
+        Just(Nand),
+        Just(Nor),
+        Just(And),
+        Just(Or),
+        Just(Xor),
+        Just(Xnor),
+        Just(Aoi),
+        Just(Oai),
+        Just(Mux),
+    ]
+}
+
+prop_compose! {
+    fn arb_cell(id: usize)(
+        function in arb_function(),
+        inputs in 1u8..4,
+        intrinsic in 1.0f64..60.0,
+        drive in 0.5f64..15.0,
+        input_cap in 0.2f64..4.0,
+        s0 in -0.2f64..1.4,
+        s1 in -0.2f64..1.4,
+        s2 in -0.2f64..1.4,
+    ) -> CellDef {
+        CellDef {
+            name: format!("CELL{id}"),
+            function,
+            inputs,
+            // Round to keep text round-trips exact.
+            intrinsic: (intrinsic * 64.0).round() / 64.0,
+            drive: (drive * 64.0).round() / 64.0,
+            input_cap: (input_cap * 64.0).round() / 64.0,
+            sens: [
+                (s0 * 64.0).round() / 64.0,
+                (s1 * 64.0).round() / 64.0,
+                (s2 * 64.0).round() / 64.0,
+            ],
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary libraries survive a text round trip exactly.
+    #[test]
+    fn plib_round_trip(cells in proptest::collection::vec(arb_cell(0), 1..8)) {
+        let mut lib = Library::new("prop");
+        lib.wire_cap_per_fanout = 0.5;
+        for (i, mut c) in cells.into_iter().enumerate() {
+            c.name = format!("CELL{i}");
+            lib.add_cell(c).expect("valid cell");
+        }
+        lib.add_ff(FlipFlopDef {
+            name: "FF".into(),
+            setup: 20.0,
+            hold: 5.0,
+            clk_to_q: 30.0,
+            drive: 6.0,
+            d_cap: 1.0,
+            clk_cap: 1.0,
+            sens: [0.5, 0.25, 0.125],
+        })
+        .expect("valid ff");
+        let text = to_text(&lib);
+        let parsed = parse(&text).expect("round trip parses");
+        prop_assert_eq!(parsed.cells(), lib.cells());
+        prop_assert_eq!(parsed.ffs(), lib.ffs());
+        prop_assert_eq!(parsed.wire_cap_per_fanout, lib.wire_cap_per_fanout);
+    }
+
+    /// Canonical delay forms preserve the nominal mean and scale their
+    /// spread with load.
+    #[test]
+    fn canonical_delay_invariants(cell in arb_cell(0), load in 0.0f64..20.0) {
+        let model = VariationModel::paper_defaults();
+        let canon = cell.delay_canonical(load, &model);
+        prop_assert!((canon.mean() - cell.delay(load)).abs() < 1e-9);
+        // Variance decomposition: total sigma grows with |nominal|.
+        let bigger = cell.delay_canonical(load + 5.0, &model);
+        if cell.sens.iter().any(|s| *s != 0.0) && cell.drive > 0.0 {
+            prop_assert!(bigger.sigma() >= canon.sigma() - 1e-12);
+        }
+    }
+
+    /// Garbage never panics the parser — it errors with a line number.
+    #[test]
+    fn parser_never_panics(garbage in "\\PC*") {
+        match parse(&garbage) {
+            Ok(_) => {}
+            Err(e) => prop_assert!(e.line >= 1 || e.message.contains("end of input")
+                || !e.message.is_empty()),
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! Branch and bound over the LP relaxation.
+//!
+//! Depth-first search with most-fractional branching.  Each node carries
+//! its own bound vectors (the per-region problems are small, so cloning
+//! bounds is cheaper than maintaining a reversible trail).
+
+use crate::model::{Model, Solution, Status};
+use crate::simplex::LpOutcome;
+
+const INT_TOL: f64 = 1e-6;
+/// Incumbent must improve by at least this much to be accepted.
+const OBJ_TOL: f64 = 1e-9;
+
+struct BbNode {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    /// LP bound inherited from the parent (for pruning before solving).
+    parent_bound: f64,
+}
+
+/// Solves `model` to proven optimality (or node limit).
+pub fn solve_branch_and_bound(model: &Model) -> Solution {
+    let root_lo: Vec<f64> = model.vars.iter().map(|v| v.lo).collect();
+    let root_hi: Vec<f64> = model.vars.iter().map(|v| v.hi).collect();
+
+    let mut best_obj = f64::INFINITY;
+    let mut best_x: Option<Vec<f64>> = None;
+    let mut nodes = 0usize;
+    let mut stack = vec![BbNode {
+        lo: root_lo,
+        hi: root_hi,
+        parent_bound: f64::NEG_INFINITY,
+    }];
+    let mut limit_hit = false;
+
+    while let Some(node) = stack.pop() {
+        if nodes >= model.node_limit {
+            limit_hit = true;
+            break;
+        }
+        nodes += 1;
+        if node.parent_bound >= best_obj - OBJ_TOL {
+            continue; // dominated before solving
+        }
+        let (lp, constant) = model.to_dense_lp(&node.lo, &node.hi);
+        let (x, bound) = match lp.solve() {
+            LpOutcome::Optimal { x, objective } => {
+                let xs: Vec<f64> = x.iter().enumerate().map(|(i, y)| y + node.lo[i]).collect();
+                (xs, objective + constant)
+            }
+            LpOutcome::Infeasible => continue,
+            LpOutcome::Unbounded => {
+                // Finite bounds make this impossible unless the model is
+                // malformed; report it rather than looping.
+                return Solution {
+                    status: Status::Unbounded,
+                    values: vec![],
+                    objective: f64::NEG_INFINITY,
+                    nodes,
+                };
+            }
+        };
+        if bound >= best_obj - OBJ_TOL {
+            continue;
+        }
+        // Find the most fractional integer variable.
+        let mut branch_var: Option<usize> = None;
+        let mut best_frac = INT_TOL;
+        for (i, v) in model.vars.iter().enumerate() {
+            if v.integer {
+                let f = (x[i] - x[i].round()).abs();
+                if f > best_frac {
+                    best_frac = f;
+                    branch_var = Some(i);
+                }
+            }
+        }
+        match branch_var {
+            None => {
+                // Integral (within tolerance): snap and accept.
+                let mut snapped = x.clone();
+                for (i, v) in model.vars.iter().enumerate() {
+                    if v.integer {
+                        snapped[i] = snapped[i].round();
+                    }
+                }
+                if bound < best_obj - OBJ_TOL {
+                    best_obj = bound;
+                    best_x = Some(snapped);
+                }
+            }
+            Some(i) => {
+                let xi = x[i];
+                // Down branch: x_i <= floor(xi).
+                let lo_d = node.lo.clone();
+                let mut hi_d = node.hi.clone();
+                hi_d[i] = xi.floor();
+                // Up branch: x_i >= ceil(xi).
+                let mut lo_u = node.lo.clone();
+                let hi_u = node.hi.clone();
+                lo_u[i] = xi.ceil();
+                // Explore the branch closer to the LP value first (pushed
+                // last → popped first).
+                let frac = xi - xi.floor();
+                let down = BbNode { lo: lo_d, hi: hi_d, parent_bound: bound };
+                let up = BbNode { lo: lo_u, hi: hi_u, parent_bound: bound };
+                if down.hi[i] >= down.lo[i] - OBJ_TOL && up.hi[i] >= up.lo[i] - OBJ_TOL {
+                    if frac < 0.5 {
+                        stack.push(up);
+                        stack.push(down);
+                    } else {
+                        stack.push(down);
+                        stack.push(up);
+                    }
+                } else if down.hi[i] >= down.lo[i] - OBJ_TOL {
+                    stack.push(down);
+                } else if up.hi[i] >= up.lo[i] - OBJ_TOL {
+                    stack.push(up);
+                }
+            }
+        }
+    }
+
+    match best_x {
+        Some(values) => Solution {
+            status: if limit_hit { Status::Feasible } else { Status::Optimal },
+            values,
+            objective: best_obj,
+            nodes,
+        },
+        None => Solution {
+            status: if limit_hit { Status::Unknown } else { Status::Infeasible },
+            values: vec![],
+            objective: f64::INFINITY,
+            nodes,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::model::{Model, Op, Status};
+
+    #[test]
+    fn knapsack_small() {
+        // max 10a + 6b + 4c s.t. a+b+c <= 2 (binary) → 16.
+        let mut m = Model::new();
+        let a = m.add_binary("a", -10.0);
+        let b = m.add_binary("b", -6.0);
+        let c = m.add_binary("c", -4.0);
+        m.add_cons(vec![(a, 1.0), (b, 1.0), (c, 1.0)], Op::Le, 2.0);
+        let s = m.solve();
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective + 16.0).abs() < 1e-6);
+        assert_eq!(s.int_value(a), 1);
+        assert_eq!(s.int_value(b), 1);
+        assert_eq!(s.int_value(c), 0);
+    }
+
+    #[test]
+    fn integer_rounding_matters() {
+        // min y s.t. 2y >= 3, y integer → y = 2 (LP gives 1.5).
+        let mut m = Model::new();
+        let y = m.add_var("y", 0.0, 10.0, 1.0, true);
+        m.add_cons(vec![(y, 2.0)], Op::Ge, 3.0);
+        let s = m.solve();
+        assert_eq!(s.status, Status::Optimal);
+        assert_eq!(s.int_value(y), 2);
+        let lp = m.solve_lp();
+        assert!((lp.value(y) - 1.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn infeasible_integer_problem() {
+        // 0.4 <= x <= 0.6, x integer → infeasible.
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 1.0, 0.0, true);
+        m.add_cons(vec![(x, 1.0)], Op::Ge, 0.4);
+        m.add_cons(vec![(x, 1.0)], Op::Le, 0.6);
+        let s = m.solve();
+        assert_eq!(s.status, Status::Infeasible);
+    }
+
+    #[test]
+    fn negative_integer_domain() {
+        // min |x + 2| with x integer in [-5, 5] and x <= -4 → x = -4.
+        let mut m = Model::new();
+        let x = m.add_var("x", -5.0, 5.0, 0.0, true);
+        m.add_cons(vec![(x, 1.0)], Op::Le, -4.0);
+        m.add_abs_deviation(x, -2.0, 1.0);
+        let s = m.solve();
+        assert_eq!(s.status, Status::Optimal);
+        assert_eq!(s.int_value(x), -4);
+        assert!((s.objective - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mixed_integer_and_continuous() {
+        // min x + y, x integer, x + 2y >= 4.5, y in [0, 1] → x = 3, y = .75
+        // vs x = 4, y = 0.25... compare: obj(3, 0.75) = 3.75; obj(4,0.25)=4.25;
+        // x=2,y=1.25 infeasible (y<=1). So optimum 3.75.
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 10.0, 1.0, true);
+        let y = m.add_var("y", 0.0, 1.0, 1.0, false);
+        m.add_cons(vec![(x, 1.0), (y, 2.0)], Op::Ge, 4.5);
+        let s = m.solve();
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 3.75).abs() < 1e-6, "obj={}", s.objective);
+        assert_eq!(s.int_value(x), 3);
+    }
+
+    #[test]
+    fn equality_with_integers() {
+        // 3x + 5y = 19, x,y >= 0 integers, min x+y → (3, 2).
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 20.0, 1.0, true);
+        let y = m.add_var("y", 0.0, 20.0, 1.0, true);
+        m.add_cons(vec![(x, 3.0), (y, 5.0)], Op::Eq, 19.0);
+        let s = m.solve();
+        assert_eq!(s.status, Status::Optimal);
+        assert_eq!((s.int_value(x), s.int_value(y)), (3, 2));
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// One constraint `Σ a_i x_i <= b` of the brute-force model.
+        type BruteCons = (Vec<i64>, i64);
+
+        /// Brute-force reference for tiny integer programs.
+        fn brute(
+            n: usize,
+            lo: i64,
+            hi: i64,
+            cost: &[i64],
+            cons: &[BruteCons],
+        ) -> Option<i64> {
+            #[allow(clippy::too_many_arguments)]
+            fn rec(
+                i: usize,
+                x: &mut Vec<i64>,
+                n: usize,
+                lo: i64,
+                hi: i64,
+                cost: &[i64],
+                cons: &[BruteCons],
+                best: &mut Option<i64>,
+            ) {
+                if i == n {
+                    for (a, b) in cons {
+                        let s: i64 = a.iter().zip(x.iter()).map(|(ai, xi)| ai * xi).sum();
+                        if s > *b {
+                            return;
+                        }
+                    }
+                    let obj: i64 = cost.iter().zip(x.iter()).map(|(c, xi)| c * xi).sum();
+                    if best.is_none() || obj < best.unwrap() {
+                        *best = Some(obj);
+                    }
+                    return;
+                }
+                for v in lo..=hi {
+                    x.push(v);
+                    rec(i + 1, x, n, lo, hi, cost, cons, best);
+                    x.pop();
+                }
+            }
+            let mut best = None;
+            rec(0, &mut Vec::new(), n, lo, hi, cost, cons, &mut best);
+            best
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            #[test]
+            fn milp_matches_brute_force(
+                cost in proptest::collection::vec(-4i64..=4, 3),
+                cons in proptest::collection::vec(
+                    (proptest::collection::vec(-3i64..=3, 3), -6i64..=8), 0..4),
+            ) {
+                let mut m = Model::new();
+                let vars: Vec<_> = (0..3)
+                    .map(|i| m.add_var(format!("x{i}"), -2.0, 2.0, cost[i] as f64, true))
+                    .collect();
+                for (a, b) in &cons {
+                    let terms: Vec<_> = vars
+                        .iter()
+                        .zip(a.iter())
+                        .map(|(v, c)| (*v, *c as f64))
+                        .collect();
+                    m.add_cons(terms, Op::Le, *b as f64);
+                }
+                let got = m.solve();
+                let want = brute(3, -2, 2, &cost, &cons);
+                match want {
+                    None => prop_assert_eq!(got.status, Status::Infeasible),
+                    Some(obj) => {
+                        prop_assert_eq!(got.status, Status::Optimal);
+                        prop_assert!((got.objective - obj as f64).abs() < 1e-5,
+                            "got {} want {}", got.objective, obj);
+                        // The returned point must itself be feasible.
+                        for (a, b) in &cons {
+                            let s: f64 = vars.iter().zip(a.iter())
+                                .map(|(v, c)| got.value(*v) * *c as f64).sum();
+                            prop_assert!(s <= *b as f64 + 1e-6);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

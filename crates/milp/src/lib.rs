@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+//! A small, exact LP/MILP solver.
+//!
+//! The paper solves its per-sample buffer-minimisation problems with Gurobi;
+//! no external solver is available here, so this crate implements the
+//! required machinery from scratch:
+//!
+//! * [`simplex`] — a dense two-phase primal simplex over variables with
+//!   finite bounds (bounds are handled by shifting and explicit rows, which
+//!   is perfectly adequate for the small per-region problems the flow
+//!   produces);
+//! * [`branch`] — branch-and-bound over the LP relaxation for integer and
+//!   binary variables, with most-fractional branching and incumbent
+//!   pruning;
+//! * [`model`] — a builder API with the two linearisations the paper's
+//!   formulations need: absolute-value objectives (`min Σ|x_i − a_i|`, eqs.
+//!   (15)/(19)) and big-M indicator constraints (`±x_i ≤ c_i·Γ`, eqs.
+//!   (5)–(6)).
+//!
+//! The solver is deliberately simple but *exact*; the insertion flow uses a
+//! specialised combinatorial solver for speed and cross-checks it against
+//! this one in tests.
+//!
+//! # Example
+//!
+//! ```
+//! use psbi_milp::{Model, Op, Status};
+//!
+//! // min x + y  s.t.  x + 2y >= 4, x,y in [0, 10], y integer
+//! let mut m = Model::new();
+//! let x = m.add_var("x", 0.0, 10.0, 1.0, false);
+//! let y = m.add_var("y", 0.0, 10.0, 1.0, true);
+//! m.add_cons(vec![(x, 1.0), (y, 2.0)], Op::Ge, 4.0);
+//! let sol = m.solve();
+//! assert_eq!(sol.status, Status::Optimal);
+//! assert!((sol.objective - 2.0).abs() < 1e-6); // y = 2, x = 0
+//! ```
+
+pub mod branch;
+pub mod model;
+pub mod simplex;
+
+pub use model::{Model, Op, Solution, Status, VarId};

@@ -1,0 +1,332 @@
+//! Model builder: variables with finite bounds, linear constraints, and the
+//! linearisations the insertion flow needs.
+
+use crate::branch::solve_branch_and_bound;
+use crate::simplex::{DenseLp, LpOutcome, RowOp};
+use serde::{Deserialize, Serialize};
+
+/// Handle to a model variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VarId(pub usize);
+
+/// Relational operator of a constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// `≤`
+    Le,
+    /// `≥`
+    Ge,
+    /// `=`
+    Eq,
+}
+
+/// Solve status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Status {
+    /// Proven optimal.
+    Optimal,
+    /// Proven infeasible.
+    Infeasible,
+    /// LP relaxation unbounded (models in this workspace always have finite
+    /// bounds, so this indicates a modelling error).
+    Unbounded,
+    /// Node limit reached with an incumbent; the solution is feasible but
+    /// optimality was not proven.
+    Feasible,
+    /// Node limit reached with no incumbent.
+    Unknown,
+}
+
+/// Result of a solve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Solution {
+    /// Final status.
+    pub status: Status,
+    /// Variable values (meaningful for `Optimal`/`Feasible`).
+    pub values: Vec<f64>,
+    /// Objective value.
+    pub objective: f64,
+    /// Branch-and-bound nodes explored.
+    pub nodes: usize,
+}
+
+impl Solution {
+    /// Value of `v` rounded to the nearest integer.
+    pub fn int_value(&self, v: VarId) -> i64 {
+        self.values[v.0].round() as i64
+    }
+
+    /// Value of `v`.
+    pub fn value(&self, v: VarId) -> f64 {
+        self.values[v.0]
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct VarDef {
+    #[allow(dead_code)]
+    pub name: String,
+    pub lo: f64,
+    pub hi: f64,
+    pub obj: f64,
+    pub integer: bool,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct ConsDef {
+    pub terms: Vec<(VarId, f64)>,
+    pub op: Op,
+    pub rhs: f64,
+}
+
+/// A mixed-integer linear program.
+///
+/// All variables must have finite bounds — the flows this crate serves
+/// always do, and it keeps the simplex layer simple and robust.
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    pub(crate) vars: Vec<VarDef>,
+    pub(crate) cons: Vec<ConsDef>,
+    /// Maximum branch-and-bound nodes (default 200 000).
+    pub node_limit: usize,
+}
+
+impl Model {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self {
+            vars: Vec::new(),
+            cons: Vec::new(),
+            node_limit: 200_000,
+        }
+    }
+
+    /// Adds a variable with bounds `[lo, hi]`, objective coefficient `obj`
+    /// and integrality flag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are not finite or `lo > hi`.
+    pub fn add_var(
+        &mut self,
+        name: impl Into<String>,
+        lo: f64,
+        hi: f64,
+        obj: f64,
+        integer: bool,
+    ) -> VarId {
+        assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+        assert!(lo <= hi, "lo must be <= hi");
+        let id = VarId(self.vars.len());
+        self.vars.push(VarDef {
+            name: name.into(),
+            lo,
+            hi,
+            obj,
+            integer,
+        });
+        id
+    }
+
+    /// Adds a binary variable (integer in `[0, 1]`).
+    pub fn add_binary(&mut self, name: impl Into<String>, obj: f64) -> VarId {
+        self.add_var(name, 0.0, 1.0, obj, true)
+    }
+
+    /// Adds the constraint `Σ coef·var  op  rhs`.
+    pub fn add_cons(&mut self, terms: Vec<(VarId, f64)>, op: Op, rhs: f64) {
+        for (v, _) in &terms {
+            assert!(v.0 < self.vars.len(), "constraint references unknown var");
+        }
+        self.cons.push(ConsDef { terms, op, rhs });
+    }
+
+    /// Changes the objective coefficient of `v`.
+    pub fn set_objective(&mut self, v: VarId, obj: f64) {
+        self.vars[v.0].obj = obj;
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_cons(&self) -> usize {
+        self.cons.len()
+    }
+
+    /// Adds `z ≥ |x − target|` and returns `z` (with objective weight
+    /// `weight`).  Minimising `z` therefore minimises the absolute
+    /// deviation — the linearisation used by the paper's eqs. (15)/(19).
+    pub fn add_abs_deviation(&mut self, x: VarId, target: f64, weight: f64) -> VarId {
+        let (lo, hi) = (self.vars[x.0].lo, self.vars[x.0].hi);
+        let zhi = (lo - target).abs().max((hi - target).abs());
+        let z = self.add_var(format!("|x{}−{target}|", x.0), 0.0, zhi, weight, false);
+        // z - x >= -target  and  z + x >= target.
+        self.add_cons(vec![(z, 1.0), (x, -1.0)], Op::Ge, -target);
+        self.add_cons(vec![(z, 1.0), (x, 1.0)], Op::Ge, target);
+        z
+    }
+
+    /// Adds the big-M indicator pair `x ≤ c·M` and `−x ≤ c·M` (paper's
+    /// eqs. (5)–(6)): when the binary `c` is 0, `x` is forced to 0.
+    pub fn add_indicator(&mut self, x: VarId, c: VarId, big_m: f64) {
+        assert!(big_m > 0.0, "big-M must be positive");
+        self.add_cons(vec![(x, 1.0), (c, -big_m)], Op::Le, 0.0);
+        self.add_cons(vec![(x, -1.0), (c, -big_m)], Op::Le, 0.0);
+    }
+
+    /// Builds the LP relaxation in shifted computational form
+    /// (`y = x − lo ≥ 0`) together with the objective constant.
+    pub(crate) fn to_dense_lp(&self, lo_override: &[f64], hi_override: &[f64]) -> (DenseLp, f64) {
+        let n = self.vars.len();
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(self.cons.len() + n);
+        let mut ops: Vec<RowOp> = Vec::new();
+        let mut rhs: Vec<f64> = Vec::new();
+
+        for c in &self.cons {
+            let mut row = vec![0.0; n];
+            let mut shift = 0.0;
+            for (v, coef) in &c.terms {
+                row[v.0] += *coef;
+                shift += *coef * lo_override[v.0];
+            }
+            rows.push(row);
+            ops.push(match c.op {
+                Op::Le => RowOp::Le,
+                Op::Ge => RowOp::Ge,
+                Op::Eq => RowOp::Eq,
+            });
+            rhs.push(c.rhs - shift);
+        }
+        // Upper bounds as explicit rows: y_i <= hi - lo.
+        for i in 0..n {
+            let span = hi_override[i] - lo_override[i];
+            if span.is_finite() {
+                let mut row = vec![0.0; n];
+                row[i] = 1.0;
+                rows.push(row);
+                ops.push(RowOp::Le);
+                rhs.push(span);
+            }
+        }
+        let cost: Vec<f64> = self.vars.iter().map(|v| v.obj).collect();
+        let constant: f64 = self
+            .vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v.obj * lo_override[i])
+            .sum();
+        (
+            DenseLp {
+                n,
+                cost,
+                rows,
+                ops,
+                rhs,
+            },
+            constant,
+        )
+    }
+
+    /// Solves the LP relaxation (ignoring integrality).
+    pub fn solve_lp(&self) -> Solution {
+        let lo: Vec<f64> = self.vars.iter().map(|v| v.lo).collect();
+        let hi: Vec<f64> = self.vars.iter().map(|v| v.hi).collect();
+        let (lp, constant) = self.to_dense_lp(&lo, &hi);
+        match lp.solve() {
+            LpOutcome::Optimal { x, objective } => Solution {
+                status: Status::Optimal,
+                values: x.iter().enumerate().map(|(i, y)| y + lo[i]).collect(),
+                objective: objective + constant,
+                nodes: 1,
+            },
+            LpOutcome::Infeasible => Solution {
+                status: Status::Infeasible,
+                values: vec![],
+                objective: f64::INFINITY,
+                nodes: 1,
+            },
+            LpOutcome::Unbounded => Solution {
+                status: Status::Unbounded,
+                values: vec![],
+                objective: f64::NEG_INFINITY,
+                nodes: 1,
+            },
+        }
+    }
+
+    /// Solves the MILP by branch and bound.
+    pub fn solve(&self) -> Solution {
+        solve_branch_and_bound(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lp_with_shifted_bounds() {
+        // min x with x in [-5, 5] and x >= -2 → x = -2.
+        let mut m = Model::new();
+        let x = m.add_var("x", -5.0, 5.0, 1.0, false);
+        m.add_cons(vec![(x, 1.0)], Op::Ge, -2.0);
+        let s = m.solve_lp();
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.value(x) + 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn abs_deviation_linearisation() {
+        // min |x - 3| with x >= 5 → 2.
+        let mut m = Model::new();
+        let x = m.add_var("x", -10.0, 10.0, 0.0, false);
+        m.add_cons(vec![(x, 1.0)], Op::Ge, 5.0);
+        m.add_abs_deviation(x, 3.0, 1.0);
+        let s = m.solve_lp();
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 2.0).abs() < 1e-6, "obj={}", s.objective);
+        assert!((s.value(x) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn abs_deviation_prefers_target() {
+        // min |x - 3| unconstrained in [-10, 10] → x = 3.
+        let mut m = Model::new();
+        let x = m.add_var("x", -10.0, 10.0, 0.0, false);
+        m.add_abs_deviation(x, 3.0, 1.0);
+        let s = m.solve_lp();
+        assert!((s.value(x) - 3.0).abs() < 1e-6);
+        assert!(s.objective.abs() < 1e-6);
+    }
+
+    #[test]
+    fn indicator_forces_zero() {
+        // min c with x >= 2 and indicator: c must be 1.
+        let mut m = Model::new();
+        let x = m.add_var("x", -20.0, 20.0, 0.0, true);
+        let c = m.add_binary("c", 1.0);
+        m.add_indicator(x, c, 20.0);
+        m.add_cons(vec![(x, 1.0)], Op::Ge, 2.0);
+        let s = m.solve();
+        assert_eq!(s.status, Status::Optimal);
+        assert_eq!(s.int_value(c), 1);
+        // And with x forced to 0 the objective would be 0:
+        let mut m2 = Model::new();
+        let x2 = m2.add_var("x", -20.0, 20.0, 0.0, true);
+        let c2 = m2.add_binary("c", 1.0);
+        m2.add_indicator(x2, c2, 20.0);
+        let s2 = m2.solve();
+        assert_eq!(s2.int_value(c2), 0);
+        assert!(s2.objective.abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds must be finite")]
+    fn infinite_bounds_rejected() {
+        let mut m = Model::new();
+        m.add_var("x", f64::NEG_INFINITY, 0.0, 1.0, false);
+    }
+}

@@ -1,0 +1,429 @@
+//! Dense two-phase primal simplex.
+//!
+//! Solves `min c·x` subject to `A x {≤,≥,=} b` and `0 ≤ x` (the model layer
+//! shifts general finite bounds into this form).  The implementation is a
+//! classic tableau method: phase 1 drives artificial variables to zero,
+//! phase 2 optimises the true objective.  Dantzig pricing with a switch to
+//! Bland's rule after a fixed number of iterations guards against cycling.
+
+/// Relational operator of a row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowOp {
+    /// `≤`
+    Le,
+    /// `≥`
+    Ge,
+    /// `=`
+    Eq,
+}
+
+/// Outcome of an LP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// Optimal solution: values of the structural variables and objective.
+    Optimal {
+        /// Structural variable values.
+        x: Vec<f64>,
+        /// Objective value.
+        objective: f64,
+    },
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+}
+
+const EPS: f64 = 1e-9;
+const COST_EPS: f64 = 1e-7;
+/// Iterations of Dantzig pricing before switching to Bland's rule.
+const BLAND_AFTER: usize = 2_000;
+/// Hard iteration limit (the per-region LPs are tiny; hitting this would
+/// indicate a bug rather than a hard instance).
+const MAX_ITERS: usize = 50_000;
+
+/// A dense LP in computational form.
+#[derive(Debug, Clone)]
+pub struct DenseLp {
+    /// Number of structural (original, already shifted ≥ 0) variables.
+    pub n: usize,
+    /// Objective coefficients, length `n`.
+    pub cost: Vec<f64>,
+    /// Constraint rows: coefficient vectors of length `n`.
+    pub rows: Vec<Vec<f64>>,
+    /// Operators per row.
+    pub ops: Vec<RowOp>,
+    /// Right-hand sides per row.
+    pub rhs: Vec<f64>,
+}
+
+impl DenseLp {
+    /// Solves the LP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if row lengths are inconsistent with `n`.
+    pub fn solve(&self) -> LpOutcome {
+        let m = self.rows.len();
+        let n = self.n;
+        for r in &self.rows {
+            assert_eq!(r.len(), n, "row length mismatch");
+        }
+
+        // Column layout: [structural | slack/surplus | artificial | rhs].
+        // Ge and Eq rows need an artificial; Le rows with negative rhs are
+        // flipped to Ge first, so count after normalisation.
+        let mut norm_rows: Vec<Vec<f64>> = Vec::with_capacity(m);
+        let mut norm_ops: Vec<RowOp> = Vec::with_capacity(m);
+        let mut norm_rhs: Vec<f64> = Vec::with_capacity(m);
+        for i in 0..m {
+            let mut row = self.rows[i].clone();
+            let mut op = self.ops[i];
+            let mut b = self.rhs[i];
+            if b < 0.0 {
+                for v in &mut row {
+                    *v = -*v;
+                }
+                b = -b;
+                op = match op {
+                    RowOp::Le => RowOp::Ge,
+                    RowOp::Ge => RowOp::Le,
+                    RowOp::Eq => RowOp::Eq,
+                };
+            }
+            norm_rows.push(row);
+            norm_ops.push(op);
+            norm_rhs.push(b);
+        }
+        let mut n_slack = 0usize;
+        let mut n_art = 0usize;
+        for op in &norm_ops {
+            match op {
+                RowOp::Le => n_slack += 1,
+                RowOp::Ge => {
+                    n_slack += 1;
+                    n_art += 1;
+                }
+                RowOp::Eq => n_art += 1,
+            }
+        }
+
+        let total = n + n_slack + n_art;
+        let width = total + 1; // + rhs column
+        let mut t = vec![vec![0.0f64; width]; m];
+        let mut basis = vec![0usize; m];
+        let mut slack_at = n;
+        let mut art_at = n + n_slack;
+        let art_start = n + n_slack;
+
+        for i in 0..m {
+            t[i][..n].copy_from_slice(&norm_rows[i]);
+            t[i][total] = norm_rhs[i];
+            match norm_ops[i] {
+                RowOp::Le => {
+                    t[i][slack_at] = 1.0;
+                    basis[i] = slack_at;
+                    slack_at += 1;
+                }
+                RowOp::Ge => {
+                    t[i][slack_at] = -1.0;
+                    slack_at += 1;
+                    t[i][art_at] = 1.0;
+                    basis[i] = art_at;
+                    art_at += 1;
+                }
+                RowOp::Eq => {
+                    t[i][art_at] = 1.0;
+                    basis[i] = art_at;
+                    art_at += 1;
+                }
+            }
+        }
+
+        // Phase 1: minimise the sum of artificials.
+        if n_art > 0 {
+            let mut cost1 = vec![0.0f64; width];
+            for c in cost1.iter_mut().take(total).skip(art_start) {
+                *c = 1.0;
+            }
+            // Eliminate basic (artificial) columns from the cost row.
+            for i in 0..m {
+                if basis[i] >= art_start {
+                    let f = cost1[basis[i]];
+                    if f != 0.0 {
+                        for j in 0..width {
+                            cost1[j] -= f * t[i][j];
+                        }
+                    }
+                }
+            }
+            if !run_simplex(&mut t, &mut cost1, &mut basis, total, None) {
+                // Phase 1 is never unbounded (objective bounded below by 0).
+                unreachable!("phase 1 cannot be unbounded");
+            }
+            // -cost1[total] is the phase-1 objective value.
+            if -cost1[total] > 1e-7 {
+                return LpOutcome::Infeasible;
+            }
+            // Pivot out any artificial still in the basis (degenerate 0).
+            for i in 0..m {
+                if basis[i] >= art_start {
+                    let mut pivoted = false;
+                    for j in 0..art_start {
+                        if t[i][j].abs() > EPS {
+                            pivot(&mut t, &mut cost1, &mut basis, i, j);
+                            pivoted = true;
+                            break;
+                        }
+                    }
+                    if !pivoted {
+                        // Redundant row: leave the artificial at value 0.
+                    }
+                }
+            }
+        }
+
+        // Phase 2: real objective (artificial columns barred).
+        let mut cost2 = vec![0.0f64; width];
+        cost2[..n].copy_from_slice(&self.cost);
+        for i in 0..m {
+            let f = cost2[basis[i]];
+            if f != 0.0 {
+                for j in 0..width {
+                    cost2[j] -= f * t[i][j];
+                }
+            }
+        }
+        if !run_simplex(&mut t, &mut cost2, &mut basis, total, Some(art_start)) {
+            return LpOutcome::Unbounded;
+        }
+
+        let mut x = vec![0.0f64; n];
+        for i in 0..m {
+            if basis[i] < n {
+                x[basis[i]] = t[i][total];
+            }
+        }
+        let objective = self.cost.iter().zip(&x).map(|(c, v)| c * v).sum();
+        LpOutcome::Optimal { x, objective }
+    }
+}
+
+/// Runs simplex iterations in place.  Returns `false` on unboundedness.
+/// `bar_from`: columns at or beyond this index may not enter (artificials
+/// in phase 2).
+fn run_simplex(
+    t: &mut [Vec<f64>],
+    cost: &mut [f64],
+    basis: &mut [usize],
+    total: usize,
+    bar_from: Option<usize>,
+) -> bool {
+    let m = t.len();
+    let bar = bar_from.unwrap_or(total);
+    for iter in 0..MAX_ITERS {
+        let bland = iter >= BLAND_AFTER;
+        // Entering column.
+        let mut enter: Option<usize> = None;
+        let mut best = -COST_EPS;
+        for (j, &c) in cost.iter().enumerate().take(total.min(bar)) {
+            if c < -COST_EPS {
+                if bland {
+                    enter = Some(j);
+                    break;
+                }
+                if c < best {
+                    best = c;
+                    enter = Some(j);
+                }
+            }
+        }
+        let Some(j) = enter else {
+            return true; // optimal
+        };
+        // Ratio test.
+        let mut leave: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..m {
+            let a = t[i][j];
+            if a > EPS {
+                let ratio = t[i][total] / a;
+                let better = ratio < best_ratio - EPS
+                    || (ratio < best_ratio + EPS
+                        && leave.is_some_and(|l| basis[i] < basis[l]));
+                if leave.is_none() || better {
+                    best_ratio = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(i) = leave else {
+            return false; // unbounded
+        };
+        pivot_rows(t, cost, i, j);
+        basis[i] = j;
+    }
+    // Iteration limit: treat as optimal-enough; the caller's tolerance
+    // checks will catch real trouble.  (Never observed in practice.)
+    true
+}
+
+fn pivot(t: &mut [Vec<f64>], cost: &mut [f64], basis: &mut [usize], i: usize, j: usize) {
+    pivot_rows(t, cost, i, j);
+    basis[i] = j;
+}
+
+fn pivot_rows(t: &mut [Vec<f64>], cost: &mut [f64], i: usize, j: usize) {
+    let width = t[i].len();
+    let p = t[i][j];
+    debug_assert!(p.abs() > EPS, "pivot on numerical zero");
+    let inv = 1.0 / p;
+    for v in t[i].iter_mut() {
+        *v *= inv;
+    }
+    // Clean tiny noise on the pivot row.
+    t[i][j] = 1.0;
+    let pivot_row = t[i].clone();
+    for (r, row) in t.iter_mut().enumerate() {
+        if r != i {
+            let f = row[j];
+            if f.abs() > EPS {
+                for k in 0..width {
+                    row[k] -= f * pivot_row[k];
+                }
+                row[j] = 0.0;
+            }
+        }
+    }
+    let f = cost[j];
+    if f.abs() > EPS {
+        for k in 0..width {
+            cost[k] -= f * pivot_row[k];
+        }
+        cost[j] = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lp(n: usize, cost: &[f64], rows: &[(&[f64], RowOp, f64)]) -> DenseLp {
+        DenseLp {
+            n,
+            cost: cost.to_vec(),
+            rows: rows.iter().map(|(r, _, _)| r.to_vec()).collect(),
+            ops: rows.iter().map(|(_, o, _)| *o).collect(),
+            rhs: rows.iter().map(|(_, _, b)| *b).collect(),
+        }
+    }
+
+    fn optimal(out: LpOutcome) -> (Vec<f64>, f64) {
+        match out {
+            LpOutcome::Optimal { x, objective } => (x, objective),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn textbook_maximisation() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 → (2, 6), 36.
+        let p = lp(
+            2,
+            &[-3.0, -5.0],
+            &[
+                (&[1.0, 0.0], RowOp::Le, 4.0),
+                (&[0.0, 2.0], RowOp::Le, 12.0),
+                (&[3.0, 2.0], RowOp::Le, 18.0),
+            ],
+        );
+        let (x, obj) = optimal(p.solve());
+        assert!((x[0] - 2.0).abs() < 1e-7);
+        assert!((x[1] - 6.0).abs() < 1e-7);
+        assert!((obj + 36.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn ge_and_eq_rows() {
+        // min x + y s.t. x + y >= 2, x - y = 0 → x = y = 1.
+        let p = lp(
+            2,
+            &[1.0, 1.0],
+            &[
+                (&[1.0, 1.0], RowOp::Ge, 2.0),
+                (&[1.0, -1.0], RowOp::Eq, 0.0),
+            ],
+        );
+        let (x, obj) = optimal(p.solve());
+        assert!((x[0] - 1.0).abs() < 1e-7);
+        assert!((x[1] - 1.0).abs() < 1e-7);
+        assert!((obj - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x >= 3 and x <= 1.
+        let p = lp(
+            1,
+            &[1.0],
+            &[(&[1.0], RowOp::Ge, 3.0), (&[1.0], RowOp::Le, 1.0)],
+        );
+        assert_eq!(p.solve(), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min -x with only x >= 0 (implicit): unbounded.
+        let p = lp(1, &[-1.0], &[(&[1.0], RowOp::Ge, 0.0)]);
+        assert_eq!(p.solve(), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_is_normalised() {
+        // min x s.t. -x <= -3  (i.e. x >= 3).
+        let p = lp(1, &[1.0], &[(&[-1.0], RowOp::Le, -3.0)]);
+        let (x, obj) = optimal(p.solve());
+        assert!((x[0] - 3.0).abs() < 1e-7);
+        assert!((obj - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Multiple redundant constraints through the same vertex.
+        let p = lp(
+            2,
+            &[-1.0, -1.0],
+            &[
+                (&[1.0, 0.0], RowOp::Le, 1.0),
+                (&[0.0, 1.0], RowOp::Le, 1.0),
+                (&[1.0, 1.0], RowOp::Le, 2.0),
+                (&[2.0, 2.0], RowOp::Le, 4.0),
+            ],
+        );
+        let (_, obj) = optimal(p.solve());
+        assert!((obj + 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn redundant_equality_rows() {
+        // x + y = 2 stated twice; min x → x=0, y=2.
+        let p = lp(
+            2,
+            &[1.0, 0.0],
+            &[
+                (&[1.0, 1.0], RowOp::Eq, 2.0),
+                (&[1.0, 1.0], RowOp::Eq, 2.0),
+            ],
+        );
+        let (x, _) = optimal(p.solve());
+        assert!(x[0].abs() < 1e-7);
+        assert!((x[1] - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn zero_rows_and_columns() {
+        let p = lp(2, &[0.0, 1.0], &[(&[0.0, 1.0], RowOp::Ge, 1.0)]);
+        let (x, obj) = optimal(p.solve());
+        assert!((x[1] - 1.0).abs() < 1e-7);
+        assert!((obj - 1.0).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,124 @@
+//! Named benchmark descriptors matching the paper's Table I circuits.
+//!
+//! Each spec carries the flip-flop count `ns` and gate count `ng` the paper
+//! reports, plus a deterministic default seed.  Generated circuits are the
+//! documented substitutes for the unavailable mapped netlists (`DESIGN.md`
+//! §2); `ns`/`ng` match the paper exactly.
+
+use crate::generator::GeneratorProfile;
+use crate::graph::Circuit;
+use serde::{Deserialize, Serialize};
+
+/// One benchmark of the paper's suite.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BenchmarkSpec {
+    /// Benchmark name as printed in Table I.
+    pub name: &'static str,
+    /// Flip-flop count (`ns`).
+    pub n_ffs: usize,
+    /// Gate count (`ng`).
+    pub n_gates: usize,
+    /// Origin of the circuit in the paper ("ISCAS89" or "TAU 2013").
+    pub origin: &'static str,
+    /// Default generation seed.
+    pub default_seed: u64,
+}
+
+impl BenchmarkSpec {
+    /// The generator profile for this benchmark.
+    pub fn profile(&self) -> GeneratorProfile {
+        GeneratorProfile::sized(self.name, self.n_ffs, self.n_gates)
+    }
+
+    /// Generates the circuit with the default seed.
+    pub fn generate(&self) -> Circuit {
+        self.profile().generate(self.default_seed)
+    }
+
+    /// Generates the circuit with an explicit seed.
+    pub fn generate_seeded(&self, seed: u64) -> Circuit {
+        self.profile().generate(seed)
+    }
+}
+
+/// The paper's eight benchmarks with their exact Table I sizes.
+pub fn paper_suite() -> Vec<BenchmarkSpec> {
+    vec![
+        BenchmarkSpec { name: "s9234", n_ffs: 211, n_gates: 5597, origin: "ISCAS89", default_seed: 0x9234 },
+        BenchmarkSpec { name: "s13207", n_ffs: 638, n_gates: 7951, origin: "ISCAS89", default_seed: 0x13207 },
+        BenchmarkSpec { name: "s15850", n_ffs: 534, n_gates: 9772, origin: "ISCAS89", default_seed: 0x15850 },
+        BenchmarkSpec { name: "s38584", n_ffs: 1426, n_gates: 19253, origin: "ISCAS89", default_seed: 0x38584 },
+        BenchmarkSpec { name: "mem_ctrl", n_ffs: 1065, n_gates: 10327, origin: "TAU 2013", default_seed: 0xE301 },
+        BenchmarkSpec { name: "usb_funct", n_ffs: 1746, n_gates: 14381, origin: "TAU 2013", default_seed: 0xE302 },
+        BenchmarkSpec { name: "ac97_ctrl", n_ffs: 2199, n_gates: 9208, origin: "TAU 2013", default_seed: 0xE303 },
+        BenchmarkSpec { name: "pci_bridge32", n_ffs: 3321, n_gates: 12494, origin: "TAU 2013", default_seed: 0xE304 },
+    ]
+}
+
+/// Looks a paper benchmark up by name.
+///
+/// ```
+/// let spec = psbi_netlist::bench_suite::by_name("s9234").unwrap();
+/// assert_eq!(spec.n_ffs, 211);
+/// ```
+pub fn by_name(name: &str) -> Option<BenchmarkSpec> {
+    paper_suite().into_iter().find(|s| s.name == name)
+}
+
+/// A miniature circuit (24 FFs, 220 gates) for tests, docs and examples.
+pub fn tiny_demo(seed: u64) -> Circuit {
+    GeneratorProfile::sized("tiny_demo", 24, 220).generate(seed)
+}
+
+/// A small circuit (80 FFs, 900 gates) for fast integration tests.
+pub fn small_demo(seed: u64) -> Circuit {
+    GeneratorProfile::sized("small_demo", 80, 900).generate(seed)
+}
+
+/// A medium circuit (250 FFs, 3500 gates) — roughly s9234-class.
+pub fn medium_demo(seed: u64) -> Circuit {
+    GeneratorProfile::sized("medium_demo", 250, 3500).generate(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_matches_paper_sizes() {
+        let suite = paper_suite();
+        assert_eq!(suite.len(), 8);
+        let by = |n: &str| by_name(n).unwrap();
+        assert_eq!((by("s9234").n_ffs, by("s9234").n_gates), (211, 5597));
+        assert_eq!((by("s13207").n_ffs, by("s13207").n_gates), (638, 7951));
+        assert_eq!((by("s15850").n_ffs, by("s15850").n_gates), (534, 9772));
+        assert_eq!((by("s38584").n_ffs, by("s38584").n_gates), (1426, 19253));
+        assert_eq!((by("mem_ctrl").n_ffs, by("mem_ctrl").n_gates), (1065, 10327));
+        assert_eq!((by("usb_funct").n_ffs, by("usb_funct").n_gates), (1746, 14381));
+        assert_eq!((by("ac97_ctrl").n_ffs, by("ac97_ctrl").n_gates), (2199, 9208));
+        assert_eq!(
+            (by("pci_bridge32").n_ffs, by("pci_bridge32").n_gates),
+            (3321, 12494)
+        );
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn generated_benchmark_has_exact_size() {
+        let spec = by_name("s9234").unwrap();
+        let c = spec.generate();
+        assert_eq!(c.num_ffs(), spec.n_ffs);
+        assert_eq!(c.num_gates(), spec.n_gates);
+        assert!(c.check().is_ok());
+    }
+
+    #[test]
+    fn demos_are_valid() {
+        for c in [tiny_demo(1), small_demo(1)] {
+            assert!(c.check().is_ok());
+            assert!(c
+                .validate_against(&psbi_liberty::Library::industry_like())
+                .is_ok());
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Graphviz DOT export for debugging small circuits.
+
+use crate::graph::{Circuit, NodeKind};
+use std::fmt::Write as _;
+
+/// Renders the full netlist as a DOT digraph.
+///
+/// Intended for small circuits; refuses (returns `None`) above
+/// `max_nodes` to avoid generating unreadable multi-megabyte graphs.
+pub fn netlist_dot(circuit: &Circuit, max_nodes: usize) -> Option<String> {
+    if circuit.len() > max_nodes {
+        return None;
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", circuit.name);
+    let _ = writeln!(out, "  rankdir=LR;");
+    for id in circuit.node_ids() {
+        let node = circuit.node(id);
+        let (shape, label) = match &node.kind {
+            NodeKind::Input => ("invtriangle", node.name.clone()),
+            NodeKind::Output => ("triangle", node.name.clone()),
+            NodeKind::Gate { cell } => ("box", format!("{}\\n{}", node.name, cell)),
+            NodeKind::FlipFlop { cell } => ("box3d", format!("{}\\n{}", node.name, cell)),
+        };
+        let _ = writeln!(out, "  {id} [shape={shape}, label=\"{label}\"];");
+    }
+    for id in circuit.node_ids() {
+        for &src in circuit.fanins(id) {
+            let _ = writeln!(out, "  {src} -> {id};");
+        }
+    }
+    out.push_str("}\n");
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_format::{parse_bench, EXAMPLE_BENCH};
+
+    #[test]
+    fn renders_example() {
+        let c = parse_bench(EXAMPLE_BENCH).unwrap();
+        let dot = netlist_dot(&c, 100).expect("small enough");
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("F0"));
+        assert!(dot.contains("->"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn refuses_large_circuits() {
+        let c = crate::bench_suite::small_demo(1);
+        assert!(netlist_dot(&c, 10).is_none());
+    }
+}

@@ -1,0 +1,137 @@
+//! Clock-skew assignment.
+//!
+//! The paper adds clock skews to the benchmark circuits "so that they have
+//! more critical paths" (§IV).  We model the fixed part of the clock tree
+//! as a per-flip-flop arrival offset: a small Gaussian jitter on every FF
+//! plus large deterministic offsets on a few *hotspot* FFs.  Hotspots are
+//! what creates localised stage imbalance — exactly the situation a
+//! post-silicon tuning buffer can repair.
+
+use crate::graph::Circuit;
+use psbi_variation::normal::draw_standard_normal;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the skew generator (all values in picoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SkewConfig {
+    /// Standard deviation of the per-FF Gaussian jitter.
+    pub jitter_sigma: f64,
+    /// Fraction of flip-flops receiving a large hotspot offset.
+    pub hotspot_fraction: f64,
+    /// Magnitude of the hotspot offset (sign is random per hotspot).
+    pub hotspot_magnitude: f64,
+}
+
+impl SkewConfig {
+    /// Defaults scaled for a circuit whose typical stage delay is
+    /// `stage_delay` ps: jitter is 2 % of it, hotspots are 12 % of it on
+    /// 2 % of the flip-flops.  The paper inserts skews to create more
+    /// critical paths; hotspots are what tuning buffers repair, so their
+    /// count tracks the paper's small buffer counts, while the magnitude
+    /// stays below typical *minimum* path delays so the unbuffered circuit
+    /// has no systematic hold violations (the paper's baseline yields are
+    /// pure setup-limited Gaussian levels).
+    pub fn scaled_to(stage_delay: f64) -> Self {
+        Self {
+            jitter_sigma: 0.02 * stage_delay,
+            hotspot_fraction: 0.015,
+            hotspot_magnitude: 0.12 * stage_delay,
+        }
+    }
+
+    /// No skew at all (ideal clock tree).
+    pub fn ideal() -> Self {
+        Self {
+            jitter_sigma: 0.0,
+            hotspot_fraction: 0.0,
+            hotspot_magnitude: 0.0,
+        }
+    }
+
+    /// Draws skews for every flip-flop of `circuit` (dense FF index order).
+    ///
+    /// Deterministic for a given seed.  Skews are a *design* property: the
+    /// same values are used for every Monte Carlo sample.
+    pub fn assign(&self, circuit: &Circuit, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = circuit.num_ffs();
+        let mut skews = vec![0.0; n];
+        for s in &mut skews {
+            if self.jitter_sigma > 0.0 {
+                *s = self.jitter_sigma * draw_standard_normal(&mut rng);
+            }
+        }
+        if self.hotspot_fraction > 0.0 && self.hotspot_magnitude > 0.0 {
+            let hot = ((n as f64 * self.hotspot_fraction).round() as usize).clamp(1, n);
+            // Choose distinct hotspot FFs; keep a deterministic order so
+            // the sign draws are reproducible.
+            let mut picked = std::collections::BTreeSet::new();
+            while picked.len() < hot {
+                picked.insert(rng.gen_range(0..n));
+            }
+            for &i in &picked {
+                let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+                skews[i] += sign * self.hotspot_magnitude;
+            }
+        }
+        skews
+    }
+}
+
+impl Default for SkewConfig {
+    fn default() -> Self {
+        Self::scaled_to(400.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_suite;
+
+    #[test]
+    fn ideal_skew_is_zero() {
+        let c = bench_suite::tiny_demo(1);
+        let skews = SkewConfig::ideal().assign(&c, 9);
+        assert_eq!(skews.len(), c.num_ffs());
+        assert!(skews.iter().all(|s| *s == 0.0));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = bench_suite::small_demo(1);
+        let cfg = SkewConfig::scaled_to(400.0);
+        assert_eq!(cfg.assign(&c, 5), cfg.assign(&c, 5));
+        assert_ne!(cfg.assign(&c, 5), cfg.assign(&c, 6));
+    }
+
+    #[test]
+    fn hotspots_exist_and_are_large() {
+        let c = bench_suite::small_demo(2);
+        let cfg = SkewConfig::scaled_to(400.0);
+        let skews = cfg.assign(&c, 1);
+        let big = skews
+            .iter()
+            .filter(|s| s.abs() > 0.5 * cfg.hotspot_magnitude)
+            .count();
+        let expect = (c.num_ffs() as f64 * cfg.hotspot_fraction).round() as usize;
+        // All hotspots should clear half the magnitude (jitter is tiny).
+        assert!(big >= expect.saturating_sub(1), "big={big} expect={expect}");
+        assert!(big <= expect + 2, "big={big} expect={expect}");
+    }
+
+    #[test]
+    fn jitter_magnitude_is_sane() {
+        let c = bench_suite::small_demo(3);
+        let cfg = SkewConfig {
+            jitter_sigma: 10.0,
+            hotspot_fraction: 0.0,
+            hotspot_magnitude: 0.0,
+        };
+        let skews = cfg.assign(&c, 2);
+        let std = psbi_variation::stddev(&skews);
+        assert!((std - 10.0).abs() < 3.0, "std={std}");
+    }
+}

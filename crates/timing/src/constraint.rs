@@ -1,0 +1,227 @@
+//! Discretised setup/hold constraints and unbuffered-period analysis.
+//!
+//! With tuning buffers, the paper's constraints (1)–(2) for a sequential
+//! edge `i → j` with fixed clock-tree skews `t` and tuning delays `x = k·δ`
+//! (in integer steps `k`) are difference constraints:
+//!
+//! ```text
+//! setup: k_i − k_j ≤ ⌊(T − s_j − d̄ij + t_j − t_i)/δ⌋   (= setup_bound)
+//! hold:  k_j − k_i ≤ ⌊(d̲ij − h_j + t_i − t_j)/δ⌋        (= hold_bound)
+//! ```
+//!
+//! Flooring is conservative: any integer solution of the floored system
+//! satisfies the original real constraints.
+
+use crate::sample::SampleTiming;
+use crate::seq::SequentialGraph;
+use serde::{Deserialize, Serialize};
+
+/// Which side of an edge constraint is meant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConstraintKind {
+    /// Max-delay / setup constraint.
+    Setup,
+    /// Min-delay / hold constraint.
+    Hold,
+}
+
+/// Integer difference-constraint bounds for one sample.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntegerConstraints {
+    /// Per edge: `k_from − k_to ≤ setup_bound[e]`.
+    pub setup_bound: Vec<i64>,
+    /// Per edge: `k_to − k_from ≤ hold_bound[e]`.
+    pub hold_bound: Vec<i64>,
+}
+
+impl IntegerConstraints {
+    /// Pre-sizes for a graph.
+    pub fn for_graph(sg: &SequentialGraph) -> Self {
+        Self {
+            setup_bound: vec![0; sg.edges.len()],
+            hold_bound: vec![0; sg.edges.len()],
+        }
+    }
+
+    /// Fills the bounds for one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not strictly positive.
+    pub fn build(
+        &mut self,
+        sg: &SequentialGraph,
+        st: &SampleTiming,
+        skews: &[f64],
+        period: f64,
+        step: f64,
+    ) {
+        assert!(step > 0.0, "buffer step must be positive");
+        self.setup_bound.resize(sg.edges.len(), 0);
+        self.hold_bound.resize(sg.edges.len(), 0);
+        for (e, edge) in sg.edges.iter().enumerate() {
+            let (i, j) = (edge.from as usize, edge.to as usize);
+            let setup_slack = period - st.setup[j] - st.edge_max[e] + skews[j] - skews[i];
+            let hold_slack = st.edge_min[e] - st.hold[j] + skews[i] - skews[j];
+            self.setup_bound[e] = (setup_slack / step).floor() as i64;
+            self.hold_bound[e] = (hold_slack / step).floor() as i64;
+        }
+    }
+
+    /// Edges whose constraints are violated with all tunings at zero.
+    pub fn violations_at_zero(&self) -> impl Iterator<Item = (usize, ConstraintKind)> + '_ {
+        let setups = self
+            .setup_bound
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| **b < 0)
+            .map(|(e, _)| (e, ConstraintKind::Setup));
+        let holds = self
+            .hold_bound
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| **b < 0)
+            .map(|(e, _)| (e, ConstraintKind::Hold));
+        setups.chain(holds)
+    }
+
+    /// True when the zero assignment satisfies every constraint.
+    pub fn feasible_at_zero(&self) -> bool {
+        self.setup_bound.iter().all(|b| *b >= 0) && self.hold_bound.iter().all(|b| *b >= 0)
+    }
+}
+
+/// Minimum-period analysis of one unbuffered sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MinPeriod {
+    /// Smallest clock period satisfying every setup constraint at `x = 0`.
+    pub period: f64,
+    /// Whether every hold constraint holds at `x = 0` (independent of `T`).
+    pub hold_ok: bool,
+    /// Edge achieving the critical setup constraint.
+    pub critical_edge: usize,
+}
+
+/// Computes the unbuffered minimum period of a sample.
+///
+/// The critical edge maximises `d̄ij + s_j + t_i − t_j`.
+///
+/// # Panics
+///
+/// Panics if the graph has no edges.
+pub fn min_period(sg: &SequentialGraph, st: &SampleTiming, skews: &[f64]) -> MinPeriod {
+    assert!(!sg.edges.is_empty(), "sequential graph has no edges");
+    let mut best = f64::NEG_INFINITY;
+    let mut arg = 0usize;
+    let mut hold_ok = true;
+    for (e, edge) in sg.edges.iter().enumerate() {
+        let (i, j) = (edge.from as usize, edge.to as usize);
+        let need = st.edge_max[e] + st.setup[j] + skews[i] - skews[j];
+        if need > best {
+            best = need;
+            arg = e;
+        }
+        if st.edge_min[e] - st.hold[j] + skews[i] - skews[j] < 0.0 {
+            hold_ok = false;
+        }
+    }
+    MinPeriod {
+        period: best.max(0.0),
+        hold_ok,
+        critical_edge: arg,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TimingGraph;
+    use crate::sample::{chip_rng, sample_canonical, SampleTiming};
+    use psbi_liberty::Library;
+    use psbi_netlist::bench_suite;
+    use psbi_variation::VariationModel;
+
+    fn fixture() -> (SequentialGraph, SampleTiming, Vec<f64>) {
+        let c = bench_suite::tiny_demo(9);
+        let lib = Library::industry_like();
+        let model = VariationModel::paper_defaults();
+        let tg = TimingGraph::build(&c, &lib, &model).unwrap();
+        let sg = SequentialGraph::extract(&tg);
+        let mut st = SampleTiming::for_graph(&sg);
+        let (globals, mut rng) = chip_rng(3, 0);
+        sample_canonical(&sg, &globals, &mut rng, &mut st);
+        let skews = vec![0.0; sg.n_ffs];
+        (sg, st, skews)
+    }
+
+    #[test]
+    fn min_period_is_feasibility_threshold() {
+        let (sg, st, skews) = fixture();
+        let mp = min_period(&sg, &st, &skews);
+        assert!(mp.period > 0.0);
+        let step = mp.period / 160.0;
+        let mut ic = IntegerConstraints::for_graph(&sg);
+        // Slightly above the minimum period: setup feasible at zero.
+        ic.build(&sg, &st, &skews, mp.period * 1.0001, step);
+        assert!(ic.setup_bound.iter().all(|b| *b >= 0));
+        // Slightly below: the critical edge must be violated.
+        ic.build(&sg, &st, &skews, mp.period - 2.0 * step, step);
+        assert!(ic.setup_bound[mp.critical_edge] < 0);
+    }
+
+    #[test]
+    fn hold_bounds_do_not_depend_on_period() {
+        let (sg, st, skews) = fixture();
+        let mut a = IntegerConstraints::for_graph(&sg);
+        let mut b = IntegerConstraints::for_graph(&sg);
+        a.build(&sg, &st, &skews, 500.0, 2.0);
+        b.build(&sg, &st, &skews, 900.0, 2.0);
+        assert_eq!(a.hold_bound, b.hold_bound);
+        assert_ne!(a.setup_bound, b.setup_bound);
+    }
+
+    #[test]
+    fn flooring_is_conservative() {
+        let (sg, st, skews) = fixture();
+        let mp = min_period(&sg, &st, &skews);
+        let step = mp.period / 160.0;
+        let mut ic = IntegerConstraints::for_graph(&sg);
+        let t = mp.period * 1.05;
+        ic.build(&sg, &st, &skews, t, step);
+        for (e, edge) in sg.edges.iter().enumerate() {
+            let (i, j) = (edge.from as usize, edge.to as usize);
+            // Integer bound times step never exceeds the real slack.
+            let real = t - st.setup[j] - st.edge_max[e] + skews[j] - skews[i];
+            assert!(ic.setup_bound[e] as f64 * step <= real + 1e-9);
+        }
+    }
+
+    #[test]
+    fn skews_shift_constraints() {
+        let (sg, st, mut skews) = fixture();
+        let mp = min_period(&sg, &st, &skews);
+        // Delay the launching FF of the critical edge: period must grow.
+        let crit = &sg.edges[mp.critical_edge];
+        skews[crit.from as usize] += 50.0;
+        let mp2 = min_period(&sg, &st, &skews);
+        assert!(mp2.period >= mp.period + 49.0);
+    }
+
+    #[test]
+    fn violations_at_zero_enumerates_both_kinds() {
+        let (sg, st, skews) = fixture();
+        let mut ic = IntegerConstraints::for_graph(&sg);
+        let mp = min_period(&sg, &st, &skews);
+        ic.build(&sg, &st, &skews, mp.period * 0.9, mp.period / 160.0);
+        let setup_viols = ic
+            .violations_at_zero()
+            .filter(|(_, k)| *k == ConstraintKind::Setup)
+            .count();
+        assert!(setup_viols > 0);
+        assert!(!ic.feasible_at_zero());
+        ic.build(&sg, &st, &skews, mp.period * 1.01, mp.period / 160.0);
+        if mp.hold_ok {
+            assert!(ic.feasible_at_zero());
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! Difference-constraint feasibility via SPFA with negative-cycle detection.
+//!
+//! A system `x_to − x_from ≤ w` over integer variables is feasible iff the
+//! constraint graph (arc `from → to` with weight `w`) has no negative
+//! cycle; shortest-path distances from a source are then a witness
+//! assignment.  Variable bounds are encoded by the caller as arcs to/from a
+//! designated root variable that is pinned to zero.
+//!
+//! This is the workhorse of both the per-sample ILP (support-set
+//! feasibility checks) and the yield evaluator, so the solver keeps all its
+//! workspaces allocated across calls.
+
+/// One arc of the constraint graph: `x[to] − x[from] ≤ weight`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arc {
+    /// Variable on the right-hand side.
+    pub from: u32,
+    /// Variable on the left-hand side.
+    pub to: u32,
+    /// Upper bound on the difference.
+    pub weight: i64,
+}
+
+impl Arc {
+    /// Convenience constructor for `x[to] − x[from] ≤ weight`.
+    #[inline]
+    pub fn new(from: u32, to: u32, weight: i64) -> Self {
+        Self { from, to, weight }
+    }
+}
+
+/// Result of a feasibility check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Feasibility {
+    /// A witness assignment with `x[source] = 0`.
+    Feasible(Vec<i64>),
+    /// The system contains a negative cycle.
+    Infeasible,
+}
+
+impl Feasibility {
+    /// True when feasible.
+    pub fn is_feasible(&self) -> bool {
+        matches!(self, Feasibility::Feasible(_))
+    }
+
+    /// The witness, if feasible.
+    pub fn witness(&self) -> Option<&[i64]> {
+        match self {
+            Feasibility::Feasible(x) => Some(x),
+            Feasibility::Infeasible => None,
+        }
+    }
+}
+
+/// Reusable SPFA solver.
+#[derive(Debug, Default)]
+pub struct DiffSolver {
+    // CSR adjacency built per call.
+    head: Vec<u32>,
+    next_out: Vec<u32>,
+    arc_to: Vec<u32>,
+    arc_w: Vec<i64>,
+    dist: Vec<i64>,
+    /// Edge count of the current shortest path per node; reaching `n`
+    /// proves a negative cycle (a simple path has at most `n − 1` arcs).
+    path_len: Vec<u32>,
+    in_queue: Vec<bool>,
+    queue: std::collections::VecDeque<u32>,
+}
+
+const NO_ARC: u32 = u32::MAX;
+/// Distances are clamped well below `i64::MAX` so additions cannot overflow.
+const INF: i64 = i64::MAX / 4;
+
+impl DiffSolver {
+    /// Creates a solver with empty workspaces.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks feasibility of `arcs` over `n` variables, using `source` as
+    /// the zero-pinned variable.
+    ///
+    /// Variables not reachable from `source` keep the value `0` in the
+    /// witness; their constraints are still verified (a post-pass checks
+    /// every arc), so the result is sound even for disconnected systems.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an arc references a variable `>= n` or `source >= n`.
+    pub fn solve(&mut self, n: usize, source: u32, arcs: &[Arc]) -> Feasibility {
+        assert!((source as usize) < n, "source out of range");
+        // Build CSR.
+        self.head.clear();
+        self.head.resize(n, NO_ARC);
+        self.next_out.clear();
+        self.next_out.resize(arcs.len(), NO_ARC);
+        self.arc_to.clear();
+        self.arc_w.clear();
+        for (k, a) in arcs.iter().enumerate() {
+            assert!((a.from as usize) < n && (a.to as usize) < n, "arc out of range");
+            self.arc_to.push(a.to);
+            self.arc_w.push(a.weight);
+            self.next_out[k] = self.head[a.from as usize];
+            self.head[a.from as usize] = k as u32;
+        }
+        self.dist.clear();
+        self.dist.resize(n, INF);
+        self.path_len.clear();
+        self.path_len.resize(n, 0);
+        self.in_queue.clear();
+        self.in_queue.resize(n, false);
+        self.queue.clear();
+
+        self.dist[source as usize] = 0;
+        self.queue.push_back(source);
+        self.in_queue[source as usize] = true;
+
+        while let Some(u) = self.queue.pop_front() {
+            self.in_queue[u as usize] = false;
+            let du = self.dist[u as usize];
+            let lu = self.path_len[u as usize];
+            let mut k = self.head[u as usize];
+            while k != NO_ARC {
+                let v = self.arc_to[k as usize];
+                let nd = du + self.arc_w[k as usize];
+                if nd < self.dist[v as usize] {
+                    self.dist[v as usize] = nd.max(-INF);
+                    // A simple path has at most n − 1 arcs; reaching n arcs
+                    // proves a negative cycle on the path.
+                    self.path_len[v as usize] = lu + 1;
+                    if self.path_len[v as usize] >= n as u32 {
+                        return Feasibility::Infeasible;
+                    }
+                    if !self.in_queue[v as usize] {
+                        self.in_queue[v as usize] = true;
+                        self.queue.push_back(v);
+                    }
+                }
+                k = self.next_out[k as usize];
+            }
+        }
+
+        // Unreachable variables default to 0; verify every arc holds.
+        let value = |i: usize| if self.dist[i] >= INF { 0 } else { self.dist[i] };
+        for a in arcs {
+            if value(a.to as usize) - value(a.from as usize) > a.weight {
+                return Feasibility::Infeasible;
+            }
+        }
+        let witness: Vec<i64> = (0..n).map(value).collect();
+        Feasibility::Feasible(witness)
+    }
+
+    /// Feasibility of a bounded system: `x[to] − x[from] ≤ w` plus
+    /// `lo_i ≤ x_i ≤ hi_i` with the root variable (index `n`, added
+    /// internally) pinned to zero.
+    ///
+    /// This is the form the insertion flow uses: `bounds[i]` are the buffer
+    /// range windows in steps, and any FF without a buffer is simply not a
+    /// variable here (the caller contracts it into the root).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `lo > hi` or an arc references a variable `>= n`.
+    pub fn solve_bounded(
+        &mut self,
+        n: usize,
+        arcs: &[Arc],
+        bounds: &[(i64, i64)],
+    ) -> Feasibility {
+        assert_eq!(bounds.len(), n, "one bound pair per variable");
+        let root = n as u32;
+        let mut all: Vec<Arc> = Vec::with_capacity(arcs.len() + 2 * n);
+        all.extend_from_slice(arcs);
+        for (i, (lo, hi)) in bounds.iter().enumerate() {
+            assert!(lo <= hi, "bound lo > hi for variable {i}");
+            // x_i − root ≤ hi  and  root − x_i ≤ −lo.
+            all.push(Arc::new(root, i as u32, *hi));
+            all.push(Arc::new(i as u32, root, -*lo));
+        }
+        match self.solve(n + 1, root, &all) {
+            Feasibility::Feasible(mut w) => {
+                w.truncate(n);
+                Feasibility::Feasible(w)
+            }
+            Feasibility::Infeasible => Feasibility::Infeasible,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_feasible_system() {
+        let mut s = DiffSolver::new();
+        // x1 - x0 <= 3, x2 - x1 <= -2, x2 - x0 <= 0
+        let arcs = [Arc::new(0, 1, 3), Arc::new(1, 2, -2), Arc::new(0, 2, 0)];
+        let sol = s.solve(3, 0, &arcs);
+        let w = sol.witness().expect("feasible");
+        assert!(w[1] - w[0] <= 3);
+        assert!(w[2] - w[1] <= -2);
+        assert!(w[2] - w[0] <= 0);
+    }
+
+    #[test]
+    fn negative_cycle_is_infeasible() {
+        let mut s = DiffSolver::new();
+        // x1 - x0 <= -1 and x0 - x1 <= 0 → cycle weight -1.
+        let arcs = [Arc::new(0, 1, -1), Arc::new(1, 0, 0)];
+        assert_eq!(s.solve(2, 0, &arcs), Feasibility::Infeasible);
+    }
+
+    #[test]
+    fn bounded_feasible_and_witness_in_bounds() {
+        let mut s = DiffSolver::new();
+        // x0 - x1 <= -5 (x0 at least 5 below x1), bounds [-10, 10].
+        let arcs = [Arc::new(1, 0, -5)];
+        let sol = s.solve_bounded(2, &arcs, &[(-10, 10), (-10, 10)]);
+        let w = sol.witness().expect("feasible");
+        assert!(w[0] - w[1] <= -5);
+        for &x in w {
+            assert!((-10..=10).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bounds_can_make_system_infeasible() {
+        let mut s = DiffSolver::new();
+        // Need x0 ≥ x1 + 5, but both are confined to [0, 2].
+        let arcs = [Arc::new(0, 1, -5)];
+        assert_eq!(
+            s.solve_bounded(2, &arcs, &[(0, 2), (0, 2)]),
+            Feasibility::Infeasible
+        );
+        // Loosening the bounds fixes it.
+        assert!(s
+            .solve_bounded(2, &arcs, &[(0, 7), (0, 2)])
+            .is_feasible());
+    }
+
+    #[test]
+    fn disconnected_variables_default_to_zero() {
+        let mut s = DiffSolver::new();
+        // Variable 2 has no arcs at all.
+        let arcs = [Arc::new(0, 1, 1)];
+        let sol = s.solve(3, 0, &arcs);
+        let w = sol.witness().unwrap();
+        assert_eq!(w[2], 0);
+    }
+
+    #[test]
+    fn disconnected_but_violated_is_caught() {
+        let mut s = DiffSolver::new();
+        // 1 and 2 are unreachable from source 0, but their mutual
+        // constraints are inconsistent: x2 - x1 <= -1, x1 - x2 <= 0.
+        let arcs = [Arc::new(1, 2, -1), Arc::new(2, 1, 0)];
+        assert_eq!(s.solve(3, 0, &arcs), Feasibility::Infeasible);
+    }
+
+    #[test]
+    fn solver_is_reusable() {
+        let mut s = DiffSolver::new();
+        for _ in 0..3 {
+            assert!(s.solve(2, 0, &[Arc::new(0, 1, 1)]).is_feasible());
+            assert_eq!(
+                s.solve(2, 0, &[Arc::new(0, 1, -1), Arc::new(1, 0, 0)]),
+                Feasibility::Infeasible
+            );
+        }
+    }
+
+    #[test]
+    fn tight_equality_chain() {
+        // x1 = x0 + 2 exactly (both directions), x2 = x1 - 7.
+        let mut s = DiffSolver::new();
+        let arcs = [
+            Arc::new(0, 1, 2),
+            Arc::new(1, 0, -2),
+            Arc::new(1, 2, -7),
+            Arc::new(2, 1, 7),
+        ];
+        let w = s.solve(3, 0, &arcs);
+        let w = w.witness().unwrap();
+        assert_eq!(w[1] - w[0], 2);
+        assert_eq!(w[2] - w[1], -7);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound lo > hi")]
+    fn invalid_bounds_panic() {
+        let mut s = DiffSolver::new();
+        let _ = s.solve_bounded(1, &[], &[(3, 1)]);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// A witness returned by the solver always satisfies every
+            /// arc and every bound.
+            #[test]
+            fn witness_satisfies_system(
+                n in 2usize..8,
+                arcs in proptest::collection::vec((0u32..8, 0u32..8, -10i64..10), 0..20),
+                hi in 0i64..15,
+            ) {
+                let arcs: Vec<Arc> = arcs
+                    .into_iter()
+                    .filter(|(a, b, _)| (*a as usize) < n && (*b as usize) < n)
+                    .map(|(a, b, w)| Arc::new(a, b, w))
+                    .collect();
+                let bounds = vec![(-hi, hi); n];
+                let mut s = DiffSolver::new();
+                if let Feasibility::Feasible(w) = s.solve_bounded(n, &arcs, &bounds) {
+                    for a in &arcs {
+                        prop_assert!(w[a.to as usize] - w[a.from as usize] <= a.weight);
+                    }
+                    for &x in &w {
+                        prop_assert!((-hi..=hi).contains(&x));
+                    }
+                }
+            }
+
+            /// Brute force agreement on tiny systems: the solver says
+            /// feasible iff some assignment in the bound box works.
+            #[test]
+            fn agrees_with_brute_force(
+                arcs in proptest::collection::vec((0u32..3, 0u32..3, -4i64..4), 0..8),
+            ) {
+                let arcs: Vec<Arc> =
+                    arcs.into_iter().map(|(a, b, w)| Arc::new(a, b, w)).collect();
+                let bounds = [(-2i64, 2i64); 3];
+                let mut s = DiffSolver::new();
+                let got = s.solve_bounded(3, &arcs, &bounds).is_feasible();
+                let mut any = false;
+                for x0 in -2..=2i64 {
+                    for x1 in -2..=2i64 {
+                        for x2 in -2..=2i64 {
+                            let x = [x0, x1, x2];
+                            if arcs.iter().all(|a| {
+                                x[a.to as usize] - x[a.from as usize] <= a.weight
+                            }) {
+                                any = true;
+                            }
+                        }
+                    }
+                }
+                prop_assert_eq!(got, any);
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+//! Timing analysis for the PSBI workspace.
+//!
+//! This crate turns a [`psbi_netlist::Circuit`] plus a
+//! [`psbi_liberty::Library`] and a [`psbi_variation::VariationModel`] into
+//! the objects the insertion flow operates on:
+//!
+//! * [`graph::TimingGraph`] — per-gate canonical delays, pin loads and the
+//!   combinational topological order;
+//! * [`cones::ConeSet`] — for every flip-flop, the combinational fanout
+//!   cone (topologically ordered) and the flip-flop sinks it reaches;
+//! * [`seq::SequentialGraph`] — the FF→FF timing edges with canonical
+//!   **maximum** and **minimum** path delays computed by block-based SSTA
+//!   (Clark's `max`/`min`), plus per-FF setup/hold canonicals.  This is the
+//!   "merged" representation the paper assumes (its eq. (1)–(2) operate on
+//!   `d̄ij`/`d̲ij` directly);
+//! * [`sample::SampleTiming`] — one Monte-Carlo chip: concrete delay values
+//!   for every sequential edge, drawn either from the canonical edge forms
+//!   (fast, `O(edges)` per sample) or by exact gate-level propagation
+//!   (reference mode);
+//! * [`constraint::IntegerConstraints`] — the paper's setup/hold
+//!   inequalities discretised to buffer steps:
+//!   `k_i − k_j ≤ ⌊(T − s_j − d̄ij + t_j − t_i)/δ⌋` and
+//!   `k_j − k_i ≤ ⌊(d̲ij − h_j + t_i − t_j)/δ⌋`;
+//! * [`feasibility::DiffSolver`] — an SPFA-based difference-constraint
+//!   solver with negative-cycle detection that decides whether a chip can
+//!   be configured (and produces a witness configuration).
+//!
+//! # Example
+//!
+//! ```
+//! use psbi_liberty::Library;
+//! use psbi_netlist::bench_suite;
+//! use psbi_timing::{graph::TimingGraph, seq::SequentialGraph};
+//! use psbi_variation::VariationModel;
+//!
+//! let circuit = bench_suite::tiny_demo(1);
+//! let lib = Library::industry_like();
+//! let model = VariationModel::paper_defaults();
+//! let tg = TimingGraph::build(&circuit, &lib, &model).expect("valid");
+//! let sg = SequentialGraph::extract(&tg);
+//! assert!(sg.edges.len() >= circuit.num_ffs());
+//! ```
+
+pub mod cones;
+pub mod constraint;
+pub mod criticality;
+pub mod feasibility;
+pub mod graph;
+pub mod sample;
+pub mod seq;
+
+pub use constraint::IntegerConstraints;
+pub use feasibility::{DiffSolver, Feasibility};
+pub use graph::TimingGraph;
+pub use sample::SampleTiming;
+pub use seq::SequentialGraph;

@@ -1,0 +1,295 @@
+//! Monte-Carlo chip sampling: concrete per-edge delays for one sample.
+//!
+//! Two samplers produce the same [`SampleTiming`] layout:
+//!
+//! * [`sample_canonical`] draws each sequential edge's min/max delay from
+//!   its canonical form — `O(edges)` per sample, the default mode;
+//! * [`GateLevelSampler`] draws every *gate* delay and re-propagates
+//!   min/max path delays numerically through the cones — the exact
+//!   reference mode (ablation A3 in `DESIGN.md` quantifies the difference).
+//!
+//! Delays are clamped to be non-negative and `min ≤ max` is enforced (the
+//! canonical mode draws the two forms with independent local terms, so rare
+//! crossings are possible and physically meaningless).
+
+use crate::graph::TimingGraph;
+use crate::seq::SequentialGraph;
+use psbi_variation::normal::draw_standard_normal;
+use psbi_variation::GlobalSample;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Concrete timing values of one manufactured chip.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SampleTiming {
+    /// Max path delay per sequential edge (same order as
+    /// [`SequentialGraph::edges`]).
+    pub edge_max: Vec<f64>,
+    /// Min path delay per sequential edge.
+    pub edge_min: Vec<f64>,
+    /// Setup time per FF.
+    pub setup: Vec<f64>,
+    /// Hold time per FF.
+    pub hold: Vec<f64>,
+}
+
+impl SampleTiming {
+    /// Pre-sizes the buffers for a graph.
+    pub fn for_graph(sg: &SequentialGraph) -> Self {
+        Self {
+            edge_max: vec![0.0; sg.edges.len()],
+            edge_min: vec![0.0; sg.edges.len()],
+            setup: vec![0.0; sg.n_ffs],
+            hold: vec![0.0; sg.n_ffs],
+        }
+    }
+}
+
+/// Draws one chip from the canonical edge forms (fast path).
+pub fn sample_canonical<R: Rng + ?Sized>(
+    sg: &SequentialGraph,
+    globals: &GlobalSample,
+    rng: &mut R,
+    out: &mut SampleTiming,
+) {
+    out.edge_max.resize(sg.edges.len(), 0.0);
+    out.edge_min.resize(sg.edges.len(), 0.0);
+    out.setup.resize(sg.n_ffs, 0.0);
+    out.hold.resize(sg.n_ffs, 0.0);
+    for (e, edge) in sg.edges.iter().enumerate() {
+        let dmax = edge.max_delay.sample(globals, rng).max(0.0);
+        let dmin = edge.min_delay.sample(globals, rng).max(0.0);
+        out.edge_max[e] = dmax.max(dmin);
+        out.edge_min[e] = dmin.min(dmax);
+    }
+    for i in 0..sg.n_ffs {
+        out.setup[i] = sg.setup[i].sample(globals, rng).max(0.0);
+        out.hold[i] = sg.hold[i].sample(globals, rng).max(0.0);
+    }
+}
+
+/// Exact gate-level sampler: draws every gate delay and propagates.
+///
+/// Holds reusable workspaces; create once per worker thread.
+#[derive(Debug)]
+pub struct GateLevelSampler {
+    gate_val: Vec<f64>,
+    clkq_val: Vec<f64>,
+    arr_max: Vec<f64>,
+    arr_min: Vec<f64>,
+    mark: Vec<u32>,
+}
+
+impl GateLevelSampler {
+    /// Creates workspaces sized for `tg`.
+    pub fn new(tg: &TimingGraph<'_>) -> Self {
+        let n = tg.circuit.len();
+        Self {
+            gate_val: vec![0.0; n],
+            clkq_val: vec![0.0; tg.num_ffs()],
+            arr_max: vec![0.0; n],
+            arr_min: vec![0.0; n],
+            mark: vec![u32::MAX; n],
+        }
+    }
+
+    /// Draws one chip at gate level.
+    ///
+    /// The sequential graph must have been extracted from the same timing
+    /// graph (edge order follows its cone traversal).
+    pub fn sample<R: Rng + ?Sized>(
+        &mut self,
+        tg: &TimingGraph<'_>,
+        sg: &SequentialGraph,
+        globals: &GlobalSample,
+        rng: &mut R,
+        out: &mut SampleTiming,
+    ) {
+        let circuit = tg.circuit;
+        out.edge_max.resize(sg.edges.len(), 0.0);
+        out.edge_min.resize(sg.edges.len(), 0.0);
+        out.setup.resize(sg.n_ffs, 0.0);
+        out.hold.resize(sg.n_ffs, 0.0);
+
+        for &g in tg.topo() {
+            self.gate_val[g.index()] = tg.gate_delay(g).sample(globals, rng).max(0.0);
+        }
+        for i in 0..sg.n_ffs {
+            self.clkq_val[i] = tg.clk_to_q(i).sample(globals, rng).max(0.0);
+            out.setup[i] = sg.setup[i].sample(globals, rng).max(0.0);
+            out.hold[i] = sg.hold[i].sample(globals, rng).max(0.0);
+        }
+
+        self.mark.fill(u32::MAX);
+        let mut edge_cursor = 0usize;
+        for i in 0..sg.n_ffs {
+            let stamp = i as u32;
+            let ff_node = circuit.ff_ids()[i];
+            self.mark[ff_node.index()] = stamp;
+            self.arr_max[ff_node.index()] = self.clkq_val[i];
+            self.arr_min[ff_node.index()] = self.clkq_val[i];
+            let cone = sg.cones().cone(i);
+            for &g in &cone.gates {
+                let mut mx = f64::NEG_INFINITY;
+                let mut mn = f64::INFINITY;
+                for &f in circuit.fanins(g) {
+                    if self.mark[f.index()] == stamp {
+                        mx = mx.max(self.arr_max[f.index()]);
+                        mn = mn.min(self.arr_min[f.index()]);
+                    }
+                }
+                debug_assert!(mx.is_finite(), "cone gate without reachable fanin");
+                let d = self.gate_val[g.index()];
+                self.arr_max[g.index()] = mx + d;
+                self.arr_min[g.index()] = mn + d;
+                self.mark[g.index()] = stamp;
+            }
+            for &(_, driver) in &cone.sinks {
+                out.edge_max[edge_cursor] = self.arr_max[driver.index()];
+                out.edge_min[edge_cursor] = self.arr_min[driver.index()];
+                edge_cursor += 1;
+            }
+        }
+        debug_assert_eq!(edge_cursor, sg.edges.len());
+    }
+}
+
+/// Draws the global parameter deviations for sample `index` of a run and
+/// returns the per-sample RNG for the local terms.
+pub fn chip_rng(base_seed: u64, index: u64) -> (GlobalSample, rand::rngs::StdRng) {
+    let mut rng = psbi_variation::sample_rng(base_seed, index);
+    let mut globals = GlobalSample::default();
+    for d in &mut globals.delta {
+        *d = draw_standard_normal(&mut rng);
+    }
+    (globals, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TimingGraph;
+    use psbi_liberty::Library;
+    use psbi_netlist::bench_suite;
+    use psbi_variation::VariationModel;
+
+    struct Fixture {
+        circuit: psbi_netlist::Circuit,
+        lib: Library,
+        model: VariationModel,
+    }
+
+    impl Fixture {
+        fn new(seed: u64) -> Self {
+            Self {
+                circuit: bench_suite::tiny_demo(seed),
+                lib: Library::industry_like(),
+                model: VariationModel::paper_defaults(),
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_sampling_respects_order_invariants() {
+        let fx = Fixture::new(1);
+        let tg = TimingGraph::build(&fx.circuit, &fx.lib, &fx.model).unwrap();
+        let sg = SequentialGraph::extract(&tg);
+        let mut st = SampleTiming::for_graph(&sg);
+        for k in 0..50 {
+            let (globals, mut rng) = chip_rng(42, k);
+            sample_canonical(&sg, &globals, &mut rng, &mut st);
+            for e in 0..sg.edges.len() {
+                assert!(st.edge_max[e] >= st.edge_min[e]);
+                assert!(st.edge_min[e] >= 0.0);
+            }
+            for i in 0..sg.n_ffs {
+                assert!(st.setup[i] > 0.0);
+                assert!(st.hold[i] >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn gate_level_sampling_matches_structure() {
+        let fx = Fixture::new(2);
+        let tg = TimingGraph::build(&fx.circuit, &fx.lib, &fx.model).unwrap();
+        let sg = SequentialGraph::extract(&tg);
+        let mut sampler = GateLevelSampler::new(&tg);
+        let mut st = SampleTiming::for_graph(&sg);
+        let (globals, mut rng) = chip_rng(7, 0);
+        sampler.sample(&tg, &sg, &globals, &mut rng, &mut st);
+        assert_eq!(st.edge_max.len(), sg.edges.len());
+        for e in 0..sg.edges.len() {
+            assert!(st.edge_max[e] >= st.edge_min[e] - 1e-9);
+        }
+    }
+
+    #[test]
+    fn canonical_matches_gate_level_statistics() {
+        // The canonical (SSTA) edge forms should reproduce the gate-level
+        // Monte-Carlo mean and sigma of each edge's max delay within a few
+        // percent (Clark's approximation).
+        let fx = Fixture::new(3);
+        let tg = TimingGraph::build(&fx.circuit, &fx.lib, &fx.model).unwrap();
+        let sg = SequentialGraph::extract(&tg);
+        let n = 20_000usize;
+        let mut sampler = GateLevelSampler::new(&tg);
+        let mut st = SampleTiming::for_graph(&sg);
+        let ne = sg.edges.len();
+        let mut sum = vec![0.0; ne];
+        let mut sum2 = vec![0.0; ne];
+        for k in 0..n {
+            let (globals, mut rng) = chip_rng(11, k as u64);
+            sampler.sample(&tg, &sg, &globals, &mut rng, &mut st);
+            for e in 0..ne {
+                sum[e] += st.edge_max[e];
+                sum2[e] += st.edge_max[e] * st.edge_max[e];
+            }
+        }
+        for e in 0..ne {
+            let mc_mean = sum[e] / n as f64;
+            let mc_var = (sum2[e] / n as f64 - mc_mean * mc_mean).max(0.0);
+            let canon = &sg.edges[e].max_delay;
+            let dm = (canon.mean() - mc_mean).abs() / mc_mean;
+            assert!(dm < 0.04, "edge {e}: mean {} vs MC {}", canon.mean(), mc_mean);
+            let ds = (canon.sigma() - mc_var.sqrt()).abs() / mc_mean;
+            assert!(
+                ds < 0.05,
+                "edge {e}: sigma {} vs MC {}",
+                canon.sigma(),
+                mc_var.sqrt()
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let fx = Fixture::new(4);
+        let tg = TimingGraph::build(&fx.circuit, &fx.lib, &fx.model).unwrap();
+        let sg = SequentialGraph::extract(&tg);
+        let mut a = SampleTiming::for_graph(&sg);
+        let mut b = SampleTiming::for_graph(&sg);
+        let (g1, mut r1) = chip_rng(5, 9);
+        let (g2, mut r2) = chip_rng(5, 9);
+        sample_canonical(&sg, &g1, &mut r1, &mut a);
+        sample_canonical(&sg, &g2, &mut r2, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn global_shift_moves_all_edges() {
+        // A strongly positive global sample should push essentially every
+        // edge above its mean.
+        let fx = Fixture::new(5);
+        let tg = TimingGraph::build(&fx.circuit, &fx.lib, &fx.model).unwrap();
+        let sg = SequentialGraph::extract(&tg);
+        let mut st = SampleTiming::for_graph(&sg);
+        let globals = GlobalSample { delta: [3.0, 3.0, 3.0] };
+        let mut rng = psbi_variation::sample_rng(1, 1);
+        sample_canonical(&sg, &globals, &mut rng, &mut st);
+        let above = (0..sg.edges.len())
+            .filter(|&e| st.edge_max[e] > sg.edges[e].max_delay.mean())
+            .count();
+        assert!(above as f64 > 0.9 * sg.edges.len() as f64);
+    }
+}

@@ -1,0 +1,296 @@
+//! The sequential (FF→FF) timing graph with canonical min/max path delays.
+//!
+//! Block-based SSTA propagates canonical arrival forms through every source
+//! flip-flop's fanout cone — `add` along paths, Clark `max`/`min` at
+//! reconvergence — yielding the `d̄ij`/`d̲ij` random variables of the paper's
+//! constraints (1)–(2).  Path delays include the source FF's clock-to-Q.
+
+use crate::cones::ConeSet;
+use crate::graph::TimingGraph;
+use psbi_variation::CanonicalForm;
+use serde::{Deserialize, Serialize};
+
+/// One sequential timing edge (a register-to-register constraint pair).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeqEdge {
+    /// Source flip-flop (dense index) — launches the data.
+    pub from: u32,
+    /// Sink flip-flop (dense index) — captures the data.
+    pub to: u32,
+    /// Canonical maximum path delay `d̄ij` (includes clock-to-Q).
+    pub max_delay: CanonicalForm,
+    /// Canonical minimum path delay `d̲ij` (includes clock-to-Q).
+    pub min_delay: CanonicalForm,
+}
+
+/// The sequential graph: edges plus per-FF setup/hold canonicals.
+#[derive(Debug, Clone)]
+pub struct SequentialGraph {
+    /// Number of flip-flops.
+    pub n_ffs: usize,
+    /// All sequential edges.  The order is deterministic: grouped by source
+    /// FF in cone-sink order (the gate-level sampler relies on this).
+    pub edges: Vec<SeqEdge>,
+    /// Canonical setup time per FF (dense index).
+    pub setup: Vec<CanonicalForm>,
+    /// Canonical hold time per FF (dense index).
+    pub hold: Vec<CanonicalForm>,
+    out_edges: Vec<Vec<u32>>,
+    in_edges: Vec<Vec<u32>>,
+    cones: ConeSet,
+}
+
+impl SequentialGraph {
+    /// Builds a sequential graph from explicit parts — for tests, for
+    /// benchmark harnesses, and for users who bring their own FF-level
+    /// timing data instead of a gate-level netlist.
+    ///
+    /// The resulting graph has no cones, so only the canonical edge sampler
+    /// can be used with it (not the gate-level one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references a FF `>= n_ffs` or the setup/hold
+    /// vectors have the wrong length.
+    pub fn from_parts(
+        n_ffs: usize,
+        edges: Vec<SeqEdge>,
+        setup: Vec<CanonicalForm>,
+        hold: Vec<CanonicalForm>,
+    ) -> Self {
+        assert_eq!(setup.len(), n_ffs, "one setup form per FF");
+        assert_eq!(hold.len(), n_ffs, "one hold form per FF");
+        let mut out_edges = vec![Vec::new(); n_ffs];
+        let mut in_edges = vec![Vec::new(); n_ffs];
+        for (e, edge) in edges.iter().enumerate() {
+            assert!(
+                (edge.from as usize) < n_ffs && (edge.to as usize) < n_ffs,
+                "edge endpoint out of range"
+            );
+            out_edges[edge.from as usize].push(e as u32);
+            in_edges[edge.to as usize].push(e as u32);
+        }
+        Self {
+            n_ffs,
+            edges,
+            setup,
+            hold,
+            out_edges,
+            in_edges,
+            cones: ConeSet::empty(),
+        }
+    }
+
+    /// Extracts the sequential graph by SSTA over the timing graph's cones.
+    pub fn extract(tg: &TimingGraph<'_>) -> Self {
+        let cones = ConeSet::extract(tg);
+        let circuit = tg.circuit;
+        let n_nodes = circuit.len();
+        let n_ffs = circuit.num_ffs();
+
+        let mut edges: Vec<SeqEdge> = Vec::new();
+        let mut arr_max: Vec<CanonicalForm> = vec![CanonicalForm::constant(0.0); n_nodes];
+        let mut arr_min: Vec<CanonicalForm> = vec![CanonicalForm::constant(0.0); n_nodes];
+        let mut mark = vec![u32::MAX; n_nodes];
+
+        for i in 0..n_ffs {
+            let ff_node = circuit.ff_ids()[i];
+            let stamp = i as u32;
+            mark[ff_node.index()] = stamp;
+            arr_max[ff_node.index()] = *tg.clk_to_q(i);
+            arr_min[ff_node.index()] = *tg.clk_to_q(i);
+            let cone = cones.cone(i);
+            for &g in &cone.gates {
+                let mut mx: Option<CanonicalForm> = None;
+                let mut mn: Option<CanonicalForm> = None;
+                for &f in circuit.fanins(g) {
+                    if mark[f.index()] == stamp {
+                        let fm = arr_max[f.index()];
+                        let fn_ = arr_min[f.index()];
+                        mx = Some(match mx {
+                            None => fm,
+                            Some(m) => m.max(&fm),
+                        });
+                        mn = Some(match mn {
+                            None => fn_,
+                            Some(m) => m.min(&fn_),
+                        });
+                    }
+                }
+                let (mx, mn) = (
+                    mx.expect("cone gate has a reachable fanin"),
+                    mn.expect("cone gate has a reachable fanin"),
+                );
+                let d = tg.gate_delay(g);
+                arr_max[g.index()] = mx.add(d);
+                arr_min[g.index()] = mn.add(d);
+                mark[g.index()] = stamp;
+            }
+            for &(j, driver) in &cone.sinks {
+                debug_assert_eq!(mark[driver.index()], stamp);
+                edges.push(SeqEdge {
+                    from: i as u32,
+                    to: j as u32,
+                    max_delay: arr_max[driver.index()],
+                    min_delay: arr_min[driver.index()],
+                });
+            }
+        }
+
+        let mut out_edges = vec![Vec::new(); n_ffs];
+        let mut in_edges = vec![Vec::new(); n_ffs];
+        for (e, edge) in edges.iter().enumerate() {
+            out_edges[edge.from as usize].push(e as u32);
+            in_edges[edge.to as usize].push(e as u32);
+        }
+
+        Self {
+            n_ffs,
+            edges,
+            setup: (0..n_ffs).map(|i| *tg.setup(i)).collect(),
+            hold: (0..n_ffs).map(|i| *tg.hold(i)).collect(),
+            out_edges,
+            in_edges,
+            cones,
+        }
+    }
+
+    /// Edge ids launched by FF `i`.
+    #[inline]
+    pub fn out_edges(&self, i: usize) -> &[u32] {
+        &self.out_edges[i]
+    }
+
+    /// Edge ids captured by FF `i`.
+    #[inline]
+    pub fn in_edges(&self, i: usize) -> &[u32] {
+        &self.in_edges[i]
+    }
+
+    /// The cones this graph was extracted from (the gate-level sampler
+    /// needs them to stay consistent with the edge order).
+    #[inline]
+    pub fn cones(&self) -> &ConeSet {
+        &self.cones
+    }
+
+    /// FF indices adjacent to `i` in the undirected sequential graph.
+    pub fn neighbors(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        self.out_edges[i]
+            .iter()
+            .map(move |&e| self.edges[e as usize].to as usize)
+            .chain(
+                self.in_edges[i]
+                    .iter()
+                    .map(move |&e| self.edges[e as usize].from as usize),
+            )
+    }
+
+    /// Mean over all edges of the nominal maximum path delay — a measure of
+    /// the typical stage delay used to scale skews and clock periods.
+    pub fn mean_stage_delay(&self) -> f64 {
+        if self.edges.is_empty() {
+            return 0.0;
+        }
+        self.edges.iter().map(|e| e.max_delay.mean()).sum::<f64>() / self.edges.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TimingGraph;
+    use psbi_liberty::Library;
+    use psbi_netlist::bench_format::{parse_bench, EXAMPLE_BENCH};
+    use psbi_netlist::bench_suite;
+    use psbi_variation::VariationModel;
+
+    fn seq_of(circuit: &psbi_netlist::Circuit) -> SequentialGraph {
+        let lib = Library::industry_like();
+        let model = VariationModel::paper_defaults();
+        let tg = TimingGraph::build(circuit, &lib, &model).unwrap();
+        SequentialGraph::extract(&tg)
+    }
+
+    #[test]
+    fn example_edges() {
+        let c = parse_bench(EXAMPLE_BENCH).unwrap();
+        let sg = seq_of(&c);
+        assert_eq!(sg.n_ffs, 3);
+        // Edges: F0->F0 (N4), F0->F1 (N6), F0->F2 (N7), F1->F0 (N4 via XOR),
+        // F1->F1 (N6 via N5), F1->F2 (N7 via N5), F2->F2 (N7).
+        assert_eq!(sg.edges.len(), 7);
+        let has = |a: &str, b: &str| {
+            let ai = c.ff_index(c.by_name(a).unwrap()).unwrap() as u32;
+            let bi = c.ff_index(c.by_name(b).unwrap()).unwrap() as u32;
+            sg.edges.iter().any(|e| e.from == ai && e.to == bi)
+        };
+        assert!(has("F0", "F0"));
+        assert!(has("F0", "F1"));
+        assert!(has("F0", "F2"));
+        assert!(has("F1", "F0"));
+        assert!(has("F1", "F1"));
+        assert!(has("F1", "F2"));
+        assert!(has("F2", "F2"));
+        assert!(!has("F2", "F0"));
+    }
+
+    #[test]
+    fn max_dominates_min() {
+        let c = bench_suite::small_demo(7);
+        let sg = seq_of(&c);
+        for e in &sg.edges {
+            assert!(
+                e.max_delay.mean() >= e.min_delay.mean() - 1e-9,
+                "edge {}->{}: max {} < min {}",
+                e.from,
+                e.to,
+                e.max_delay.mean(),
+                e.min_delay.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn delays_include_clk_to_q() {
+        let c = parse_bench(EXAMPLE_BENCH).unwrap();
+        let lib = Library::industry_like();
+        let model = VariationModel::paper_defaults();
+        let tg = TimingGraph::build(&c, &lib, &model).unwrap();
+        let sg = SequentialGraph::extract(&tg);
+        let clkq_min = (0..3).map(|i| tg.clk_to_q(i).mean()).fold(f64::MAX, f64::min);
+        for e in &sg.edges {
+            assert!(e.min_delay.mean() >= clkq_min - 1e-9);
+        }
+    }
+
+    #[test]
+    fn adjacency_lists_match_edges() {
+        let c = bench_suite::tiny_demo(2);
+        let sg = seq_of(&c);
+        for (e, edge) in sg.edges.iter().enumerate() {
+            assert!(sg.out_edges(edge.from as usize).contains(&(e as u32)));
+            assert!(sg.in_edges(edge.to as usize).contains(&(e as u32)));
+        }
+        let total_out: usize = (0..sg.n_ffs).map(|i| sg.out_edges(i).len()).sum();
+        assert_eq!(total_out, sg.edges.len());
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let c = bench_suite::tiny_demo(4);
+        let sg = seq_of(&c);
+        for i in 0..sg.n_ffs {
+            for j in sg.neighbors(i) {
+                assert!(sg.neighbors(j).any(|k| k == i), "{i} <-> {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn stage_delay_is_positive() {
+        let c = bench_suite::tiny_demo(6);
+        let sg = seq_of(&c);
+        assert!(sg.mean_stage_delay() > 0.0);
+    }
+}

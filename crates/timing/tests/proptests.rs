@@ -1,0 +1,88 @@
+//! Property-based tests across the timing pipeline: generated circuits →
+//! SSTA → sampling → constraints, checking cross-module invariants.
+
+use proptest::prelude::*;
+use psbi_liberty::Library;
+use psbi_netlist::generator::GeneratorProfile;
+use psbi_timing::graph::TimingGraph;
+use psbi_timing::sample::{chip_rng, sample_canonical, SampleTiming};
+use psbi_timing::seq::SequentialGraph;
+use psbi_timing::{constraint, IntegerConstraints};
+use psbi_variation::VariationModel;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The unbuffered minimum period is exactly the feasibility threshold
+    /// of the zero assignment: one step above it every setup bound is
+    /// non-negative, one step below it the critical edge is violated.
+    #[test]
+    fn min_period_is_tight(n_ffs in 6usize..40, seed in 0u64..40, k in 0u64..20) {
+        let circuit = GeneratorProfile::sized("p", n_ffs, n_ffs * 6).generate(seed);
+        let lib = Library::industry_like();
+        let model = VariationModel::paper_defaults();
+        let tg = TimingGraph::build(&circuit, &lib, &model).unwrap();
+        let sg = SequentialGraph::extract(&tg);
+        let mut st = SampleTiming::for_graph(&sg);
+        let (globals, mut rng) = chip_rng(7, k);
+        sample_canonical(&sg, &globals, &mut rng, &mut st);
+        let skews = vec![0.0; sg.n_ffs];
+        let mp = constraint::min_period(&sg, &st, &skews);
+        let step = (mp.period / 160.0).max(1e-6);
+        let mut ic = IntegerConstraints::for_graph(&sg);
+        ic.build(&sg, &st, &skews, mp.period + step, step);
+        prop_assert!(ic.setup_bound.iter().all(|b| *b >= 0));
+        ic.build(&sg, &st, &skews, mp.period - 2.0 * step, step);
+        prop_assert!(ic.setup_bound[mp.critical_edge] < 0);
+    }
+
+    /// Canonical edge delays always satisfy max ≥ min, and sampled values
+    /// respect the same order after clamping.
+    #[test]
+    fn sampled_edges_ordered(n_ffs in 6usize..30, seed in 0u64..30) {
+        let circuit = GeneratorProfile::sized("p", n_ffs, n_ffs * 5).generate(seed);
+        let lib = Library::industry_like();
+        let model = VariationModel::paper_defaults();
+        let tg = TimingGraph::build(&circuit, &lib, &model).unwrap();
+        let sg = SequentialGraph::extract(&tg);
+        for e in &sg.edges {
+            prop_assert!(e.max_delay.mean() >= e.min_delay.mean() - 1e-9);
+        }
+        let mut st = SampleTiming::for_graph(&sg);
+        for k in 0..5 {
+            let (globals, mut rng) = chip_rng(3, k);
+            sample_canonical(&sg, &globals, &mut rng, &mut st);
+            for e in 0..sg.edges.len() {
+                prop_assert!(st.edge_max[e] >= st.edge_min[e]);
+                prop_assert!(st.edge_min[e] >= 0.0);
+            }
+        }
+    }
+
+    /// Skews shift setup and hold bounds in opposite directions: delaying
+    /// the capture clock relaxes setup into a FF and tightens its hold.
+    #[test]
+    fn skew_shifts_bounds_oppositely(n_ffs in 6usize..24, seed in 0u64..20) {
+        let circuit = GeneratorProfile::sized("p", n_ffs, n_ffs * 5).generate(seed);
+        let lib = Library::industry_like();
+        let model = VariationModel::paper_defaults();
+        let tg = TimingGraph::build(&circuit, &lib, &model).unwrap();
+        let sg = SequentialGraph::extract(&tg);
+        let mut st = SampleTiming::for_graph(&sg);
+        let (globals, mut rng) = chip_rng(5, 0);
+        sample_canonical(&sg, &globals, &mut rng, &mut st);
+        // Pick an edge between two distinct FFs.
+        let Some((e, edge)) = sg.edges.iter().enumerate().find(|(_, e)| e.from != e.to)
+        else { return Ok(()); };
+        let period = 10_000.0;
+        let step = 5.0;
+        let mut skews = vec![0.0; sg.n_ffs];
+        let mut base = IntegerConstraints::for_graph(&sg);
+        base.build(&sg, &st, &skews, period, step);
+        skews[edge.to as usize] += 50.0; // capture clock 10 steps later
+        let mut shifted = IntegerConstraints::for_graph(&sg);
+        shifted.build(&sg, &st, &skews, period, step);
+        prop_assert_eq!(shifted.setup_bound[e], base.setup_bound[e] + 10);
+        prop_assert_eq!(shifted.hold_bound[e], base.hold_bound[e] - 10);
+    }
+}

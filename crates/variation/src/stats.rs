@@ -1,0 +1,397 @@
+//! Sample statistics used throughout the insertion flow.
+//!
+//! Includes the integer-valued [`Histogram`] with the sliding-window query
+//! the paper's step III-A4 needs (find the range window of width τ covering
+//! the most tuning values, constrained to contain zero).
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean; `0.0` for an empty slice.
+///
+/// ```
+/// assert_eq!(psbi_variation::stats::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// ```
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance (n−1 denominator); `0.0` for fewer than two
+/// points.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+///
+/// ```
+/// let s = psbi_variation::stats::stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+/// assert!((s - 2.138).abs() < 1e-3);
+/// ```
+pub fn stddev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Linear-interpolation quantile of **unsorted** data; clamps `q` to
+/// `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty data");
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let w = pos - lo as f64;
+        v[lo] * (1.0 - w) + v[hi] * w
+    }
+}
+
+/// Pearson correlation coefficient of two equal-length samples.
+///
+/// Returns `0.0` when either sample is (numerically) constant — in the flow
+/// this means "never grouped", the conservative choice.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// ```
+/// let r = psbi_variation::stats::pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]);
+/// assert!((r - 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "pearson: length mismatch");
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let ma = mean(a);
+    let mb = mean(b);
+    let mut sab = 0.0;
+    let mut saa = 0.0;
+    let mut sbb = 0.0;
+    for i in 0..a.len() {
+        let da = a[i] - ma;
+        let db = b[i] - mb;
+        sab += da * db;
+        saa += da * da;
+        sbb += db * db;
+    }
+    let denom = (saa * sbb).sqrt();
+    if denom < 1e-300 {
+        0.0
+    } else {
+        (sab / denom).clamp(-1.0, 1.0)
+    }
+}
+
+/// Five-number style summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std: f64,
+    /// Minimum observation (`0.0` when empty).
+    pub min: f64,
+    /// Maximum observation (`0.0` when empty).
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarises a sample.
+    ///
+    /// ```
+    /// let s = psbi_variation::Summary::of(&[1.0, 3.0]);
+    /// assert_eq!((s.n, s.min, s.max), (2, 1.0, 3.0));
+    /// ```
+    pub fn of(xs: &[f64]) -> Self {
+        if xs.is_empty() {
+            return Self {
+                n: 0,
+                mean: 0.0,
+                std: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &x in xs {
+            min = min.min(x);
+            max = max.max(x);
+        }
+        Self {
+            n: xs.len(),
+            mean: mean(xs),
+            std: stddev(xs),
+            min,
+            max,
+        }
+    }
+}
+
+/// Histogram over integer values (buffer tuning steps).
+///
+/// Occurrence counts are kept per integer value; the paper's window
+/// assignment (Fig. 5b) slides a window of fixed width along this histogram
+/// and picks the position covering the most occurrences.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: std::collections::BTreeMap<i64, u64>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a histogram from raw values.
+    ///
+    /// ```
+    /// use psbi_variation::Histogram;
+    /// let h = Histogram::from_values([1, 1, 2].into_iter());
+    /// assert_eq!(h.count(1), 2);
+    /// ```
+    pub fn from_values<I: Iterator<Item = i64>>(values: I) -> Self {
+        let mut h = Self::new();
+        for v in values {
+            h.add(v);
+        }
+        h
+    }
+
+    /// Records one occurrence of `value`.
+    pub fn add(&mut self, value: i64) {
+        *self.counts.entry(value).or_insert(0) += 1;
+    }
+
+    /// Records `n` occurrences of `value`.
+    pub fn add_n(&mut self, value: i64, n: u64) {
+        if n > 0 {
+            *self.counts.entry(value).or_insert(0) += n;
+        }
+    }
+
+    /// Occurrences of exactly `value`.
+    pub fn count(&self, value: i64) -> u64 {
+        self.counts.get(&value).copied().unwrap_or(0)
+    }
+
+    /// Total number of recorded occurrences.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Number of distinct recorded values.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Smallest and largest recorded values, if any.
+    pub fn range(&self) -> Option<(i64, i64)> {
+        let lo = self.counts.keys().next()?;
+        let hi = self.counts.keys().next_back()?;
+        Some((*lo, *hi))
+    }
+
+    /// Occurrences with value in the inclusive window `[lo, lo + width]`.
+    pub fn count_in_window(&self, lo: i64, width: i64) -> u64 {
+        self.counts.range(lo..=lo + width).map(|(_, c)| *c).sum()
+    }
+
+    /// Iterates `(value, count)` pairs in increasing value order.
+    pub fn iter(&self) -> impl Iterator<Item = (i64, u64)> + '_ {
+        self.counts.iter().map(|(v, c)| (*v, *c))
+    }
+
+    /// Finds the window `[r, r + width]` covering the most occurrences
+    /// (paper step III-A4).
+    ///
+    /// When `must_contain_zero` is set (constraint (13) of the paper) only
+    /// positions with `r ≤ 0 ≤ r + width` are considered.  Ties are broken
+    /// toward the window whose lower bound has the smallest magnitude, then
+    /// toward the smaller bound, making the result deterministic.
+    ///
+    /// Returns `(r, covered)`; an empty histogram yields `(−width.min(0), 0)`
+    /// i.e. a zero-anchored window.
+    pub fn best_window(&self, width: i64, must_contain_zero: bool) -> (i64, u64) {
+        assert!(width >= 0, "window width must be >= 0");
+        let mut candidates: Vec<i64> = Vec::new();
+        // Candidate lower bounds: each occupied value as the window's left
+        // edge, and each occupied value as the window's right edge.
+        for &v in self.counts.keys() {
+            candidates.push(v);
+            candidates.push(v - width);
+        }
+        if must_contain_zero {
+            candidates.retain(|&r| r <= 0 && r + width >= 0);
+            candidates.push(0.min(-width));
+            candidates.push(0);
+            candidates.retain(|&r| r <= 0 && r + width >= 0);
+        }
+        if candidates.is_empty() {
+            candidates.push(0.min(-width));
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        let mut best_r = candidates[0];
+        let mut best_c = self.count_in_window(best_r, width);
+        for &r in &candidates[1..] {
+            let c = self.count_in_window(r, width);
+            let better = c > best_c
+                || (c == best_c
+                    && (r.abs() < best_r.abs() || (r.abs() == best_r.abs() && r < best_r)));
+            if better {
+                best_r = r;
+                best_c = c;
+            }
+        }
+        (best_r, best_c)
+    }
+}
+
+impl FromIterator<i64> for Histogram {
+    fn from_iter<T: IntoIterator<Item = i64>>(iter: T) -> Self {
+        Self::from_values(iter.into_iter())
+    }
+}
+
+impl Extend<i64> for Histogram {
+    fn extend<T: IntoIterator<Item = i64>>(&mut self, iter: T) {
+        for v in iter {
+            self.add(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_stddev() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+        assert!((variance(&[1.0, 2.0, 3.0]) - 1.0).abs() < 1e-12);
+        assert!((stddev(&[1.0, 2.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile of empty")]
+    fn quantile_empty_panics() {
+        quantile(&[], 0.5);
+    }
+
+    #[test]
+    fn pearson_known_cases() {
+        assert!((pearson(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+        // Independent-ish data: |r| < 1.
+        let r = pearson(&[1.0, 2.0, 3.0, 4.0], &[1.0, 3.0, 2.0, 4.0]);
+        assert!(r > 0.0 && r < 1.0);
+    }
+
+    #[test]
+    fn summary_of_sample() {
+        let s = Summary::of(&[3.0, 1.0, 2.0]);
+        assert_eq!(s.n, 3);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        let empty = Summary::of(&[]);
+        assert_eq!(empty.n, 0);
+    }
+
+    #[test]
+    fn histogram_basics() {
+        let mut h = Histogram::new();
+        h.add(3);
+        h.add(3);
+        h.add(-1);
+        h.add_n(7, 4);
+        assert_eq!(h.count(3), 2);
+        assert_eq!(h.count(0), 0);
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.distinct(), 3);
+        assert_eq!(h.range(), Some((-1, 7)));
+        assert_eq!(h.count_in_window(0, 5), 2); // only the 3s
+        assert_eq!(h.count_in_window(3, 4), 6); // 3s + 7s
+    }
+
+    #[test]
+    fn best_window_prefers_densest_region() {
+        // Mass at 5..=8, a stray at -4.
+        let h: Histogram = [5, 5, 6, 7, 8, 8, 8, -4].into_iter().collect();
+        let (r, covered) = h.best_window(3, false);
+        assert_eq!(r, 5);
+        assert_eq!(covered, 7);
+    }
+
+    #[test]
+    fn best_window_zero_constrained() {
+        // Dense mass at 8..=10 but the window must contain 0 with width 6:
+        // r in [-6, 0], so the best reachable coverage is values ≤ 6.
+        let h: Histogram = [8, 8, 9, 10, 2, 3, -1].into_iter().collect();
+        let (r, covered) = h.best_window(6, true);
+        assert!(r <= 0 && r + 6 >= 0);
+        assert_eq!(covered, 3); // {2, 3, -1}
+        assert_eq!(r, -1);
+    }
+
+    #[test]
+    fn best_window_empty_histogram() {
+        let h = Histogram::new();
+        let (r, covered) = h.best_window(5, true);
+        assert_eq!(covered, 0);
+        assert!(r <= 0 && r + 5 >= 0);
+    }
+
+    #[test]
+    fn best_window_tie_breaks_toward_zero() {
+        let h: Histogram = [-3, 3].into_iter().collect();
+        // width 1 window can cover exactly one of the two; tie-break should
+        // pick the bound with the smallest magnitude subject to r<=0<=r+1.
+        let (r, covered) = h.best_window(1, true);
+        assert_eq!(covered, 0); // neither -3 nor 3 reachable with width 1 containing 0
+        assert_eq!(r, 0);
+        let (r2, c2) = h.best_window(3, true);
+        assert_eq!(c2, 1);
+        // [-3,0] and [0,3] both cover one value; tie-break picks |r| = 0.
+        assert_eq!(r2, 0);
+    }
+
+    #[test]
+    fn histogram_extend_and_collect() {
+        let mut h: Histogram = [1, 2].into_iter().collect();
+        h.extend([2, 3]);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.count(2), 2);
+    }
+}

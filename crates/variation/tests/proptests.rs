@@ -1,0 +1,77 @@
+//! Property-based tests for canonical-form arithmetic and statistics.
+
+use proptest::prelude::*;
+use psbi_variation::{CanonicalForm, Histogram};
+
+fn arb_form() -> impl Strategy<Value = CanonicalForm> {
+    (
+        -50.0f64..150.0,
+        -5.0f64..5.0,
+        -5.0f64..5.0,
+        -5.0f64..5.0,
+        0.0f64..6.0,
+    )
+        .prop_map(|(m, s0, s1, s2, i)| CanonicalForm::with_parts(m, [s0, s1, s2], i))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Clark's max dominates both means and is commutative in its moments.
+    #[test]
+    fn max_dominates_and_commutes(a in arb_form(), b in arb_form()) {
+        let m1 = a.max(&b);
+        let m2 = b.max(&a);
+        prop_assert!(m1.mean() >= a.mean().max(b.mean()) - 1e-9);
+        prop_assert!((m1.mean() - m2.mean()).abs() < 1e-9);
+        prop_assert!((m1.sigma() - m2.sigma()).abs() < 1e-7);
+    }
+
+    /// min(A, B) ≤ both means, and min/max bracket the sum correctly:
+    /// max + min has the same mean as A + B for Gaussians.
+    #[test]
+    fn min_max_mean_identity(a in arb_form(), b in arb_form()) {
+        let mx = a.max(&b);
+        let mn = a.min(&b);
+        prop_assert!(mn.mean() <= a.mean().min(b.mean()) + 1e-9);
+        // E[max] + E[min] = E[A] + E[B] exactly for any joint distribution.
+        prop_assert!(
+            (mx.mean() + mn.mean() - a.mean() - b.mean()).abs() < 1e-6,
+            "identity violated: {} + {} vs {} + {}",
+            mx.mean(), mn.mean(), a.mean(), b.mean()
+        );
+    }
+
+    /// Addition is exact: means add, variances follow the covariance rule.
+    #[test]
+    fn add_moments_exact(a in arb_form(), b in arb_form()) {
+        let s = a.add(&b);
+        prop_assert!((s.mean() - a.mean() - b.mean()).abs() < 1e-9);
+        let expect_var = a.variance() + b.variance() + 2.0 * a.covariance(&b);
+        prop_assert!((s.variance() - expect_var).abs() < 1e-6);
+    }
+
+    /// Quantiles are monotone in q.
+    #[test]
+    fn quantiles_monotone(a in arb_form(), q1 in 0.01f64..0.99, q2 in 0.01f64..0.99) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(a.quantile(lo) <= a.quantile(hi) + 1e-9);
+    }
+
+    /// The best window always covers at least as much as any fixed
+    /// zero-anchored candidate, and it contains zero when required.
+    #[test]
+    fn best_window_is_optimal(
+        values in proptest::collection::vec(-25i64..25, 1..60),
+        width in 1i64..12,
+    ) {
+        let h: Histogram = values.iter().copied().collect();
+        let (r, covered) = h.best_window(width, true);
+        prop_assert!(r <= 0 && r + width >= 0);
+        prop_assert_eq!(covered, h.count_in_window(r, width));
+        for cand in -width..=0 {
+            prop_assert!(covered >= h.count_in_window(cand, width),
+                "candidate {cand} beats chosen {r}");
+        }
+    }
+}

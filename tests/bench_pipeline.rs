@@ -1,0 +1,112 @@
+//! Cross-crate pipeline tests: `.bench` netlists and `.plib` libraries all
+//! the way through the insertion flow.
+
+use psbi::core::flow::{BufferInsertionFlow, FlowConfig, TargetPeriod};
+use psbi::liberty::{parse as parse_plib, to_text, Library};
+use psbi::netlist::bench_format::{parse_bench, to_bench, EXAMPLE_BENCH};
+use psbi::variation::VariationModel;
+
+fn tiny_cfg() -> FlowConfig {
+    FlowConfig {
+        samples: 80,
+        yield_samples: 200,
+        calibration_samples: 200,
+        seed: 3,
+        threads: 1,
+        target: TargetPeriod::SigmaFactor(0.0),
+        ..FlowConfig::default()
+    }
+}
+
+#[test]
+fn bench_netlist_through_flow() {
+    let circuit = parse_bench(EXAMPLE_BENCH).expect("parses");
+    let flow = BufferInsertionFlow::new(&circuit, tiny_cfg()).expect("valid");
+    let r = flow.run();
+    assert_eq!(r.n_ffs, 3);
+    assert!(r.mu_t > 0.0);
+    assert!(r.yield_with_buffers >= r.yield_baseline - 1e-9);
+}
+
+#[test]
+fn bench_round_trip_preserves_flow_results() {
+    let lib = Library::industry_like();
+    let c1 = parse_bench(EXAMPLE_BENCH).unwrap();
+    let text = to_bench(&c1, &lib);
+    let c2 = parse_bench(&text).unwrap();
+    let r1 = BufferInsertionFlow::new(&c1, tiny_cfg()).unwrap().run();
+    let r2 = BufferInsertionFlow::new(&c2, tiny_cfg()).unwrap().run();
+    // Same structure and same seeds → identical calibration.
+    assert_eq!(r1.mu_t, r2.mu_t);
+    assert_eq!(r1.nb, r2.nb);
+}
+
+#[test]
+fn plib_library_through_flow() {
+    let text = to_text(&Library::industry_like());
+    let lib = parse_plib(&text).expect("parses");
+    let circuit = psbi::netlist::bench_suite::tiny_demo(2);
+    let flow = BufferInsertionFlow::with_library(
+        &circuit,
+        tiny_cfg(),
+        lib,
+        VariationModel::paper_defaults(),
+    )
+    .expect("valid");
+    let r = flow.run();
+    assert!(r.mu_t > 0.0);
+}
+
+#[test]
+fn slower_library_means_longer_period() {
+    let mut slow = Library::new("slow");
+    slow.wire_cap_per_fanout = Library::industry_like().wire_cap_per_fanout;
+    for c in Library::industry_like().cells() {
+        let mut c = c.clone();
+        c.intrinsic *= 2.0;
+        c.drive *= 2.0;
+        slow.add_cell(c).unwrap();
+    }
+    for ff in Library::industry_like().ffs() {
+        slow.add_ff(ff.clone()).unwrap();
+    }
+    let circuit = psbi::netlist::bench_suite::tiny_demo(3);
+    let fast_flow = BufferInsertionFlow::new(&circuit, tiny_cfg()).unwrap();
+    let slow_flow = BufferInsertionFlow::with_library(
+        &circuit,
+        tiny_cfg(),
+        slow,
+        VariationModel::paper_defaults(),
+    )
+    .unwrap();
+    let rf = fast_flow.run();
+    let rs = slow_flow.run();
+    assert!(
+        rs.mu_t > rf.mu_t * 1.5,
+        "doubled delays should raise muT: {} vs {}",
+        rs.mu_t,
+        rf.mu_t
+    );
+}
+
+#[test]
+fn no_variation_means_deterministic_chips() {
+    // With zero variation every chip is identical: yield is 0 or 100.
+    let circuit = psbi::netlist::bench_suite::tiny_demo(4);
+    let mut cfg = tiny_cfg();
+    cfg.target = TargetPeriod::SigmaFactor(0.0);
+    let flow = BufferInsertionFlow::with_library(
+        &circuit,
+        cfg,
+        Library::industry_like(),
+        VariationModel::none(),
+    )
+    .unwrap();
+    let r = flow.run();
+    assert!(r.sigma_t.abs() < 1e-9);
+    assert!(
+        r.yield_baseline == 0.0 || r.yield_baseline == 100.0,
+        "deterministic chips: {}",
+        r.yield_baseline
+    );
+}

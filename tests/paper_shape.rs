@@ -1,0 +1,89 @@
+//! Shape assertions against the paper's Table I, at reduced scale: the
+//! *relationships* the paper reports must hold (who wins, in which
+//! direction, with what rough magnitudes) even though absolute numbers
+//! differ on a synthetic substrate.
+
+use psbi::core::flow::{BufferInsertionFlow, FlowConfig, InsertionResult, TargetPeriod};
+use psbi::netlist::bench_suite;
+
+fn run_at(sigma: f64, seed: u64) -> InsertionResult {
+    let circuit = bench_suite::small_demo(9);
+    let cfg = FlowConfig {
+        samples: 300,
+        yield_samples: 1500,
+        calibration_samples: 800,
+        seed,
+        threads: 2,
+        target: TargetPeriod::SigmaFactor(sigma),
+        ..FlowConfig::default()
+    };
+    BufferInsertionFlow::new(&circuit, cfg).unwrap().run()
+}
+
+#[test]
+fn baseline_yields_track_the_gaussian_levels() {
+    // Paper §IV: Yo ≈ 50 / 84.13 / 97.72 % at µT / +σ / +2σ.
+    let r0 = run_at(0.0, 5);
+    let r1 = run_at(1.0, 5);
+    let r2 = run_at(2.0, 5);
+    assert!(
+        (35.0..=65.0).contains(&r0.yield_baseline),
+        "Yo(muT) = {}",
+        r0.yield_baseline
+    );
+    assert!(
+        (72.0..=93.0).contains(&r1.yield_baseline),
+        "Yo(+1s) = {}",
+        r1.yield_baseline
+    );
+    assert!(
+        r2.yield_baseline >= 92.0,
+        "Yo(+2s) = {}",
+        r2.yield_baseline
+    );
+}
+
+#[test]
+fn improvement_shrinks_as_the_target_relaxes() {
+    // Paper: Yi ≈ 17–36 points at µT, 10–14 at +σ, ~1 at +2σ.
+    let r0 = run_at(0.0, 7);
+    let r2 = run_at(2.0, 7);
+    assert!(
+        r0.improvement > r2.improvement,
+        "Yi(muT) {} should beat Yi(+2s) {}",
+        r0.improvement,
+        r2.improvement
+    );
+    assert!(r0.improvement > 3.0, "Yi(muT) = {}", r0.improvement);
+    assert!(r2.improvement >= -0.5, "buffers must not hurt at +2s");
+}
+
+#[test]
+fn buffers_stay_a_small_fraction_of_ffs() {
+    // Paper: Nb < 1 % of flip-flops.  At reduced sample counts and circuit
+    // sizes we allow more headroom, but it must stay a small fraction.
+    let r = run_at(0.0, 9);
+    let frac = r.nb as f64 / r.n_ffs as f64;
+    assert!(frac <= 0.15, "Nb = {} of {} FFs ({frac:.3})", r.nb, r.n_ffs);
+}
+
+#[test]
+fn ranges_are_far_below_the_maximum() {
+    // Paper: Ab ≪ 20 steps thanks to value concentration.
+    let r = run_at(0.0, 13);
+    if r.nb > 0 {
+        assert!(r.ab < 18.0, "Ab = {}", r.ab);
+    }
+}
+
+#[test]
+fn yield_never_reaches_exactly_100_at_mu() {
+    // Critical loops make some chips unfixable, as in the paper where
+    // Y(µT) tops out at 86 %.
+    let r = run_at(0.0, 21);
+    assert!(
+        r.yield_with_buffers < 99.9,
+        "some chips must stay unfixable, Y = {}",
+        r.yield_with_buffers
+    );
+}
