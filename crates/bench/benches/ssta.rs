@@ -1,11 +1,15 @@
-//! P4: SSTA extraction and per-sample Monte-Carlo throughput.
+//! P4: SSTA extraction and Monte-Carlo sampling throughput — scalar
+//! per-sample kernels and the batched SoA engine side by side.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use psbi_liberty::Library;
 use psbi_netlist::bench_suite;
 use psbi_timing::graph::TimingGraph;
-use psbi_timing::sample::{chip_rng, sample_canonical, GateLevelSampler, SampleTiming};
+use psbi_timing::sample::{
+    chip_rng, sample_canonical, CanonicalBatchSampler, GateLevelSampler, SampleBatch, SampleTiming,
+};
 use psbi_timing::seq::SequentialGraph;
+use psbi_timing::{constraint, ConstraintBatch, IntegerConstraints};
 use psbi_variation::VariationModel;
 
 fn bench_ssta(c: &mut Criterion) {
@@ -14,7 +18,11 @@ fn bench_ssta(c: &mut Criterion) {
     let model = VariationModel::paper_defaults();
 
     c.bench_function("timing_graph_build_small", |b| {
-        b.iter(|| TimingGraph::build(&circuit, &lib, &model).unwrap().num_ffs())
+        b.iter(|| {
+            TimingGraph::build(&circuit, &lib, &model)
+                .unwrap()
+                .num_ffs()
+        })
     });
 
     let tg = TimingGraph::build(&circuit, &lib, &model).unwrap();
@@ -46,5 +54,65 @@ fn bench_ssta(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_ssta);
+/// The acceptance benchmark for the batched engine: sampling + constraint
+/// extraction of 10 000 chips, scalar per-sample path (polar normal
+/// draws, with the `SampleTiming`/`IntegerConstraints` reused across
+/// chips exactly as the pre-batch flow's worker loops reused them) versus
+/// the batched SoA path (reused `SampleBatch`/`ConstraintBatch` in
+/// flow-sized chunks, inverse-transform draws).  The batched path must be
+/// ≥ 2× the scalar throughput.
+fn bench_batched_vs_scalar_sampling(c: &mut Criterion) {
+    const SAMPLES: usize = 10_000;
+    const CHUNK: usize = 64;
+    let circuit = bench_suite::small_demo(1);
+    let lib = Library::industry_like();
+    let model = VariationModel::paper_defaults();
+    let tg = TimingGraph::build(&circuit, &lib, &model).unwrap();
+    let sg = SequentialGraph::extract(&tg);
+    let skews = vec![0.0; sg.n_ffs];
+    // A realistic target period: the first chip's unbuffered minimum.
+    let mut st = SampleTiming::for_graph(&sg);
+    let (globals, mut rng) = chip_rng(5, 0);
+    sample_canonical(&sg, &globals, &mut rng, &mut st);
+    let period = constraint::min_period(&sg, &st, &skews).period;
+    let step = period / 160.0;
+
+    let mut group = c.benchmark_group("sampling_extraction_10k");
+    group.sample_size(10);
+    group.bench_function("scalar_per_sample", |b| {
+        let mut st = SampleTiming::for_graph(&sg);
+        let mut ic = IntegerConstraints::for_graph(&sg);
+        b.iter(|| {
+            let mut acc = 0i64;
+            for k in 0..SAMPLES as u64 {
+                let (globals, mut rng) = chip_rng(5, k);
+                sample_canonical(&sg, &globals, &mut rng, &mut st);
+                ic.build(&sg, &st, &skews, period, step);
+                acc = acc.wrapping_add(ic.setup_bound[0]);
+            }
+            acc
+        })
+    });
+    group.bench_function("batched_soa", |b| {
+        let sampler = CanonicalBatchSampler::new(&sg);
+        let mut batch = SampleBatch::new();
+        let mut cons = ConstraintBatch::new();
+        b.iter(|| {
+            let mut acc = 0i64;
+            let mut lo = 0usize;
+            while lo < SAMPLES {
+                let len = CHUNK.min(SAMPLES - lo);
+                batch.reset(&sg, len);
+                sampler.fill(5, lo as u64, &mut batch);
+                cons.build_from(&sg, &batch, &skews, period, step);
+                acc = acc.wrapping_add(cons.view(0).setup_bound[0]);
+                lo += len;
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ssta, bench_batched_vs_scalar_sampling);
 criterion_main!(benches);

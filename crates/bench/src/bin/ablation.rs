@@ -16,7 +16,12 @@ use psbi_netlist::bench_suite::BenchmarkSpec;
 fn report(label: &str, r: &InsertionResult) {
     println!(
         "{label:<26} Nb={:<4} Ab={:<6.2} Yo={:<6.2} Y={:<6.2} Yi={:<6.2} broken={:<3} T={:.2}s",
-        r.nb, r.ab, r.yield_baseline, r.yield_with_buffers, r.improvement, r.broken,
+        r.nb,
+        r.ab,
+        r.yield_baseline,
+        r.yield_with_buffers,
+        r.improvement,
+        r.broken,
         r.runtime.total_s
     );
 }
@@ -36,7 +41,10 @@ fn main() {
     let cfg = ExperimentConfig::parse(&args, &["s9234"]);
     let sigma: f64 = args.get("sigma").unwrap_or(0.0);
     let spec = cfg.circuits.first().expect("one circuit");
-    println!("# Ablation `{which}` — circuit {}, {} samples\n", spec.name, cfg.samples);
+    println!(
+        "# Ablation `{which}` — circuit {}, {} samples\n",
+        spec.name, cfg.samples
+    );
 
     if which == "concentrate" || which == "all" {
         println!("[A1] value concentration (push-to-zero / concentrate-to-average)");
@@ -44,7 +52,10 @@ fn main() {
         let mut off = cfg.flow_config(sigma);
         off.concentrate = false;
         let b = run("  without concentration", spec, off);
-        println!("  -> expect wider Ab (ranges) without concentration: {:.2} steps\n", b.ab);
+        println!(
+            "  -> expect wider Ab (ranges) without concentration: {:.2} steps\n",
+            b.ab
+        );
     }
     if which == "pruning" || which == "all" {
         println!("[A2] buffer pruning");

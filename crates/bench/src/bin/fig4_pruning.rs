@@ -30,17 +30,10 @@ fn main() {
     let circuit = spec.generate();
     let flow = BufferInsertionFlow::new(&circuit, cfg.flow_config(sigma)).expect("valid");
     let sg = flow.sequential_graph();
-    let crit = criticality::analyze(
-        sg,
-        flow.skews(),
-        r.period,
-        r.step,
-        500,
-        |k, st| {
-            let (globals, mut rng) = psbi_timing::sample::chip_rng(cfg.seed ^ 0xC817, k);
-            psbi_timing::sample::sample_canonical(sg, &globals, &mut rng, st);
-        },
-    );
+    let crit = criticality::analyze(sg, flow.skews(), r.period, r.step, 500, |k, st| {
+        let (globals, mut rng) = psbi_timing::sample::chip_rng(cfg.seed ^ 0xC817, k);
+        psbi_timing::sample::sample_canonical(sg, &globals, &mut rng, st);
+    });
     println!("top violated edges (500-chip probe):");
     for (e, frac) in crit.top_setup_edges(8) {
         let edge = &sg.edges[e];
@@ -66,10 +59,16 @@ fn main() {
         100.0 * removed as f64 / total as f64
     );
     println!("buffers surviving pruning:          {}", r.prune.kept);
-    println!("buffers with tunings after step 2:  {}", r.buffers_before_grouping);
+    println!(
+        "buffers with tunings after step 2:  {}",
+        r.buffers_before_grouping
+    );
     println!("physical buffers after grouping:    {}", r.nb);
     println!();
-    println!("total tunings in the min-count pass: {}", r.stats.a1_total_tunings);
+    println!(
+        "total tunings in the min-count pass: {}",
+        r.stats.a1_total_tunings
+    );
     println!(
         "tunings per sample (avg):            {:.2}",
         r.stats.a1_total_tunings as f64 / cfg.samples as f64

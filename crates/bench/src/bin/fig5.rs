@@ -31,7 +31,10 @@ fn main() {
         println!("== buffer at FF {} ==", snap.ff);
         println!("(a) after min-count pass (scattered):");
         print!("{}", ascii_histogram(&snap.scattered, 40));
-        println!("(b) after push-to-zero; window [{}, {}]:", snap.window.0, snap.window.1);
+        println!(
+            "(b) after push-to-zero; window [{}, {}]:",
+            snap.window.0, snap.window.1
+        );
         print!("{}", ascii_histogram(&snap.pushed, 40));
         println!(
             "(c) after concentration toward average; final range [{}, {}] ({} steps):",

@@ -22,16 +22,20 @@ fn main() {
     }
     println!(
         "# Fig. 6 reproduction — grouping, circuit {}, r_t = {}, d_t = {}x spacing",
-        spec.name,
-        flow_cfg.grouping.correlation_threshold,
-        flow_cfg.grouping.distance_factor
+        spec.name, flow_cfg.grouping.correlation_threshold, flow_cfg.grouping.distance_factor
     );
     let r = run_cell(spec, flow_cfg);
-    println!("buffer candidates before grouping: {}", r.buffers_before_grouping);
+    println!(
+        "buffer candidates before grouping: {}",
+        r.buffers_before_grouping
+    );
     println!("pairs with correlation >= r_t:     {}", r.correlated_pairs);
     println!("pairs also within distance d_t:    {}", r.merged_pairs);
     println!("physical buffers after grouping:   {}", r.nb);
-    println!("average window range Ab:           {:.2} steps (max 20)", r.ab);
+    println!(
+        "average window range Ab:           {:.2} steps (max 20)",
+        r.ab
+    );
     println!();
     println!("groups (FF members, window, usage):");
     for (i, g) in r.groups.iter().enumerate() {

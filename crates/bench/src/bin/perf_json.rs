@@ -1,0 +1,161 @@
+//! Perf-trajectory harness: times the batched sampling + constraint
+//! extraction engine against the scalar per-sample path and one full flow
+//! run on a paper-scale circuit, then writes `BENCH_sampling.json` so
+//! future PRs can track throughput regressions.
+//!
+//! ```text
+//! cargo run -p psbi-bench --release --bin perf_json -- \
+//!     [--circuit s9234] [--samples 10000] [--flow-samples 1000] \
+//!     [--seed 42] [--out BENCH_sampling.json]
+//! ```
+
+use psbi_bench::Args;
+use psbi_core::flow::{BufferInsertionFlow, FlowConfig, TargetPeriod};
+use psbi_liberty::Library;
+use psbi_netlist::bench_suite;
+use psbi_timing::graph::TimingGraph;
+use psbi_timing::sample::{
+    chip_rng, sample_canonical, CanonicalBatchSampler, SampleBatch, SampleTiming,
+};
+use psbi_timing::seq::SequentialGraph;
+use psbi_timing::{constraint, ConstraintBatch, IntegerConstraints};
+use psbi_variation::VariationModel;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Chunk size mirroring the flow's parallel work unit.
+const CHUNK: usize = 64;
+
+fn main() {
+    let args = Args::from_env();
+    let circuit_name: String = args.get("circuit").unwrap_or_else(|| "s9234".to_string());
+    let samples: usize = args.get("samples").unwrap_or(10_000);
+    let flow_samples: usize = args.get("flow-samples").unwrap_or(1_000);
+    let seed: u64 = args.get("seed").unwrap_or(42);
+    let out_path: String = args
+        .get("out")
+        .unwrap_or_else(|| "BENCH_sampling.json".to_string());
+
+    let spec = bench_suite::by_name(&circuit_name).unwrap_or_else(|| {
+        panic!("unknown circuit `{circuit_name}`; see bench_suite::paper_suite()")
+    });
+    let circuit = spec.generate();
+    let lib = Library::industry_like();
+    let model = VariationModel::paper_defaults();
+    let tg = TimingGraph::build(&circuit, &lib, &model).expect("valid circuit");
+    let sg = SequentialGraph::extract(&tg);
+    let skews = vec![0.0; sg.n_ffs];
+
+    // A realistic period/step: the median unbuffered min-period.
+    let mut st = SampleTiming::for_graph(&sg);
+    let mut periods = Vec::with_capacity(256);
+    for k in 0..256u64 {
+        let (globals, mut rng) = chip_rng(seed, k);
+        sample_canonical(&sg, &globals, &mut rng, &mut st);
+        periods.push(constraint::min_period(&sg, &st, &skews).period);
+    }
+    let period = psbi_variation::mean(&periods);
+    let step = period / 160.0;
+
+    eprintln!(
+        "perf_json: {circuit_name} ({} FFs, {} edges), {samples} samples",
+        sg.n_ffs,
+        sg.edges.len()
+    );
+
+    // Scalar per-sample path: polar normal draws chip by chip, with the
+    // SampleTiming/IntegerConstraints hoisted out of the loop exactly as
+    // the pre-batch flow's worker loops reused them — an honest baseline,
+    // not a per-chip-allocation strawman.
+    let t0 = Instant::now();
+    let mut sink = 0i64;
+    let mut scalar_st = SampleTiming::for_graph(&sg);
+    let mut scalar_ic = IntegerConstraints::for_graph(&sg);
+    for k in 0..samples as u64 {
+        let (globals, mut rng) = chip_rng(seed, k);
+        sample_canonical(&sg, &globals, &mut rng, &mut scalar_st);
+        scalar_ic.build(&sg, &scalar_st, &skews, period, step);
+        sink = sink.wrapping_add(scalar_ic.setup_bound[0]);
+    }
+    let scalar_s = t0.elapsed().as_secs_f64();
+
+    // Batched SoA path: one SampleBatch + ConstraintBatch reused across
+    // all chunks, inverse-transform normal draws — exactly what the
+    // flow's passes run.
+    let sampler = CanonicalBatchSampler::new(&sg);
+    let mut batch = SampleBatch::new();
+    let mut cons = ConstraintBatch::new();
+    let t1 = Instant::now();
+    let mut lo = 0usize;
+    while lo < samples {
+        let len = CHUNK.min(samples - lo);
+        batch.reset(&sg, len);
+        sampler.fill(seed, lo as u64, &mut batch);
+        cons.build_from(&sg, &batch, &skews, period, step);
+        sink = sink.wrapping_add(cons.view(0).setup_bound[0]);
+        lo += len;
+    }
+    let batched_s = t1.elapsed().as_secs_f64();
+    std::hint::black_box(sink);
+
+    // One full flow run (calibration + passes + grouping + yield).
+    let cfg = FlowConfig {
+        samples: flow_samples,
+        yield_samples: flow_samples,
+        calibration_samples: flow_samples,
+        seed,
+        target: TargetPeriod::SigmaFactor(0.0),
+        ..FlowConfig::default()
+    };
+    let t2 = Instant::now();
+    let result = BufferInsertionFlow::new(&circuit, cfg)
+        .expect("valid circuit")
+        .run();
+    let flow_s = t2.elapsed().as_secs_f64();
+
+    let scalar_rate = samples as f64 / scalar_s;
+    let batched_rate = samples as f64 / batched_s;
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"circuit\": \"{circuit_name}\",");
+    let _ = writeln!(json, "  \"n_ffs\": {},", sg.n_ffs);
+    let _ = writeln!(json, "  \"n_edges\": {},", sg.edges.len());
+    let _ = writeln!(json, "  \"samples\": {samples},");
+    let _ = writeln!(json, "  \"scalar_sampling_extraction\": {{");
+    let _ = writeln!(json, "    \"seconds\": {scalar_s:.6},");
+    let _ = writeln!(json, "    \"samples_per_sec\": {scalar_rate:.1}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"batched_sampling_extraction\": {{");
+    let _ = writeln!(json, "    \"seconds\": {batched_s:.6},");
+    let _ = writeln!(json, "    \"samples_per_sec\": {batched_rate:.1}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"batched_speedup\": {:.3},", scalar_s / batched_s);
+    let _ = writeln!(json, "  \"flow\": {{");
+    let _ = writeln!(json, "    \"samples\": {flow_samples},");
+    let _ = writeln!(
+        json,
+        "    \"calibration_s\": {:.6},",
+        result.runtime.calibration_s
+    );
+    let _ = writeln!(json, "    \"step1_s\": {:.6},", result.runtime.step1_s);
+    let _ = writeln!(json, "    \"step2_s\": {:.6},", result.runtime.step2_s);
+    let _ = writeln!(json, "    \"step3_s\": {:.6},", result.runtime.step3_s);
+    let _ = writeln!(json, "    \"yield_s\": {:.6},", result.runtime.yield_s);
+    let _ = writeln!(json, "    \"total_s\": {flow_s:.6},");
+    let _ = writeln!(
+        json,
+        "    \"yield_with_buffers\": {:.4},",
+        result.yield_with_buffers
+    );
+    let _ = writeln!(json, "    \"buffers\": {}", result.nb);
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&out_path, &json).expect("write BENCH json");
+    eprintln!(
+        "perf_json: scalar {scalar_rate:.0}/s, batched {batched_rate:.0}/s \
+         ({:.2}x), flow {flow_s:.2}s -> {out_path}",
+        scalar_s / batched_s
+    );
+    print!("{json}");
+}

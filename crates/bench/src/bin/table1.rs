@@ -21,7 +21,10 @@ fn main() {
         eprintln!("no circuits selected");
         std::process::exit(1);
     }
-    println!("# Table I reproduction — {} samples, seed {}", cfg.samples, cfg.seed);
+    println!(
+        "# Table I reproduction — {} samples, seed {}",
+        cfg.samples, cfg.seed
+    );
     println!("# (paper used 10000 samples; pass --samples 10000 --all for the full setting)");
     println!(
         "{:<14} {:>5} {:>6} | {:>31} | {:>31} | {:>31}",

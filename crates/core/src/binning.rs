@@ -13,8 +13,8 @@
 
 use crate::yield_eval::Deployment;
 use psbi_timing::feasibility::DiffSolver;
-use psbi_timing::{IntegerConstraints, SequentialGraph};
 use psbi_timing::sample::SampleTiming;
+use psbi_timing::{IntegerConstraints, SequentialGraph};
 use serde::{Deserialize, Serialize};
 
 /// Outcome of binning one population of chips.
@@ -126,9 +126,7 @@ where
             if base_bin.is_none() && ic.feasible_at_zero() {
                 base_bin = Some(i);
             }
-            if buf_bin.is_none()
-                && deployment.chip_passes(sg, &ic, &mut solver, &mut arcs)
-            {
+            if buf_bin.is_none() && deployment.chip_passes(sg, &ic, &mut solver, &mut arcs) {
                 buf_bin = Some(i);
             }
         }
@@ -171,7 +169,12 @@ mod tests {
         Deployment::from_grouping(
             2,
             &Grouping {
-                groups: vec![Group { members: vec![1], lo: -5, hi: 5, usage: 1 }],
+                groups: vec![Group {
+                    members: vec![1],
+                    lo: -5,
+                    hi: 5,
+                    usage: 1,
+                }],
                 dropped: vec![],
                 correlated_pairs: 0,
                 merged_pairs: 0,
@@ -184,10 +187,18 @@ mod tests {
         let sg = graph();
         let dep = one_buffer_deployment();
         let skews = [0.0, -20.0]; // capture clock early → setup pressure
-        let report = classify(&sg, &dep, &skews, &[100.0, 130.0, 170.0], 2.0, 400, |k, st| {
-            let (g, mut rng) = chip_rng(5, k);
-            sample_canonical(&sg, &g, &mut rng, st);
-        });
+        let report = classify(
+            &sg,
+            &dep,
+            &skews,
+            &[100.0, 130.0, 170.0],
+            2.0,
+            400,
+            |k, st| {
+                let (g, mut rng) = chip_rng(5, k);
+                sample_canonical(&sg, &g, &mut rng, st);
+            },
+        );
         let base_total: usize = report.baseline.iter().sum::<usize>() + report.dead_baseline;
         let buf_total: usize = report.buffered.iter().sum::<usize>() + report.dead_buffered;
         assert_eq!(base_total, 400);
@@ -199,10 +210,18 @@ mod tests {
         let sg = graph();
         let dep = one_buffer_deployment();
         let skews = [0.0, -20.0];
-        let report = classify(&sg, &dep, &skews, &[110.0, 140.0, 180.0], 2.0, 500, |k, st| {
-            let (g, mut rng) = chip_rng(9, k);
-            sample_canonical(&sg, &g, &mut rng, st);
-        });
+        let report = classify(
+            &sg,
+            &dep,
+            &skews,
+            &[110.0, 140.0, 180.0],
+            2.0,
+            500,
+            |k, st| {
+                let (g, mut rng) = chip_rng(9, k);
+                sample_canonical(&sg, &g, &mut rng, st);
+            },
+        );
         // The buffer (window up to +5 steps = +10 ps on the capture clock)
         // relaxes setup, so cumulative counts in fast bins must not drop.
         let mut cb = 0;

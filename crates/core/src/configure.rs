@@ -43,9 +43,15 @@ pub fn configure_chip(
     };
     // Lower envelope: negate the variable order by flipping every arc and
     // bound, solve, and negate back.
-    let flipped: Vec<Arc> = arcs.iter().map(|a| Arc::new(a.to, a.from, a.weight)).collect();
-    let flipped_bounds: Vec<(i64, i64)> =
-        deployment.bounds.iter().map(|(lo, hi)| (-hi, -lo)).collect();
+    let flipped: Vec<Arc> = arcs
+        .iter()
+        .map(|a| Arc::new(a.to, a.from, a.weight))
+        .collect();
+    let flipped_bounds: Vec<(i64, i64)> = deployment
+        .bounds
+        .iter()
+        .map(|(lo, hi)| (-hi, -lo))
+        .collect();
     let lo = match solver.solve_bounded(n, &flipped, &flipped_bounds) {
         Feasibility::Feasible(w) => w.into_iter().map(|v| -v).collect::<Vec<_>>(),
         Feasibility::Infeasible => return None,
@@ -57,8 +63,14 @@ pub fn configure_chip(
         .zip(&lo)
         .map(|(h, l)| (h + l).div_euclid(2))
         .collect();
-    let candidate = if verify(sg, ic, deployment, &mid) { mid } else { hi };
-    Some(ChipConfiguration { settings: candidate })
+    let candidate = if verify(sg, ic, deployment, &mid) {
+        mid
+    } else {
+        hi
+    };
+    Some(ChipConfiguration {
+        settings: candidate,
+    })
 }
 
 /// Checks that `settings` satisfies every constraint and window of the
@@ -150,7 +162,11 @@ mod tests {
         let c = ic(&[-3], &[10]);
         let conf = configure_chip(&sg, &c, &dep).expect("rescuable");
         assert!(verify(&sg, &c, &dep, &conf.settings));
-        assert!(conf.settings[0] >= 3, "needs at least +3, got {:?}", conf.settings);
+        assert!(
+            conf.settings[0] >= 3,
+            "needs at least +3, got {:?}",
+            conf.settings
+        );
     }
 
     #[test]

@@ -11,9 +11,25 @@
 //!   └─ yield evaluation on a fresh sample stream
 //! ```
 //!
-//! All passes run the *same* deterministic chip population (per-sample
-//! seeded RNGs), are embarrassingly parallel (crossbeam scoped threads) and
-//! bit-reproducible regardless of thread count.
+//! # Execution model
+//!
+//! All passes run the *same* deterministic chip population: chip `k` draws
+//! from an RNG keyed by `(stream, k)` alone.  The sample stream is cut
+//! into fixed-size chunks; each chunk is drawn into a structure-of-arrays
+//! [`psbi_timing::SampleBatch`], its constraints are extracted into a
+//! [`psbi_timing::ConstraintBatch`], and the per-chip solves run over the
+//! batch rows.  Chunks are distributed over a rayon-style work-stealing
+//! parallel iterator (idle workers claim the next unprocessed chunk), and
+//! every worker draws its solver/batch workspaces from a shared pool that
+//! is reused across *all* passes of the flow — steady state performs no
+//! per-chip allocation.
+//!
+//! Because chunk boundaries are fixed (independent of the thread count),
+//! chunk results are merged in chunk order, and each chip is seeded by its
+//! global index, the flow is **bit-reproducible for any thread count** —
+//! including `RAYON_NUM_THREADS=1` versus all cores.  The
+//! `deterministic_across_thread_counts` unit test and the
+//! `determinism` integration test pin this guarantee.
 
 use crate::group::{group_buffers, BufferCandidate, Group, GroupConfig};
 use crate::prune::{prune, PruneConfig, PruneReport};
@@ -21,14 +37,21 @@ use crate::solve::{BufferSpace, PushObjective, SampleSolver, SolverOptions};
 use crate::yield_eval::{Deployment, YieldReport};
 use psbi_liberty::Library;
 use psbi_netlist::{Circuit, NetlistError, Placement, SkewConfig};
-use psbi_timing::feasibility::DiffSolver;
+use psbi_timing::feasibility::{Arc, DiffSolver};
 use psbi_timing::graph::TimingGraph;
-use psbi_timing::sample::{chip_rng, sample_canonical, GateLevelSampler, SampleTiming};
-use psbi_timing::{constraint, IntegerConstraints, SequentialGraph};
+use psbi_timing::sample::{CanonicalBatchSampler, GateLevelSampler, SampleBatch, SampleTiming};
+use psbi_timing::{constraint, ConstraintBatch, IntegerConstraints, SequentialGraph};
 use psbi_variation::seeding::stream_seed;
 use psbi_variation::{Histogram, VariationModel};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 use std::time::Instant;
+
+/// Samples per parallel work unit.  Fixed (not derived from the thread
+/// count) so results are independent of parallelism; small enough to
+/// load-balance well, large enough to amortise workspace checkout.
+const SAMPLE_CHUNK: usize = 64;
 
 /// How the target clock period is chosen.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -253,6 +276,47 @@ impl InsertionResult {
     }
 }
 
+/// One worker's reusable state: SoA batches, constraint rows, the
+/// per-sample solver with its scratch, and the yield evaluator's
+/// warm-started feasibility solver.  Checked out of the flow's
+/// [`WorkspacePool`] per chunk and returned afterwards, so a handful of
+/// workspaces (one per concurrently active worker) serve the entire flow.
+#[derive(Default)]
+struct Workspace {
+    batch: SampleBatch,
+    cons: ConstraintBatch,
+    solver: SampleSolver,
+    diff: DiffSolver,
+    arcs: Vec<Arc>,
+    gls: Option<GateLevelSampler>,
+}
+
+/// Lock-protected free list of [`Workspace`]s shared by all passes.
+///
+/// Checkout order is unspecified (workers race for the list), which is
+/// safe because workspaces carry no chip-dependent state that affects
+/// results — solver scratch is overwritten per chip and the warm-start
+/// witness cache is only ever *validated*, never trusted.
+#[derive(Default)]
+struct WorkspacePool {
+    free: Mutex<Vec<Workspace>>,
+}
+
+impl WorkspacePool {
+    /// Runs `f` with a pooled workspace (creating one on first use).
+    fn run<R>(&self, f: impl FnOnce(&mut Workspace) -> R) -> R {
+        let mut ws = self
+            .free
+            .lock()
+            .expect("pool lock")
+            .pop()
+            .unwrap_or_default();
+        let result = f(&mut ws);
+        self.free.lock().expect("pool lock").push(ws);
+        result
+    }
+}
+
 /// The flow object: build once per circuit, run per target period.
 pub struct BufferInsertionFlow<'a> {
     circuit: &'a Circuit,
@@ -265,6 +329,13 @@ pub struct BufferInsertionFlow<'a> {
     sg: SequentialGraph,
     placement: Placement,
     skews: Vec<f64>,
+    /// Flattened canonical coefficients for the batch sampling kernel.
+    canon: CanonicalBatchSampler,
+    /// Reusable worker workspaces, shared across all passes.
+    pool: WorkspacePool,
+    /// Explicit thread pool when [`FlowConfig::threads`] > 0; `None` uses
+    /// the global default (respecting `RAYON_NUM_THREADS`).
+    thread_pool: Option<rayon::ThreadPool>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -299,7 +370,12 @@ impl<'a> BufferInsertionFlow<'a> {
     /// Fails when the circuit is malformed, has no sequential paths, or the
     /// configuration is invalid.
     pub fn new(circuit: &'a Circuit, cfg: FlowConfig) -> Result<Self, FlowError> {
-        Self::with_library(circuit, cfg, Library::industry_like(), VariationModel::paper_defaults())
+        Self::with_library(
+            circuit,
+            cfg,
+            Library::industry_like(),
+            VariationModel::paper_defaults(),
+        )
     }
 
     /// Builds a flow with an explicit library and variation model.
@@ -324,9 +400,7 @@ impl<'a> BufferInsertionFlow<'a> {
         {
             return Err(FlowError::Config("range_fraction must be positive".into()));
         }
-        model
-            .validate()
-            .map_err(FlowError::Config)?;
+        model.validate().map_err(FlowError::Config)?;
         let tg = TimingGraph::build(circuit, &lib, &model)?;
         let sg = SequentialGraph::extract(&tg);
         if sg.edges.is_empty() {
@@ -337,6 +411,17 @@ impl<'a> BufferInsertionFlow<'a> {
             .skew
             .unwrap_or_else(|| SkewConfig::scaled_to(sg.mean_stage_delay()));
         let skews = skew_cfg.assign(circuit, stream_seed(cfg.seed, "skew"));
+        let canon = CanonicalBatchSampler::new(&sg);
+        let thread_pool = if cfg.threads > 0 {
+            Some(
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(cfg.threads)
+                    .build()
+                    .map_err(|e| FlowError::Config(format!("thread pool: {e}")))?,
+            )
+        } else {
+            None
+        };
         Ok(Self {
             circuit,
             cfg,
@@ -346,6 +431,9 @@ impl<'a> BufferInsertionFlow<'a> {
             sg,
             placement,
             skews,
+            canon,
+            pool: WorkspacePool::default(),
+            thread_pool,
         })
     }
 
@@ -411,14 +499,51 @@ impl<'a> BufferInsertionFlow<'a> {
         ic
     }
 
-    fn threads(&self) -> usize {
-        if self.cfg.threads > 0 {
-            self.cfg.threads
-        } else {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
+    /// Runs `f` under this flow's worker-thread cap: the explicit pool
+    /// when [`FlowConfig::threads`] > 0, the global default otherwise.
+    fn parallel<R>(&self, f: impl FnOnce() -> R) -> R {
+        match &self.thread_pool {
+            Some(pool) => pool.install(f),
+            None => f(),
         }
     }
 
+    /// Fills `ws.batch` with chips `first .. first + len` of `stream`.
+    fn fill_batch(&self, ws: &mut Workspace, stream: u64, first: u64, len: usize) {
+        ws.batch.reset(&self.sg, len);
+        if self.cfg.gate_level_sampling {
+            let gls = ws
+                .gls
+                .get_or_insert_with(|| GateLevelSampler::new(&self.tg));
+            ws.batch
+                .fill_gate_level(&self.tg, &self.sg, gls, stream, first);
+        } else {
+            self.canon.fill(stream, first, &mut ws.batch);
+        }
+    }
+
+    /// Fills `ws.cons` with the integer bounds of chips
+    /// `first .. first + len` of `stream`: batch draw into the SoA buffers,
+    /// then one streaming constraint-extraction pass.
+    fn fill_cons_batch(
+        &self,
+        ws: &mut Workspace,
+        stream: u64,
+        first: u64,
+        len: usize,
+        period: f64,
+        step: f64,
+    ) {
+        self.fill_batch(ws, stream, first, len);
+        ws.cons
+            .build_from(&self.sg, &ws.batch, &self.skews, period, step);
+    }
+
+    /// Draws one chip into a standalone [`SampleTiming`] — the replay path
+    /// used by speed binning, [`BufferInsertionFlow::sample_constraints`]
+    /// and the examples.  Chips produced here are bit-identical to the
+    /// ones the batched passes evaluate (it draws through the same batch
+    /// kernel), so replaying an evaluated chip reproduces it exactly.
     fn fill_sample(
         &self,
         stream: u64,
@@ -426,49 +551,52 @@ impl<'a> BufferInsertionFlow<'a> {
         st: &mut SampleTiming,
         gls: &mut Option<GateLevelSampler>,
     ) {
-        let (globals, mut rng) = chip_rng(stream, index);
         match gls {
-            Some(g) => g.sample(&self.tg, &self.sg, &globals, &mut rng, st),
-            None => sample_canonical(&self.sg, &globals, &mut rng, st),
+            Some(g) => {
+                let (globals, mut rng) = psbi_timing::sample::chip_rng(stream, index);
+                g.sample(&self.tg, &self.sg, &globals, &mut rng, st);
+            }
+            None => self.canon.fill_one(stream, index, st),
         }
+    }
+
+    /// Splits `n` samples into fixed [`SAMPLE_CHUNK`]-sized work units and
+    /// maps them in parallel, returning per-chunk results in chunk order.
+    fn map_chunks<T: Send>(
+        &self,
+        n: usize,
+        f: impl Fn(&mut Workspace, usize, usize) -> T + Sync,
+    ) -> Vec<T> {
+        let n_chunks = n.div_ceil(SAMPLE_CHUNK);
+        self.parallel(|| {
+            (0..n_chunks)
+                .into_par_iter()
+                .map(|c| {
+                    let lo = c * SAMPLE_CHUNK;
+                    let len = SAMPLE_CHUNK.min(n - lo);
+                    self.pool.run(|ws| f(ws, lo, len))
+                })
+                .collect()
+        })
     }
 
     /// Unbuffered Monte-Carlo calibration: (µT, σT, hold-fail fraction).
     fn calibrate(&self) -> (f64, f64, f64) {
         let stream = stream_seed(self.cfg.seed, "calibrate");
         let n = self.cfg.calibration_samples;
-        let workers = self.threads();
-        let chunk = n.div_ceil(workers);
-        let results: Vec<(Vec<f64>, u64)> = crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for w in 0..workers {
-                let lo = w * chunk;
-                let hi = ((w + 1) * chunk).min(n);
-                if lo >= hi {
-                    break;
+        let results = self.map_chunks(n, |ws, lo, len| {
+            self.fill_batch(ws, stream, lo as u64, len);
+            let mut periods = Vec::with_capacity(len);
+            let mut hold_fails = 0u64;
+            for row in 0..len {
+                let mp = constraint::min_period_view(&self.sg, ws.batch.view(row), &self.skews);
+                periods.push(mp.period);
+                if !mp.hold_ok {
+                    hold_fails += 1;
                 }
-                handles.push(scope.spawn(move |_| {
-                    let mut st = SampleTiming::for_graph(&self.sg);
-                    let mut gls = self
-                        .cfg
-                        .gate_level_sampling
-                        .then(|| GateLevelSampler::new(&self.tg));
-                    let mut periods = Vec::with_capacity(hi - lo);
-                    let mut hold_fails = 0u64;
-                    for k in lo..hi {
-                        self.fill_sample(stream, k as u64, &mut st, &mut gls);
-                        let mp = constraint::min_period(&self.sg, &st, &self.skews);
-                        periods.push(mp.period);
-                        if !mp.hold_ok {
-                            hold_fails += 1;
-                        }
-                    }
-                    (periods, hold_fails)
-                }));
             }
-            handles.into_iter().map(|h| h.join().expect("worker")).collect()
-        })
-        .expect("calibration scope");
+            (periods, hold_fails)
+        });
         let mut periods = Vec::with_capacity(n);
         let mut hold_fails = 0u64;
         for (p, h) in results {
@@ -496,8 +624,6 @@ impl<'a> BufferInsertionFlow<'a> {
         let stream = stream_seed(self.cfg.seed, "insert");
         let n_ffs = self.sg.n_ffs;
         let samples = self.cfg.samples;
-        let workers = self.threads();
-        let chunk = samples.div_ceil(workers);
 
         // Slot map for the tuning matrix.
         let mut slot_of_ff = vec![NONE; n_ffs];
@@ -522,77 +648,63 @@ impl<'a> BufferInsertionFlow<'a> {
             rows: Vec<Vec<f32>>,
         }
 
-        let locals: Vec<Local> = crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for w in 0..workers {
-                let lo = w * chunk;
-                let hi = ((w + 1) * chunk).min(samples);
-                if lo >= hi {
-                    break;
-                }
-                handles.push(scope.spawn(move |_| {
-                    let mut st = SampleTiming::for_graph(&self.sg);
-                    let mut gls = self
-                        .cfg
-                        .gate_level_sampling
-                        .then(|| GateLevelSampler::new(&self.tg));
-                    let mut ic = IntegerConstraints::for_graph(&self.sg);
-                    let mut solver = SampleSolver::new();
-                    let mut local = Local {
-                        counts: vec![0; n_ffs],
-                        hist: vec![Histogram::new(); n_ffs],
-                        min_k: vec![i64::MAX; n_ffs],
-                        max_k: vec![i64::MIN; n_ffs],
-                        infeasible: 0,
-                        inexact: 0,
-                        rows: Vec::new(),
-                    };
-                    for k in lo..hi {
-                        self.fill_sample(stream, k as u64, &mut st, &mut gls);
-                        ic.build(&self.sg, &st, &self.skews, period, step);
-                        let objective = match push {
-                            Push::CountOnly => PushObjective::None,
-                            Push::ToZero => PushObjective::ToZero,
-                            Push::ToTargets => PushObjective::ToTargets(
-                                targets.expect("targets provided for ToTargets"),
-                            ),
-                        };
-                        let r = solver.solve(&self.sg, &ic, space, objective, &self.cfg.solver);
-                        let mut row = if record_matrix {
-                            vec![0.0f32; n_slots as usize]
-                        } else {
-                            Vec::new()
-                        };
-                        if !r.feasible {
-                            local.infeasible += 1;
-                        } else {
-                            if !r.exact {
-                                local.inexact += 1;
-                            }
-                            for (ff, kv) in &r.tunings {
-                                let f = *ff as usize;
-                                local.counts[f] += 1;
-                                local.hist[f].add(*kv);
-                                local.min_k[f] = local.min_k[f].min(*kv);
-                                local.max_k[f] = local.max_k[f].max(*kv);
-                                if record_matrix {
-                                    let slot = slot_of_ff_ref[f];
-                                    if slot != NONE {
-                                        row[slot as usize] = *kv as f32;
-                                    }
-                                }
-                            }
-                        }
+        let locals: Vec<Local> = self.map_chunks(samples, |ws, lo, len| {
+            self.fill_cons_batch(ws, stream, lo as u64, len, period, step);
+            let mut local = Local {
+                counts: vec![0; n_ffs],
+                hist: vec![Histogram::new(); n_ffs],
+                min_k: vec![i64::MAX; n_ffs],
+                max_k: vec![i64::MIN; n_ffs],
+                infeasible: 0,
+                inexact: 0,
+                rows: Vec::new(),
+            };
+            for row in 0..len {
+                let objective = match push {
+                    Push::CountOnly => PushObjective::None,
+                    Push::ToZero => PushObjective::ToZero,
+                    Push::ToTargets => {
+                        PushObjective::ToTargets(targets.expect("targets provided for ToTargets"))
+                    }
+                };
+                let r = ws.solver.solve_view(
+                    &self.sg,
+                    ws.cons.view(row),
+                    space,
+                    objective,
+                    &self.cfg.solver,
+                );
+                let mut matrix_row = if record_matrix {
+                    vec![0.0f32; n_slots as usize]
+                } else {
+                    Vec::new()
+                };
+                if !r.feasible {
+                    local.infeasible += 1;
+                } else {
+                    if !r.exact {
+                        local.inexact += 1;
+                    }
+                    for (ff, kv) in &r.tunings {
+                        let f = *ff as usize;
+                        local.counts[f] += 1;
+                        local.hist[f].add(*kv);
+                        local.min_k[f] = local.min_k[f].min(*kv);
+                        local.max_k[f] = local.max_k[f].max(*kv);
                         if record_matrix {
-                            local.rows.push(row);
+                            let slot = slot_of_ff_ref[f];
+                            if slot != NONE {
+                                matrix_row[slot as usize] = *kv as f32;
+                            }
                         }
                     }
-                    local
-                }));
+                }
+                if record_matrix {
+                    local.rows.push(matrix_row);
+                }
             }
-            handles.into_iter().map(|h| h.join().expect("worker")).collect()
-        })
-        .expect("pass scope");
+            local
+        });
 
         // Merge (chunks are ordered, so matrix rows concatenate in order).
         let mut out = PassOutput {
@@ -631,40 +743,18 @@ impl<'a> BufferInsertionFlow<'a> {
     fn evaluate_yield(&self, deployment: &Deployment, period: f64, step: f64) -> YieldReport {
         let stream = stream_seed(self.cfg.seed, "yield");
         let samples = self.cfg.yield_samples;
-        let workers = self.threads();
-        let chunk = samples.div_ceil(workers);
-        let reports: Vec<YieldReport> = crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for w in 0..workers {
-                let lo = w * chunk;
-                let hi = ((w + 1) * chunk).min(samples);
-                if lo >= hi {
-                    break;
-                }
-                handles.push(scope.spawn(move |_| {
-                    let mut st = SampleTiming::for_graph(&self.sg);
-                    let mut gls = self
-                        .cfg
-                        .gate_level_sampling
-                        .then(|| GateLevelSampler::new(&self.tg));
-                    let mut ic = IntegerConstraints::for_graph(&self.sg);
-                    let mut solver = DiffSolver::new();
-                    let mut arcs = Vec::new();
-                    let mut report = YieldReport::default();
-                    for k in lo..hi {
-                        self.fill_sample(stream, k as u64, &mut st, &mut gls);
-                        ic.build(&self.sg, &st, &self.skews, period, step);
-                        let baseline = ic.feasible_at_zero();
-                        let buffered =
-                            deployment.chip_passes(&self.sg, &ic, &mut solver, &mut arcs);
-                        report.record(baseline, buffered);
-                    }
-                    report
-                }));
+        let reports = self.map_chunks(samples, |ws, lo, len| {
+            self.fill_cons_batch(ws, stream, lo as u64, len, period, step);
+            let mut report = YieldReport::default();
+            for row in 0..len {
+                let cv = ws.cons.view(row);
+                let baseline = cv.feasible_at_zero();
+                let buffered =
+                    deployment.chip_passes_view(&self.sg, cv, &mut ws.diff, &mut ws.arcs);
+                report.record(baseline, buffered);
             }
-            handles.into_iter().map(|h| h.join().expect("worker")).collect()
-        })
-        .expect("yield scope");
+            report
+        });
         let mut merged = YieldReport::default();
         for r in &reports {
             merged.merge(r);
@@ -700,7 +790,11 @@ impl<'a> BufferInsertionFlow<'a> {
             &self.cfg.prune,
             self.cfg.samples as u64,
         );
-        let a3_push = if self.cfg.concentrate { Push::ToZero } else { Push::CountOnly };
+        let a3_push = if self.cfg.concentrate {
+            Push::ToZero
+        } else {
+            Push::CountOnly
+        };
         let a3 = self.run_pass(&space, a3_push, None, false, period, step);
         // Window assignment (III-A4): most-covering window containing 0.
         let mut miss_events = 0u64;
@@ -745,7 +839,11 @@ impl<'a> BufferInsertionFlow<'a> {
                 }
             })
             .collect();
-        let b2_push = if self.cfg.concentrate { Push::ToTargets } else { Push::CountOnly };
+        let b2_push = if self.cfg.concentrate {
+            Push::ToTargets
+        } else {
+            Push::CountOnly
+        };
         let b2 = self.run_pass(&space, b2_push, Some(&targets), true, period, step);
         let step2_s = t2.elapsed().as_secs_f64();
 
@@ -875,8 +973,11 @@ mod tests {
         assert!(r.sigma_t > 0.0);
         assert!(r.period >= r.mu_t * 0.5);
         // Baseline at µT should be mid-range, buffers should not hurt.
-        assert!(r.yield_baseline > 20.0 && r.yield_baseline < 80.0,
-            "baseline {}", r.yield_baseline);
+        assert!(
+            r.yield_baseline > 20.0 && r.yield_baseline < 80.0,
+            "baseline {}",
+            r.yield_baseline
+        );
         assert!(r.yield_with_buffers >= r.yield_baseline - 1e-9);
         assert!(r.runtime.total_s > 0.0);
     }
@@ -905,8 +1006,12 @@ mod tests {
         cfg2.target = TargetPeriod::SigmaFactor(2.0);
         let r0 = BufferInsertionFlow::new(&c, cfg0).unwrap().run();
         let r2 = BufferInsertionFlow::new(&c, cfg2).unwrap().run();
-        assert!(r2.yield_baseline > r0.yield_baseline + 20.0,
-            "2σ {} vs µ {}", r2.yield_baseline, r0.yield_baseline);
+        assert!(
+            r2.yield_baseline > r0.yield_baseline + 20.0,
+            "2σ {} vs µ {}",
+            r2.yield_baseline,
+            r0.yield_baseline
+        );
         assert!(r2.yield_baseline > 90.0);
     }
 

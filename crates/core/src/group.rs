@@ -168,8 +168,16 @@ pub fn group_buffers(
         .into_iter()
         .filter(|c| !c.is_empty())
         .map(|cluster| {
-            let lo = cluster.iter().map(|&i| candidates[i].lo).min().expect("nonempty");
-            let hi = cluster.iter().map(|&i| candidates[i].hi).max().expect("nonempty");
+            let lo = cluster
+                .iter()
+                .map(|&i| candidates[i].lo)
+                .min()
+                .expect("nonempty");
+            let hi = cluster
+                .iter()
+                .map(|&i| candidates[i].hi)
+                .max()
+                .expect("nonempty");
             let usage = cluster.iter().map(|&i| candidates[i].usage).sum();
             Group {
                 members: cluster.into_iter().map(|i| candidates[i].ff).collect(),
@@ -216,7 +224,13 @@ mod tests {
 
     fn cand(ff: usize, column: Vec<f32>, lo: i64, hi: i64) -> BufferCandidate {
         let usage = column.iter().filter(|v| **v != 0.0).count() as u64;
-        BufferCandidate { ff, lo, hi, usage, column }
+        BufferCandidate {
+            ff,
+            lo,
+            hi,
+            usage,
+            column,
+        }
     }
 
     #[test]
@@ -225,10 +239,7 @@ mod tests {
         // FFs 0 and 1 are placed adjacently by the BFS layout of the demo…
         // use identical columns so r = 1.
         let col = vec![0.0, 3.0, 3.0, 0.0, 5.0, 0.0, 4.0, 4.0];
-        let cands = vec![
-            cand(0, col.clone(), 2, 6),
-            cand(1, col.clone(), 3, 7),
-        ];
+        let cands = vec![cand(0, col.clone(), 2, 6), cand(1, col.clone(), 3, 7)];
         let g = group_buffers(&cands, &p, &GroupConfig::default());
         assert_eq!(g.groups.len(), 1);
         assert_eq!(g.groups[0].members, vec![0, 1]);
@@ -267,7 +278,10 @@ mod tests {
         }
         assert!(best > 5.0, "demo grid should span more than 5 units");
         let col = vec![0.0, 2.0, 2.0, 0.0, 2.0, 0.0];
-        let cfg = GroupConfig { distance_factor: 5.0, ..GroupConfig::default() };
+        let cfg = GroupConfig {
+            distance_factor: 5.0,
+            ..GroupConfig::default()
+        };
         let g = group_buffers(
             &[cand(far.0, col.clone(), 1, 3), cand(far.1, col, 1, 3)],
             &p,
@@ -284,7 +298,10 @@ mod tests {
         let a = vec![5.0, 5.0, 5.0, 5.0]; // used 4 times
         let b = vec![0.0, -7.0, 0.0, 7.0]; // used 2 times, uncorrelated-ish
         let c = vec![1.0, 0.0, 0.0, 0.0]; // used once
-        let cfg = GroupConfig { max_buffers: Some(2), ..GroupConfig::default() };
+        let cfg = GroupConfig {
+            max_buffers: Some(2),
+            ..GroupConfig::default()
+        };
         let g = group_buffers(
             &[cand(0, a, 5, 5), cand(5, b, -7, 7), cand(9, c, 1, 1)],
             &p,

@@ -30,6 +30,24 @@
 //! configures a manufactured chip ([`configure`] — the paper's future-work
 //! step).
 //!
+//! # Execution engine and determinism
+//!
+//! Every Monte-Carlo stage runs on a batched, structure-of-arrays engine:
+//! the sample stream is cut into fixed-size chunks, each chunk is drawn
+//! into a reused [`psbi_timing::SampleBatch`], its constraints are
+//! extracted into a [`psbi_timing::ConstraintBatch`], and the per-chip
+//! solves run from a pool of per-worker workspaces
+//! ([`solve::SampleSolver`] with persistent branch-and-bound scratch and a
+//! warm-started difference-constraint solver).  Chunks are scheduled onto
+//! a rayon-style work-stealing parallel iterator.
+//!
+//! **Determinism guarantee:** chip `k` is seeded by `(stream, k)` alone,
+//! chunk boundaries are fixed constants, and chunk results merge in chunk
+//! order — so every flow result (ranges, deployment, yields) is
+//! bit-identical for any worker thread count, including
+//! `RAYON_NUM_THREADS=1` versus all cores.  The `determinism` integration
+//! test enforces this.
+//!
 //! # Example
 //!
 //! ```

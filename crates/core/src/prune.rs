@@ -174,7 +174,10 @@ mod tests {
         // At 100 000 samples thresholds grow.
         assert_eq!(cfg.effective(100_000), (10, 50));
         // Disabled scaling keeps raw values.
-        let raw = PruneConfig { reference_samples: None, ..cfg };
+        let raw = PruneConfig {
+            reference_samples: None,
+            ..cfg
+        };
         assert_eq!(raw.effective(123), (1, 5));
     }
 

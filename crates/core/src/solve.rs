@@ -30,8 +30,8 @@
 //! to cross-validate the specialised path.
 
 use psbi_milp::{Model, Op, Status};
-use psbi_timing::feasibility::{Arc, DiffSolver, Feasibility};
-use psbi_timing::{IntegerConstraints, SequentialGraph};
+use psbi_timing::feasibility::{Arc, DiffSolver};
+use psbi_timing::{ConstraintsView, IntegerConstraints, SequentialGraph};
 
 /// Which buffers exist and their tuning windows (in steps).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -140,6 +140,12 @@ struct RegCons {
 }
 
 /// Reusable per-sample solver (one per worker thread).
+///
+/// Every workspace the per-chip pipeline needs — the SPFA solver, region
+/// scratch, the branch-and-bound's per-node buffers and the saturation
+/// screen's arc/bound arrays — lives in this struct and is reused across
+/// chips, so a steady-state pass performs no per-chip allocation outside
+/// the result vectors themselves.
 #[derive(Debug, Default)]
 pub struct SampleSolver {
     diff: DiffSolver,
@@ -149,6 +155,21 @@ pub struct SampleSolver {
     var_of: Vec<u32>,
     /// Scratch: visited stamp for BFS.
     dist: Vec<u32>,
+    /// Scratch: violated constraints of the current chip.
+    violated: Vec<RegCons>,
+    /// Scratch: per-edge visit stamp for region-constraint attachment.
+    edge_stamp: Vec<u32>,
+    /// Current epoch for `edge_stamp`.
+    epoch: u32,
+    /// Scratch for the whole-chip saturation screen.
+    fx_vars: Vec<u32>,
+    fx_arcs: Vec<Arc>,
+    fx_bounds: Vec<(i64, i64)>,
+    /// Per-node scratch reused by every support-search in every region.
+    ss_vars: Vec<u32>,
+    ss_slot: Vec<u32>,
+    ss_arcs: Vec<Arc>,
+    ss_bounds: Vec<(i64, i64)>,
 }
 
 const NONE: u32 = u32::MAX;
@@ -169,11 +190,26 @@ impl SampleSolver {
         push: PushObjective<'_>,
         opts: &SolverOptions,
     ) -> SampleResult {
+        self.solve_view(sg, ic.as_view(), space, push, opts)
+    }
+
+    /// Solves one sample from a borrowed constraint view (an
+    /// [`IntegerConstraints`] or one row of a
+    /// [`psbi_timing::ConstraintBatch`]).
+    pub fn solve_view(
+        &mut self,
+        sg: &SequentialGraph,
+        ic: ConstraintsView<'_>,
+        space: &BufferSpace,
+        push: PushObjective<'_>,
+        opts: &SolverOptions,
+    ) -> SampleResult {
         let n = sg.n_ffs;
         debug_assert_eq!(space.has_buffer.len(), n);
 
-        // 1. Violated constraints at x = 0.
-        let mut violated: Vec<RegCons> = Vec::new();
+        // 1. Violated constraints at x = 0 (reused scratch).
+        let mut violated = std::mem::take(&mut self.violated);
+        violated.clear();
         for (e, edge) in sg.edges.iter().enumerate() {
             if ic.setup_bound[e] < 0 {
                 violated.push(RegCons {
@@ -190,6 +226,22 @@ impl SampleSolver {
                 });
             }
         }
+        let result = self.solve_with_violated(sg, ic, space, push, opts, &violated);
+        self.violated = violated;
+        result
+    }
+
+    /// The solve pipeline after violation collection (split out so the
+    /// violation scratch can be taken and restored around it).
+    fn solve_with_violated(
+        &mut self,
+        sg: &SequentialGraph,
+        ic: ConstraintsView<'_>,
+        space: &BufferSpace,
+        push: PushObjective<'_>,
+        opts: &SolverOptions,
+        violated: &[RegCons],
+    ) -> SampleResult {
         if violated.is_empty() {
             return SampleResult {
                 feasible: true,
@@ -198,7 +250,7 @@ impl SampleSolver {
             };
         }
         // A violated constraint between two bufferless FFs is unfixable.
-        for v in &violated {
+        for v in violated {
             if !space.has_buffer[v.a as usize] && !space.has_buffer[v.b as usize] {
                 return SampleResult {
                     feasible: false,
@@ -227,7 +279,7 @@ impl SampleSolver {
         // suffice; a third guards the inexact (node-capped) case.
         let mut radius = opts.region_radius;
         for round in 0..3 {
-            let regions = self.collect_regions(sg, space, &violated, radius);
+            let regions = self.collect_regions(sg, space, violated, radius);
             let mut all_tunings: Vec<(u32, i64)> = Vec::new();
             let mut exact = true;
             let mut need_radius = radius;
@@ -268,16 +320,25 @@ impl SampleSolver {
 
     /// One SPFA over the whole circuit with every buffer free: can this
     /// chip be configured at all?
+    ///
+    /// Uses the warm-started solver: the previous chip's witness usually
+    /// still fits (chips differ only slightly), in which case this is a
+    /// single `O(edges)` validation sweep with no graph build at all.
     fn chip_fixable(
         &mut self,
         sg: &SequentialGraph,
-        ic: &IntegerConstraints,
+        ic: ConstraintsView<'_>,
         space: &BufferSpace,
     ) -> bool {
         let n = sg.n_ffs;
         self.var_of.clear();
         self.var_of.resize(n, NONE);
-        let mut vars: Vec<u32> = Vec::new();
+        let mut vars = std::mem::take(&mut self.fx_vars);
+        let mut arcs = std::mem::take(&mut self.fx_arcs);
+        let mut bounds = std::mem::take(&mut self.fx_bounds);
+        vars.clear();
+        arcs.clear();
+        bounds.clear();
         for ff in 0..n {
             if space.has_buffer[ff] {
                 self.var_of[ff] = vars.len() as u32;
@@ -285,7 +346,6 @@ impl SampleSolver {
             }
         }
         let root = vars.len() as u32;
-        let mut arcs: Vec<Arc> = Vec::with_capacity(2 * sg.edges.len());
         let resolve = |ff: u32, var_of: &[u32]| -> u32 {
             let v = var_of[ff as usize];
             if v == NONE {
@@ -294,6 +354,7 @@ impl SampleSolver {
                 v
             }
         };
+        let mut fixable = true;
         for (e, edge) in sg.edges.iter().enumerate() {
             let vf = resolve(edge.from, &self.var_of);
             let vt = resolve(edge.to, &self.var_of);
@@ -301,7 +362,8 @@ impl SampleSolver {
             let sb = ic.setup_bound[e];
             if vf == root && vt == root {
                 if sb < 0 {
-                    return false;
+                    fixable = false;
+                    break;
                 }
             } else {
                 arcs.push(Arc::new(vt, vf, sb));
@@ -309,14 +371,21 @@ impl SampleSolver {
             let hb = ic.hold_bound[e];
             if vf == root && vt == root {
                 if hb < 0 {
-                    return false;
+                    fixable = false;
+                    break;
                 }
             } else {
                 arcs.push(Arc::new(vf, vt, hb));
             }
         }
-        let bounds: Vec<(i64, i64)> = vars.iter().map(|&ff| space.bounds[ff as usize]).collect();
-        self.diff.solve_bounded(vars.len(), &arcs, &bounds).is_feasible()
+        if fixable {
+            bounds.extend(vars.iter().map(|&ff| space.bounds[ff as usize]));
+            fixable = self.diff.feasible_bounded_warm(vars.len(), &arcs, &bounds);
+        }
+        self.fx_vars = vars;
+        self.fx_arcs = arcs;
+        self.fx_bounds = bounds;
+        fixable
     }
 
     /// Builds regions: buffered FFs within `radius` hops of a violated
@@ -396,15 +465,25 @@ impl SampleSolver {
         }
         // Attach constraints: any setup/hold constraint touching a region
         // FF.  An edge never spans two regions (adjacent collected FFs are
-        // in the same component), so marking edges globally is safe.
-        let mut edge_seen = vec![false; sg.edges.len()];
+        // in the same component), so marking edges globally is safe.  The
+        // per-edge marks are a reused stamp array (no per-chip allocation).
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.edge_stamp.len() < sg.edges.len() || self.epoch == 0 {
+            self.epoch = 1;
+            self.edge_stamp.clear();
+            self.edge_stamp.resize(sg.edges.len(), 0);
+        }
         for region in regions.iter_mut() {
             for &ff in &region.ffs {
-                for &e in sg.out_edges(ff as usize).iter().chain(sg.in_edges(ff as usize)) {
-                    if edge_seen[e as usize] {
+                for &e in sg
+                    .out_edges(ff as usize)
+                    .iter()
+                    .chain(sg.in_edges(ff as usize))
+                {
+                    if self.edge_stamp[e as usize] == self.epoch {
                         continue;
                     }
-                    edge_seen[e as usize] = true;
+                    self.edge_stamp[e as usize] = self.epoch;
                     let edge = &sg.edges[e as usize];
                     region.cons.push(ConsRef {
                         a: edge.from,
@@ -427,7 +506,7 @@ impl SampleSolver {
     /// Solves one region.
     fn solve_region(
         &mut self,
-        ic: &IntegerConstraints,
+        ic: ConstraintsView<'_>,
         space: &BufferSpace,
         region: &Region,
         push: PushObjective<'_>,
@@ -460,7 +539,9 @@ impl SampleSolver {
             .map(|(i, _)| i)
             .collect();
 
-        // Branch and bound over supports.
+        // Branch and bound over supports.  The per-node buffers (variable
+        // maps, arc and bound arrays) come from the solver's scratch pool,
+        // so thousands of feasibility probes share four allocations.
         let mut search = SupportSearch {
             solver: &mut self.diff,
             var_of: &self.var_of,
@@ -472,50 +553,45 @@ impl SampleSolver {
             nodes: 0,
             node_cap: opts.bb_node_cap,
             exact: true,
+            vars_scratch: std::mem::take(&mut self.ss_vars),
+            slot_scratch: std::mem::take(&mut self.ss_slot),
+            arcs_scratch: std::mem::take(&mut self.ss_arcs),
+            bounds_scratch: std::mem::take(&mut self.ss_bounds),
         };
-        let mut state = vec![Decision::Undecided; m];
-        // Quick relaxation check with everything allowed.
-        let Feasibility::Feasible(full_witness) = search.feasible_support(&state, true) else {
-            return RegionOutcome::Infeasible;
-        };
-        if m > opts.region_cap {
-            // Region too large for exact search: sparsify the full witness
-            // greedily (drop small tunings while feasibility holds).
-            let (support, witness) = search.sparsify(&full_witness);
-            let count = support.len();
-            let tunings =
-                self.finish_region(region, &cons, space, count, &support, &witness, push, opts);
-            return RegionOutcome::Feasible {
-                tunings,
-                count,
-                exact: false,
-            };
-        }
-        search.recurse(&mut state);
-        let (count, support, witness, exact) = match search.best.take() {
-            Some(b) => (b.0, b.1, b.2, search.exact),
-            None if !search.exact => {
-                // Node cap exhausted with no incumbent: fall back to the
-                // sparsified relaxation witness.
-                let (support, witness) = search.sparsify(&full_witness);
+        let phase = run_support_search(&mut search, m, opts.region_cap);
+        // Return the per-node scratch to the pool before `finish_region`
+        // needs `&mut self` again.
+        let (sv, ssl, sa, sb) = search.into_scratch();
+        self.ss_vars = sv;
+        self.ss_slot = ssl;
+        self.ss_arcs = sa;
+        self.ss_bounds = sb;
+        match phase {
+            SearchPhase::Infeasible => RegionOutcome::Infeasible,
+            SearchPhase::Fallback { support, witness } => {
                 let count = support.len();
-                let tunings = self
-                    .finish_region(region, &cons, space, count, &support, &witness, push, opts);
-                return RegionOutcome::Feasible {
+                let tunings =
+                    self.finish_region(region, &cons, space, count, &support, &witness, push, opts);
+                RegionOutcome::Feasible {
                     tunings,
                     count,
                     exact: false,
-                };
+                }
             }
-            None => return RegionOutcome::Infeasible,
-        };
-
-        let tunings =
-            self.finish_region(region, &cons, space, count, &support, &witness, push, opts);
-        RegionOutcome::Feasible {
-            tunings,
-            count,
-            exact,
+            SearchPhase::Best {
+                count,
+                support,
+                witness,
+                exact,
+            } => {
+                let tunings =
+                    self.finish_region(region, &cons, space, count, &support, &witness, push, opts);
+                RegionOutcome::Feasible {
+                    tunings,
+                    count,
+                    exact,
+                }
+            }
         }
     }
 
@@ -539,9 +615,9 @@ impl SampleSolver {
                 .filter(|(_, k)| **k != 0)
                 .map(|(ff, k)| (*ff, *k))
                 .collect(),
-            PushObjective::ToZero => self.concentrate(
-                region, cons, space, count, support, witness, None, opts,
-            ),
+            PushObjective::ToZero => {
+                self.concentrate(region, cons, space, count, support, witness, None, opts)
+            }
             PushObjective::ToTargets(targets) => self.concentrate(
                 region,
                 cons,
@@ -796,6 +872,56 @@ enum Decision {
     Undecided,
 }
 
+/// Outcome of one region's support search.
+enum SearchPhase {
+    Infeasible,
+    /// Greedy (inexact) support from witness sparsification.
+    Fallback {
+        support: Vec<u32>,
+        witness: Vec<i64>,
+    },
+    /// Proven-best support from the branch and bound.
+    Best {
+        count: usize,
+        support: Vec<u32>,
+        witness: Vec<i64>,
+        exact: bool,
+    },
+}
+
+/// Drives one region's support search to a [`SearchPhase`].
+fn run_support_search(search: &mut SupportSearch<'_>, m: usize, region_cap: usize) -> SearchPhase {
+    let mut state = vec![Decision::Undecided; m];
+    // Quick relaxation check with everything allowed.
+    if !search.feasible_support(&state, true) {
+        return SearchPhase::Infeasible;
+    }
+    let mut full_witness = Vec::new();
+    search.solver.copy_witness(m, &mut full_witness);
+    if m > region_cap {
+        // Region too large for exact search: sparsify the full witness
+        // greedily (drop small tunings while feasibility holds).
+        let (support, witness) = search.sparsify(&full_witness);
+        return SearchPhase::Fallback { support, witness };
+    }
+    search.recurse(&mut state);
+    match search.best.take() {
+        Some((count, support, witness)) => SearchPhase::Best {
+            count,
+            support,
+            witness,
+            exact: search.exact,
+        },
+        None if !search.exact => {
+            // Node cap exhausted with no incumbent: fall back to the
+            // sparsified relaxation witness.
+            let (support, witness) = search.sparsify(&full_witness);
+            SearchPhase::Fallback { support, witness }
+        }
+        None => SearchPhase::Infeasible,
+    }
+}
+
 /// Branch-and-bound over support sets.
 struct SupportSearch<'a> {
     solver: &'a mut DiffSolver,
@@ -809,9 +935,26 @@ struct SupportSearch<'a> {
     nodes: usize,
     node_cap: usize,
     exact: bool,
+    /// Per-node scratch, borrowed from [`SampleSolver`] for the region's
+    /// lifetime and reused by every feasibility probe.
+    vars_scratch: Vec<u32>,
+    slot_scratch: Vec<u32>,
+    arcs_scratch: Vec<Arc>,
+    bounds_scratch: Vec<(i64, i64)>,
 }
 
 impl SupportSearch<'_> {
+    /// Returns the scratch buffers to their owner.
+    #[allow(clippy::type_complexity)]
+    fn into_scratch(self) -> (Vec<u32>, Vec<u32>, Vec<Arc>, Vec<(i64, i64)>) {
+        (
+            self.vars_scratch,
+            self.slot_scratch,
+            self.arcs_scratch,
+            self.bounds_scratch,
+        )
+    }
+
     /// Greedy fallback for oversized regions: start from the all-variables
     /// witness and drop tunings (smallest magnitude first) while the system
     /// stays feasible.  Returns `(support, witness values)`.
@@ -831,7 +974,7 @@ impl SupportSearch<'_> {
         order.sort_by_key(|&i| full_witness[i].abs());
         for &i in &order {
             state[i] = Decision::Out;
-            if !self.feasible_support(&state, false).is_feasible() {
+            if !self.feasible_support(&state, false) {
                 state[i] = Decision::In;
             }
         }
@@ -841,19 +984,24 @@ impl SupportSearch<'_> {
             .filter(|(_, d)| **d == Decision::In)
             .map(|(i, _)| self.region_ffs[i])
             .collect();
-        let witness = match self.feasible_support(&state, false) {
-            Feasibility::Feasible(w) => w,
-            Feasibility::Infeasible => {
-                unreachable!("sparsify only removes while feasibility holds")
-            }
-        };
+        assert!(
+            self.feasible_support(&state, false),
+            "sparsify only removes while feasibility holds"
+        );
+        let mut witness = Vec::new();
+        self.solver.copy_witness(support.len(), &mut witness);
         (support, witness)
     }
 
     /// Feasibility with support = In (or In ∪ Undecided when `relaxed`).
-    fn feasible_support(&mut self, state: &[Decision], relaxed: bool) -> Feasibility {
-        let mut vars: Vec<u32> = Vec::new();
-        let mut slot = vec![NONE; state.len()];
+    ///
+    /// Builds the subsystem in the reusable scratch buffers; the witness of
+    /// a feasible check can be read back with `solver.copy_witness` (the
+    /// variable order is the support order).
+    fn feasible_support(&mut self, state: &[Decision], relaxed: bool) -> bool {
+        self.vars_scratch.clear();
+        self.slot_scratch.clear();
+        self.slot_scratch.resize(state.len(), NONE);
         for (i, d) in state.iter().enumerate() {
             let included = match d {
                 Decision::In => true,
@@ -861,31 +1009,35 @@ impl SupportSearch<'_> {
                 Decision::Out => false,
             };
             if included {
-                slot[i] = vars.len() as u32;
-                vars.push(self.region_ffs[i]);
+                self.slot_scratch[i] = self.vars_scratch.len() as u32;
+                self.vars_scratch.push(self.region_ffs[i]);
             }
         }
-        let root = vars.len() as u32;
-        let mut arcs: Vec<Arc> = Vec::new();
+        let root = self.vars_scratch.len() as u32;
+        self.arcs_scratch.clear();
         for c in self.cons {
             let la = self.local_of(c.a);
             let lb = self.local_of(c.b);
+            let slot = &self.slot_scratch;
             let va = la.map_or(root, |l| if slot[l] != NONE { slot[l] } else { root });
             let vb = lb.map_or(root, |l| if slot[l] != NONE { slot[l] } else { root });
             if va == root && vb == root {
                 if c.bound < 0 {
-                    return Feasibility::Infeasible;
+                    return false;
                 }
                 continue;
             }
             // k(a) − k(b) ≤ bound  →  arc b → a with weight bound.
-            arcs.push(Arc::new(vb, va, c.bound));
+            self.arcs_scratch.push(Arc::new(vb, va, c.bound));
         }
-        let bounds: Vec<(i64, i64)> = vars
-            .iter()
-            .map(|&ff| self.bounds[ff as usize])
-            .collect();
-        self.solver.solve_bounded(vars.len(), &arcs, &bounds)
+        self.bounds_scratch.clear();
+        self.bounds_scratch
+            .extend(self.vars_scratch.iter().map(|&ff| self.bounds[ff as usize]));
+        self.solver.decide_bounded(
+            self.vars_scratch.len(),
+            &self.arcs_scratch,
+            &self.bounds_scratch,
+        )
     }
 
     #[inline]
@@ -908,9 +1060,9 @@ impl SupportSearch<'_> {
             let c = &self.cons[v];
             let la = self.local_of(c.a);
             let lb_ = self.local_of(c.b);
-            let covered = [la, lb_].iter().any(|l| {
-                l.is_some_and(|i| state[i] == Decision::In)
-            });
+            let covered = [la, lb_]
+                .iter()
+                .any(|l| l.is_some_and(|i| state[i] == Decision::In));
             if covered {
                 continue;
             }
@@ -949,22 +1101,25 @@ impl SupportSearch<'_> {
             }
         }
         // Relaxation: can anything still work?
-        if !self.feasible_support(state, true).is_feasible() {
+        if !self.feasible_support(state, true) {
             return;
         }
         // Is In alone already enough?
-        if let Feasibility::Feasible(w) = self.feasible_support(state, false) {
+        if self.feasible_support(state, false) {
             let support: Vec<u32> = state
                 .iter()
                 .enumerate()
                 .filter(|(_, d)| **d == Decision::In)
                 .map(|(i, _)| self.region_ffs[i])
                 .collect();
-            // Witness values for support vars come first in `w` in the
-            // same order as the support listing above.
-            let values: Vec<i64> = w[..support.len()].to_vec();
-            let better = self.best.as_ref().is_none_or(|(c, _, _)| support.len() < *c);
+            let better = self
+                .best
+                .as_ref()
+                .is_none_or(|(c, _, _)| support.len() < *c);
             if better {
+                // Witness values of support vars, in support order.
+                let mut values = Vec::new();
+                self.solver.copy_witness(support.len(), &mut values);
                 self.best = Some((support.len(), support, values));
             }
             return;

@@ -63,7 +63,13 @@ fn no_violation_no_tuning() {
     let ic = constraints(&[5, 3], &[2, 2]);
     let space = BufferSpace::floating(3, 20);
     let mut s = SampleSolver::new();
-    let r = s.solve(&sg, &ic, &space, PushObjective::None, &SolverOptions::default());
+    let r = s.solve(
+        &sg,
+        &ic,
+        &space,
+        PushObjective::None,
+        &SolverOptions::default(),
+    );
     assert!(r.feasible && r.exact);
     assert!(r.tunings.is_empty());
 }
@@ -75,7 +81,13 @@ fn single_violation_needs_one_buffer() {
     let ic = constraints(&[-3, 5], &[5, 5]);
     let space = BufferSpace::floating(3, 20);
     let mut s = SampleSolver::new();
-    let r = s.solve(&sg, &ic, &space, PushObjective::None, &SolverOptions::default());
+    let r = s.solve(
+        &sg,
+        &ic,
+        &space,
+        PushObjective::None,
+        &SolverOptions::default(),
+    );
     assert!(r.feasible && r.exact);
     assert_eq!(r.count(), 1, "tunings: {:?}", r.tunings);
     check_valid(&sg, &ic, &space, &r);
@@ -94,7 +106,13 @@ fn chained_violation_forces_two_buffers() {
     let mut space = BufferSpace::floating(3, 20);
     space.has_buffer[0] = false;
     let mut s = SampleSolver::new();
-    let r = s.solve(&sg, &ic, &space, PushObjective::None, &SolverOptions::default());
+    let r = s.solve(
+        &sg,
+        &ic,
+        &space,
+        PushObjective::None,
+        &SolverOptions::default(),
+    );
     assert!(r.feasible, "should be fixable");
     assert_eq!(r.count(), 2, "tunings: {:?}", r.tunings);
     check_valid(&sg, &ic, &space, &r);
@@ -108,7 +126,13 @@ fn unfixable_between_bufferless_ffs() {
     space.has_buffer[0] = false;
     space.has_buffer[1] = false;
     let mut s = SampleSolver::new();
-    let r = s.solve(&sg, &ic, &space, PushObjective::None, &SolverOptions::default());
+    let r = s.solve(
+        &sg,
+        &ic,
+        &space,
+        PushObjective::None,
+        &SolverOptions::default(),
+    );
     assert!(!r.feasible);
 }
 
@@ -123,7 +147,13 @@ fn window_too_small_is_infeasible() {
         bounds: vec![(-10, 10); 2],
     };
     let mut s = SampleSolver::new();
-    let r = s.solve(&sg, &ic, &space, PushObjective::None, &SolverOptions::default());
+    let r = s.solve(
+        &sg,
+        &ic,
+        &space,
+        PushObjective::None,
+        &SolverOptions::default(),
+    );
     assert!(!r.feasible);
 }
 
@@ -135,7 +165,13 @@ fn push_to_zero_minimises_magnitude() {
     let ic = constraints(&[-4], &[100]);
     let space = BufferSpace::floating(2, 20);
     let mut s = SampleSolver::new();
-    let r = s.solve(&sg, &ic, &space, PushObjective::ToZero, &SolverOptions::default());
+    let r = s.solve(
+        &sg,
+        &ic,
+        &space,
+        PushObjective::ToZero,
+        &SolverOptions::default(),
+    );
     assert!(r.feasible);
     assert_eq!(r.count(), 1);
     let total: i64 = r.tunings.iter().map(|(_, k)| k.abs()).sum();
@@ -173,7 +209,13 @@ fn hold_violation_fixed_with_negative_delay() {
     let ic = constraints(&[100], &[-2]);
     let space = BufferSpace::floating(2, 20);
     let mut s = SampleSolver::new();
-    let r = s.solve(&sg, &ic, &space, PushObjective::ToZero, &SolverOptions::default());
+    let r = s.solve(
+        &sg,
+        &ic,
+        &space,
+        PushObjective::ToZero,
+        &SolverOptions::default(),
+    );
     assert!(r.feasible);
     assert_eq!(r.count(), 1);
     let total: i64 = r.tunings.iter().map(|(_, k)| k.abs()).sum();
@@ -192,7 +234,13 @@ fn asymmetric_windows_respected() {
         bounds: vec![(-8, 2), (-2, 3)],
     };
     let mut s = SampleSolver::new();
-    let r = s.solve(&sg, &ic, &space, PushObjective::ToZero, &SolverOptions::default());
+    let r = s.solve(
+        &sg,
+        &ic,
+        &space,
+        PushObjective::ToZero,
+        &SolverOptions::default(),
+    );
     assert!(r.feasible);
     assert_eq!(r.count(), 1);
     check_valid(&sg, &ic, &space, &r);
@@ -207,7 +255,13 @@ fn self_loop_edges_are_handled() {
     let ic = constraints(&[-1], &[5]);
     let space = BufferSpace::floating(1, 20);
     let mut s = SampleSolver::new();
-    let r = s.solve(&sg, &ic, &space, PushObjective::None, &SolverOptions::default());
+    let r = s.solve(
+        &sg,
+        &ic,
+        &space,
+        PushObjective::None,
+        &SolverOptions::default(),
+    );
     assert!(!r.feasible, "self-loop violation cannot be tuned away");
 }
 
@@ -216,8 +270,18 @@ fn matches_reference_milp_on_fixed_cases() {
     type Case = (usize, Vec<(u32, u32)>, Vec<i64>, Vec<i64>);
     let cases: Vec<Case> = vec![
         (3, vec![(0, 1), (1, 2)], vec![-3, 5], vec![5, 5]),
-        (3, vec![(0, 1), (1, 2), (0, 2)], vec![-2, -2, 4], vec![9, 9, 9]),
-        (4, vec![(0, 1), (1, 2), (2, 3)], vec![-1, 0, -1], vec![4, 4, 4]),
+        (
+            3,
+            vec![(0, 1), (1, 2), (0, 2)],
+            vec![-2, -2, 4],
+            vec![9, 9, 9],
+        ),
+        (
+            4,
+            vec![(0, 1), (1, 2), (2, 3)],
+            vec![-1, 0, -1],
+            vec![4, 4, 4],
+        ),
         (2, vec![(0, 1), (1, 0)], vec![-2, 1], vec![6, 6]),
     ];
     for (n, edges, setup, hold) in cases {
@@ -225,11 +289,23 @@ fn matches_reference_milp_on_fixed_cases() {
         let ic = constraints(&setup, &hold);
         let space = BufferSpace::floating(n, 10);
         let mut s = SampleSolver::new();
-        let fast = s.solve(&sg, &ic, &space, PushObjective::ToZero, &SolverOptions::default());
+        let fast = s.solve(
+            &sg,
+            &ic,
+            &space,
+            PushObjective::ToZero,
+            &SolverOptions::default(),
+        );
         let slow = s.solve_reference_milp(&sg, &ic, &space, PushObjective::ToZero);
         assert_eq!(fast.feasible, slow.feasible, "feasibility mismatch");
         if fast.feasible {
-            assert_eq!(fast.count(), slow.count(), "count mismatch: fast {:?} slow {:?}", fast.tunings, slow.tunings);
+            assert_eq!(
+                fast.count(),
+                slow.count(),
+                "count mismatch: fast {:?} slow {:?}",
+                fast.tunings,
+                slow.tunings
+            );
             let fsum: i64 = fast.tunings.iter().map(|(_, k)| k.abs()).sum();
             let ssum: i64 = slow.tunings.iter().map(|(_, k)| k.abs()).sum();
             assert_eq!(fsum, ssum, "magnitude mismatch");
@@ -351,7 +427,9 @@ fn node_cap_fallback_is_still_valid() {
         }
     }
     let sg = graph(n, &edges);
-    let setup: Vec<i64> = (0..edges.len() as i64).map(|e| if e % 5 == 0 { -2 } else { 4 }).collect();
+    let setup: Vec<i64> = (0..edges.len() as i64)
+        .map(|e| if e % 5 == 0 { -2 } else { 4 })
+        .collect();
     let hold = vec![6i64; edges.len()];
     let ic = constraints(&setup, &hold);
     let space = BufferSpace::floating(n, 12);
@@ -373,11 +451,23 @@ fn unfixable_cycle_detected_by_global_screen() {
     let ic = constraints(&[-2, 0, 1], &[9, 9, 9]); // sum = -1 < 0
     let space = BufferSpace::floating(3, 20);
     let mut s = SampleSolver::new();
-    let r = s.solve(&sg, &ic, &space, PushObjective::None, &SolverOptions::default());
+    let r = s.solve(
+        &sg,
+        &ic,
+        &space,
+        PushObjective::None,
+        &SolverOptions::default(),
+    );
     assert!(!r.feasible, "negative cycle must be unfixable");
     // A ring with non-negative total slack is fixable by rotation.
     let ic = constraints(&[-2, 1, 1], &[9, 9, 9]); // sum = 0
-    let r = s.solve(&sg, &ic, &space, PushObjective::ToZero, &SolverOptions::default());
+    let r = s.solve(
+        &sg,
+        &ic,
+        &space,
+        PushObjective::ToZero,
+        &SolverOptions::default(),
+    );
     assert!(r.feasible, "zero-sum ring is fixable");
     check_valid(&sg, &ic, &space, &r);
 }

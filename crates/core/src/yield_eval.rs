@@ -6,10 +6,16 @@
 //! non-negative".  Feasibility per chip is decided by
 //! [`psbi_timing::DiffSolver`] in near-linear time, so yield evaluation
 //! needs no ILP at all.
+//!
+//! The evaluator is batch-friendly: [`Deployment::chip_passes_view`] takes
+//! a borrowed [`ConstraintsView`] (one row of a
+//! [`psbi_timing::ConstraintBatch`]) and leans on the solver's warm-start
+//! path — consecutive chips usually validate against the previous chip's
+//! witness in a single `O(arcs)` sweep.
 
 use crate::group::Grouping;
 use psbi_timing::feasibility::{Arc, DiffSolver};
-use psbi_timing::{IntegerConstraints, SequentialGraph};
+use psbi_timing::{ConstraintsView, IntegerConstraints, SequentialGraph};
 use serde::{Deserialize, Serialize};
 
 const NONE: u32 = u32::MAX;
@@ -62,6 +68,16 @@ impl Deployment {
         ic: &IntegerConstraints,
         arcs: &mut Vec<Arc>,
     ) -> bool {
+        self.build_arcs_view(sg, ic.as_view(), arcs)
+    }
+
+    /// As [`Deployment::build_arcs`], from a borrowed constraint view.
+    pub fn build_arcs_view(
+        &self,
+        sg: &SequentialGraph,
+        ic: ConstraintsView<'_>,
+        arcs: &mut Vec<Arc>,
+    ) -> bool {
         arcs.clear();
         let root = self.num_buffers() as u32;
         for (e, edge) in sg.edges.iter().enumerate() {
@@ -101,12 +117,26 @@ impl Deployment {
         solver: &mut DiffSolver,
         arcs: &mut Vec<Arc>,
     ) -> bool {
-        if !self.build_arcs(sg, ic, arcs) {
+        self.chip_passes_view(sg, ic.as_view(), solver, arcs)
+    }
+
+    /// As [`Deployment::chip_passes`], from a borrowed constraint view.
+    ///
+    /// Uses the solver's warm-start path: the witness that configured the
+    /// previous chip is validated first and the SPFA only runs when that
+    /// check fails, which makes evaluating a long stream of similar chips
+    /// substantially cheaper than cold per-chip solves.
+    pub fn chip_passes_view(
+        &self,
+        sg: &SequentialGraph,
+        ic: ConstraintsView<'_>,
+        solver: &mut DiffSolver,
+        arcs: &mut Vec<Arc>,
+    ) -> bool {
+        if !self.build_arcs_view(sg, ic, arcs) {
             return false;
         }
-        solver
-            .solve_bounded(self.num_buffers(), arcs, &self.bounds)
-            .is_feasible()
+        solver.feasible_bounded_warm(self.num_buffers(), arcs, &self.bounds)
     }
 }
 
@@ -216,7 +246,12 @@ mod tests {
     fn buffer_rescues_setup_violation() {
         let sg = graph(2, &[(0, 1)]);
         let grouping = Grouping {
-            groups: vec![Group { members: vec![1], lo: 0, hi: 5, usage: 1 }],
+            groups: vec![Group {
+                members: vec![1],
+                lo: 0,
+                hi: 5,
+                usage: 1,
+            }],
             dropped: vec![],
             correlated_pairs: 0,
             merged_pairs: 0,
@@ -235,7 +270,12 @@ mod tests {
         // Both FFs in the same group: their relative shift is always 0.
         let sg = graph(2, &[(0, 1)]);
         let grouping = Grouping {
-            groups: vec![Group { members: vec![0, 1], lo: -5, hi: 5, usage: 2 }],
+            groups: vec![Group {
+                members: vec![0, 1],
+                lo: -5,
+                hi: 5,
+                usage: 2,
+            }],
             dropped: vec![],
             correlated_pairs: 1,
             merged_pairs: 1,
@@ -254,7 +294,12 @@ mod tests {
         // hold bound 2 < k1 − k0 = 3.
         let sg = graph(2, &[(0, 1)]);
         let grouping = Grouping {
-            groups: vec![Group { members: vec![1], lo: 3, hi: 5, usage: 1 }],
+            groups: vec![Group {
+                members: vec![1],
+                lo: 3,
+                hi: 5,
+                usage: 1,
+            }],
             dropped: vec![],
             correlated_pairs: 0,
             merged_pairs: 0,

@@ -43,8 +43,18 @@ fn feasible_chip_is_not_reported_dead() {
     let (sg, ic) = setup();
     let grouping = Grouping {
         groups: vec![
-            Group { members: vec![0], lo: -5, hi: 5, usage: 1 },
-            Group { members: vec![1], lo: -5, hi: 5, usage: 1 },
+            Group {
+                members: vec![0],
+                lo: -5,
+                hi: 5,
+                usage: 1,
+            },
+            Group {
+                members: vec![1],
+                lo: -5,
+                hi: 5,
+                usage: 1,
+            },
         ],
         dropped: vec![],
         correlated_pairs: 0,
@@ -63,7 +73,13 @@ fn specialised_solver_finds_the_fix() {
     let mut space = BufferSpace::floating(3, 5);
     space.has_buffer[2] = false;
     let mut s = SampleSolver::new();
-    let fast = s.solve(&sg, &ic, &space, PushObjective::ToZero, &SolverOptions::default());
+    let fast = s.solve(
+        &sg,
+        &ic,
+        &space,
+        PushObjective::ToZero,
+        &SolverOptions::default(),
+    );
     let slow = s.solve_reference_milp(&sg, &ic, &space, PushObjective::ToZero);
     assert!(fast.feasible && slow.feasible);
     assert_eq!(fast.count(), slow.count());

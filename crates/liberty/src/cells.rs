@@ -354,20 +354,132 @@ impl Library {
         lib.wire_cap_per_fanout = 0.6;
         let cells = [
             // name, function, inputs, intrinsic, drive, input_cap, sens(L, tox, vth)
-            ("INV_X1", CellFunction::Inv, 1, 9.0, 5.5, 1.0, [0.95, 0.40, 0.62]),
-            ("INV_X2", CellFunction::Inv, 1, 8.0, 3.0, 1.8, [0.95, 0.40, 0.62]),
-            ("BUF_X1", CellFunction::Buf, 1, 16.0, 5.0, 1.0, [0.92, 0.38, 0.60]),
-            ("NAND2_X1", CellFunction::Nand, 2, 14.0, 6.5, 1.2, [0.98, 0.42, 0.66]),
-            ("NAND3_X1", CellFunction::Nand, 3, 19.0, 7.5, 1.3, [1.00, 0.43, 0.68]),
-            ("NOR2_X1", CellFunction::Nor, 2, 16.0, 7.0, 1.2, [1.00, 0.42, 0.70]),
-            ("NOR3_X1", CellFunction::Nor, 3, 22.0, 8.5, 1.3, [1.02, 0.44, 0.72]),
-            ("AND2_X1", CellFunction::And, 2, 20.0, 6.0, 1.1, [0.95, 0.40, 0.64]),
-            ("OR2_X1", CellFunction::Or, 2, 21.0, 6.2, 1.1, [0.96, 0.41, 0.66]),
-            ("XOR2_X1", CellFunction::Xor, 2, 26.0, 8.0, 1.6, [1.05, 0.45, 0.72]),
-            ("XNOR2_X1", CellFunction::Xnor, 2, 27.0, 8.0, 1.6, [1.05, 0.45, 0.72]),
-            ("AOI21_X1", CellFunction::Aoi, 3, 18.0, 7.8, 1.3, [1.02, 0.43, 0.70]),
-            ("OAI21_X1", CellFunction::Oai, 3, 18.5, 7.8, 1.3, [1.02, 0.43, 0.70]),
-            ("MUX2_X1", CellFunction::Mux, 3, 24.0, 7.0, 1.4, [1.00, 0.42, 0.68]),
+            (
+                "INV_X1",
+                CellFunction::Inv,
+                1,
+                9.0,
+                5.5,
+                1.0,
+                [0.95, 0.40, 0.62],
+            ),
+            (
+                "INV_X2",
+                CellFunction::Inv,
+                1,
+                8.0,
+                3.0,
+                1.8,
+                [0.95, 0.40, 0.62],
+            ),
+            (
+                "BUF_X1",
+                CellFunction::Buf,
+                1,
+                16.0,
+                5.0,
+                1.0,
+                [0.92, 0.38, 0.60],
+            ),
+            (
+                "NAND2_X1",
+                CellFunction::Nand,
+                2,
+                14.0,
+                6.5,
+                1.2,
+                [0.98, 0.42, 0.66],
+            ),
+            (
+                "NAND3_X1",
+                CellFunction::Nand,
+                3,
+                19.0,
+                7.5,
+                1.3,
+                [1.00, 0.43, 0.68],
+            ),
+            (
+                "NOR2_X1",
+                CellFunction::Nor,
+                2,
+                16.0,
+                7.0,
+                1.2,
+                [1.00, 0.42, 0.70],
+            ),
+            (
+                "NOR3_X1",
+                CellFunction::Nor,
+                3,
+                22.0,
+                8.5,
+                1.3,
+                [1.02, 0.44, 0.72],
+            ),
+            (
+                "AND2_X1",
+                CellFunction::And,
+                2,
+                20.0,
+                6.0,
+                1.1,
+                [0.95, 0.40, 0.64],
+            ),
+            (
+                "OR2_X1",
+                CellFunction::Or,
+                2,
+                21.0,
+                6.2,
+                1.1,
+                [0.96, 0.41, 0.66],
+            ),
+            (
+                "XOR2_X1",
+                CellFunction::Xor,
+                2,
+                26.0,
+                8.0,
+                1.6,
+                [1.05, 0.45, 0.72],
+            ),
+            (
+                "XNOR2_X1",
+                CellFunction::Xnor,
+                2,
+                27.0,
+                8.0,
+                1.6,
+                [1.05, 0.45, 0.72],
+            ),
+            (
+                "AOI21_X1",
+                CellFunction::Aoi,
+                3,
+                18.0,
+                7.8,
+                1.3,
+                [1.02, 0.43, 0.70],
+            ),
+            (
+                "OAI21_X1",
+                CellFunction::Oai,
+                3,
+                18.5,
+                7.8,
+                1.3,
+                [1.02, 0.43, 0.70],
+            ),
+            (
+                "MUX2_X1",
+                CellFunction::Mux,
+                3,
+                24.0,
+                7.0,
+                1.4,
+                [1.00, 0.42, 0.68],
+            ),
         ];
         for (name, function, inputs, intrinsic, drive, input_cap, sens) in cells {
             lib.add_cell(CellDef {
@@ -492,7 +604,10 @@ mod tests {
             name: "INV_X1".into(),
             ..lib.ff("DFF_X1").unwrap().clone()
         };
-        assert!(matches!(lib.add_ff(ff), Err(LibraryError::DuplicateName(_))));
+        assert!(matches!(
+            lib.add_ff(ff),
+            Err(LibraryError::DuplicateName(_))
+        ));
     }
 
     #[test]

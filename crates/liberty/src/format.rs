@@ -49,7 +49,11 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Self { src, pos: 0, line: 1 }
+        Self {
+            src,
+            pos: 0,
+            line: 1,
+        }
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
@@ -269,14 +273,18 @@ pub fn parse(src: &str) -> Result<Library, ParseError> {
                 "cell" => {
                     let line = p.peek_line();
                     let cell = parse_cell(&mut p)?;
-                    lib.add_cell(cell)
-                        .map_err(|e| ParseError { line, message: e.to_string() })?;
+                    lib.add_cell(cell).map_err(|e| ParseError {
+                        line,
+                        message: e.to_string(),
+                    })?;
                 }
                 "ff" => {
                     let line = p.peek_line();
                     let ff = parse_ff(&mut p)?;
-                    lib.add_ff(ff)
-                        .map_err(|e| ParseError { line, message: e.to_string() })?;
+                    lib.add_ff(ff).map_err(|e| ParseError {
+                        line,
+                        message: e.to_string(),
+                    })?;
                 }
                 other => {
                     return Err(p.err(format!("unknown section `{other}`")));
@@ -304,9 +312,10 @@ fn parse_cell(p: &mut Parser) -> Result<CellDef, ParseError> {
                 match field.as_str() {
                     "function" => {
                         let tok = p.ident("function token")?;
-                        function = Some(CellFunction::from_token(&tok).ok_or_else(|| {
-                            p.err(format!("unknown cell function `{tok}`"))
-                        })?);
+                        function = Some(
+                            CellFunction::from_token(&tok)
+                                .ok_or_else(|| p.err(format!("unknown cell function `{tok}`")))?,
+                        );
                     }
                     "inputs" => inputs = Some(p.number("inputs")? as u8),
                     "intrinsic" => intrinsic = Some(p.number("intrinsic")?),

@@ -102,8 +102,16 @@ pub fn solve_branch_and_bound(model: &Model) -> Solution {
                 // Explore the branch closer to the LP value first (pushed
                 // last → popped first).
                 let frac = xi - xi.floor();
-                let down = BbNode { lo: lo_d, hi: hi_d, parent_bound: bound };
-                let up = BbNode { lo: lo_u, hi: hi_u, parent_bound: bound };
+                let down = BbNode {
+                    lo: lo_d,
+                    hi: hi_d,
+                    parent_bound: bound,
+                };
+                let up = BbNode {
+                    lo: lo_u,
+                    hi: hi_u,
+                    parent_bound: bound,
+                };
                 if down.hi[i] >= down.lo[i] - OBJ_TOL && up.hi[i] >= up.lo[i] - OBJ_TOL {
                     if frac < 0.5 {
                         stack.push(up);
@@ -123,13 +131,21 @@ pub fn solve_branch_and_bound(model: &Model) -> Solution {
 
     match best_x {
         Some(values) => Solution {
-            status: if limit_hit { Status::Feasible } else { Status::Optimal },
+            status: if limit_hit {
+                Status::Feasible
+            } else {
+                Status::Optimal
+            },
             values,
             objective: best_obj,
             nodes,
         },
         None => Solution {
-            status: if limit_hit { Status::Unknown } else { Status::Infeasible },
+            status: if limit_hit {
+                Status::Unknown
+            } else {
+                Status::Infeasible
+            },
             values: vec![],
             objective: f64::INFINITY,
             nodes,
@@ -229,13 +245,7 @@ mod tests {
         type BruteCons = (Vec<i64>, i64);
 
         /// Brute-force reference for tiny integer programs.
-        fn brute(
-            n: usize,
-            lo: i64,
-            hi: i64,
-            cost: &[i64],
-            cons: &[BruteCons],
-        ) -> Option<i64> {
+        fn brute(n: usize, lo: i64, hi: i64, cost: &[i64], cons: &[BruteCons]) -> Option<i64> {
             #[allow(clippy::too_many_arguments)]
             fn rec(
                 i: usize,

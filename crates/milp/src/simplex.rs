@@ -248,8 +248,7 @@ fn run_simplex(
             if a > EPS {
                 let ratio = t[i][total] / a;
                 let better = ratio < best_ratio - EPS
-                    || (ratio < best_ratio + EPS
-                        && leave.is_some_and(|l| basis[i] < basis[l]));
+                    || (ratio < best_ratio + EPS && leave.is_some_and(|l| basis[i] < basis[l]));
                 if leave.is_none() || better {
                     best_ratio = ratio;
                     leave = Some(i);
@@ -409,10 +408,7 @@ mod tests {
         let p = lp(
             2,
             &[1.0, 0.0],
-            &[
-                (&[1.0, 1.0], RowOp::Eq, 2.0),
-                (&[1.0, 1.0], RowOp::Eq, 2.0),
-            ],
+            &[(&[1.0, 1.0], RowOp::Eq, 2.0), (&[1.0, 1.0], RowOp::Eq, 2.0)],
         );
         let (x, _) = optimal(p.solve());
         assert!(x[0].abs() < 1e-7);

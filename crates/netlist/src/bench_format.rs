@@ -183,7 +183,10 @@ pub fn parse_bench_with(
                 message: format!("signal `{}` defined twice", a.target),
             });
         }
-        defined.insert(a.target.clone(), circuit.add_ff(a.target.clone(), DEFAULT_FF_CELL));
+        defined.insert(
+            a.target.clone(),
+            circuit.add_ff(a.target.clone(), DEFAULT_FF_CELL),
+        );
     }
 
     // Order gate assignments topologically by their gate-to-gate deps.
@@ -222,11 +225,7 @@ pub fn parse_bench_with(
             line: a.line,
             message: format!("unknown gate function `{}`", a.func),
         })?;
-        let fanins: Vec<NodeId> = a
-            .args
-            .iter()
-            .map(|arg| defined[arg.as_str()])
-            .collect();
+        let fanins: Vec<NodeId> = a.args.iter().map(|arg| defined[arg.as_str()]).collect();
         let id = circuit.add_gate(a.target.clone(), &cell, &fanins);
         defined.insert(a.target.clone(), id);
         for &d in &dependents[i] {
@@ -441,10 +440,8 @@ mod tests {
     #[test]
     fn custom_mapper_is_used() {
         let src = "INPUT(A)\nOUTPUT(N)\nN = NOT(A)\n";
-        let c = parse_bench_with(src, |f, _| {
-            (f == "NOT").then(|| "INV_X2".to_string())
-        })
-        .expect("parses");
+        let c = parse_bench_with(src, |f, _| (f == "NOT").then(|| "INV_X2".to_string()))
+            .expect("parses");
         let n = c.by_name("N").unwrap();
         match &c.node(n).kind {
             NodeKind::Gate { cell } => assert_eq!(cell, "INV_X2"),

@@ -44,14 +44,62 @@ impl BenchmarkSpec {
 /// The paper's eight benchmarks with their exact Table I sizes.
 pub fn paper_suite() -> Vec<BenchmarkSpec> {
     vec![
-        BenchmarkSpec { name: "s9234", n_ffs: 211, n_gates: 5597, origin: "ISCAS89", default_seed: 0x9234 },
-        BenchmarkSpec { name: "s13207", n_ffs: 638, n_gates: 7951, origin: "ISCAS89", default_seed: 0x13207 },
-        BenchmarkSpec { name: "s15850", n_ffs: 534, n_gates: 9772, origin: "ISCAS89", default_seed: 0x15850 },
-        BenchmarkSpec { name: "s38584", n_ffs: 1426, n_gates: 19253, origin: "ISCAS89", default_seed: 0x38584 },
-        BenchmarkSpec { name: "mem_ctrl", n_ffs: 1065, n_gates: 10327, origin: "TAU 2013", default_seed: 0xE301 },
-        BenchmarkSpec { name: "usb_funct", n_ffs: 1746, n_gates: 14381, origin: "TAU 2013", default_seed: 0xE302 },
-        BenchmarkSpec { name: "ac97_ctrl", n_ffs: 2199, n_gates: 9208, origin: "TAU 2013", default_seed: 0xE303 },
-        BenchmarkSpec { name: "pci_bridge32", n_ffs: 3321, n_gates: 12494, origin: "TAU 2013", default_seed: 0xE304 },
+        BenchmarkSpec {
+            name: "s9234",
+            n_ffs: 211,
+            n_gates: 5597,
+            origin: "ISCAS89",
+            default_seed: 0x9234,
+        },
+        BenchmarkSpec {
+            name: "s13207",
+            n_ffs: 638,
+            n_gates: 7951,
+            origin: "ISCAS89",
+            default_seed: 0x13207,
+        },
+        BenchmarkSpec {
+            name: "s15850",
+            n_ffs: 534,
+            n_gates: 9772,
+            origin: "ISCAS89",
+            default_seed: 0x15850,
+        },
+        BenchmarkSpec {
+            name: "s38584",
+            n_ffs: 1426,
+            n_gates: 19253,
+            origin: "ISCAS89",
+            default_seed: 0x38584,
+        },
+        BenchmarkSpec {
+            name: "mem_ctrl",
+            n_ffs: 1065,
+            n_gates: 10327,
+            origin: "TAU 2013",
+            default_seed: 0xE301,
+        },
+        BenchmarkSpec {
+            name: "usb_funct",
+            n_ffs: 1746,
+            n_gates: 14381,
+            origin: "TAU 2013",
+            default_seed: 0xE302,
+        },
+        BenchmarkSpec {
+            name: "ac97_ctrl",
+            n_ffs: 2199,
+            n_gates: 9208,
+            origin: "TAU 2013",
+            default_seed: 0xE303,
+        },
+        BenchmarkSpec {
+            name: "pci_bridge32",
+            n_ffs: 3321,
+            n_gates: 12494,
+            origin: "TAU 2013",
+            default_seed: 0xE304,
+        },
     ]
 }
 
@@ -93,9 +141,18 @@ mod tests {
         assert_eq!((by("s13207").n_ffs, by("s13207").n_gates), (638, 7951));
         assert_eq!((by("s15850").n_ffs, by("s15850").n_gates), (534, 9772));
         assert_eq!((by("s38584").n_ffs, by("s38584").n_gates), (1426, 19253));
-        assert_eq!((by("mem_ctrl").n_ffs, by("mem_ctrl").n_gates), (1065, 10327));
-        assert_eq!((by("usb_funct").n_ffs, by("usb_funct").n_gates), (1746, 14381));
-        assert_eq!((by("ac97_ctrl").n_ffs, by("ac97_ctrl").n_gates), (2199, 9208));
+        assert_eq!(
+            (by("mem_ctrl").n_ffs, by("mem_ctrl").n_gates),
+            (1065, 10327)
+        );
+        assert_eq!(
+            (by("usb_funct").n_ffs, by("usb_funct").n_gates),
+            (1746, 14381)
+        );
+        assert_eq!(
+            (by("ac97_ctrl").n_ffs, by("ac97_ctrl").n_gates),
+            (2199, 9208)
+        );
         assert_eq!(
             (by("pci_bridge32").n_ffs, by("pci_bridge32").n_gates),
             (3321, 12494)

@@ -218,9 +218,8 @@ impl GeneratorProfile {
             while k > 1 && k - 1 > gate_budget {
                 k -= 1;
             }
-            let mut leaves: Vec<NodeId> = (0..k)
-                .map(|_| ffs[self.pick_source(j, &mut rng)])
-                .collect();
+            let mut leaves: Vec<NodeId> =
+                (0..k).map(|_| ffs[self.pick_source(j, &mut rng)]).collect();
             if rng.gen_bool(self.pi_tap_prob) && gate_budget > leaves.len() {
                 leaves.push(pis[rng.gen_range(0..pis.len())]);
             }

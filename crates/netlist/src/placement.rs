@@ -33,7 +33,11 @@ impl Placement {
             let row = pos / side.max(1);
             let col_raw = pos % side.max(1);
             // Snake rows: odd rows run right-to-left.
-            let col = if row.is_multiple_of(2) { col_raw } else { side - 1 - col_raw };
+            let col = if row.is_multiple_of(2) {
+                col_raw
+            } else {
+                side - 1 - col_raw
+            };
             coords[ff_idx] = (col as f64 * spacing, row as f64 * spacing);
         }
         Self { coords, spacing }

@@ -12,7 +12,7 @@
 //! Flooring is conservative: any integer solution of the floored system
 //! satisfies the original real constraints.
 
-use crate::sample::SampleTiming;
+use crate::sample::{SampleBatch, SampleTiming, SampleView};
 use crate::seq::SequentialGraph;
 use serde::{Deserialize, Serialize};
 
@@ -56,15 +56,45 @@ impl IntegerConstraints {
         period: f64,
         step: f64,
     ) {
+        self.build_view(sg, st.view(), skews, period, step);
+    }
+
+    /// Fills the bounds from a borrowed chip view (a [`SampleTiming`] or a
+    /// [`SampleBatch`] row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not strictly positive.
+    pub fn build_view(
+        &mut self,
+        sg: &SequentialGraph,
+        st: SampleView<'_>,
+        skews: &[f64],
+        period: f64,
+        step: f64,
+    ) {
         assert!(step > 0.0, "buffer step must be positive");
+        self.setup_bound.clear();
         self.setup_bound.resize(sg.edges.len(), 0);
+        self.hold_bound.clear();
         self.hold_bound.resize(sg.edges.len(), 0);
-        for (e, edge) in sg.edges.iter().enumerate() {
-            let (i, j) = (edge.from as usize, edge.to as usize);
-            let setup_slack = period - st.setup[j] - st.edge_max[e] + skews[j] - skews[i];
-            let hold_slack = st.edge_min[e] - st.hold[j] + skews[i] - skews[j];
-            self.setup_bound[e] = (setup_slack / step).floor() as i64;
-            self.hold_bound[e] = (hold_slack / step).floor() as i64;
+        fill_bounds_row(
+            sg,
+            st,
+            skews,
+            period,
+            step,
+            &mut self.setup_bound,
+            &mut self.hold_bound,
+        );
+    }
+
+    /// Borrowed view of the bounds.
+    #[inline]
+    pub fn as_view(&self) -> ConstraintsView<'_> {
+        ConstraintsView {
+            setup_bound: &self.setup_bound,
+            hold_bound: &self.hold_bound,
         }
     }
 
@@ -87,7 +117,154 @@ impl IntegerConstraints {
 
     /// True when the zero assignment satisfies every constraint.
     pub fn feasible_at_zero(&self) -> bool {
+        self.as_view().feasible_at_zero()
+    }
+}
+
+/// Borrowed integer constraint bounds of one chip — either an
+/// [`IntegerConstraints`] or one row of a [`ConstraintBatch`].
+#[derive(Debug, Clone, Copy)]
+pub struct ConstraintsView<'a> {
+    /// Per edge: `k_from − k_to ≤ setup_bound[e]`.
+    pub setup_bound: &'a [i64],
+    /// Per edge: `k_to − k_from ≤ hold_bound[e]`.
+    pub hold_bound: &'a [i64],
+}
+
+impl ConstraintsView<'_> {
+    /// True when the zero assignment satisfies every constraint.
+    #[inline]
+    pub fn feasible_at_zero(&self) -> bool {
         self.setup_bound.iter().all(|b| *b >= 0) && self.hold_bound.iter().all(|b| *b >= 0)
+    }
+}
+
+/// Shared row kernel: writes one chip's floored bounds into slices.
+///
+/// The slack terms are grouped exactly as in [`ConstraintBatch::build_from`]
+/// (skew/period base first, then the chip-dependent terms) so the scalar
+/// and batched paths produce bit-identical floored bounds for the same
+/// chip — floating-point association matters at step boundaries, and the
+/// flow's replay APIs promise exact agreement with the batched passes.
+#[inline]
+fn fill_bounds_row(
+    sg: &SequentialGraph,
+    st: SampleView<'_>,
+    skews: &[f64],
+    period: f64,
+    step: f64,
+    setup_bound: &mut [i64],
+    hold_bound: &mut [i64],
+) {
+    let inv_step = 1.0 / step;
+    for (e, edge) in sg.edges.iter().enumerate() {
+        let (i, j) = (edge.from as usize, edge.to as usize);
+        let setup_base = period + skews[j] - skews[i];
+        let hold_base = skews[i] - skews[j];
+        let setup_slack = setup_base - st.setup[j] - st.edge_max[e];
+        let hold_slack = st.edge_min[e] - st.hold[j] + hold_base;
+        setup_bound[e] = (setup_slack * inv_step).floor() as i64;
+        hold_bound[e] = (hold_slack * inv_step).floor() as i64;
+    }
+}
+
+/// Structure-of-arrays integer bounds for a batch of chips.
+///
+/// Row-major `len × edges` buffers, reused across passes via
+/// [`ConstraintBatch::build_from`] (no per-chip allocation).
+#[derive(Debug, Clone, Default)]
+pub struct ConstraintBatch {
+    n_edges: usize,
+    len: usize,
+    setup_bound: Vec<i64>,
+    hold_bound: Vec<i64>,
+    /// Per-edge chip-invariant terms, precomputed once per batch:
+    /// `period + skews[to] − skews[from]` and `skews[from] − skews[to]`.
+    setup_base: Vec<f64>,
+    hold_base: Vec<f64>,
+    /// Capture-FF index per edge (flat copy of `SeqEdge::to`).
+    to_idx: Vec<u32>,
+}
+
+impl ConstraintBatch {
+    /// An empty batch; fill with [`ConstraintBatch::build_from`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of chips currently stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no chips are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Extracts the integer bounds of every chip in `batch`, reusing this
+    /// batch's buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not strictly positive.
+    pub fn build_from(
+        &mut self,
+        sg: &SequentialGraph,
+        batch: &SampleBatch,
+        skews: &[f64],
+        period: f64,
+        step: f64,
+    ) {
+        assert!(step > 0.0, "buffer step must be positive");
+        self.n_edges = sg.edges.len();
+        self.len = batch.len();
+        self.setup_bound.clear();
+        self.setup_bound.resize(self.len * self.n_edges, 0);
+        self.hold_bound.clear();
+        self.hold_bound.resize(self.len * self.n_edges, 0);
+        // Chip-invariant per-edge terms, hoisted once per batch: the skew/
+        // period parts of both bounds and the capture-FF index.  The
+        // per-chip loop then streams the flat SoA rows without touching
+        // the fat `SeqEdge` structs at all.
+        self.setup_base.clear();
+        self.hold_base.clear();
+        self.to_idx.clear();
+        for edge in &sg.edges {
+            let (i, j) = (edge.from as usize, edge.to as usize);
+            self.setup_base.push(period + skews[j] - skews[i]);
+            self.hold_base.push(skews[i] - skews[j]);
+            self.to_idx.push(edge.to);
+        }
+        let inv_step = 1.0 / step;
+        for row in 0..self.len {
+            let e0 = row * self.n_edges;
+            let v = batch.view(row);
+            for e in 0..self.n_edges {
+                let j = self.to_idx[e] as usize;
+                let setup_slack = self.setup_base[e] - v.setup[j] - v.edge_max[e];
+                let hold_slack = v.edge_min[e] - v.hold[j] + self.hold_base[e];
+                self.setup_bound[e0 + e] = (setup_slack * inv_step).floor() as i64;
+                self.hold_bound[e0 + e] = (hold_slack * inv_step).floor() as i64;
+            }
+        }
+    }
+
+    /// Borrowed view of chip `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= len()`.
+    #[inline]
+    pub fn view(&self, row: usize) -> ConstraintsView<'_> {
+        assert!(row < self.len, "constraint row out of range");
+        let e0 = row * self.n_edges;
+        ConstraintsView {
+            setup_bound: &self.setup_bound[e0..e0 + self.n_edges],
+            hold_bound: &self.hold_bound[e0..e0 + self.n_edges],
+        }
     }
 }
 
@@ -110,6 +287,16 @@ pub struct MinPeriod {
 ///
 /// Panics if the graph has no edges.
 pub fn min_period(sg: &SequentialGraph, st: &SampleTiming, skews: &[f64]) -> MinPeriod {
+    min_period_view(sg, st.view(), skews)
+}
+
+/// Computes the unbuffered minimum period from a borrowed chip view (a
+/// [`SampleTiming`] or a [`SampleBatch`] row).
+///
+/// # Panics
+///
+/// Panics if the graph has no edges.
+pub fn min_period_view(sg: &SequentialGraph, st: SampleView<'_>, skews: &[f64]) -> MinPeriod {
     assert!(!sg.edges.is_empty(), "sequential graph has no edges");
     let mut best = f64::NEG_INFINITY;
     let mut arg = 0usize;
@@ -205,6 +392,65 @@ mod tests {
         skews[crit.from as usize] += 50.0;
         let mp2 = min_period(&sg, &st, &skews);
         assert!(mp2.period >= mp.period + 49.0);
+    }
+
+    #[test]
+    fn batch_rows_match_scalar_build() {
+        // ConstraintBatch::build_from must produce, per row, exactly what
+        // IntegerConstraints::build_view produces for that row's view.
+        use crate::sample::{CanonicalBatchSampler, SampleBatch};
+        let c = bench_suite::tiny_demo(11);
+        let lib = Library::industry_like();
+        let model = VariationModel::paper_defaults();
+        let tg = TimingGraph::build(&c, &lib, &model).unwrap();
+        let sg = SequentialGraph::extract(&tg);
+        let skews = vec![0.0; sg.n_ffs];
+        let sampler = CanonicalBatchSampler::new(&sg);
+        let mut batch = SampleBatch::new();
+        batch.reset(&sg, 12);
+        sampler.fill(4, 0, &mut batch);
+        let period = 600.0;
+        let step = 3.0;
+        let mut cb = ConstraintBatch::new();
+        cb.build_from(&sg, &batch, &skews, period, step);
+        assert_eq!(cb.len(), 12);
+        let mut ic = IntegerConstraints::for_graph(&sg);
+        for row in 0..12 {
+            ic.build_view(&sg, batch.view(row), &skews, period, step);
+            let v = cb.view(row);
+            assert_eq!(v.setup_bound, &ic.setup_bound[..]);
+            assert_eq!(v.hold_bound, &ic.hold_bound[..]);
+            assert_eq!(v.feasible_at_zero(), ic.feasible_at_zero());
+        }
+    }
+
+    #[test]
+    fn batch_build_handles_nonzero_skews() {
+        // The hoisted per-edge skew terms in build_from must reproduce the
+        // scalar per-row formula for arbitrary skews.
+        use crate::sample::{CanonicalBatchSampler, SampleBatch};
+        let c = bench_suite::tiny_demo(12);
+        let lib = Library::industry_like();
+        let model = VariationModel::paper_defaults();
+        let tg = TimingGraph::build(&c, &lib, &model).unwrap();
+        let sg = SequentialGraph::extract(&tg);
+        let skews: Vec<f64> = (0..sg.n_ffs)
+            .map(|i| ((i % 5) as f64) * 3.5 - 7.0)
+            .collect();
+        let sampler = CanonicalBatchSampler::new(&sg);
+        let (period, step) = (550.0, 2.5);
+        let mut batch = SampleBatch::new();
+        batch.reset(&sg, 20);
+        sampler.fill(77, 100, &mut batch);
+        let mut cb = ConstraintBatch::new();
+        cb.build_from(&sg, &batch, &skews, period, step);
+        let mut ic = IntegerConstraints::for_graph(&sg);
+        for row in 0..20 {
+            ic.build_view(&sg, batch.view(row), &skews, period, step);
+            let v = cb.view(row);
+            assert_eq!(v.setup_bound, &ic.setup_bound[..], "row {row}");
+            assert_eq!(v.hold_bound, &ic.hold_bound[..], "row {row}");
+        }
     }
 
     #[test]

@@ -49,9 +49,7 @@ impl<'a> TimingGraph<'a> {
             for &sink in circuit.fanouts(id) {
                 l += lib.wire_cap_per_fanout;
                 l += match &circuit.node(sink).kind {
-                    NodeKind::Gate { cell } => {
-                        lib.cell(cell).expect("validated above").input_cap
-                    }
+                    NodeKind::Gate { cell } => lib.cell(cell).expect("validated above").input_cap,
                     NodeKind::FlipFlop { cell } => lib.ff(cell).expect("validated").d_cap,
                     NodeKind::Output => PO_PIN_CAP,
                     NodeKind::Input => 0.0,

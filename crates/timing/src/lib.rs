@@ -18,13 +18,25 @@
 //!   for every sequential edge, drawn either from the canonical edge forms
 //!   (fast, `O(edges)` per sample) or by exact gate-level propagation
 //!   (reference mode);
+//! * [`sample::SampleBatch`] / [`sample::CanonicalBatchSampler`] — the
+//!   structure-of-arrays batch engine: flat `samples × width` buffers
+//!   reused across passes and a flattened-coefficient draw kernel with
+//!   inverse-transform normals.  Chips are seeded by their global sample
+//!   index, so batches decompose deterministically — the foundation of the
+//!   flow's thread-count-independent parallelism;
+//! * [`constraint::ConstraintBatch`] — batched constraint extraction over
+//!   a [`sample::SampleBatch`], with chip-invariant per-edge terms hoisted
+//!   out of the chip loop;
 //! * [`constraint::IntegerConstraints`] — the paper's setup/hold
 //!   inequalities discretised to buffer steps:
 //!   `k_i − k_j ≤ ⌊(T − s_j − d̄ij + t_j − t_i)/δ⌋` and
 //!   `k_j − k_i ≤ ⌊(d̲ij − h_j + t_i − t_j)/δ⌋`;
 //! * [`feasibility::DiffSolver`] — an SPFA-based difference-constraint
 //!   solver with negative-cycle detection that decides whether a chip can
-//!   be configured (and produces a witness configuration).
+//!   be configured (and produces a witness configuration).  Its
+//!   warm-start API revalidates the previous chip's witness in `O(arcs)`
+//!   before falling back to a cold solve — the fast path when evaluating
+//!   long streams of similar chips.
 //!
 //! # Example
 //!
@@ -50,8 +62,8 @@ pub mod graph;
 pub mod sample;
 pub mod seq;
 
-pub use constraint::IntegerConstraints;
+pub use constraint::{ConstraintBatch, ConstraintsView, IntegerConstraints};
 pub use feasibility::{DiffSolver, Feasibility};
 pub use graph::TimingGraph;
-pub use sample::SampleTiming;
+pub use sample::{CanonicalBatchSampler, SampleBatch, SampleTiming, SampleView};
 pub use seq::SequentialGraph;

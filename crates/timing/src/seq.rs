@@ -258,7 +258,9 @@ mod tests {
         let model = VariationModel::paper_defaults();
         let tg = TimingGraph::build(&c, &lib, &model).unwrap();
         let sg = SequentialGraph::extract(&tg);
-        let clkq_min = (0..3).map(|i| tg.clk_to_q(i).mean()).fold(f64::MAX, f64::min);
+        let clkq_min = (0..3)
+            .map(|i| tg.clk_to_q(i).mean())
+            .fold(f64::MAX, f64::min);
         for e in &sg.edges {
             assert!(e.min_delay.mean() >= clkq_min - 1e-9);
         }

@@ -303,7 +303,12 @@ mod tests {
         let b = CanonicalForm::with_parts(9.5, [0.3, 0.0, 0.4], 0.9);
         let m = a.max(&b);
         let (mc_mean, mc_var) = mc_max_moments(&a, &b, 400_000);
-        assert!((m.mean() - mc_mean).abs() < 0.01, "{} vs {}", m.mean(), mc_mean);
+        assert!(
+            (m.mean() - mc_mean).abs() < 0.01,
+            "{} vs {}",
+            m.mean(),
+            mc_mean
+        );
         assert!(
             (m.variance() - mc_var).abs() < 0.02,
             "{} vs {}",
@@ -354,7 +359,9 @@ mod tests {
     #[test]
     fn evaluate_and_quantile() {
         let c = CanonicalForm::with_parts(10.0, [2.0, 0.0, 0.0], 0.0);
-        let g = GlobalSample { delta: [1.0, 0.0, 0.0] };
+        let g = GlobalSample {
+            delta: [1.0, 0.0, 0.0],
+        };
         assert!((c.evaluate(&g, 0.0) - 12.0).abs() < 1e-12);
         assert!((c.quantile(0.5) - 10.0).abs() < 1e-6);
         assert!(c.quantile(0.9772) > 13.9);

@@ -15,7 +15,9 @@ use psbi::variation::VariationModel;
 fn build_pipeline() -> Circuit {
     let mut c = Circuit::new("ring_pipeline");
     let input = c.add_input("in");
-    let ffs: Vec<_> = (0..4).map(|i| c.add_ff(format!("r{i}"), "DFF_X1")).collect();
+    let ffs: Vec<_> = (0..4)
+        .map(|i| c.add_ff(format!("r{i}"), "DFF_X1"))
+        .collect();
     // Stage 0 -> 1: deliberately deep (the critical stage).
     let mut sig = ffs[0];
     for d in 0..9 {
@@ -72,15 +74,17 @@ fn main() {
         record_histograms: 1,
         ..FlowConfig::default()
     };
-    let flow =
-        BufferInsertionFlow::with_library(&circuit, cfg, lib, model).expect("valid circuit");
+    let flow = BufferInsertionFlow::with_library(&circuit, cfg, lib, model).expect("valid circuit");
     let r = flow.run();
     println!(
         "mu_T = {:.1} ps; inserted {} buffer(s); yield {:.1}% -> {:.1}%",
         r.mu_t, r.nb, r.yield_baseline, r.yield_with_buffers
     );
     for g in &r.groups {
-        println!("  buffer on FFs {:?}, window [{}, {}] steps", g.members, g.lo, g.hi);
+        println!(
+            "  buffer on FFs {:?}, window [{}, {}] steps",
+            g.members, g.lo, g.hi
+        );
     }
     if let Some(s) = r.snapshots.first() {
         println!(

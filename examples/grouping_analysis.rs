@@ -35,7 +35,9 @@ fn main() {
         };
         cfg.grouping.correlation_threshold = rt;
         cfg.grouping.distance_factor = dt;
-        let r = BufferInsertionFlow::new(&circuit, cfg).expect("valid").run();
+        let r = BufferInsertionFlow::new(&circuit, cfg)
+            .expect("valid")
+            .run();
         println!(
             "{rt:>5.2} {dt:>5.1} | {:>10} {:>4} {:>6.2} {:>7.2} {:>7.2}",
             r.buffers_before_grouping, r.nb, r.ab, r.yield_with_buffers, r.improvement

@@ -26,8 +26,7 @@ fn main() {
     let result = flow.run();
     println!(
         "design-time flow inserted {} buffer(s); windows: {:?}",
-        result.nb,
-        result.deployment.bounds
+        result.nb, result.deployment.bounds
     );
 
     // "Manufacture" 20 chips from the evaluation stream and program them.
@@ -39,7 +38,12 @@ fn main() {
         match configure_chip(flow.sequential_graph(), &ic, &result.deployment) {
             Some(conf) => {
                 assert!(
-                    verify(flow.sequential_graph(), &ic, &result.deployment, &conf.settings),
+                    verify(
+                        flow.sequential_graph(),
+                        &ic,
+                        &result.deployment,
+                        &conf.settings
+                    ),
                     "configuration must verify"
                 );
                 configured += 1;

@@ -35,7 +35,10 @@ fn main() {
         "unbuffered minimum period: mu = {:.1} ps, sigma = {:.1} ps",
         result.mu_t, result.sigma_t
     );
-    println!("target period: {:.1} ps (buffer step {:.2} ps)", result.period, result.step);
+    println!(
+        "target period: {:.1} ps (buffer step {:.2} ps)",
+        result.period, result.step
+    );
     println!();
     println!(
         "inserted {} physical buffer(s) (from {} candidates before grouping)",

@@ -22,7 +22,10 @@ fn main() {
         circuit.num_ffs(),
         circuit.num_gates()
     );
-    println!("{:<16} {:>6} {:>6} {:>8} {:>8} {:>8}", "target", "Nb", "Ab", "Yo(%)", "Y(%)", "Yi(%)");
+    println!(
+        "{:<16} {:>6} {:>6} {:>8} {:>8} {:>8}",
+        "target", "Nb", "Ab", "Yo(%)", "Y(%)", "Yi(%)"
+    );
     for (label, sigma) in [("muT", 0.0), ("muT+sigma", 1.0), ("muT+2sigma", 2.0)] {
         let cfg = FlowConfig {
             samples: 800,
@@ -31,7 +34,9 @@ fn main() {
             target: TargetPeriod::SigmaFactor(sigma),
             ..FlowConfig::default()
         };
-        let r = BufferInsertionFlow::new(&circuit, cfg).expect("valid").run();
+        let r = BufferInsertionFlow::new(&circuit, cfg)
+            .expect("valid")
+            .run();
         println!(
             "{label:<16} {:>6} {:>6.2} {:>8.2} {:>8.2} {:>8.2}",
             r.nb, r.ab, r.yield_baseline, r.yield_with_buffers, r.improvement

@@ -1,0 +1,69 @@
+//! Determinism regression: the flow result — insertion ranges, deployment
+//! and yields — is bit-identical with `RAYON_NUM_THREADS=1` and with the
+//! default worker count.
+//!
+//! This pins the batched engine's contract: fixed chunk boundaries,
+//! per-chip seeded RNGs and chunk-ordered merges make the outcome
+//! independent of how the work-stealing scheduler interleaves chunks.
+
+use psbi::core::flow::{BufferInsertionFlow, FlowConfig, InsertionResult, TargetPeriod};
+use psbi::netlist::bench_suite;
+
+fn run_once(threads: usize) -> InsertionResult {
+    let circuit = bench_suite::tiny_demo(42);
+    let cfg = FlowConfig {
+        samples: 200,
+        yield_samples: 400,
+        calibration_samples: 300,
+        seed: 2024,
+        // 0 = let the parallel runtime decide (RAYON_NUM_THREADS / cores);
+        // > 0 = explicit worker pool.
+        threads,
+        target: TargetPeriod::SigmaFactor(0.0),
+        record_histograms: 2,
+        ..FlowConfig::default()
+    };
+    BufferInsertionFlow::new(&circuit, cfg)
+        .expect("valid circuit")
+        .run()
+}
+
+/// Strips wall-clock times, which legitimately differ between runs.
+fn normalized(mut r: InsertionResult) -> InsertionResult {
+    r.runtime = Default::default();
+    r
+}
+
+#[test]
+fn flow_is_bit_identical_across_thread_counts() {
+    // Leg 1: RAYON_NUM_THREADS=1 versus the default worker count.
+    // Single test function: the runs must not interleave with other tests
+    // mutating the same process-wide environment variable.
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let env_single = normalized(run_once(0));
+    std::env::remove_var("RAYON_NUM_THREADS");
+    let env_default = normalized(run_once(0));
+    assert!(
+        env_single.nb > 0,
+        "flow should deploy at least one buffer at µT"
+    );
+    assert_eq!(
+        env_single, env_default,
+        "flow result differs between RAYON_NUM_THREADS=1 and the default"
+    );
+
+    // Leg 2: explicit 1-thread and 8-thread pools.  This leg stays
+    // meaningful on single-core machines (and under runtimes that read
+    // RAYON_NUM_THREADS only once at global-pool initialisation): eight
+    // oversubscribed workers still race for chunks in a different order.
+    let pool_single = normalized(run_once(1));
+    let pool_eight = normalized(run_once(8));
+    assert_eq!(
+        pool_single, pool_eight,
+        "flow result differs between explicit 1-thread and 8-thread pools"
+    );
+    assert_eq!(
+        env_single, pool_single,
+        "env-capped and pool-capped single-thread runs disagree"
+    );
+}

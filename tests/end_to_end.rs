@@ -62,9 +62,7 @@ fn yield_eval_and_configuration_agree() {
     let mut passes = 0;
     for chip in 0..120u64 {
         let ic = flow.sample_constraints("yield", chip, r.period, r.step);
-        let evaluator_says = r
-            .deployment
-            .chip_passes(sg, &ic, &mut solver, &mut arcs);
+        let evaluator_says = r.deployment.chip_passes(sg, &ic, &mut solver, &mut arcs);
         let config = configure_chip(sg, &ic, &r.deployment);
         assert_eq!(
             evaluator_says,

@@ -6,10 +6,7 @@ use psbi::netlist::bench_suite;
 
 fn flow_result(
     circuit: &psbi::netlist::Circuit,
-) -> (
-    BufferInsertionFlow<'_>,
-    psbi::core::flow::InsertionResult,
-) {
+) -> (BufferInsertionFlow<'_>, psbi::core::flow::InsertionResult) {
     let cfg = FlowConfig {
         samples: 250,
         yield_samples: 800,

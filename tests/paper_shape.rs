@@ -36,11 +36,7 @@ fn baseline_yields_track_the_gaussian_levels() {
         "Yo(+1s) = {}",
         r1.yield_baseline
     );
-    assert!(
-        r2.yield_baseline >= 92.0,
-        "Yo(+2s) = {}",
-        r2.yield_baseline
-    );
+    assert!(r2.yield_baseline >= 92.0, "Yo(+2s) = {}", r2.yield_baseline);
 }
 
 #[test]

@@ -1,0 +1,259 @@
+//! Vendored, offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of the criterion API the PSBI benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`black_box`],
+//! `criterion_group!` / `criterion_main!` — with a straightforward
+//! measurement loop: warm up, then run timed batches and report the median
+//! batch's per-iteration time.  Output goes to stdout as
+//! `name  time: <t> per iter (<n> iters)`.
+//!
+//! A positional command-line argument acts as a substring filter on
+//! benchmark names (the same convention `cargo bench -- <filter>` uses);
+//! `--quick` cuts measurement time by 5×.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier — prevents the optimiser from deleting benched work.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for parameterised benchmarks.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `group_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Per-benchmark timing driver handed to `b.iter(...)` closures.
+pub struct Bencher {
+    /// Nanoseconds per iteration of the median measured batch.
+    median_ns: f64,
+    /// Total iterations executed during measurement.
+    iters: u64,
+    measure_time: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    fn new(measure_time: Duration, sample_size: usize) -> Self {
+        Self {
+            median_ns: f64::NAN,
+            iters: 0,
+            measure_time,
+            sample_size,
+        }
+    }
+
+    /// Measures `f`, retaining its output via [`black_box`].
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch-size calibration: grow until one batch takes
+        // at least ~1 ms (or a growth cap is hit).
+        let mut batch: u64 = 1;
+        let warm_deadline = Instant::now() + self.measure_time / 5;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(1) || batch >= 1 << 24 {
+                break;
+            }
+            batch *= 2;
+            if Instant::now() > warm_deadline {
+                break;
+            }
+        }
+        // Timed batches.
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let deadline = Instant::now() + self.measure_time;
+        let mut total_iters = 0u64;
+        while samples.len() < self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            samples.push(dt.as_nanos() as f64 / batch as f64);
+            total_iters += batch;
+            if Instant::now() > deadline && samples.len() >= 5 {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.median_ns = samples[samples.len() / 2];
+        self.iters = total_iters;
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Harness entry point, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    filter: Option<String>,
+    measure_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut quick = false;
+        for arg in std::env::args().skip(1) {
+            if arg == "--quick" {
+                quick = true;
+            } else if arg == "--bench" || arg == "--test" || arg.starts_with('-') {
+                // Harness flags passed through by cargo; ignore.
+            } else {
+                filter = Some(arg);
+            }
+        }
+        Self {
+            filter,
+            measure_time: if quick {
+                Duration::from_millis(60)
+            } else {
+                Duration::from_millis(300)
+            },
+            sample_size: 15,
+        }
+    }
+}
+
+impl Criterion {
+    fn wants(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    fn run_one(&self, name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+        if !self.wants(name) {
+            return;
+        }
+        let mut b = Bencher::new(self.measure_time, sample_size);
+        f(&mut b);
+        if b.iters == 0 {
+            println!("{name:<48} (no measurement)");
+        } else {
+            println!(
+                "{name:<48} time: {:>10} per iter ({} iters)",
+                format_ns(b.median_ns),
+                b.iters
+            );
+        }
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let sample_size = self.sample_size;
+        self.run_one(name, sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed batches for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(&full, sample_size, &mut f);
+        self
+    }
+
+    /// Runs one parameterised benchmark inside the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion
+            .run_one(&full, sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (formatting no-op, kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,437 @@
+//! Vendored, offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset the PSBI test suites use: the [`proptest!`] and
+//! [`prop_compose!`] macros, range/tuple/`Just`/string strategies,
+//! `prop_map`, `proptest::collection::vec`, [`prop_oneof!`],
+//! `any::<bool>()`, `prop_assert!` / `prop_assert_eq!`, and
+//! [`prelude::ProptestConfig`] with a configurable case count.
+//!
+//! Differences from upstream: no shrinking (a failing case panics with its
+//! inputs via the assertion message), and string strategies ignore their
+//! regex pattern, generating arbitrary printable-ish strings instead.
+//! Cases are generated from a deterministic per-test RNG, so failures are
+//! reproducible run-to-run.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// The RNG handed to strategies.
+    pub type TestRng = StdRng;
+
+    /// A generator of arbitrary values (no shrinking).
+    pub trait Strategy {
+        /// The value type produced.
+        type Value;
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f` (upstream `prop_map`).
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map::new(self, f)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Boxes a strategy (helper for [`prop_oneof!`]).
+    pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(s)
+    }
+
+    /// Always produces a clone of its value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform draw from a half-open numeric range.
+    impl<T: rand::SampleUniform> Strategy for Range<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Uniform draw from an inclusive numeric range.
+    impl<T: rand::SampleUniform> Strategy for std::ops::RangeInclusive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Arbitrary printable-ish string; the regex pattern is ignored.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let len = rng.gen_range(0usize..48);
+            (0..len)
+                .map(|_| {
+                    // Mix printable ASCII with some whitespace and a few
+                    // multi-byte characters to exercise parsers.
+                    match rng.gen_range(0u32..20) {
+                        0 => '\n',
+                        1 => '\t',
+                        2 => 'µ',
+                        3 => '€',
+                        _ => rng.gen_range(0x20u8..0x7f) as char,
+                    }
+                })
+                .collect()
+        }
+    }
+
+    /// `prop_map` adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, F> Map<S, F> {
+        /// Wraps `inner`, mapping through `f`.  The bounds pin the
+        /// closure's argument type so `prop_compose!` bodies infer.
+        pub fn new<O>(inner: S, f: F) -> Self
+        where
+            F: Fn(S::Value) -> O,
+        {
+            Self { inner, f }
+        }
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed strategies ([`prop_oneof!`]).
+    pub struct OneOf<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> OneOf<T> {
+        /// Builds from a non-empty option list.
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Self { options }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.gen_range(0usize..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    /// `any::<T>()` support.
+    pub trait ArbitraryValue {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl ArbitraryValue for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    impl ArbitraryValue for u8 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen_range(0u8..=u8::MAX)
+        }
+    }
+
+    impl ArbitraryValue for i64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen_range(i64::MIN..=i64::MAX)
+        }
+    }
+
+    /// Strategy form of [`ArbitraryValue`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: ArbitraryValue> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Upstream-style `any::<T>()`.
+    pub fn any<T: ArbitraryValue>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    macro_rules! impl_strategy_tuple {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($( self.$idx.generate(rng), )+)
+                }
+            }
+        };
+    }
+
+    impl_strategy_tuple!(S0: 0);
+    impl_strategy_tuple!(S0: 0, S1: 1);
+    impl_strategy_tuple!(S0: 0, S1: 1, S2: 2);
+    impl_strategy_tuple!(S0: 0, S1: 1, S2: 2, S3: 3);
+    impl_strategy_tuple!(S0: 0, S1: 1, S2: 2, S3: 3, S4: 4);
+    impl_strategy_tuple!(S0: 0, S1: 1, S2: 2, S3: 3, S4: 4, S5: 5);
+    impl_strategy_tuple!(S0: 0, S1: 1, S2: 2, S3: 3, S4: 4, S5: 5, S6: 6);
+    impl_strategy_tuple!(S0: 0, S1: 1, S2: 2, S3: 3, S4: 4, S5: 5, S6: 6, S7: 7);
+    impl_strategy_tuple!(S0: 0, S1: 1, S2: 2, S3: 3, S4: 4, S5: 5, S6: 6, S7: 7, S8: 8);
+    impl_strategy_tuple!(S0: 0, S1: 1, S2: 2, S3: 3, S4: 4, S5: 5, S6: 6, S7: 7, S8: 8, S9: 9);
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Sizes accepted by [`vec`]: a fixed `usize` or a `Range<usize>`.
+    pub trait IntoSizeRange {
+        /// Draws a concrete length.
+        fn draw_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn draw_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn draw_len(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Vector-of-`element` strategy.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.draw_len(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Upstream-style `proptest::collection::vec(element, len)`.
+    pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Test-runner plumbing used by the macros.
+pub mod test_runner {
+    use rand::SeedableRng;
+
+    pub use super::strategy::TestRng;
+
+    /// Per-test configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Overrides the case count.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// Deterministic RNG derived from the property name, so failures
+    /// reproduce across runs and machines.
+    pub fn deterministic_rng(test_name: &str) -> TestRng {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng::seed_from_u64(h)
+    }
+}
+
+/// Common imports (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_compose, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property (panics with the message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (panics with the message).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![ $( $crate::strategy::boxed($strategy) ),+ ])
+    };
+}
+
+/// Composes sub-strategies into a derived-value strategy (upstream form).
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident ($($arg:ident : $argty:ty),* $(,)?)
+            ($($pat:pat_param in $strat:expr),+ $(,)?)
+            -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($arg: $argty),*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            let strategies = ( $( $strat, )+ );
+            $crate::strategy::Map::new(strategies, move |( $($pat,)+ )| $body)
+        }
+    };
+}
+
+/// Declares property tests (upstream form, without shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        cfg = ($cfg:expr);
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let strategies = ( $( $strat, )+ );
+                let mut rng = $crate::test_runner::deterministic_rng(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for _case in 0..config.cases {
+                    let ( $($pat,)+ ) =
+                        $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                    // Upstream proptest bodies may `return Ok(())` early;
+                    // run them in a Result-returning closure to allow it.
+                    #[allow(clippy::redundant_closure_call)]
+                    let outcome: ::std::result::Result<(), ::std::string::String> =
+                        (|| { { $body } ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(message) = outcome {
+                        panic!("property failed: {message}");
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        fn arb_point()(x in -10i64..10, y in -10i64..10) -> (i64, i64) {
+            (x, y)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 0usize..7, b in -2.5f64..2.5) {
+            prop_assert!(a < 7);
+            prop_assert!((-2.5..2.5).contains(&b));
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in collection::vec(0u32..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|x| *x < 5));
+        }
+
+        #[test]
+        fn oneof_and_compose(p in arb_point(), c in prop_oneof![Just(1u8), Just(2u8)]) {
+            prop_assert!(p.0 >= -10 && p.0 < 10);
+            prop_assert!(c == 1 || c == 2);
+        }
+
+        #[test]
+        fn string_strategy_generates(s in "\\PC*", flag in any::<bool>()) {
+            prop_assert!(s.len() < 256);
+            let _ = flag;
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_is_stable() {
+        use crate::strategy::Strategy;
+        let s = 0u64..1000;
+        let mut r1 = crate::test_runner::deterministic_rng("x");
+        let mut r2 = crate::test_runner::deterministic_rng("x");
+        for _ in 0..16 {
+            assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+        }
+    }
+}

@@ -1,0 +1,397 @@
+//! Vendored, offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the small `rayon` surface the PSBI workspace uses: `par_iter` over
+//! `Range<usize>` with `map`/`for_each`/`collect`, plus
+//! [`current_num_threads`].
+//!
+//! Scheduling model: a shared atomic work counter that idle workers pull
+//! the next unclaimed index from — the same dynamic load-balancing property
+//! as rayon's work-stealing deques for parallel-for workloads (a fast
+//! worker that finishes its item immediately claims the next one; no
+//! static pre-partitioning).  Results are written into per-index slots, so
+//! `collect` preserves input order and the outcome is **bit-identical for
+//! any thread count** whenever the per-index closure is deterministic.
+//!
+//! Thread count: `RAYON_NUM_THREADS` (if set and nonzero), else
+//! `std::thread::available_parallelism()`.
+
+use std::cell::{Cell, UnsafeCell};
+use std::mem::MaybeUninit;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    /// Per-thread worker-count override (0 = none); see [`with_num_threads`].
+    static NUM_THREADS_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of worker threads parallel iterators will use.
+pub fn current_num_threads() -> usize {
+    let overridden = NUM_THREADS_OVERRIDE.with(Cell::get);
+    if overridden > 0 {
+        return overridden;
+    }
+    match std::env::var("RAYON_NUM_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => default_threads(),
+        },
+        Err(_) => default_threads(),
+    }
+}
+
+/// Upstream-compatible scoped pool: `ThreadPoolBuilder::new()
+/// .num_threads(n).build()?.install(f)` caps the parallel iterators
+/// inside `f` at `n` workers.  In this shim a "pool" is just the cap (no
+/// standing threads), but the API shape matches `rayon::ThreadPool`, so
+/// callers compile unchanged against upstream.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with the default thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps the pool at `n` workers (`0` = default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.  Infallible in this shim; the `Result` mirrors
+    /// upstream's signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// Error type mirroring upstream's `ThreadPoolBuildError` (never produced
+/// by this shim).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A scoped worker-count cap (see [`ThreadPoolBuilder`]).
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with parallel iterators capped at this pool's size.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        with_num_threads(self.num_threads, f)
+    }
+
+    /// This pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            current_num_threads()
+        }
+    }
+}
+
+/// Runs `f` with parallel iterators on this thread capped at `n` worker
+/// threads (`0` removes the cap).  Shim-internal primitive behind
+/// [`ThreadPool::install`]; prefer the pool API in downstream code — it
+/// is the part that exists upstream.
+pub fn with_num_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            NUM_THREADS_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = NUM_THREADS_OVERRIDE.with(|c| {
+        let prev = c.get();
+        c.set(n);
+        Restore(prev)
+    });
+    f()
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Slot vector that workers write disjoint indices into.
+struct Slots<T> {
+    cells: Vec<UnsafeCell<MaybeUninit<T>>>,
+}
+
+// SAFETY: every index is claimed by exactly one worker (fetch_add), so no
+// two threads ever touch the same cell.
+unsafe impl<T: Send> Sync for Slots<T> {}
+
+impl<T> Slots<T> {
+    fn new(n: usize) -> Self {
+        let mut cells = Vec::with_capacity(n);
+        cells.resize_with(n, || UnsafeCell::new(MaybeUninit::uninit()));
+        Self { cells }
+    }
+
+    /// # Safety
+    /// `i` must be claimed by exactly one caller, once.
+    unsafe fn write(&self, i: usize, value: T) {
+        unsafe { (*self.cells[i].get()).write(value) };
+    }
+
+    /// # Safety
+    /// Every slot must have been written exactly once.
+    unsafe fn into_vec(self) -> Vec<T> {
+        self.cells
+            .into_iter()
+            .map(|c| unsafe { c.into_inner().assume_init() })
+            .collect()
+    }
+}
+
+/// Runs `produce(i)` for every `i` in `start..end` across the thread pool,
+/// returning results in index order.  Work distribution is dynamic: each
+/// worker claims the next unprocessed index when it finishes one.
+fn drive_map<T, F>(start: usize, end: usize, produce: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let n = end.saturating_sub(start);
+    let workers = current_num_threads().min(n);
+    if n == 0 {
+        return Vec::new();
+    }
+    if workers <= 1 {
+        return (start..end).map(produce).collect();
+    }
+    let slots = Slots::new(n);
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = produce(start + i);
+                // SAFETY: `i` came from fetch_add, so it is exclusive.
+                unsafe { slots.write(i, value) };
+            });
+        }
+    });
+    // SAFETY: the scope joined all workers and the cursor covered 0..n.
+    unsafe { slots.into_vec() }
+}
+
+/// Parallel iterator support (subset of `rayon::iter`).
+pub mod iter {
+    use super::drive_map;
+    use std::ops::Range;
+
+    /// Conversion into a parallel iterator.
+    pub trait IntoParallelIterator {
+        /// The resulting parallel iterator type.
+        type Iter;
+        /// Converts `self`.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl IntoParallelIterator for Range<usize> {
+        type Iter = RangeParIter;
+        fn into_par_iter(self) -> RangeParIter {
+            RangeParIter { range: self }
+        }
+    }
+
+    /// Parallel iterator over `Range<usize>`.
+    pub struct RangeParIter {
+        range: Range<usize>,
+    }
+
+    impl RangeParIter {
+        /// Maps each index through `f` in parallel.
+        pub fn map<T, F>(self, f: F) -> MapParIter<F>
+        where
+            T: Send,
+            F: Fn(usize) -> T + Sync,
+        {
+            MapParIter {
+                range: self.range,
+                f,
+            }
+        }
+
+        /// Runs `f` on each index in parallel.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(usize) + Sync,
+        {
+            drive_map(self.range.start, self.range.end, f);
+        }
+    }
+
+    /// Mapped parallel iterator over `Range<usize>`.
+    pub struct MapParIter<F> {
+        range: Range<usize>,
+        f: F,
+    }
+
+    /// Collection targets for [`ParallelIterator::collect`].
+    pub trait FromParallelIterator<T> {
+        /// Builds the collection from in-order results.
+        fn from_ordered_vec(v: Vec<T>) -> Self;
+    }
+
+    impl<T> FromParallelIterator<T> for Vec<T> {
+        fn from_ordered_vec(v: Vec<T>) -> Self {
+            v
+        }
+    }
+
+    /// Consuming operations on mapped parallel iterators.
+    pub trait ParallelIterator {
+        /// Element type.
+        type Item: Send;
+
+        /// Collects results, preserving input index order.
+        fn collect<C: FromParallelIterator<Self::Item>>(self) -> C;
+
+        /// Consumes every element (results dropped).
+        fn for_each_drop(self);
+    }
+
+    impl<T, F> ParallelIterator for MapParIter<F>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        type Item = T;
+
+        fn collect<C: FromParallelIterator<T>>(self) -> C {
+            let f = self.f;
+            C::from_ordered_vec(drive_map(self.range.start, self.range.end, f))
+        }
+
+        fn for_each_drop(self) {
+            let f = self.f;
+            drive_map(self.range.start, self.range.end, |i| {
+                f(i);
+            });
+        }
+    }
+}
+
+/// `use rayon::prelude::*` convenience re-exports.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("rayon::join worker panicked");
+        (ra, rb)
+    })
+}
+
+/// Re-export of [`Range`] driving helper for crates that need a plain
+/// parallel-for without the iterator sugar.
+pub fn par_for_each<F: Fn(usize) + Sync>(range: Range<usize>, f: F) {
+    drive_map(range.start, range.end, f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 3).collect();
+        assert_eq!(v.len(), 1000);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i * 3);
+        }
+    }
+
+    #[test]
+    fn empty_range() {
+        let v: Vec<usize> = (5..5).into_par_iter().map(|i| i).collect();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn for_each_touches_every_index() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let sum = AtomicU64::new(0);
+        (0..100usize).into_par_iter().for_each(|i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn with_num_threads_overrides_and_restores() {
+        let outer = super::current_num_threads();
+        super::with_num_threads(1, || {
+            assert_eq!(super::current_num_threads(), 1);
+            let v: Vec<usize> = (0..10).into_par_iter().map(|i| i).collect();
+            assert_eq!(v, (0..10).collect::<Vec<_>>());
+        });
+        assert_eq!(super::current_num_threads(), outer);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn uneven_work_is_balanced_and_ordered() {
+        // Items with wildly different costs still land in their slots.
+        let v: Vec<u64> = (0..64usize)
+            .into_par_iter()
+            .map(|i| {
+                let spins = if i % 7 == 0 { 200_000 } else { 10 };
+                let mut acc = i as u64;
+                for k in 0..spins {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                }
+                // Deterministic per-index value regardless of spin count.
+                std::hint::black_box(acc);
+                i as u64
+            })
+            .collect();
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
+    }
+}

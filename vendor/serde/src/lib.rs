@@ -1,0 +1,18 @@
+//! Vendored, offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public data types
+//! so they are ready for a real serialisation backend, but the build
+//! environment has no crates.io access.  This shim keeps the annotations
+//! compiling: the traits are blanket-implemented markers and the derive
+//! macros expand to nothing.  Swapping in upstream `serde` later is a
+//! Cargo.toml-only change; no source edits needed.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; implemented by every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; implemented by every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,18 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored serde shim.
+//!
+//! The shim's traits are blanket-implemented, so the derives only need to
+//! exist (and accept `#[serde(...)]` helper attributes); they emit nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
