@@ -1,0 +1,89 @@
+//! Fleet overhead: a 2-circuit × 2-target campaign through
+//! `psbi_fleet::run_campaign` (journaling, in-order commit, shared
+//! workspace pool, per-circuit flow reuse) versus the same four jobs as
+//! back-to-back `BufferInsertionFlow::run()` calls with nothing shared.
+//! The campaign's journal replay path is measured separately (a complete
+//! journal makes `run_campaign` a pure resume no-op).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psbi_core::flow::{BufferInsertionFlow, FlowConfig, TargetPeriod};
+use psbi_fleet::{run_campaign, CampaignSpec, FleetOptions};
+use psbi_netlist::bench_suite::CircuitRef;
+
+fn quick_spec() -> CampaignSpec {
+    CampaignSpec {
+        name: "bench".into(),
+        circuits: vec![
+            CircuitRef::parse("tiny_demo:1").expect("valid"),
+            CircuitRef::parse("tiny_demo:2").expect("valid"),
+        ],
+        sigma_factors: vec![0.0, 2.0],
+        samples: 60,
+        yield_samples: 120,
+        calibration_samples: 120,
+        threads_per_job: 1,
+        ..CampaignSpec::default()
+    }
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    let spec = quick_spec();
+    let journal =
+        std::env::temp_dir().join(format!("psbi_fleet_bench_{}.journal", std::process::id()));
+    let opts = FleetOptions {
+        workers: 1,
+        ..FleetOptions::default()
+    };
+
+    let mut group = c.benchmark_group("fleet_overhead");
+    group.sample_size(10);
+
+    group.bench_function("campaign_2x2_tiny", |b| {
+        b.iter(|| {
+            let _ = std::fs::remove_file(&journal);
+            let outcome = run_campaign(&spec, &journal, &opts).expect("campaign runs");
+            assert!(outcome.complete());
+            outcome.records.len()
+        })
+    });
+
+    group.bench_function("back_to_back_2x2_tiny", |b| {
+        let circuits: Vec<_> = spec
+            .circuits
+            .iter()
+            .map(|c| c.materialize().expect("valid circuit"))
+            .collect();
+        b.iter(|| {
+            let mut buffers = 0usize;
+            for circuit in &circuits {
+                for k in &spec.sigma_factors {
+                    let cfg = FlowConfig {
+                        target: TargetPeriod::SigmaFactor(*k),
+                        ..spec.flow_config()
+                    };
+                    let r = BufferInsertionFlow::new(circuit, cfg)
+                        .expect("valid circuit")
+                        .run();
+                    buffers += r.nb;
+                }
+            }
+            buffers
+        })
+    });
+
+    // Resume on a complete journal: pure replay, no job executes.
+    let _ = std::fs::remove_file(&journal);
+    run_campaign(&spec, &journal, &opts).expect("campaign runs");
+    group.bench_function("resume_noop_2x2_tiny", |b| {
+        b.iter(|| {
+            let outcome = run_campaign(&spec, &journal, &opts).expect("replay");
+            assert_eq!(outcome.executed_jobs, 0);
+            outcome.records.len()
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_file(&journal);
+}
+
+criterion_group!(benches, bench_fleet);
+criterion_main!(benches);

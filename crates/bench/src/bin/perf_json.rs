@@ -6,13 +6,21 @@
 //! ```text
 //! cargo run -p psbi-bench --release --bin perf_json -- \
 //!     [--circuit s9234] [--samples 10000] [--flow-samples 1000] \
-//!     [--seed 42] [--out BENCH_sampling.json]
+//!     [--campaign-samples 400] [--seed 42] [--out BENCH_sampling.json]
 //! ```
+//!
+//! Besides the sampling-throughput and flow-stage sections, the output
+//! carries a `campaign` section: a small 2-circuit × 2-target fleet
+//! campaign timed against the same jobs as back-to-back
+//! `BufferInsertionFlow::run()` calls, plus the pure journal-replay
+//! (resume no-op) time — the fleet subsystem's overhead trajectory.
 
 use psbi_bench::Args;
 use psbi_core::flow::{BufferInsertionFlow, FlowConfig, TargetPeriod};
+use psbi_fleet::{run_campaign, CampaignSpec, FleetOptions};
 use psbi_liberty::Library;
 use psbi_netlist::bench_suite;
+use psbi_netlist::bench_suite::CircuitRef;
 use psbi_timing::graph::TimingGraph;
 use psbi_timing::sample::{
     chip_rng, sample_canonical, CanonicalBatchSampler, SampleBatch, SampleTiming,
@@ -113,6 +121,58 @@ fn main() {
         .run();
     let flow_s = t2.elapsed().as_secs_f64();
 
+    // Fleet campaign vs the same jobs back to back.  The campaign path
+    // journals every job and commits in order; the back-to-back path is
+    // the pre-fleet workflow (a fresh flow per job, nothing shared).
+    let campaign_samples: usize = args.get("campaign-samples").unwrap_or(400);
+    let spec = CampaignSpec {
+        name: "perf".into(),
+        circuits: vec![
+            CircuitRef::parse("small_demo:1").expect("valid"),
+            CircuitRef::parse("small_demo:2").expect("valid"),
+        ],
+        sigma_factors: vec![0.0, 2.0],
+        samples: campaign_samples,
+        yield_samples: campaign_samples,
+        calibration_samples: campaign_samples,
+        seed,
+        threads_per_job: 1,
+        ..CampaignSpec::default()
+    };
+    let journal =
+        std::env::temp_dir().join(format!("psbi_perf_json_{}.journal", std::process::id()));
+    let fleet_opts = FleetOptions {
+        workers: 1,
+        ..FleetOptions::default()
+    };
+    let _ = std::fs::remove_file(&journal);
+    let t3 = Instant::now();
+    let outcome = run_campaign(&spec, &journal, &fleet_opts).expect("campaign runs");
+    let fleet_s = t3.elapsed().as_secs_f64();
+    assert!(outcome.complete());
+    let t4 = Instant::now();
+    let replay = run_campaign(&spec, &journal, &fleet_opts).expect("replay");
+    let resume_noop_s = t4.elapsed().as_secs_f64();
+    assert_eq!(replay.executed_jobs, 0);
+    let t5 = Instant::now();
+    let mut back_to_back_buffers = 0usize;
+    for circuit_ref in &spec.circuits {
+        let c = circuit_ref.materialize().expect("valid circuit");
+        for k in &spec.sigma_factors {
+            let job_cfg = FlowConfig {
+                target: TargetPeriod::SigmaFactor(*k),
+                ..spec.flow_config()
+            };
+            back_to_back_buffers += BufferInsertionFlow::new(&c, job_cfg)
+                .expect("valid circuit")
+                .run()
+                .nb;
+        }
+    }
+    let back_to_back_s = t5.elapsed().as_secs_f64();
+    let _ = std::fs::remove_file(&journal);
+    std::hint::black_box(back_to_back_buffers);
+
     let scalar_rate = samples as f64 / scalar_s;
     let batched_rate = samples as f64 / batched_s;
     let mut json = String::new();
@@ -148,6 +208,18 @@ fn main() {
         result.yield_with_buffers
     );
     let _ = writeln!(json, "    \"buffers\": {}", result.nb);
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"campaign\": {{");
+    let _ = writeln!(json, "    \"jobs\": {},", outcome.total_jobs);
+    let _ = writeln!(json, "    \"samples\": {campaign_samples},");
+    let _ = writeln!(json, "    \"fleet_s\": {fleet_s:.6},");
+    let _ = writeln!(json, "    \"back_to_back_s\": {back_to_back_s:.6},");
+    let _ = writeln!(
+        json,
+        "    \"fleet_overhead\": {:.4},",
+        fleet_s / back_to_back_s - 1.0
+    );
+    let _ = writeln!(json, "    \"resume_noop_s\": {resume_noop_s:.6}");
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
 

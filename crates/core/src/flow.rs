@@ -37,7 +37,7 @@ use crate::solve::{BufferSpace, PushObjective, SampleSolver, SolverOptions};
 use crate::yield_eval::{Deployment, YieldReport};
 use psbi_liberty::Library;
 use psbi_netlist::{Circuit, NetlistError, Placement, SkewConfig};
-use psbi_timing::feasibility::{Arc, DiffSolver};
+use psbi_timing::feasibility::{Arc as TimingArc, DiffSolver};
 use psbi_timing::graph::TimingGraph;
 use psbi_timing::sample::{CanonicalBatchSampler, GateLevelSampler, SampleBatch, SampleTiming};
 use psbi_timing::{constraint, ConstraintBatch, IntegerConstraints, SequentialGraph};
@@ -45,7 +45,9 @@ use psbi_variation::seeding::stream_seed;
 use psbi_variation::{Histogram, VariationModel};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::sync::Mutex;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 /// Samples per parallel work unit.  Fixed (not derived from the thread
@@ -287,22 +289,33 @@ struct Workspace {
     cons: ConstraintBatch,
     solver: SampleSolver,
     diff: DiffSolver,
-    arcs: Vec<Arc>,
+    arcs: Vec<TimingArc>,
     gls: Option<GateLevelSampler>,
 }
 
-/// Lock-protected free list of [`Workspace`]s shared by all passes.
+/// Lock-protected free list of [`Workspace`]s shared by all passes — and,
+/// when shared via [`BufferInsertionFlow::with_shared_pool`], by all flows
+/// of a multi-circuit campaign (workspaces are resized on checkout, so one
+/// pool serves circuits of different sizes).
 ///
 /// Checkout order is unspecified (workers race for the list), which is
 /// safe because workspaces carry no chip-dependent state that affects
 /// results — solver scratch is overwritten per chip and the warm-start
-/// witness cache is only ever *validated*, never trusted.
+/// witness cache is only ever *validated*, never trusted.  This free-list
+/// lock is the one remaining `Mutex` on the chunk path; it guards
+/// *checkout*, not result merging (chunk results are written to pre-sized
+/// per-index slots or folded in chunk order — see [`DisjointSlots`]).
 #[derive(Default)]
-struct WorkspacePool {
+pub struct WorkspacePool {
     free: Mutex<Vec<Workspace>>,
 }
 
 impl WorkspacePool {
+    /// An empty pool; workspaces are created lazily on first checkout.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
     /// Runs `f` with a pooled workspace (creating one on first use).
     fn run<R>(&self, f: impl FnOnce(&mut Workspace) -> R) -> R {
         let mut ws = self
@@ -314,6 +327,44 @@ impl WorkspacePool {
         let result = f(&mut ws);
         self.free.lock().expect("pool lock").push(ws);
         result
+    }
+}
+
+/// Pre-sized output slots that parallel chunk workers write disjoint index
+/// ranges into — the lock-free replacement for post-hoc concatenation of
+/// per-chunk vectors.  Chunk `c` owns rows `c·SAMPLE_CHUNK ..` exclusively
+/// (fixed boundaries, each chunk claimed by exactly one worker), so writes
+/// never alias and no lock or merge pass is needed; reading the vector
+/// back preserves global sample order regardless of chunk completion
+/// order.
+struct DisjointSlots<T> {
+    cells: Vec<UnsafeCell<T>>,
+}
+
+// SAFETY: callers uphold the contract that no index is written by more
+// than one worker (each chunk's row range is claimed exactly once).
+unsafe impl<T: Send> Sync for DisjointSlots<T> {}
+
+impl<T: Default + Clone> DisjointSlots<T> {
+    /// `n` default-initialised slots.
+    fn new(n: usize) -> Self {
+        let mut cells = Vec::with_capacity(n);
+        cells.resize_with(n, || UnsafeCell::new(T::default()));
+        Self { cells }
+    }
+
+    /// Writes slot `i`.
+    ///
+    /// # Safety
+    /// `i` must be owned exclusively by the calling worker (no other
+    /// thread may read or write it concurrently).
+    unsafe fn write(&self, i: usize, value: T) {
+        unsafe { *self.cells[i].get() = value };
+    }
+
+    /// Unwraps into the ordered vector (all workers must have finished).
+    fn into_vec(self) -> Vec<T> {
+        self.cells.into_iter().map(|c| c.into_inner()).collect()
     }
 }
 
@@ -331,8 +382,12 @@ pub struct BufferInsertionFlow<'a> {
     skews: Vec<f64>,
     /// Flattened canonical coefficients for the batch sampling kernel.
     canon: CanonicalBatchSampler,
-    /// Reusable worker workspaces, shared across all passes.
-    pool: WorkspacePool,
+    /// Reusable worker workspaces, shared across all passes (and across
+    /// flows when constructed with [`BufferInsertionFlow::with_shared_pool`]).
+    pool: Arc<WorkspacePool>,
+    /// Cached µT/σT calibration: it depends only on the circuit and seed,
+    /// so one calibration serves every target-period sweep point.
+    calibration: OnceLock<(f64, f64, f64)>,
     /// Explicit thread pool when [`FlowConfig::threads`] > 0; `None` uses
     /// the global default (respecting `RAYON_NUM_THREADS`).
     thread_pool: Option<rayon::ThreadPool>,
@@ -389,6 +444,43 @@ impl<'a> BufferInsertionFlow<'a> {
         lib: Library,
         model: VariationModel,
     ) -> Result<Self, FlowError> {
+        Self::with_library_and_pool(circuit, cfg, lib, model, Arc::new(WorkspacePool::new()))
+    }
+
+    /// Builds a flow that checks worker workspaces out of an externally
+    /// owned pool — campaign runners share one pool across every flow they
+    /// execute, so solver scratch is reused across circuits and targets.
+    ///
+    /// # Errors
+    ///
+    /// As [`BufferInsertionFlow::new`].
+    pub fn with_shared_pool(
+        circuit: &'a Circuit,
+        cfg: FlowConfig,
+        pool: Arc<WorkspacePool>,
+    ) -> Result<Self, FlowError> {
+        Self::with_library_and_pool(
+            circuit,
+            cfg,
+            Library::industry_like(),
+            VariationModel::paper_defaults(),
+            pool,
+        )
+    }
+
+    /// Builds a flow with an explicit library, variation model and
+    /// workspace pool.
+    ///
+    /// # Errors
+    ///
+    /// As [`BufferInsertionFlow::new`].
+    pub fn with_library_and_pool(
+        circuit: &'a Circuit,
+        cfg: FlowConfig,
+        lib: Library,
+        model: VariationModel,
+        pool: Arc<WorkspacePool>,
+    ) -> Result<Self, FlowError> {
         if cfg.samples == 0 || cfg.yield_samples == 0 || cfg.calibration_samples == 0 {
             return Err(FlowError::Config("sample counts must be positive".into()));
         }
@@ -432,9 +524,17 @@ impl<'a> BufferInsertionFlow<'a> {
             placement,
             skews,
             canon,
-            pool: WorkspacePool::default(),
+            pool,
+            calibration: OnceLock::new(),
             thread_pool,
         })
+    }
+
+    /// The workspace pool this flow draws workers' scratch from — hand it
+    /// to further flows ([`BufferInsertionFlow::with_shared_pool`]) to
+    /// share solver workspaces across a campaign.
+    pub fn workspace_pool(&self) -> Arc<WorkspacePool> {
+        Arc::clone(&self.pool)
     }
 
     /// The sequential timing graph the flow operates on.
@@ -581,32 +681,39 @@ impl<'a> BufferInsertionFlow<'a> {
     }
 
     /// Unbuffered Monte-Carlo calibration: (µT, σT, hold-fail fraction).
+    /// Computed once per flow (it depends only on the circuit and seed)
+    /// and cached for subsequent target-period runs.
     fn calibrate(&self) -> (f64, f64, f64) {
+        *self.calibration.get_or_init(|| self.calibrate_uncached())
+    }
+
+    fn calibrate_uncached(&self) -> (f64, f64, f64) {
         let stream = stream_seed(self.cfg.seed, "calibrate");
         let n = self.cfg.calibration_samples;
-        let results = self.map_chunks(n, |ws, lo, len| {
+        // Chip `k`'s period goes straight into slot `k`: chunks own
+        // disjoint row ranges, so no lock and no merge pass.  The
+        // hold-fail tally is an order-free sum, so a relaxed atomic is
+        // deterministic too.
+        let periods = DisjointSlots::<f64>::new(n);
+        let hold_fails = AtomicU64::new(0);
+        self.map_chunks(n, |ws, lo, len| {
             self.fill_batch(ws, stream, lo as u64, len);
-            let mut periods = Vec::with_capacity(len);
-            let mut hold_fails = 0u64;
+            let mut chunk_hold_fails = 0u64;
             for row in 0..len {
                 let mp = constraint::min_period_view(&self.sg, ws.batch.view(row), &self.skews);
-                periods.push(mp.period);
+                // SAFETY: this chunk exclusively owns rows lo..lo + len.
+                unsafe { periods.write(lo + row, mp.period) };
                 if !mp.hold_ok {
-                    hold_fails += 1;
+                    chunk_hold_fails += 1;
                 }
             }
-            (periods, hold_fails)
+            hold_fails.fetch_add(chunk_hold_fails, Ordering::Relaxed);
         });
-        let mut periods = Vec::with_capacity(n);
-        let mut hold_fails = 0u64;
-        for (p, h) in results {
-            periods.extend(p);
-            hold_fails += h;
-        }
+        let periods = periods.into_vec();
         (
             psbi_variation::mean(&periods),
             psbi_variation::stddev(&periods),
-            hold_fails as f64 / n as f64,
+            hold_fails.load(Ordering::Relaxed) as f64 / n as f64,
         )
     }
 
@@ -638,6 +745,14 @@ impl<'a> BufferInsertionFlow<'a> {
         }
         let slot_of_ff_ref = &slot_of_ff;
 
+        // The tuning matrix is written straight into pre-sized per-sample
+        // slots (column-major: `slot * samples + global_row`): each chunk
+        // exclusively owns its global row range, so workers write without
+        // locks and the matrix is in global sample order by construction —
+        // no per-chunk row buffers, no concatenation merge.
+        let matrix = record_matrix.then(|| DisjointSlots::<f32>::new(n_slots as usize * samples));
+        let matrix_ref = matrix.as_ref();
+
         struct Local {
             counts: Vec<u64>,
             hist: Vec<Histogram>,
@@ -645,7 +760,6 @@ impl<'a> BufferInsertionFlow<'a> {
             max_k: Vec<i64>,
             infeasible: u64,
             inexact: u64,
-            rows: Vec<Vec<f32>>,
         }
 
         let locals: Vec<Local> = self.map_chunks(samples, |ws, lo, len| {
@@ -657,7 +771,6 @@ impl<'a> BufferInsertionFlow<'a> {
                 max_k: vec![i64::MIN; n_ffs],
                 infeasible: 0,
                 inexact: 0,
-                rows: Vec::new(),
             };
             for row in 0..len {
                 let objective = match push {
@@ -674,11 +787,6 @@ impl<'a> BufferInsertionFlow<'a> {
                     objective,
                     &self.cfg.solver,
                 );
-                let mut matrix_row = if record_matrix {
-                    vec![0.0f32; n_slots as usize]
-                } else {
-                    Vec::new()
-                };
                 if !r.feasible {
                     local.infeasible += 1;
                 } else {
@@ -691,22 +799,26 @@ impl<'a> BufferInsertionFlow<'a> {
                         local.hist[f].add(*kv);
                         local.min_k[f] = local.min_k[f].min(*kv);
                         local.max_k[f] = local.max_k[f].max(*kv);
-                        if record_matrix {
+                        if let Some(matrix) = matrix_ref {
                             let slot = slot_of_ff_ref[f];
                             if slot != NONE {
-                                matrix_row[slot as usize] = *kv as f32;
+                                // SAFETY: row `lo + row` belongs to this
+                                // chunk alone; untouched slots keep their
+                                // pre-initialised 0.0 (no tuning).
+                                unsafe {
+                                    matrix.write(slot as usize * samples + lo + row, *kv as f32)
+                                };
                             }
                         }
                     }
-                }
-                if record_matrix {
-                    local.rows.push(matrix_row);
                 }
             }
             local
         });
 
-        // Merge (chunks are ordered, so matrix rows concatenate in order).
+        // Merge the per-chunk reductions in chunk order (counts, histograms
+        // and extrema are genuine folds; the bulky per-sample matrix was
+        // already written in place above).
         let mut out = PassOutput {
             counts: vec![0; n_ffs],
             hist: vec![Histogram::new(); n_ffs],
@@ -714,7 +826,10 @@ impl<'a> BufferInsertionFlow<'a> {
             max_k: vec![i64::MIN; n_ffs],
             infeasible: 0,
             inexact: 0,
-            columns: record_matrix.then(|| vec![Vec::with_capacity(samples); n_slots as usize]),
+            columns: matrix.map(|m| {
+                let flat = m.into_vec();
+                flat.chunks_exact(samples).map(|c| c.to_vec()).collect()
+            }),
             slot_of_ff,
         };
         for local in locals {
@@ -728,13 +843,6 @@ impl<'a> BufferInsertionFlow<'a> {
             }
             out.infeasible += local.infeasible;
             out.inexact += local.inexact;
-            if let Some(columns) = &mut out.columns {
-                for row in &local.rows {
-                    for (slot, v) in row.iter().enumerate() {
-                        columns[slot].push(*v);
-                    }
-                }
-            }
         }
         out
     }
@@ -762,16 +870,27 @@ impl<'a> BufferInsertionFlow<'a> {
         merged
     }
 
-    /// Runs the complete flow.
+    /// Runs the complete flow at the configured target period.
     pub fn run(&self) -> InsertionResult {
+        self.run_target(self.cfg.target)
+    }
+
+    /// Runs the complete flow at an explicit target period — the per-job
+    /// entry point for campaign runners sweeping several targets over one
+    /// circuit: the flow (timing graph, canonical sampler, workspace pool,
+    /// µT/σT calibration) is built once and each call is an independent,
+    /// deterministic job whose result depends only on the circuit, the
+    /// configuration and `target` — never on which targets ran before it
+    /// or concurrently with it.
+    pub fn run_target(&self, target: TargetPeriod) -> InsertionResult {
         let t_total = Instant::now();
         let steps = self.cfg.steps as i64;
         let n_ffs = self.sg.n_ffs;
 
-        // Calibration.
+        // Calibration (cached across calls).
         let t0 = Instant::now();
         let (mu_t, sigma_t, hold_fail_fraction) = self.calibrate();
-        let period = match self.cfg.target {
+        let period = match target {
             TargetPeriod::SigmaFactor(k) => mu_t + k * sigma_t,
             TargetPeriod::Absolute(t) => t,
         };
@@ -1066,6 +1185,48 @@ mod tests {
             assert!(g.lo >= -20 && g.hi <= 20);
             assert!(g.lo <= g.hi);
         }
+    }
+
+    /// Wall-clock times legitimately differ between runs.
+    fn no_runtime(mut r: InsertionResult) -> InsertionResult {
+        r.runtime = Default::default();
+        r
+    }
+
+    #[test]
+    fn run_target_sweep_matches_fresh_flows() {
+        // One flow swept over several targets (cached calibration, reused
+        // pool) must reproduce fresh single-target flows bit-exactly.
+        let c = bench_suite::tiny_demo(11);
+        let swept = BufferInsertionFlow::new(&c, quick_cfg()).unwrap();
+        for k in [0.0, 1.0, 2.0] {
+            let mut cfg = quick_cfg();
+            cfg.target = TargetPeriod::SigmaFactor(k);
+            let fresh = BufferInsertionFlow::new(&c, cfg).unwrap().run();
+            let sweep = swept.run_target(TargetPeriod::SigmaFactor(k));
+            assert_eq!(no_runtime(fresh), no_runtime(sweep), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn shared_pool_does_not_change_results() {
+        let c1 = bench_suite::tiny_demo(12);
+        let c2 = bench_suite::tiny_demo(13);
+        let pool = Arc::new(WorkspacePool::new());
+        let a = BufferInsertionFlow::with_shared_pool(&c1, quick_cfg(), Arc::clone(&pool))
+            .unwrap()
+            .run();
+        // Run a different circuit through the same (now warm) pool, then
+        // the first again: pooled scratch must not leak between circuits.
+        let _ = BufferInsertionFlow::with_shared_pool(&c2, quick_cfg(), Arc::clone(&pool))
+            .unwrap()
+            .run();
+        let b = BufferInsertionFlow::with_shared_pool(&c1, quick_cfg(), pool)
+            .unwrap()
+            .run();
+        let fresh = no_runtime(BufferInsertionFlow::new(&c1, quick_cfg()).unwrap().run());
+        assert_eq!(no_runtime(a), fresh);
+        assert_eq!(no_runtime(b), fresh);
     }
 
     #[test]

@@ -72,5 +72,7 @@ pub mod report;
 pub mod solve;
 pub mod yield_eval;
 
-pub use flow::{BufferInsertionFlow, FlowConfig, FlowError, InsertionResult, TargetPeriod};
+pub use flow::{
+    BufferInsertionFlow, FlowConfig, FlowError, InsertionResult, TargetPeriod, WorkspacePool,
+};
 pub use solve::{BufferSpace, PushObjective, SampleResult, SampleSolver, SolverOptions};

@@ -1,0 +1,222 @@
+//! `psbi-fleet` — run sharded buffer-insertion campaigns from the shell.
+//!
+//! ```text
+//! psbi-fleet init   [--out campaign.json] [--circuits a,b] [--sigma 0,1,2]
+//!                   [--samples N] [--yield-samples N] [--seed S] [--name X]
+//! psbi-fleet plan   --spec campaign.json
+//! psbi-fleet run    --spec campaign.json --journal c.journal
+//!                   [--workers N] [--max-jobs K] [--report out.json]
+//!                   [--with-timings] [--quiet]
+//! psbi-fleet report --spec campaign.json --journal c.journal
+//!                   [--json out.json] [--with-timings]
+//! ```
+//!
+//! `run` resumes automatically: jobs already present in the journal are
+//! never re-executed, and an interrupted campaign continues exactly where
+//! its journal ends (`--max-jobs` bounds how many new jobs one invocation
+//! executes, which is also how the CI smoke test simulates a kill).
+
+use psbi_fleet::{run_campaign, CampaignReport, CampaignSpec, FleetOptions, Journal};
+use psbi_netlist::bench_suite::CircuitRef;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Simple `--key value` / `--flag` scanner (mirrors `psbi_bench::Args`,
+/// which the fleet crate cannot depend on without a cycle).
+struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    fn from_env() -> Self {
+        Self {
+            raw: std::env::args().skip(2).collect(),
+        }
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str) -> Option<T> {
+        let flag = format!("--{key}");
+        self.raw
+            .iter()
+            .position(|a| a == &flag)
+            .and_then(|i| self.raw.get(i + 1))
+            .and_then(|v| v.parse().ok())
+    }
+
+    fn has(&self, key: &str) -> bool {
+        let flag = format!("--{key}");
+        self.raw.iter().any(|a| a == &flag)
+    }
+
+    fn list(&self, key: &str) -> Option<Vec<String>> {
+        self.get::<String>(key)
+            .map(|s| s.split(',').map(|x| x.trim().to_string()).collect())
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "psbi-fleet: sharded multi-circuit campaign runner\n\
+         \n\
+         usage:\n\
+         \x20 psbi-fleet init   [--out campaign.json] [--circuits a,b] [--sigma 0,1,2]\n\
+         \x20                   [--samples N] [--yield-samples N] [--seed S] [--name X]\n\
+         \x20 psbi-fleet plan   --spec campaign.json\n\
+         \x20 psbi-fleet run    --spec campaign.json --journal c.journal\n\
+         \x20                   [--workers N] [--max-jobs K] [--report out.json]\n\
+         \x20                   [--with-timings] [--quiet]\n\
+         \x20 psbi-fleet report --spec campaign.json --journal c.journal\n\
+         \x20                   [--json out.json] [--with-timings]\n\
+         \n\
+         circuits: paper suite names (s9234, ...), demo classes\n\
+         (tiny_demo:SEED, small_demo:SEED, medium_demo:SEED) or\n\
+         sized:NAME:FFS:GATES:SEED"
+    );
+    ExitCode::from(2)
+}
+
+fn load_spec(args: &Args) -> Result<CampaignSpec, String> {
+    let path: String = args
+        .get("spec")
+        .ok_or_else(|| "--spec <campaign.json> is required".to_string())?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("reading `{path}`: {e}"))?;
+    CampaignSpec::from_json(&text).map_err(|e| e.to_string())
+}
+
+fn journal_path(args: &Args) -> Result<PathBuf, String> {
+    args.get::<String>("journal")
+        .map(PathBuf::from)
+        .ok_or_else(|| "--journal <path> is required".to_string())
+}
+
+fn cmd_init(args: &Args) -> Result<(), String> {
+    let mut spec = CampaignSpec::example();
+    if let Some(name) = args.get::<String>("name") {
+        spec.name = name;
+    }
+    if let Some(circuits) = args.list("circuits") {
+        spec.circuits = circuits
+            .iter()
+            .map(|c| CircuitRef::parse(c))
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(sigmas) = args.list("sigma") {
+        spec.sigma_factors = sigmas
+            .iter()
+            .map(|s| s.parse::<f64>().map_err(|_| format!("bad sigma `{s}`")))
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(samples) = args.get("samples") {
+        spec.samples = samples;
+        spec.calibration_samples = spec.samples.max(300);
+    }
+    if let Some(ys) = args.get("yield-samples") {
+        spec.yield_samples = ys;
+    }
+    if let Some(seed) = args.get("seed") {
+        spec.seed = seed;
+    }
+    spec.validate().map_err(|e| e.to_string())?;
+    let out: String = args.get("out").unwrap_or_else(|| "campaign.json".into());
+    std::fs::write(&out, spec.to_json()).map_err(|e| format!("writing `{out}`: {e}"))?;
+    println!(
+        "wrote `{out}`: {} circuits x {} targets = {} jobs (fingerprint {})",
+        spec.circuits.len(),
+        spec.sigma_factors.len(),
+        spec.jobs().len(),
+        spec.fingerprint()
+    );
+    Ok(())
+}
+
+fn cmd_plan(args: &Args) -> Result<(), String> {
+    let spec = load_spec(args)?;
+    println!(
+        "campaign `{}` (fingerprint {}): {} jobs",
+        spec.name,
+        spec.fingerprint(),
+        spec.jobs().len()
+    );
+    for job in spec.jobs() {
+        let size = job.circuit.size().map_or_else(
+            || "size unknown".to_string(),
+            |(ns, ng)| format!("{ns} FFs, {ng} gates"),
+        );
+        println!(
+            "  job {:>3}: {} ({size}) at T = muT + {}*sigmaT",
+            job.index,
+            job.circuit.id(),
+            job.sigma_factor
+        );
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let spec = load_spec(args)?;
+    let journal = journal_path(args)?;
+    let opts = FleetOptions {
+        workers: args.get("workers").unwrap_or(0),
+        max_jobs: args.get("max-jobs"),
+        progress: !args.has("quiet"),
+    };
+    let outcome = run_campaign(&spec, &journal, &opts).map_err(|e| e.to_string())?;
+    let report = CampaignReport::from_outcome(&spec, &outcome);
+    print!("{}", report.text());
+    if let Some(out) = args.get::<String>("report") {
+        std::fs::write(&out, report.json(args.has("with-timings")))
+            .map_err(|e| format!("writing `{out}`: {e}"))?;
+        println!("report written to `{out}`");
+    }
+    if !outcome.complete() {
+        // Deliberately exit 0: stopping at a checkpoint (--max-jobs) is a
+        // successful invocation, and the CI smoke's interrupted leg
+        // depends on that.  Failures surface through Err.
+        println!(
+            "campaign incomplete ({}/{} jobs journaled); run again to resume",
+            outcome.records.len(),
+            outcome.total_jobs
+        );
+    }
+    Ok(())
+}
+
+fn cmd_report(args: &Args) -> Result<(), String> {
+    let spec = load_spec(args)?;
+    let journal = journal_path(args)?;
+    let records = Journal::replay(&journal, &spec).map_err(|e| e.to_string())?;
+    let report = CampaignReport::from_records(&spec, records);
+    print!("{}", report.text());
+    if let Some(out) = args.get::<String>("json") {
+        std::fs::write(&out, report.json(args.has("with-timings")))
+            .map_err(|e| format!("writing `{out}`: {e}"))?;
+        println!("report written to `{out}`");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let command = match std::env::args().nth(1) {
+        Some(c) => c,
+        None => return usage(),
+    };
+    let args = Args::from_env();
+    let result = match command.as_str() {
+        "init" => cmd_init(&args),
+        "plan" => cmd_plan(&args),
+        "run" => cmd_run(&args),
+        "report" => cmd_report(&args),
+        "--help" | "-h" | "help" => return usage(),
+        other => {
+            eprintln!("psbi-fleet: unknown command `{other}`\n");
+            return usage();
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("psbi-fleet: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

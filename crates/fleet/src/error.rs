@@ -1,0 +1,33 @@
+//! Fleet error type.
+
+/// Errors raised by campaign parsing, journaling and execution.
+#[derive(Debug)]
+pub enum FleetError {
+    /// The campaign spec is malformed or inconsistent.
+    Spec(String),
+    /// The journal is malformed or belongs to a different campaign.
+    Journal(String),
+    /// A circuit descriptor failed to materialise or build a flow.
+    Circuit(String),
+    /// Filesystem failure (journal or spec IO).
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::Spec(m) => write!(f, "campaign spec error: {m}"),
+            FleetError::Journal(m) => write!(f, "journal error: {m}"),
+            FleetError::Circuit(m) => write!(f, "circuit error: {m}"),
+            FleetError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<std::io::Error> for FleetError {
+    fn from(e: std::io::Error) -> Self {
+        FleetError::Io(e)
+    }
+}

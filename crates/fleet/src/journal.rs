@@ -1,0 +1,529 @@
+//! Append-only campaign journal: the checkpoint/resume backbone.
+//!
+//! The journal is a line-oriented JSON file.  Line 0 is a header binding
+//! the file to one campaign (spec fingerprint + job count); every further
+//! line is the completed record of exactly one job, written **in job-index
+//! order** regardless of which worker finished first (the runner holds
+//! out-of-order completions back — a reorder buffer).  Consequences:
+//!
+//! * a journal's byte content is a pure function of (spec, number of
+//!   completed jobs) — identical for any worker count;
+//! * a killed campaign leaves a valid prefix plus at most one torn line,
+//!   which [`Journal::open`] repairs by truncating to the last complete
+//!   record, so resume continues exactly where the prefix ends;
+//! * replay needs no sorting or deduplication — records ARE the prefix.
+//!
+//! Records deliberately exclude wall-clock times: they are the one
+//! non-deterministic part of a result, and keeping them out is what makes
+//! `journal bytes (interrupted + resumed) == journal bytes (uninterrupted)`
+//! testable.  Timings live in the in-memory [`crate::runner::CampaignOutcome`]
+//! and the report's optional (non-canonical) timing section.
+
+use crate::error::FleetError;
+use crate::json::{escape, fmt_f64, Json};
+use crate::spec::{CampaignSpec, JobSpec};
+use psbi_core::flow::InsertionResult;
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// The deterministic result of one campaign job — everything the
+/// aggregated report needs, nothing wall-clock dependent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Global job index in the campaign grid.
+    pub job: usize,
+    /// Canonical circuit descriptor (see `CircuitRef::id`).
+    pub circuit_id: String,
+    /// Circuit display name.
+    pub circuit: String,
+    /// Flip-flop count.
+    pub n_ffs: usize,
+    /// Gate count.
+    pub n_gates: usize,
+    /// Sigma factor `k` of the target `T = µT + k·σT`.
+    pub sigma_factor: f64,
+    /// Calibrated mean of the unbuffered minimum period (ps).
+    pub mu_t: f64,
+    /// Calibrated std-dev of the unbuffered minimum period (ps).
+    pub sigma_t: f64,
+    /// Target clock period used (ps).
+    pub period: f64,
+    /// Buffer step δ (ps).
+    pub step: f64,
+    /// Physical buffers inserted (`Nb`).
+    pub nb: usize,
+    /// Average buffer range in steps (`Ab`).
+    pub ab: f64,
+    /// Yield without buffers (%, `Yo`).
+    pub yield_baseline: f64,
+    /// Yield with buffers (%, `Y`).
+    pub yield_with_buffers: f64,
+    /// Improvement in percentage points (`Yi`).
+    pub improvement: f64,
+    /// Chips rescued by the buffers in the evaluation stream.
+    pub rescued: usize,
+    /// Chips broken by the buffers.
+    pub broken: usize,
+    /// Buffer count before grouping.
+    pub buffers_before_grouping: usize,
+    /// Total delay elements of the deployed buffers (area proxy).
+    pub delay_elements: u64,
+    /// Total configuration register bits.
+    pub config_bits: u64,
+    /// Samples unfixable in the A1 pass.
+    pub a1_infeasible: u64,
+    /// Samples unfixable in the final pass.
+    pub b2_infeasible: u64,
+    /// Whether the step-2 refit pass ran.
+    pub refit_ran: bool,
+}
+
+impl JobRecord {
+    /// Distils one flow result into its deterministic record.
+    pub fn from_result(job: &JobSpec, r: &InsertionResult) -> Self {
+        let area = r.area();
+        Self {
+            job: job.index,
+            circuit_id: job.circuit.id(),
+            circuit: r.circuit.clone(),
+            n_ffs: r.n_ffs,
+            n_gates: r.n_gates,
+            sigma_factor: job.sigma_factor,
+            mu_t: r.mu_t,
+            sigma_t: r.sigma_t,
+            period: r.period,
+            step: r.step,
+            nb: r.nb,
+            ab: r.ab,
+            yield_baseline: r.yield_baseline,
+            yield_with_buffers: r.yield_with_buffers,
+            improvement: r.improvement,
+            rescued: r.rescued,
+            broken: r.broken,
+            buffers_before_grouping: r.buffers_before_grouping,
+            delay_elements: area.delay_elements,
+            config_bits: area.config_bits,
+            a1_infeasible: r.stats.a1_infeasible,
+            b2_infeasible: r.stats.b2_infeasible,
+            refit_ran: r.stats.refit_ran,
+        }
+    }
+
+    /// Renders the single-line JSON form (stable key order, shortest
+    /// round-trip floats — byte-deterministic for identical results).
+    pub fn to_json_line(&self) -> String {
+        format!(
+            concat!(
+                "{{\"job\":{},\"circuit_id\":\"{}\",\"circuit\":\"{}\",",
+                "\"n_ffs\":{},\"n_gates\":{},\"sigma_factor\":{},",
+                "\"mu_t\":{},\"sigma_t\":{},\"period\":{},\"step\":{},",
+                "\"nb\":{},\"ab\":{},\"yield_baseline\":{},",
+                "\"yield_with_buffers\":{},\"improvement\":{},",
+                "\"rescued\":{},\"broken\":{},\"buffers_before_grouping\":{},",
+                "\"delay_elements\":{},\"config_bits\":{},",
+                "\"a1_infeasible\":{},\"b2_infeasible\":{},\"refit_ran\":{}}}"
+            ),
+            self.job,
+            escape(&self.circuit_id),
+            escape(&self.circuit),
+            self.n_ffs,
+            self.n_gates,
+            fmt_f64(self.sigma_factor),
+            fmt_f64(self.mu_t),
+            fmt_f64(self.sigma_t),
+            fmt_f64(self.period),
+            fmt_f64(self.step),
+            self.nb,
+            fmt_f64(self.ab),
+            fmt_f64(self.yield_baseline),
+            fmt_f64(self.yield_with_buffers),
+            fmt_f64(self.improvement),
+            self.rescued,
+            self.broken,
+            self.buffers_before_grouping,
+            self.delay_elements,
+            self.config_bits,
+            self.a1_infeasible,
+            self.b2_infeasible,
+            self.refit_ran,
+        )
+    }
+
+    /// Parses a record line previously written by
+    /// [`JobRecord::to_json_line`].
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Journal`] naming the missing or mistyped field.
+    pub fn from_json(v: &Json) -> Result<Self, FleetError> {
+        let field = |key: &str| -> Result<&Json, FleetError> {
+            v.get(key)
+                .ok_or_else(|| FleetError::Journal(format!("record missing `{key}`")))
+        };
+        let usize_of = |key: &str| -> Result<usize, FleetError> {
+            field(key)?
+                .as_usize()
+                .ok_or_else(|| FleetError::Journal(format!("`{key}` must be an integer")))
+        };
+        let u64_of = |key: &str| -> Result<u64, FleetError> {
+            field(key)?
+                .as_u64()
+                .ok_or_else(|| FleetError::Journal(format!("`{key}` must be an integer")))
+        };
+        let f64_of = |key: &str| -> Result<f64, FleetError> {
+            field(key)?
+                .as_f64()
+                .ok_or_else(|| FleetError::Journal(format!("`{key}` must be a number")))
+        };
+        let str_of = |key: &str| -> Result<String, FleetError> {
+            Ok(field(key)?
+                .as_str()
+                .ok_or_else(|| FleetError::Journal(format!("`{key}` must be a string")))?
+                .to_string())
+        };
+        Ok(Self {
+            job: usize_of("job")?,
+            circuit_id: str_of("circuit_id")?,
+            circuit: str_of("circuit")?,
+            n_ffs: usize_of("n_ffs")?,
+            n_gates: usize_of("n_gates")?,
+            sigma_factor: f64_of("sigma_factor")?,
+            mu_t: f64_of("mu_t")?,
+            sigma_t: f64_of("sigma_t")?,
+            period: f64_of("period")?,
+            step: f64_of("step")?,
+            nb: usize_of("nb")?,
+            ab: f64_of("ab")?,
+            yield_baseline: f64_of("yield_baseline")?,
+            yield_with_buffers: f64_of("yield_with_buffers")?,
+            improvement: f64_of("improvement")?,
+            rescued: usize_of("rescued")?,
+            broken: usize_of("broken")?,
+            buffers_before_grouping: usize_of("buffers_before_grouping")?,
+            delay_elements: u64_of("delay_elements")?,
+            config_bits: u64_of("config_bits")?,
+            a1_infeasible: u64_of("a1_infeasible")?,
+            b2_infeasible: u64_of("b2_infeasible")?,
+            refit_ran: field("refit_ran")?
+                .as_bool()
+                .ok_or_else(|| FleetError::Journal("`refit_ran` must be a bool".into()))?,
+        })
+    }
+}
+
+/// The append handle to a campaign journal (see the module docs for the
+/// format and its guarantees).
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+}
+
+fn header_line(spec: &CampaignSpec) -> String {
+    format!(
+        "{{\"psbi_fleet_journal\":1,\"name\":\"{}\",\"fingerprint\":\"{}\",\"jobs\":{}}}",
+        escape(&spec.name),
+        spec.fingerprint(),
+        spec.jobs().len()
+    )
+}
+
+/// Parse result of an on-disk journal: the records of the valid prefix and
+/// the byte length of that prefix.
+struct Replayed {
+    records: Vec<JobRecord>,
+    valid_len: u64,
+    total_len: u64,
+}
+
+fn replay_bytes(text: &str, spec: &CampaignSpec) -> Result<Replayed, FleetError> {
+    let expected_header = header_line(spec);
+    let total_len = text.len() as u64;
+    let empty = |valid_len| {
+        Ok(Replayed {
+            records: Vec::new(),
+            valid_len,
+            total_len,
+        })
+    };
+    if text.is_empty() {
+        return empty(0);
+    }
+    let Some(header_end) = text.find('\n') else {
+        // No complete first line.  A strict prefix of our own header is a
+        // header write the kill tore — safe to rewrite.  Anything else is
+        // some other file the caller pointed --journal at; refusing here
+        // is what keeps open() from wiping it.
+        if expected_header.as_bytes().starts_with(text.as_bytes()) {
+            return empty(0);
+        }
+        return Err(FleetError::Journal(
+            "file is not a journal for this campaign; refusing to overwrite it".into(),
+        ));
+    };
+    let header = &text[..header_end];
+    if header != expected_header {
+        // A *complete* but different first line: another campaign's
+        // journal (fingerprint mismatch) or a non-journal file.  Either
+        // way, never silently truncate someone else's data.
+        return Err(FleetError::Journal(format!(
+            "file is not the journal of this campaign (expected header \
+             with fingerprint {}, found `{header}`); refusing to overwrite it",
+            spec.fingerprint()
+        )));
+    }
+    let mut records = Vec::new();
+    let mut valid_len = (header_end + 1) as u64;
+    let mut offset = header_end + 1;
+    while let Some(nl) = text[offset..].find('\n') {
+        let line = &text[offset..offset + nl];
+        let line_end = offset + nl + 1;
+        let Ok(parsed) = Json::parse(line) else {
+            break; // torn or corrupt tail line
+        };
+        let Ok(record) = JobRecord::from_json(&parsed) else {
+            break;
+        };
+        if record.job != records.len() {
+            break; // out-of-sequence tail: not part of the valid prefix
+        }
+        records.push(record);
+        valid_len = line_end as u64;
+        offset = line_end;
+    }
+    Ok(Replayed {
+        records,
+        valid_len,
+        total_len,
+    })
+}
+
+impl Journal {
+    /// Opens (or creates) the journal for `spec` at `path`, repairing any
+    /// torn tail left by a kill: the file is truncated to its longest
+    /// valid prefix, whose records are returned for resume.
+    ///
+    /// # Errors
+    ///
+    /// IO failures, or [`FleetError::Journal`] when the file belongs to a
+    /// different campaign.
+    pub fn open(path: &Path, spec: &CampaignSpec) -> Result<(Self, Vec<JobRecord>), FleetError> {
+        let existing = match std::fs::read(path) {
+            Ok(bytes) => String::from_utf8(bytes)
+                .map_err(|_| FleetError::Journal("journal is not valid UTF-8".into()))?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(e.into()),
+        };
+        let replayed = replay_bytes(&existing, spec)?;
+        if replayed.valid_len < replayed.total_len {
+            // Torn tail from a mid-write kill: cut back to the last
+            // complete record so the resumed run appends exactly where an
+            // uninterrupted run would have been.
+            let f = OpenOptions::new().write(true).open(path)?;
+            f.set_len(replayed.valid_len)?;
+        }
+        let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+        // Advisory exclusion: two runners appending to one journal would
+        // interleave records and corrupt the prefix on the next replay.
+        // The OS releases the lock when the handle drops.
+        if file.try_lock().is_err() {
+            return Err(FleetError::Journal(format!(
+                "journal `{}` is locked by another psbi-fleet process",
+                path.display()
+            )));
+        }
+        if replayed.valid_len == 0 {
+            file.write_all(format!("{}\n", header_line(spec)).as_bytes())?;
+            file.flush()?;
+        }
+        Ok((
+            Self {
+                file,
+                path: path.to_path_buf(),
+            },
+            replayed.records,
+        ))
+    }
+
+    /// Replays a journal read-only (the `report` command): parses the
+    /// valid prefix without repairing the file.
+    ///
+    /// # Errors
+    ///
+    /// As [`Journal::open`]; additionally when the file does not exist.
+    pub fn replay(path: &Path, spec: &CampaignSpec) -> Result<Vec<JobRecord>, FleetError> {
+        let bytes = std::fs::read(path)?;
+        let text = String::from_utf8(bytes)
+            .map_err(|_| FleetError::Journal("journal is not valid UTF-8".into()))?;
+        Ok(replay_bytes(&text, spec)?.records)
+    }
+
+    /// Appends one completed job record and flushes it to the OS.  The
+    /// whole line goes down in a single `write` call so an O_APPEND
+    /// journal never interleaves fragments of two records.
+    ///
+    /// # Errors
+    ///
+    /// IO failures.
+    pub fn append(&mut self, record: &JobRecord) -> Result<(), FleetError> {
+        let line = format!("{}\n", record.to_json_line());
+        self.file.write_all(line.as_bytes())?;
+        self.file.flush()?;
+        Ok(())
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CampaignSpec;
+
+    fn record(job: usize) -> JobRecord {
+        JobRecord {
+            job,
+            circuit_id: "tiny_demo:1".into(),
+            circuit: "tiny_demo".into(),
+            n_ffs: 24,
+            n_gates: 220,
+            sigma_factor: 1.0,
+            mu_t: 1234.5678901,
+            sigma_t: 56.25,
+            period: 1290.8178901,
+            step: 8.06761181,
+            nb: 3,
+            ab: 4.5,
+            yield_baseline: 51.25,
+            yield_with_buffers: 93.75,
+            improvement: 42.5,
+            rescued: 170,
+            broken: 0,
+            buffers_before_grouping: 5,
+            delay_elements: 40,
+            config_bits: 12,
+            a1_infeasible: 1,
+            b2_infeasible: 0,
+            refit_ran: false,
+        }
+    }
+
+    #[test]
+    fn record_line_round_trips_bit_exactly() {
+        let r = record(7);
+        let line = r.to_json_line();
+        let back = JobRecord::from_json(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(r, back);
+        // Bit-exact floats survive the text round trip.
+        assert_eq!(back.mu_t.to_bits(), r.mu_t.to_bits());
+        assert_eq!(back.to_json_line(), line);
+    }
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "psbi_fleet_journal_test_{tag}_{}",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn journal_repairs_torn_tail_and_resumes() {
+        let spec = CampaignSpec::example();
+        let path = tmp_path("torn");
+        let _ = std::fs::remove_file(&path);
+
+        // Write two records, then simulate a kill mid-write of the third.
+        let (mut journal, existing) = Journal::open(&path, &spec).unwrap();
+        assert!(existing.is_empty());
+        journal.append(&record(0)).unwrap();
+        journal.append(&record(1)).unwrap();
+        drop(journal);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let full = bytes.clone();
+        bytes.extend_from_slice(b"{\"job\":2,\"circuit_id\":\"tiny");
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (journal, records) = Journal::open(&path, &spec).unwrap();
+        drop(journal);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1], record(1));
+        // The torn line was cut: bytes equal the pre-kill journal exactly.
+        assert_eq!(std::fs::read(&path).unwrap(), full);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn journal_rejects_foreign_campaign() {
+        let spec = CampaignSpec::example();
+        let mut other = spec.clone();
+        other.samples += 1;
+        let path = tmp_path("foreign");
+        let _ = std::fs::remove_file(&path);
+        let (journal, _) = Journal::open(&path, &spec).unwrap();
+        drop(journal);
+        assert!(matches!(
+            Journal::open(&path, &other),
+            Err(FleetError::Journal(_))
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn refuses_to_overwrite_non_journal_files() {
+        let spec = CampaignSpec::example();
+        let path = tmp_path("notajournal");
+        // Complete non-journal first line.
+        std::fs::write(&path, "precious data\nmore data\n").unwrap();
+        assert!(matches!(
+            Journal::open(&path, &spec),
+            Err(FleetError::Journal(_))
+        ));
+        assert_eq!(std::fs::read(&path).unwrap(), b"precious data\nmore data\n");
+        // Unterminated non-journal content.
+        std::fs::write(&path, "no newline here").unwrap();
+        assert!(Journal::open(&path, &spec).is_err());
+        assert_eq!(std::fs::read(&path).unwrap(), b"no newline here");
+        // A torn prefix of our own header IS repaired.
+        let header = format!("{{\"psbi_fleet_journal\":1,\"name\":\"{}\"", spec.name);
+        std::fs::write(&path, &header).unwrap();
+        let (journal, records) = Journal::open(&path, &spec).unwrap();
+        drop(journal);
+        assert!(records.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn concurrent_open_is_rejected_while_locked() {
+        let spec = CampaignSpec::example();
+        let path = tmp_path("locked");
+        let _ = std::fs::remove_file(&path);
+        let (journal, _) = Journal::open(&path, &spec).unwrap();
+        assert!(matches!(
+            Journal::open(&path, &spec),
+            Err(FleetError::Journal(_))
+        ));
+        drop(journal);
+        assert!(Journal::open(&path, &spec).is_ok());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn out_of_sequence_tail_is_dropped() {
+        let spec = CampaignSpec::example();
+        let path = tmp_path("seq");
+        let _ = std::fs::remove_file(&path);
+        let (mut journal, _) = Journal::open(&path, &spec).unwrap();
+        journal.append(&record(0)).unwrap();
+        // A record claiming the wrong index (e.g. manual tampering).
+        journal.append(&record(5)).unwrap();
+        drop(journal);
+        let (journal, records) = Journal::open(&path, &spec).unwrap();
+        drop(journal);
+        assert_eq!(records.len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+}

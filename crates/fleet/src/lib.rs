@@ -1,0 +1,73 @@
+#![warn(missing_docs)]
+//! # psbi_fleet — sharded multi-circuit campaign runner
+//!
+//! The paper evaluates its flow over a whole benchmark suite at several
+//! target periods (`T = µT + k·σT`, k ∈ {0, 1, 2}).  This crate turns that
+//! "many circuits × many targets" workload into a first-class subsystem:
+//!
+//! * **Declarative specs** ([`spec::CampaignSpec`]): circuits (paper
+//!   suite, demo classes or arbitrary generated sizes), a sigma-factor
+//!   sweep, sample counts and solver options — parsed from and rendered to
+//!   a stable JSON form.
+//! * **Deterministic job grids**: a spec expands circuit-major into jobs
+//!   identified by their global grid index, the same
+//!   seed-by-global-index discipline the flow applies to sample chunks.
+//! * **Sharded execution** ([`runner::run_campaign`]): a persistent worker
+//!   pool claims jobs work-stealing style; one flow per circuit serves the
+//!   whole sigma sweep (timing graph and µT/σT calibration built once) and
+//!   every flow shares one [`psbi_core::flow::WorkspacePool`].
+//! * **Checkpoint/resume** ([`journal::Journal`]): each completed job is
+//!   committed to an append-only journal *in job order* (a reorder buffer
+//!   holds early finishers back).  A killed campaign resumes from the
+//!   journal's valid prefix — re-running only the missing jobs — and the
+//!   resumed journal and report are **byte-identical** to an uninterrupted
+//!   run at any worker count (`tests/fleet_determinism.rs` pins this).
+//! * **Aggregated reporting** ([`report::CampaignReport`]): per-circuit /
+//!   per-k yield, buffer-count, area and wall-time tables, in
+//!   human-readable and JSON form; wall times are quarantined in a
+//!   non-canonical section so the canonical report stays deterministic.
+//!
+//! The `psbi-fleet` binary wraps all of it:
+//!
+//! ```text
+//! psbi-fleet init --out campaign.json        # write an editable example spec
+//! psbi-fleet plan --spec campaign.json       # show the job grid
+//! psbi-fleet run  --spec campaign.json --journal c.journal [--workers N]
+//! psbi-fleet report --spec campaign.json --journal c.journal --json report.json
+//! ```
+//!
+//! Deferred (recorded in `ROADMAP.md`): multi-process / multi-machine
+//! dispatch.  The journal format and job-index sharding were designed so a
+//! future dispatcher can partition the grid across machines and merge
+//! journals, but this crate executes within one process.
+//!
+//! # Example
+//!
+//! ```
+//! use psbi_fleet::{run_campaign, CampaignReport, CampaignSpec, FleetOptions};
+//!
+//! let mut spec = CampaignSpec::example();
+//! spec.samples = 40;
+//! spec.yield_samples = 80;
+//! spec.calibration_samples = 80;
+//! let journal = std::env::temp_dir().join("psbi_fleet_doc_example.journal");
+//! let _ = std::fs::remove_file(&journal);
+//! let outcome = run_campaign(&spec, &journal, &FleetOptions::default()).unwrap();
+//! assert!(outcome.complete());
+//! let report = CampaignReport::from_outcome(&spec, &outcome);
+//! assert!(report.text().contains("jobs complete"));
+//! std::fs::remove_file(&journal).unwrap();
+//! ```
+
+pub mod error;
+pub mod journal;
+pub mod json;
+pub mod report;
+pub mod runner;
+pub mod spec;
+
+pub use error::FleetError;
+pub use journal::{JobRecord, Journal};
+pub use report::{CampaignReport, SigmaSummary};
+pub use runner::{run_campaign, CampaignOutcome, FleetOptions};
+pub use spec::{CampaignSpec, JobSpec};

@@ -1,0 +1,343 @@
+//! The sharded campaign executor.
+//!
+//! Jobs are claimed work-stealing style — a shared atomic cursor over the
+//! grid, idle workers taking the next unclaimed index — exactly the
+//! fixed-chunk discipline `psbi_core::flow` uses for sample chunks, lifted
+//! one level up.  Determinism comes from three ingredients:
+//!
+//! 1. every job's result is a pure function of (spec, job index) — the
+//!    flow is bit-reproducible for any thread count, and job `i` always
+//!    names the same (circuit, sigma factor) cell;
+//! 2. completed records pass through a reorder buffer and are committed to
+//!    the journal **in job-index order**, so the journal's bytes never
+//!    depend on completion order;
+//! 3. wall-clock times stay out of the journal (they live in
+//!    [`CampaignOutcome`]).
+//!
+//! Together: a campaign's journal and canonical report are byte-identical
+//! for any worker count, and a mid-campaign kill + resume reproduces the
+//! uninterrupted run exactly (pinned by `tests/fleet_determinism.rs`).
+//!
+//! Circuits of one campaign share a single
+//! [`psbi_core::flow::WorkspacePool`], and one flow per circuit serves the
+//! whole sigma sweep (calibration cached, timing graph built once).
+
+use crate::error::FleetError;
+use crate::journal::{JobRecord, Journal};
+use crate::spec::CampaignSpec;
+use psbi_core::flow::{BufferInsertionFlow, TargetPeriod, WorkspacePool};
+use psbi_netlist::Circuit;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Execution knobs for one `run_campaign` invocation.
+#[derive(Debug, Clone, Default)]
+pub struct FleetOptions {
+    /// Concurrent jobs (0 = all cores).  Total parallelism is
+    /// `workers × threads_per_job`.
+    pub workers: usize,
+    /// Stop after this many *newly executed* jobs (checkpoint test hook
+    /// and incremental-run knob); `None` runs to completion.
+    pub max_jobs: Option<usize>,
+    /// Print per-job progress lines to stderr.
+    pub progress: bool,
+}
+
+/// What one `run_campaign` invocation produced.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// Committed records, in job order (resumed prefix + newly executed).
+    pub records: Vec<JobRecord>,
+    /// Jobs replayed from the journal instead of executed.
+    pub resumed_jobs: usize,
+    /// Jobs executed by this invocation.
+    pub executed_jobs: usize,
+    /// Grid size.
+    pub total_jobs: usize,
+    /// Per-job wall time in seconds; `None` for jobs that were resumed
+    /// from the journal (or not yet run).  Indexed by job.
+    pub job_wall_s: Vec<Option<f64>>,
+    /// Wall time of this invocation.
+    pub wall_s: f64,
+}
+
+impl CampaignOutcome {
+    /// Whether every grid cell has a record.
+    pub fn complete(&self) -> bool {
+        self.records.len() == self.total_jobs
+    }
+}
+
+/// In-order commit state: the reorder buffer between racing workers and
+/// the append-only journal.
+struct CommitState {
+    journal: Journal,
+    /// Next job index to commit.
+    next: usize,
+    /// Completed jobs waiting for their predecessors.
+    parked: BTreeMap<usize, (JobRecord, f64)>,
+    records: Vec<JobRecord>,
+    job_wall_s: Vec<Option<f64>>,
+    error: Option<FleetError>,
+}
+
+impl CommitState {
+    /// Commits every parked record that has become next-in-line.
+    fn drain(&mut self) -> Result<(), FleetError> {
+        while let Some((record, wall)) = self.parked.remove(&self.next) {
+            self.journal.append(&record)?;
+            self.records.push(record);
+            self.job_wall_s[self.next] = Some(wall);
+            self.next += 1;
+        }
+        Ok(())
+    }
+}
+
+/// Runs (or resumes) `spec` against the journal at `journal_path`.
+///
+/// Completed jobs found in the journal are never re-executed; the rest are
+/// sharded over the worker pool.  See the module docs for the determinism
+/// contract.
+///
+/// # Errors
+///
+/// Spec validation, circuit materialisation / flow construction failures,
+/// journal mismatches and IO errors.
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    journal_path: &std::path::Path,
+    opts: &FleetOptions,
+) -> Result<CampaignOutcome, FleetError> {
+    let t_start = Instant::now();
+    spec.validate()?;
+    let jobs = spec.jobs();
+    let total = jobs.len();
+
+    let (journal, existing) = Journal::open(journal_path, spec)?;
+    let resumed = existing.len();
+    if resumed > total {
+        return Err(FleetError::Journal(format!(
+            "journal holds {resumed} records but the grid has {total} jobs"
+        )));
+    }
+    let end = match opts.max_jobs {
+        Some(k) => total.min(resumed + k),
+        None => total,
+    };
+
+    let job_wall_s = vec![None; total];
+    if resumed >= end {
+        return Ok(CampaignOutcome {
+            records: existing,
+            resumed_jobs: resumed,
+            executed_jobs: 0,
+            total_jobs: total,
+            job_wall_s,
+            wall_s: t_start.elapsed().as_secs_f64(),
+        });
+    }
+
+    // Materialise each needed circuit once and build one flow per circuit
+    // (timing graph + canonical sampler built once; µT/σT calibration is
+    // computed on first use and cached for the rest of the sigma sweep).
+    // Every flow checks worker scratch out of one shared pool.
+    let mut needed = vec![false; spec.circuits.len()];
+    for job in &jobs[resumed..end] {
+        needed[job.circuit_index] = true;
+    }
+    let circuits: Vec<Option<Circuit>> = spec
+        .circuits
+        .iter()
+        .zip(&needed)
+        .map(|(c, need)| {
+            need.then(|| c.materialize())
+                .transpose()
+                .map_err(FleetError::Circuit)
+        })
+        .collect::<Result<_, _>>()?;
+    let pool = Arc::new(WorkspacePool::new());
+    let cfg = spec.flow_config();
+    let flows: Vec<Option<BufferInsertionFlow>> = circuits
+        .iter()
+        .map(|c| {
+            c.as_ref()
+                .map(|circuit| {
+                    BufferInsertionFlow::with_shared_pool(circuit, cfg.clone(), Arc::clone(&pool))
+                        .map_err(|e| FleetError::Circuit(format!("{}: {e}", circuit.name)))
+                })
+                .transpose()
+        })
+        .collect::<Result<_, _>>()?;
+
+    let pending = end - resumed;
+    let workers = match opts.workers {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+    .min(pending)
+    .max(1);
+
+    let state = Mutex::new(CommitState {
+        journal,
+        next: resumed,
+        parked: BTreeMap::new(),
+        records: existing,
+        job_wall_s,
+        error: None,
+    });
+    let cursor = AtomicUsize::new(resumed);
+    let failed = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                if failed.load(Ordering::Relaxed) {
+                    break;
+                }
+                let j = cursor.fetch_add(1, Ordering::Relaxed);
+                if j >= end {
+                    break;
+                }
+                let job = &jobs[j];
+                let flow = flows[job.circuit_index]
+                    .as_ref()
+                    .expect("flows built for every pending circuit");
+                let t_job = Instant::now();
+                let result = flow.run_target(TargetPeriod::SigmaFactor(job.sigma_factor));
+                let record = JobRecord::from_result(job, &result);
+                let wall = t_job.elapsed().as_secs_f64();
+                if opts.progress {
+                    eprintln!(
+                        "psbi-fleet: job {}/{} {} k={} Y {:.2}% -> {:.2}% ({} buffers, {:.2}s)",
+                        j + 1,
+                        total,
+                        record.circuit_id,
+                        record.sigma_factor,
+                        record.yield_baseline,
+                        record.yield_with_buffers,
+                        record.nb,
+                        wall
+                    );
+                }
+                let mut st = state.lock().expect("commit lock");
+                st.parked.insert(j, (record, wall));
+                if let Err(e) = st.drain() {
+                    st.error.get_or_insert(e);
+                    failed.store(true, Ordering::Relaxed);
+                    break;
+                }
+            });
+        }
+    });
+
+    let state = state.into_inner().expect("commit lock");
+    if let Some(e) = state.error {
+        return Err(e);
+    }
+    let executed = state.records.len() - resumed;
+    Ok(CampaignOutcome {
+        records: state.records,
+        resumed_jobs: resumed,
+        executed_jobs: executed,
+        total_jobs: total,
+        job_wall_s: state.job_wall_s,
+        wall_s: t_start.elapsed().as_secs_f64(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "psbi_fleet_runner_test_{tag}_{}",
+            std::process::id()
+        ))
+    }
+
+    fn quick_spec() -> CampaignSpec {
+        CampaignSpec {
+            samples: 60,
+            yield_samples: 120,
+            calibration_samples: 120,
+            ..CampaignSpec::example()
+        }
+    }
+
+    #[test]
+    fn campaign_runs_resumes_and_is_worker_count_invariant() {
+        let spec = quick_spec();
+        let path_a = tmp_path("a");
+        let path_b = tmp_path("b");
+        let path_c = tmp_path("c");
+        for p in [&path_a, &path_b, &path_c] {
+            let _ = std::fs::remove_file(p);
+        }
+
+        // Uninterrupted, 1 worker.
+        let one = run_campaign(&spec, &path_a, &FleetOptions::default()).unwrap();
+        assert!(one.complete());
+        assert_eq!(one.executed_jobs, 4);
+
+        // Uninterrupted, 4 workers: identical journal bytes and records.
+        let four = run_campaign(
+            &spec,
+            &path_b,
+            &FleetOptions {
+                workers: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(one.records, four.records);
+        assert_eq!(
+            std::fs::read(&path_a).unwrap(),
+            std::fs::read(&path_b).unwrap()
+        );
+
+        // Interrupted after 1 job, then resumed: same bytes again.
+        let partial = run_campaign(
+            &spec,
+            &path_c,
+            &FleetOptions {
+                max_jobs: Some(1),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!partial.complete());
+        assert_eq!(partial.executed_jobs, 1);
+        let finished = run_campaign(
+            &spec,
+            &path_c,
+            &FleetOptions {
+                workers: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(finished.complete());
+        assert_eq!(finished.resumed_jobs, 1);
+        assert_eq!(finished.executed_jobs, 3);
+        assert_eq!(finished.records, one.records);
+        assert_eq!(
+            std::fs::read(&path_a).unwrap(),
+            std::fs::read(&path_c).unwrap()
+        );
+
+        // Re-running a complete campaign executes nothing.
+        let noop = run_campaign(&spec, &path_a, &FleetOptions::default()).unwrap();
+        assert_eq!(noop.executed_jobs, 0);
+        assert_eq!(noop.resumed_jobs, 4);
+        assert_eq!(noop.records, one.records);
+
+        for p in [&path_a, &path_b, &path_c] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}

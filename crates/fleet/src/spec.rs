@@ -1,0 +1,328 @@
+//! Declarative campaign specifications and their deterministic job grids.
+//!
+//! A campaign names *what* to run — circuits, a target-period sweep
+//! (`T = µT + k·σT`), sample counts, solver options — and the spec expands
+//! into a fixed job grid: jobs are ordered circuit-major then by sigma
+//! factor, and job `i`'s identity is its grid index.  Everything downstream
+//! (sharding, journaling, resume) keys on that index, mirroring the
+//! seed-by-global-index discipline of the flow's sample chunks.
+
+use crate::error::FleetError;
+use crate::json::{escape, fmt_f64, Json};
+use psbi_core::flow::{FlowConfig, TargetPeriod};
+use psbi_core::SolverOptions;
+use psbi_netlist::bench_suite::CircuitRef;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// A declarative multi-circuit campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Campaign name (journal and report labels).
+    pub name: String,
+    /// Circuits to sweep (see [`CircuitRef::parse`] for the text forms).
+    pub circuits: Vec<CircuitRef>,
+    /// Sigma factors `k` of the target sweep `T = µT + k·σT`
+    /// (paper: 0, 1, 2).
+    pub sigma_factors: Vec<f64>,
+    /// Monte-Carlo samples driving insertion, per job.
+    pub samples: usize,
+    /// Fresh samples for yield evaluation, per job.
+    pub yield_samples: usize,
+    /// Samples for the µT/σT calibration run, per circuit.
+    pub calibration_samples: usize,
+    /// Master seed shared by every job (streams derive from it).
+    pub seed: u64,
+    /// Worker threads inside one job's flow (0 = all cores).  Campaigns
+    /// usually shard across jobs instead and keep this at 1.
+    pub threads_per_job: usize,
+    /// Per-sample solver limits.
+    pub solver: SolverOptions,
+}
+
+impl Default for CampaignSpec {
+    fn default() -> Self {
+        Self {
+            name: "campaign".into(),
+            circuits: Vec::new(),
+            sigma_factors: vec![0.0, 1.0, 2.0],
+            samples: 1_000,
+            yield_samples: 4_000,
+            calibration_samples: 1_000,
+            seed: 42,
+            threads_per_job: 1,
+            solver: SolverOptions::default(),
+        }
+    }
+}
+
+/// One cell of the expanded campaign grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Global job index — the sharding and journaling key.
+    pub index: usize,
+    /// Index into [`CampaignSpec::circuits`].
+    pub circuit_index: usize,
+    /// The circuit descriptor.
+    pub circuit: CircuitRef,
+    /// The sigma factor of this job's target period.
+    pub sigma_factor: f64,
+}
+
+impl CampaignSpec {
+    /// A ready-to-edit example campaign (written by `psbi-fleet init`).
+    pub fn example() -> Self {
+        Self {
+            name: "quickstart".into(),
+            circuits: vec![
+                CircuitRef::parse("tiny_demo:1").expect("valid"),
+                CircuitRef::parse("tiny_demo:2").expect("valid"),
+            ],
+            sigma_factors: vec![0.0, 2.0],
+            samples: 200,
+            yield_samples: 400,
+            calibration_samples: 300,
+            ..Self::default()
+        }
+    }
+
+    /// Checks the spec for emptiness and malformed numerics.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Spec`] with a human-readable message.
+    pub fn validate(&self) -> Result<(), FleetError> {
+        if self.circuits.is_empty() {
+            return Err(FleetError::Spec("campaign has no circuits".into()));
+        }
+        if self.sigma_factors.is_empty() {
+            return Err(FleetError::Spec("campaign has no sigma factors".into()));
+        }
+        if self.sigma_factors.iter().any(|k| !k.is_finite()) {
+            return Err(FleetError::Spec("sigma factors must be finite".into()));
+        }
+        if self.samples == 0 || self.yield_samples == 0 || self.calibration_samples == 0 {
+            return Err(FleetError::Spec("sample counts must be positive".into()));
+        }
+        Ok(())
+    }
+
+    /// Expands the deterministic job grid: circuit-major, then sigma
+    /// factor, with the global index as identity.
+    pub fn jobs(&self) -> Vec<JobSpec> {
+        let mut jobs = Vec::with_capacity(self.circuits.len() * self.sigma_factors.len());
+        for (ci, circuit) in self.circuits.iter().enumerate() {
+            for k in &self.sigma_factors {
+                jobs.push(JobSpec {
+                    index: jobs.len(),
+                    circuit_index: ci,
+                    circuit: circuit.clone(),
+                    sigma_factor: *k,
+                });
+            }
+        }
+        jobs
+    }
+
+    /// The flow configuration shared by this campaign's jobs (the target
+    /// period is supplied per job via
+    /// [`psbi_core::flow::BufferInsertionFlow::run_target`]).
+    pub fn flow_config(&self) -> FlowConfig {
+        FlowConfig {
+            samples: self.samples,
+            yield_samples: self.yield_samples,
+            calibration_samples: self.calibration_samples,
+            seed: self.seed,
+            threads: self.threads_per_job,
+            target: TargetPeriod::SigmaFactor(0.0),
+            solver: self.solver,
+            ..FlowConfig::default()
+        }
+    }
+
+    /// FNV-1a fingerprint of the canonical spec JSON — stamped into the
+    /// journal header so a journal can never be resumed against a
+    /// different campaign.
+    pub fn fingerprint(&self) -> String {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        for byte in self.to_json().bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        format!("{hash:016x}")
+    }
+
+    /// Renders the canonical JSON form (stable key order, deterministic
+    /// float text — [`CampaignSpec::from_json`] inverts it).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"name\": \"{}\",", escape(&self.name));
+        let circuits: Vec<String> = self
+            .circuits
+            .iter()
+            .map(|c| format!("\"{}\"", escape(&c.id())))
+            .collect();
+        let _ = writeln!(out, "  \"circuits\": [{}],", circuits.join(", "));
+        let sigmas: Vec<String> = self.sigma_factors.iter().map(|k| fmt_f64(*k)).collect();
+        let _ = writeln!(out, "  \"sigma_factors\": [{}],", sigmas.join(", "));
+        let _ = writeln!(out, "  \"samples\": {},", self.samples);
+        let _ = writeln!(out, "  \"yield_samples\": {},", self.yield_samples);
+        let _ = writeln!(
+            out,
+            "  \"calibration_samples\": {},",
+            self.calibration_samples
+        );
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"threads_per_job\": {},", self.threads_per_job);
+        let _ = writeln!(out, "  \"solver\": {{");
+        let _ = writeln!(out, "    \"region_radius\": {},", self.solver.region_radius);
+        let _ = writeln!(out, "    \"region_cap\": {},", self.solver.region_cap);
+        let _ = writeln!(out, "    \"bb_node_cap\": {},", self.solver.bb_node_cap);
+        let _ = writeln!(
+            out,
+            "    \"exact_push_cap\": {}",
+            self.solver.exact_push_cap
+        );
+        let _ = writeln!(out, "  }}");
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// Parses a spec from its JSON form.  `solver` and the scalar knobs
+    /// fall back to defaults when omitted; `circuits` entries use the
+    /// [`CircuitRef::parse`] text forms.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Spec`] naming the offending field.
+    pub fn from_json(text: &str) -> Result<Self, FleetError> {
+        let v = Json::parse(text).map_err(|e| FleetError::Spec(format!("bad JSON: {e}")))?;
+        let mut spec = CampaignSpec::default();
+        if let Some(name) = v.get("name") {
+            spec.name = name
+                .as_str()
+                .ok_or_else(|| FleetError::Spec("`name` must be a string".into()))?
+                .to_string();
+        }
+        let circuits = v
+            .get("circuits")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| FleetError::Spec("`circuits` must be an array".into()))?;
+        spec.circuits = circuits
+            .iter()
+            .map(|c| {
+                c.as_str()
+                    .ok_or_else(|| FleetError::Spec("circuit entries must be strings".into()))
+                    .and_then(|s| CircuitRef::parse(s).map_err(FleetError::Spec))
+            })
+            .collect::<Result<_, _>>()?;
+        if let Some(ks) = v.get("sigma_factors") {
+            let arr = ks
+                .as_arr()
+                .ok_or_else(|| FleetError::Spec("`sigma_factors` must be an array".into()))?;
+            spec.sigma_factors = arr
+                .iter()
+                .map(|k| {
+                    k.as_f64()
+                        .ok_or_else(|| FleetError::Spec("sigma factors must be numbers".into()))
+                })
+                .collect::<Result<_, _>>()?;
+        }
+        let usize_field = |key: &str, default: usize| -> Result<usize, FleetError> {
+            match v.get(key) {
+                None => Ok(default),
+                Some(x) => x
+                    .as_usize()
+                    .ok_or_else(|| FleetError::Spec(format!("`{key}` must be an integer"))),
+            }
+        };
+        spec.samples = usize_field("samples", spec.samples)?;
+        spec.yield_samples = usize_field("yield_samples", spec.yield_samples)?;
+        spec.calibration_samples = usize_field("calibration_samples", spec.calibration_samples)?;
+        spec.threads_per_job = usize_field("threads_per_job", spec.threads_per_job)?;
+        if let Some(seed) = v.get("seed") {
+            spec.seed = seed
+                .as_u64()
+                .ok_or_else(|| FleetError::Spec("`seed` must be an integer".into()))?;
+        }
+        if let Some(solver) = v.get("solver") {
+            let field = |key: &str, default: usize| -> Result<usize, FleetError> {
+                match solver.get(key) {
+                    None => Ok(default),
+                    Some(x) => x.as_usize().ok_or_else(|| {
+                        FleetError::Spec(format!("`solver.{key}` must be an integer"))
+                    }),
+                }
+            };
+            spec.solver.region_radius = field("region_radius", spec.solver.region_radius)?;
+            spec.solver.region_cap = field("region_cap", spec.solver.region_cap)?;
+            spec.solver.bb_node_cap = field("bb_node_cap", spec.solver.bb_node_cap)?;
+            spec.solver.exact_push_cap = field("exact_push_cap", spec.solver.exact_push_cap)?;
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_round_trips_and_fingerprint_is_stable() {
+        let spec = CampaignSpec::example();
+        let json = spec.to_json();
+        let back = CampaignSpec::from_json(&json).unwrap();
+        assert_eq!(spec, back);
+        assert_eq!(spec.fingerprint(), back.fingerprint());
+        // A different spec fingerprints differently.
+        let mut other = spec.clone();
+        other.samples += 1;
+        assert_ne!(spec.fingerprint(), other.fingerprint());
+    }
+
+    #[test]
+    fn grid_is_circuit_major_with_global_indices() {
+        let spec = CampaignSpec::example();
+        let jobs = spec.jobs();
+        assert_eq!(jobs.len(), 4);
+        for (i, job) in jobs.iter().enumerate() {
+            assert_eq!(job.index, i);
+        }
+        assert_eq!(jobs[0].circuit_index, 0);
+        assert_eq!(jobs[1].circuit_index, 0);
+        assert_eq!(jobs[2].circuit_index, 1);
+        assert_eq!(jobs[0].sigma_factor, 0.0);
+        assert_eq!(jobs[1].sigma_factor, 2.0);
+    }
+
+    #[test]
+    fn validation_rejects_empty_and_bad_specs() {
+        let mut spec = CampaignSpec::default();
+        assert!(spec.validate().is_err()); // no circuits
+        spec.circuits = vec![CircuitRef::parse("tiny_demo:1").unwrap()];
+        spec.sigma_factors.clear();
+        assert!(spec.validate().is_err());
+        spec.sigma_factors = vec![f64::NAN];
+        assert!(spec.validate().is_err());
+        spec.sigma_factors = vec![0.0];
+        spec.samples = 0;
+        assert!(spec.validate().is_err());
+        spec.samples = 10;
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn from_json_applies_defaults_and_reports_errors() {
+        let spec = CampaignSpec::from_json(r#"{"circuits": ["tiny_demo:7"], "seed": 7}"#).unwrap();
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.sigma_factors, vec![0.0, 1.0, 2.0]);
+        assert_eq!(spec.samples, 1_000);
+        assert!(CampaignSpec::from_json(r#"{"circuits": ["nope"]}"#).is_err());
+        assert!(CampaignSpec::from_json(r#"{"circuits": "tiny_demo:7"}"#).is_err());
+        assert!(CampaignSpec::from_json("{").is_err());
+    }
+}

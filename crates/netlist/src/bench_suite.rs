@@ -113,19 +113,199 @@ pub fn by_name(name: &str) -> Option<BenchmarkSpec> {
     paper_suite().into_iter().find(|s| s.name == name)
 }
 
+/// The names of the paper suite, in Table-I order.
+pub fn suite_names() -> Vec<&'static str> {
+    paper_suite().into_iter().map(|s| s.name).collect()
+}
+
+/// A serialisable, self-contained circuit descriptor — what campaign specs
+/// and job journals store instead of a materialised [`Circuit`].
+///
+/// The canonical text form round-trips through
+/// [`CircuitRef::parse`] / [`CircuitRef::id`]:
+///
+/// | form | meaning |
+/// |---|---|
+/// | `s9234` | a paper-suite benchmark, default seed |
+/// | `s9234@7` | a paper-suite benchmark, explicit generation seed |
+/// | `tiny_demo:3` | the 24-FF demo circuit, seed 3 |
+/// | `small_demo:3` | the 80-FF demo circuit, seed 3 |
+/// | `medium_demo:3` | the 250-FF demo circuit, seed 3 |
+/// | `sized:name:ffs:gates:seed` | an arbitrary generated circuit |
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CircuitRef {
+    /// A paper-suite benchmark (`None` = the spec's default seed).
+    Paper {
+        /// Benchmark name as in [`paper_suite`].
+        name: String,
+        /// Generation seed override.
+        seed: Option<u64>,
+    },
+    /// A named demo class ([`tiny_demo`] / [`small_demo`] / [`medium_demo`]).
+    Demo {
+        /// `tiny_demo`, `small_demo` or `medium_demo`.
+        class: String,
+        /// Generation seed.
+        seed: u64,
+    },
+    /// An arbitrary generated circuit of an explicit size.
+    Sized {
+        /// Circuit name.
+        name: String,
+        /// Flip-flop count.
+        n_ffs: usize,
+        /// Gate count.
+        n_gates: usize,
+        /// Generation seed.
+        seed: u64,
+    },
+}
+
+impl CircuitRef {
+    /// Parses the canonical text form (see the type docs for the grammar).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown names or malformed
+    /// numeric fields.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let s = s.trim();
+        if let Some(rest) = s.strip_prefix("sized:") {
+            let parts: Vec<&str> = rest.split(':').collect();
+            if parts.len() != 4 {
+                return Err(format!("`sized:` takes name:ffs:gates:seed, got `{s}`"));
+            }
+            let n_ffs = parts[1]
+                .parse()
+                .map_err(|_| format!("bad FF count in `{s}`"))?;
+            let n_gates = parts[2]
+                .parse()
+                .map_err(|_| format!("bad gate count in `{s}`"))?;
+            let seed = parts[3].parse().map_err(|_| format!("bad seed in `{s}`"))?;
+            if n_ffs == 0 || n_gates == 0 {
+                return Err(format!("sized circuit `{s}` must have FFs and gates"));
+            }
+            return Ok(CircuitRef::Sized {
+                name: parts[0].to_string(),
+                n_ffs,
+                n_gates,
+                seed,
+            });
+        }
+        if let Some((class, seed)) = s.split_once(':') {
+            if !matches!(class, "tiny_demo" | "small_demo" | "medium_demo") {
+                return Err(format!("unknown demo class `{class}` in `{s}`"));
+            }
+            let seed = seed.parse().map_err(|_| format!("bad seed in `{s}`"))?;
+            return Ok(CircuitRef::Demo {
+                class: class.to_string(),
+                seed,
+            });
+        }
+        let (name, seed) = match s.split_once('@') {
+            Some((n, seed)) => (
+                n,
+                Some(seed.parse().map_err(|_| format!("bad seed in `{s}`"))?),
+            ),
+            None => (s, None),
+        };
+        if by_name(name).is_none() {
+            return Err(format!(
+                "unknown circuit `{name}` (paper suite: {})",
+                suite_names().join(", ")
+            ));
+        }
+        Ok(CircuitRef::Paper {
+            name: name.to_string(),
+            seed,
+        })
+    }
+
+    /// The canonical text form ([`CircuitRef::parse`] inverts it).
+    pub fn id(&self) -> String {
+        match self {
+            CircuitRef::Paper { name, seed: None } => name.clone(),
+            CircuitRef::Paper {
+                name,
+                seed: Some(s),
+            } => format!("{name}@{s}"),
+            CircuitRef::Demo { class, seed } => format!("{class}:{seed}"),
+            CircuitRef::Sized {
+                name,
+                n_ffs,
+                n_gates,
+                seed,
+            } => format!("sized:{name}:{n_ffs}:{n_gates}:{seed}"),
+        }
+    }
+
+    /// The (FF count, gate count) the generated circuit will have, or
+    /// `None` when the name no longer resolves (possible when a
+    /// descriptor was deserialised rather than parsed).
+    pub fn size(&self) -> Option<(usize, usize)> {
+        match self {
+            CircuitRef::Paper { name, .. } => by_name(name).map(|spec| (spec.n_ffs, spec.n_gates)),
+            CircuitRef::Demo { class, .. } => match class.as_str() {
+                "tiny_demo" => Some(TINY_DEMO_SIZE),
+                "small_demo" => Some(SMALL_DEMO_SIZE),
+                "medium_demo" => Some(MEDIUM_DEMO_SIZE),
+                _ => None,
+            },
+            CircuitRef::Sized { n_ffs, n_gates, .. } => Some((*n_ffs, *n_gates)),
+        }
+    }
+
+    /// Generates the circuit this descriptor names.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a paper or demo name no longer resolves (possible when a
+    /// descriptor was deserialised rather than parsed).
+    pub fn materialize(&self) -> Result<Circuit, String> {
+        match self {
+            CircuitRef::Paper { name, seed } => {
+                let spec = by_name(name).ok_or_else(|| format!("unknown circuit `{name}`"))?;
+                Ok(match seed {
+                    Some(s) => spec.generate_seeded(*s),
+                    None => spec.generate(),
+                })
+            }
+            CircuitRef::Demo { class, seed } => match class.as_str() {
+                "tiny_demo" => Ok(tiny_demo(*seed)),
+                "small_demo" => Ok(small_demo(*seed)),
+                "medium_demo" => Ok(medium_demo(*seed)),
+                other => Err(format!("unknown demo class `{other}`")),
+            },
+            CircuitRef::Sized {
+                name,
+                n_ffs,
+                n_gates,
+                seed,
+            } => Ok(GeneratorProfile::sized(name, *n_ffs, *n_gates).generate(*seed)),
+        }
+    }
+}
+
+/// (FF count, gate count) of [`tiny_demo`].
+pub const TINY_DEMO_SIZE: (usize, usize) = (24, 220);
+/// (FF count, gate count) of [`small_demo`].
+pub const SMALL_DEMO_SIZE: (usize, usize) = (80, 900);
+/// (FF count, gate count) of [`medium_demo`].
+pub const MEDIUM_DEMO_SIZE: (usize, usize) = (250, 3500);
+
 /// A miniature circuit (24 FFs, 220 gates) for tests, docs and examples.
 pub fn tiny_demo(seed: u64) -> Circuit {
-    GeneratorProfile::sized("tiny_demo", 24, 220).generate(seed)
+    GeneratorProfile::sized("tiny_demo", TINY_DEMO_SIZE.0, TINY_DEMO_SIZE.1).generate(seed)
 }
 
 /// A small circuit (80 FFs, 900 gates) for fast integration tests.
 pub fn small_demo(seed: u64) -> Circuit {
-    GeneratorProfile::sized("small_demo", 80, 900).generate(seed)
+    GeneratorProfile::sized("small_demo", SMALL_DEMO_SIZE.0, SMALL_DEMO_SIZE.1).generate(seed)
 }
 
 /// A medium circuit (250 FFs, 3500 gates) — roughly s9234-class.
 pub fn medium_demo(seed: u64) -> Circuit {
-    GeneratorProfile::sized("medium_demo", 250, 3500).generate(seed)
+    GeneratorProfile::sized("medium_demo", MEDIUM_DEMO_SIZE.0, MEDIUM_DEMO_SIZE.1).generate(seed)
 }
 
 #[cfg(test)]
@@ -167,6 +347,62 @@ mod tests {
         assert_eq!(c.num_ffs(), spec.n_ffs);
         assert_eq!(c.num_gates(), spec.n_gates);
         assert!(c.check().is_ok());
+    }
+
+    #[test]
+    fn circuit_ref_round_trips_and_materializes() {
+        for id in [
+            "s9234",
+            "s9234@7",
+            "tiny_demo:3",
+            "small_demo:5",
+            "medium_demo:1",
+            "sized:custom:16:120:9",
+        ] {
+            let r = CircuitRef::parse(id).unwrap();
+            assert_eq!(r.id(), id);
+            assert_eq!(CircuitRef::parse(&r.id()).unwrap(), r);
+        }
+        let tiny = CircuitRef::parse("tiny_demo:3").unwrap();
+        let c = tiny.materialize().unwrap();
+        assert_eq!(c.num_ffs(), 24);
+        assert_eq!(tiny.size(), Some(TINY_DEMO_SIZE));
+        // Same descriptor → the same generated size and name.
+        let again = tiny.materialize().unwrap();
+        assert_eq!(c.num_gates(), again.num_gates());
+        assert_eq!(c.name, again.name);
+        // Paper refs honour explicit seeds.
+        let a = CircuitRef::parse("s9234").unwrap().size();
+        assert_eq!(a, Some((211, 5597)));
+        // Unresolvable descriptors report no size instead of panicking.
+        let ghost = CircuitRef::Paper {
+            name: "removed_bench".into(),
+            seed: None,
+        };
+        assert_eq!(ghost.size(), None);
+        assert!(ghost.materialize().is_err());
+    }
+
+    #[test]
+    fn circuit_ref_rejects_malformed() {
+        for bad in [
+            "nope",
+            "tiny_demo:x",
+            "huge_demo:1",
+            "sized:just_name",
+            "sized:z:0:10:1",
+            "s9234@x",
+        ] {
+            assert!(CircuitRef::parse(bad).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn suite_names_in_table_order() {
+        let names = suite_names();
+        assert_eq!(names.len(), 8);
+        assert_eq!(names[0], "s9234");
+        assert_eq!(names[7], "pci_bridge32");
     }
 
     #[test]

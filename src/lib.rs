@@ -13,7 +13,9 @@
 //! * [`netlist`] — circuit graph, ISCAS89 parser, benchmark generator;
 //! * [`timing`] — STA/SSTA, sequential constraint graphs, feasibility;
 //! * [`milp`] — LP/MILP solver (simplex + branch and bound);
-//! * [`core`] — the sampling-based insertion flow itself.
+//! * [`core`] — the sampling-based insertion flow itself;
+//! * [`fleet`] — sharded multi-circuit campaign runner with
+//!   checkpoint/resume (the `psbi-fleet` binary).
 //!
 //! # Quickstart
 //!
@@ -34,6 +36,7 @@
 //! ```
 
 pub use psbi_core as core;
+pub use psbi_fleet as fleet;
 pub use psbi_liberty as liberty;
 pub use psbi_milp as milp;
 pub use psbi_netlist as netlist;
