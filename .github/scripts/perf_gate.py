@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the batched sampling engine.
+
+Compares a fresh ``perf_json`` probe against the committed
+``BENCH_sampling.json`` baseline and fails when the batched-vs-scalar
+sampling speedup (and, when the probe ran a wide backend, the
+SIMD-vs-scalar kernel speedup) drops below the committed floor minus a
+noise tolerance.  Ratios rather than absolute times are compared so the
+gate is robust to runner hardware differences; the tolerance absorbs
+runner noise on top of that.
+
+Usage: perf_gate.py <probe.json> <baseline.json> [tolerance]
+"""
+
+import json
+import os
+import sys
+
+
+def main() -> int:
+    probe_path, baseline_path = sys.argv[1], sys.argv[2]
+    tolerance = float(sys.argv[3]) if len(sys.argv) > 3 else 0.20
+
+    with open(probe_path) as f:
+        probe = json.load(f)
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+
+    checks = []
+    notes = []
+
+    # The committed ratios embed the baseline's kernel backend (an AVX2
+    # host's batched_speedup is far above a portable host's), so floors
+    # only gate when the probe ran the same backend as the baseline.
+    # On a runner with a different ISA the gate reports informationally
+    # and passes — failing there would flag hardware, not a regression.
+    probe_simd = probe.get("simd", {})
+    base_simd = baseline.get("simd", {})
+    probe_backend = probe_simd.get("backend")
+    base_backend = base_simd.get("backend")
+    if probe_backend == base_backend:
+        base_speedup = baseline["batched_speedup"]
+        checks.append(
+            (
+                "batched_speedup (batched vs polar-scalar)",
+                probe["batched_speedup"],
+                base_speedup,
+                base_speedup * (1.0 - tolerance),
+            )
+        )
+        if probe_backend != "scalar" and "wide_vs_scalar_speedup" in base_simd:
+            base_wide = base_simd["wide_vs_scalar_speedup"]
+            checks.append(
+                (
+                    f"wide_vs_scalar_speedup ({probe_backend} kernels)",
+                    probe_simd["wide_vs_scalar_speedup"],
+                    base_wide,
+                    base_wide * (1.0 - tolerance),
+                )
+            )
+    else:
+        notes.append(
+            f"probe backend `{probe_backend}` differs from committed baseline "
+            f"backend `{base_backend}` — ratios not comparable, floors skipped "
+            f"(probe batched_speedup: {probe['batched_speedup']:.3f}x)"
+        )
+
+    lines = [
+        "## Sampling perf gate",
+        "",
+        f"probe backend: `{probe_backend or 'n/a'}`"
+        f" (available: {', '.join(probe_simd.get('available', []))})",
+        "",
+    ]
+    for note in notes:
+        lines.append(f"> {note}")
+        lines.append("")
+    if checks:
+        lines.append("| metric | probe | committed | floor | delta | status |")
+        lines.append("|---|---|---|---|---|---|")
+    failed = False
+    for name, got, committed, floor in checks:
+        delta = (got / committed - 1.0) * 100.0
+        ok = got >= floor
+        failed |= not ok
+        lines.append(
+            f"| {name} | {got:.3f}x | {committed:.3f}x | {floor:.3f}x "
+            f"| {delta:+.1f}% | {'✅ pass' if ok else '❌ FAIL'} |"
+        )
+    summary = "\n".join(lines) + "\n"
+    print(summary)
+
+    step_summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if step_summary:
+        with open(step_summary, "a") as f:
+            f.write(summary)
+
+    if failed:
+        print(
+            f"perf gate FAILED: speedup fell more than {tolerance:.0%} below "
+            "the committed floor; if the regression is intentional, re-run "
+            "perf_json and commit the refreshed BENCH_sampling.json",
+            file=sys.stderr,
+        )
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

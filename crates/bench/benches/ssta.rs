@@ -114,5 +114,55 @@ fn bench_batched_vs_scalar_sampling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ssta, bench_batched_vs_scalar_sampling);
+/// Scalar-vs-SIMD kernel trajectory: the identical chunked fill +
+/// extraction loop pinned to every available kernel backend.  All
+/// backends produce bit-identical buffers (pinned by the parity tests),
+/// so the spread here is pure kernel throughput — the wide backend must
+/// clearly beat the fused scalar reference.
+fn bench_simd_backends(c: &mut Criterion) {
+    const SAMPLES: usize = 10_000;
+    const CHUNK: usize = 64;
+    let circuit = bench_suite::small_demo(1);
+    let lib = Library::industry_like();
+    let model = VariationModel::paper_defaults();
+    let tg = TimingGraph::build(&circuit, &lib, &model).unwrap();
+    let sg = SequentialGraph::extract(&tg);
+    let skews = vec![0.0; sg.n_ffs];
+    let mut st = SampleTiming::for_graph(&sg);
+    let (globals, mut rng) = chip_rng(5, 0);
+    sample_canonical(&sg, &globals, &mut rng, &mut st);
+    let period = constraint::min_period(&sg, &st, &skews).period;
+    let step = period / 160.0;
+
+    let mut group = c.benchmark_group("sampling_kernel_backends_10k");
+    group.sample_size(10);
+    for backend in psbi_timing::Backend::available() {
+        group.bench_function(format!("fill_extract_{}", backend.name()), |b| {
+            let sampler = CanonicalBatchSampler::new(&sg);
+            let mut batch = SampleBatch::new();
+            let mut cons = ConstraintBatch::new();
+            b.iter(|| {
+                let mut acc = 0i64;
+                let mut lo = 0usize;
+                while lo < SAMPLES {
+                    let len = CHUNK.min(SAMPLES - lo);
+                    batch.reset(&sg, len);
+                    sampler.fill_with(backend, 5, lo as u64, &mut batch);
+                    cons.build_from_with(backend, &sg, &batch, &skews, period, step);
+                    acc = acc.wrapping_add(cons.view(0).setup_bound[0]);
+                    lo += len;
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ssta,
+    bench_batched_vs_scalar_sampling,
+    bench_simd_backends
+);
 criterion_main!(benches);

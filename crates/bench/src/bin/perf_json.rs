@@ -10,10 +10,13 @@
 //! ```
 //!
 //! Besides the sampling-throughput and flow-stage sections, the output
-//! carries a `campaign` section: a small 2-circuit × 2-target fleet
-//! campaign timed against the same jobs as back-to-back
-//! `BufferInsertionFlow::run()` calls, plus the pure journal-replay
-//! (resume no-op) time — the fleet subsystem's overhead trajectory.
+//! carries a `simd` section — the chunked fill + extraction loop pinned
+//! to the fused scalar backend versus the active wide backend
+//! (AVX2/NEON/portable), which the `perf-gate` CI job tracks — and a
+//! `campaign` section: a small 2-circuit × 2-target fleet campaign timed
+//! against the same jobs as back-to-back `BufferInsertionFlow::run()`
+//! calls, plus the pure journal-replay (resume no-op) time — the fleet
+//! subsystem's overhead trajectory.
 
 use psbi_bench::Args;
 use psbi_core::flow::{BufferInsertionFlow, FlowConfig, TargetPeriod};
@@ -89,7 +92,7 @@ fn main() {
 
     // Batched SoA path: one SampleBatch + ConstraintBatch reused across
     // all chunks, inverse-transform normal draws — exactly what the
-    // flow's passes run.
+    // flow's passes run (on the process-wide kernel backend).
     let sampler = CanonicalBatchSampler::new(&sg);
     let mut batch = SampleBatch::new();
     let mut cons = ConstraintBatch::new();
@@ -104,6 +107,26 @@ fn main() {
         lo += len;
     }
     let batched_s = t1.elapsed().as_secs_f64();
+
+    // SIMD trajectory: the same chunked fill + extraction pinned to the
+    // fused scalar backend versus the active (widest) backend.  Both are
+    // bit-identical populations, so this isolates pure kernel throughput.
+    let backend = psbi_timing::simd::active();
+    let mut time_backend = |b: psbi_timing::Backend| {
+        let t = Instant::now();
+        let mut lo = 0usize;
+        while lo < samples {
+            let len = CHUNK.min(samples - lo);
+            batch.reset(&sg, len);
+            sampler.fill_with(b, seed, lo as u64, &mut batch);
+            cons.build_from_with(b, &sg, &batch, &skews, period, step);
+            sink = sink.wrapping_add(cons.view(0).setup_bound[0]);
+            lo += len;
+        }
+        t.elapsed().as_secs_f64()
+    };
+    let simd_scalar_s = time_backend(psbi_timing::Backend::Scalar);
+    let simd_wide_s = time_backend(backend);
     std::hint::black_box(sink);
 
     // One full flow run (calibration + passes + grouping + yield).
@@ -190,6 +213,21 @@ fn main() {
     let _ = writeln!(json, "    \"samples_per_sec\": {batched_rate:.1}");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"batched_speedup\": {:.3},", scalar_s / batched_s);
+    let _ = writeln!(json, "  \"simd\": {{");
+    let _ = writeln!(json, "    \"backend\": \"{}\",", backend.name());
+    let available: Vec<String> = psbi_timing::Backend::available()
+        .iter()
+        .map(|b| format!("\"{}\"", b.name()))
+        .collect();
+    let _ = writeln!(json, "    \"available\": [{}],", available.join(", "));
+    let _ = writeln!(json, "    \"scalar_batch_s\": {simd_scalar_s:.6},");
+    let _ = writeln!(json, "    \"wide_batch_s\": {simd_wide_s:.6},");
+    let _ = writeln!(
+        json,
+        "    \"wide_vs_scalar_speedup\": {:.3}",
+        simd_scalar_s / simd_wide_s
+    );
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"flow\": {{");
     let _ = writeln!(json, "    \"samples\": {flow_samples},");
     let _ = writeln!(
@@ -226,8 +264,11 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write BENCH json");
     eprintln!(
         "perf_json: scalar {scalar_rate:.0}/s, batched {batched_rate:.0}/s \
-         ({:.2}x), flow {flow_s:.2}s -> {out_path}",
-        scalar_s / batched_s
+         ({:.2}x), backend {} ({:.2}x vs scalar kernels), flow {flow_s:.2}s \
+         -> {out_path}",
+        scalar_s / batched_s,
+        backend.name(),
+        simd_scalar_s / simd_wide_s
     );
     print!("{json}");
 }

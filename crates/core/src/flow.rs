@@ -18,7 +18,11 @@
 //! into fixed-size chunks; each chunk is drawn into a structure-of-arrays
 //! [`psbi_timing::SampleBatch`], its constraints are extracted into a
 //! [`psbi_timing::ConstraintBatch`], and the per-chip solves run over the
-//! batch rows.  Chunks are distributed over a rayon-style work-stealing
+//! batch rows.  The draw and bound-extraction kernels run wide (AVX2 /
+//! NEON / portable lanes) on the process-wide [`psbi_timing::simd`]
+//! backend; every backend is bit-identical to the scalar reference
+//! (`PSBI_FORCE_SCALAR=1`), so kernel choice never affects results.
+//! Chunks are distributed over a rayon-style work-stealing
 //! parallel iterator (idle workers claim the next unprocessed chunk), and
 //! every worker draws its solver/batch workspaces from a shared pool that
 //! is reused across *all* passes of the flow — steady state performs no
@@ -545,6 +549,16 @@ impl<'a> BufferInsertionFlow<'a> {
     /// The fixed clock-tree skews (ps, per dense FF index).
     pub fn skews(&self) -> &[f64] {
         &self.skews
+    }
+
+    /// Name of the sampling-kernel backend every pass of this flow runs
+    /// on (`avx2`, `neon`, `portable`, or `scalar`) — the process-wide
+    /// [`psbi_timing::simd::active`] selection, overridable with
+    /// `PSBI_FORCE_SCALAR=1`.  All backends are bit-identical, so this is
+    /// observability only: perf harnesses record it next to their
+    /// timings.
+    pub fn sampling_backend(&self) -> &'static str {
+        psbi_timing::simd::active().name()
     }
 
     /// The flip-flop placement used for grouping distances.

@@ -144,13 +144,7 @@ impl CampaignSpec {
     /// journal header so a journal can never be resumed against a
     /// different campaign.
     pub fn fingerprint(&self) -> String {
-        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut hash = FNV_OFFSET;
-        for byte in self.to_json().bytes() {
-            hash ^= u64::from(byte);
-            hash = hash.wrapping_mul(FNV_PRIME);
-        }
+        let hash = psbi_variation::seeding::fnv1a(self.to_json().as_bytes());
         format!("{hash:016x}")
     }
 

@@ -14,6 +14,7 @@
 
 use crate::sample::{SampleBatch, SampleTiming, SampleView};
 use crate::seq::SequentialGraph;
+use crate::simd;
 use serde::{Deserialize, Serialize};
 
 /// Which side of an edge constraint is meant.
@@ -171,7 +172,9 @@ fn fill_bounds_row(
 /// Structure-of-arrays integer bounds for a batch of chips.
 ///
 /// Row-major `len × edges` buffers, reused across passes via
-/// [`ConstraintBatch::build_from`] (no per-chip allocation).
+/// [`ConstraintBatch::build_from`] (no per-chip allocation).  The
+/// bound-extraction inner loop runs on the process-wide kernel backend
+/// ([`simd::active`]); all backends produce bit-identical bounds.
 #[derive(Debug, Clone, Default)]
 pub struct ConstraintBatch {
     n_edges: usize,
@@ -184,6 +187,10 @@ pub struct ConstraintBatch {
     hold_base: Vec<f64>,
     /// Capture-FF index per edge (flat copy of `SeqEdge::to`).
     to_idx: Vec<u32>,
+    /// Wide-path scratch: the capture FF's setup/hold values gathered
+    /// per edge, so the bound kernel streams edge-indexed lanes only.
+    gather_setup: Vec<f64>,
+    gather_hold: Vec<f64>,
 }
 
 impl ConstraintBatch {
@@ -205,7 +212,8 @@ impl ConstraintBatch {
     }
 
     /// Extracts the integer bounds of every chip in `batch`, reusing this
-    /// batch's buffers.
+    /// batch's buffers, on the process-wide kernel backend
+    /// ([`simd::active`]).
     ///
     /// # Panics
     ///
@@ -218,7 +226,32 @@ impl ConstraintBatch {
         period: f64,
         step: f64,
     ) {
+        self.build_from_with(simd::active(), sg, batch, skews, period, step);
+    }
+
+    /// [`build_from`](ConstraintBatch::build_from) on an explicit kernel
+    /// backend.  Every backend produces bit-identical bounds; this entry
+    /// point exists for parity tests and scalar-vs-SIMD benchmarks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not strictly positive, or if `backend` is not
+    /// available on this host.
+    pub fn build_from_with(
+        &mut self,
+        backend: simd::Backend,
+        sg: &SequentialGraph,
+        batch: &SampleBatch,
+        skews: &[f64],
+        period: f64,
+        step: f64,
+    ) {
         assert!(step > 0.0, "buffer step must be positive");
+        assert!(
+            backend.is_available(),
+            "kernel backend {} not available on this host",
+            backend.name()
+        );
         self.n_edges = sg.edges.len();
         self.len = batch.len();
         self.setup_bound.clear();
@@ -239,15 +272,54 @@ impl ConstraintBatch {
             self.to_idx.push(edge.to);
         }
         let inv_step = 1.0 / step;
-        for row in 0..self.len {
-            let e0 = row * self.n_edges;
-            let v = batch.view(row);
-            for e in 0..self.n_edges {
-                let j = self.to_idx[e] as usize;
-                let setup_slack = self.setup_base[e] - v.setup[j] - v.edge_max[e];
-                let hold_slack = v.edge_min[e] - v.hold[j] + self.hold_base[e];
-                self.setup_bound[e0 + e] = (setup_slack * inv_step).floor() as i64;
-                self.hold_bound[e0 + e] = (hold_slack * inv_step).floor() as i64;
+        // The portable backend has no real wide bounds kernel (its
+        // `extract_bounds` arm is the scalar lane loop), so the gather
+        // staging below would be pure overhead — it takes the fused loop
+        // alongside Scalar.  Only hardware-vector backends pay for the
+        // gather and recoup it in the slack/floor sweep.
+        if matches!(backend, simd::Backend::Scalar | simd::Backend::Portable) {
+            for row in 0..self.len {
+                let e0 = row * self.n_edges;
+                let v = batch.view(row);
+                for e in 0..self.n_edges {
+                    let j = self.to_idx[e] as usize;
+                    let setup_slack = self.setup_base[e] - v.setup[j] - v.edge_max[e];
+                    let hold_slack = v.edge_min[e] - v.hold[j] + self.hold_base[e];
+                    self.setup_bound[e0 + e] = (setup_slack * inv_step).floor() as i64;
+                    self.hold_bound[e0 + e] = (hold_slack * inv_step).floor() as i64;
+                }
+            }
+        } else {
+            // Wide path: gather the capture-FF setup/hold values into
+            // edge-indexed lanes (scalar; data-dependent indices), then
+            // run the vectorised slack/floor kernel over the row.
+            self.gather_setup.clear();
+            self.gather_setup.resize(self.n_edges, 0.0);
+            self.gather_hold.clear();
+            self.gather_hold.resize(self.n_edges, 0.0);
+            for row in 0..self.len {
+                let e0 = row * self.n_edges;
+                let v = batch.view(row);
+                for e in 0..self.n_edges {
+                    let j = self.to_idx[e] as usize;
+                    self.gather_setup[e] = v.setup[j];
+                    self.gather_hold[e] = v.hold[j];
+                }
+                let lanes = simd::BoundLanes {
+                    setup_base: &self.setup_base,
+                    setup_ff: &self.gather_setup,
+                    edge_max: v.edge_max,
+                    edge_min: v.edge_min,
+                    hold_ff: &self.gather_hold,
+                    hold_base: &self.hold_base,
+                };
+                simd::extract_bounds(
+                    backend,
+                    &lanes,
+                    inv_step,
+                    &mut self.setup_bound[e0..e0 + self.n_edges],
+                    &mut self.hold_bound[e0..e0 + self.n_edges],
+                );
             }
         }
     }
@@ -450,6 +522,54 @@ mod tests {
             let v = cb.view(row);
             assert_eq!(v.setup_bound, &ic.setup_bound[..], "row {row}");
             assert_eq!(v.hold_bound, &ic.hold_bound[..], "row {row}");
+        }
+    }
+
+    #[test]
+    fn build_from_backends_bit_identical() {
+        // Bound extraction must agree across every kernel backend — the
+        // floored integer bounds are the values the solver consumes, so
+        // any lane divergence would break run reproducibility.  Batch
+        // lengths and edge counts exercise the remainder loops.
+        use crate::sample::{CanonicalBatchSampler, SampleBatch};
+        let c = bench_suite::tiny_demo(14);
+        let lib = Library::industry_like();
+        let model = VariationModel::paper_defaults();
+        let tg = TimingGraph::build(&c, &lib, &model).unwrap();
+        let sg = SequentialGraph::extract(&tg);
+        let skews: Vec<f64> = (0..sg.n_ffs)
+            .map(|i| ((i % 7) as f64) * 1.5 - 4.0)
+            .collect();
+        let sampler = CanonicalBatchSampler::new(&sg);
+        for len in [1usize, 3, 5, 9] {
+            let mut batch = SampleBatch::new();
+            batch.reset(&sg, len);
+            sampler.fill(91, 17, &mut batch);
+            let (period, step) = (620.0, 2.25);
+            let mut reference = ConstraintBatch::new();
+            reference.build_from_with(
+                crate::simd::Backend::Scalar,
+                &sg,
+                &batch,
+                &skews,
+                period,
+                step,
+            );
+            for backend in crate::simd::Backend::available() {
+                let mut cb = ConstraintBatch::new();
+                cb.build_from_with(backend, &sg, &batch, &skews, period, step);
+                for row in 0..len {
+                    let a = reference.view(row);
+                    let b = cb.view(row);
+                    assert_eq!(
+                        a.setup_bound,
+                        b.setup_bound,
+                        "backend {} len {len} row {row}",
+                        backend.name()
+                    );
+                    assert_eq!(a.hold_bound, b.hold_bound);
+                }
+            }
         }
     }
 

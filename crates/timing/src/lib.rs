@@ -27,6 +27,9 @@
 //! * [`constraint::ConstraintBatch`] — batched constraint extraction over
 //!   a [`sample::SampleBatch`], with chip-invariant per-edge terms hoisted
 //!   out of the chip loop;
+//! * [`simd`] — runtime-dispatched wide kernels (AVX2 / NEON / portable
+//!   lanes) behind the batch engine, bit-identical to the scalar
+//!   reference path and forceable via `PSBI_FORCE_SCALAR=1`;
 //! * [`constraint::IntegerConstraints`] — the paper's setup/hold
 //!   inequalities discretised to buffer steps:
 //!   `k_i − k_j ≤ ⌊(T − s_j − d̄ij + t_j − t_i)/δ⌋` and
@@ -61,9 +64,11 @@ pub mod feasibility;
 pub mod graph;
 pub mod sample;
 pub mod seq;
+pub mod simd;
 
 pub use constraint::{ConstraintBatch, ConstraintsView, IntegerConstraints};
 pub use feasibility::{DiffSolver, Feasibility};
 pub use graph::TimingGraph;
 pub use sample::{CanonicalBatchSampler, SampleBatch, SampleTiming, SampleView};
 pub use seq::SequentialGraph;
+pub use simd::Backend;

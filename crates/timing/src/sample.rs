@@ -42,6 +42,7 @@
 
 use crate::graph::TimingGraph;
 use crate::seq::SequentialGraph;
+use crate::simd;
 use psbi_variation::normal::draw_standard_normal;
 use psbi_variation::{GlobalSample, N_PARAMS};
 use rand::Rng;
@@ -212,22 +213,36 @@ impl SampleBatch {
     }
 }
 
-/// One standard normal by inverse transform: a single 53-bit uniform
-/// mapped through the raw Acklam probit (no rejection loop, no `ln`/`sqrt`
-/// in the central 95 % of draws).  Roughly 2–3× cheaper per variate than
-/// the polar method the scalar path uses; statistically interchangeable
-/// (relative error of the inverse CDF ≈ `1.15e-9`).
+/// The uniform feeding one inverse-transform draw: `(k + 0.5) / 2^52`
+/// over a 52-bit `k`, strictly inside `(0, 1)` for every `k`.
+///
+/// 52 bits rather than 53 so `k + 0.5` is always exactly representable:
+/// with 53 bits, `k = 2^53 − 1` would round `k + 0.5` up to `2^53` and
+/// yield `u == 1.0` — a one-in-`2^53` draw that would feed `ln(0)` into
+/// the probit tail branch and come back `NaN`.
+#[inline]
+fn unit_uniform<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    ((rng.next_u64() >> 12) as f64 + 0.5) * (1.0 / (1u64 << 52) as f64)
+}
+
+/// One standard normal by inverse transform: a single 52-bit uniform
+/// ([`unit_uniform`]) mapped through the raw Acklam probit (no rejection
+/// loop, no `ln`/`sqrt` in the central 95 % of draws).  Roughly 2–3×
+/// cheaper per variate than the polar method the scalar path uses;
+/// statistically interchangeable (relative error of the inverse CDF
+/// ≈ `1.15e-9`).
 #[inline]
 fn draw_standard_normal_inv<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    // (k + 0.5) / 2^53 lies strictly inside (0, 1) for every k.
-    let u = ((rng.next_u64() >> 11) as f64 + 0.5) * (1.0 / (1u64 << 53) as f64);
-    psbi_variation::normal::probit_fast(u)
+    psbi_variation::normal::probit_fast(unit_uniform(rng))
 }
 
 /// Pre-flattened canonical coefficients of one form: mean, the global
-/// sensitivities, and the independent sigma.
+/// sensitivities, and the independent sigma.  The fused scalar reference
+/// path iterates these contiguous structs (one cache line per pair of
+/// forms); the wide path reads the same coefficients from the
+/// structure-of-arrays [`simd::FormGroup`]s instead.
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct FlatForm {
+struct FlatForm {
     mean: f64,
     sens: [f64; N_PARAMS],
     indep: f64,
@@ -243,8 +258,11 @@ impl FlatForm {
         }
     }
 
+    /// Scalar draw — the expression tree (left-associated sensitivity
+    /// sum, one conditional local term) every wide backend reproduces
+    /// lane-wise; see [`simd`] for the parity contract.
     #[inline]
-    pub(crate) fn draw<R: Rng + ?Sized>(&self, globals: &GlobalSample, rng: &mut R) -> f64 {
+    fn draw<R: Rng + ?Sized>(&self, globals: &GlobalSample, rng: &mut R) -> f64 {
         let mut v = self.mean;
         for p in 0..N_PARAMS {
             v += self.sens[p] * globals.delta[p];
@@ -260,72 +278,225 @@ impl FlatForm {
 ///
 /// Built once per graph; [`fill`](CanonicalBatchSampler::fill) then draws
 /// any window of the sample stream into a [`SampleBatch`].  The canonical
-/// coefficients are flattened into one contiguous array (edge max/min
-/// interleaved, then setup/hold per FF) so the per-chip loop is a single
-/// linear sweep.
+/// coefficients are flattened into four structure-of-arrays groups
+/// (setup, hold, edge-max, edge-min — see [`simd::FormGroup`]) so the
+/// per-chip draw is a handful of linear sweeps the wide kernels can
+/// vectorise.
+///
+/// # Kernel dispatch
+///
+/// [`fill`] and [`fill_one`] run on the process-wide backend picked by
+/// [`simd::active`] (AVX2 / NEON / portable lanes, or the fused scalar
+/// reference under `PSBI_FORCE_SCALAR=1`).  All backends are
+/// **bit-identical** — see the [`simd`] module docs for the parity
+/// argument — so the choice never affects results, only throughput.
+/// [`fill_with`](CanonicalBatchSampler::fill_with) pins an explicit
+/// backend for benchmarks and parity tests.
+///
+/// [`fill`]: CanonicalBatchSampler::fill
+/// [`fill_one`]: CanonicalBatchSampler::fill_one
+/// [`simd::FormGroup`]: crate::simd
 #[derive(Debug, Clone)]
 pub struct CanonicalBatchSampler {
-    /// Interleaved `max, min` forms per edge.
-    edge_forms: Vec<FlatForm>,
-    /// Interleaved `setup, hold` forms per FF.
+    setup: simd::FormGroup,
+    hold: simd::FormGroup,
+    emax: simd::FormGroup,
+    emin: simd::FormGroup,
+    /// Interleaved `setup, hold` forms per FF — the scalar path's
+    /// cache-friendly AoS copy of the same coefficients.
     ff_forms: Vec<FlatForm>,
+    /// Interleaved `max, min` forms per edge (scalar path).
+    edge_forms: Vec<FlatForm>,
+    /// Dense-layout index of every RNG draw, in the scalar draw order
+    /// (setup₀, hold₀, setup₁, …, then max₀, min₀, max₁, …), skipping
+    /// forms with a zero independent term — the uniform-consumption
+    /// contract shared by the scalar and wide paths.
+    draw_slots: Vec<u32>,
+    /// Total forms (`2·n_ffs + 2·n_edges`) = dense scratch length.
+    n_forms: usize,
+}
+
+/// Dense scratch layout: `setup | hold | edge_max | edge_min`.
+#[inline]
+fn dense_index(n_ffs: usize, n_edges: usize, group: usize, k: usize) -> usize {
+    match group {
+        0 => k,
+        1 => n_ffs + k,
+        2 => 2 * n_ffs + k,
+        _ => 2 * n_ffs + n_edges + k,
+    }
 }
 
 impl CanonicalBatchSampler {
     /// Flattens the canonical forms of `sg`.
     pub fn new(sg: &SequentialGraph) -> Self {
-        let mut edge_forms = Vec::with_capacity(2 * sg.edges.len());
-        for edge in &sg.edges {
-            edge_forms.push(FlatForm::of(&edge.max_delay));
-            edge_forms.push(FlatForm::of(&edge.min_delay));
-        }
-        let mut ff_forms = Vec::with_capacity(2 * sg.n_ffs);
-        for i in 0..sg.n_ffs {
+        let n_ffs = sg.n_ffs;
+        let n_edges = sg.edges.len();
+        let mut setup = simd::FormGroup::new();
+        let mut hold = simd::FormGroup::new();
+        let mut ff_forms = Vec::with_capacity(2 * n_ffs);
+        for i in 0..n_ffs {
+            setup.push(&sg.setup[i]);
+            hold.push(&sg.hold[i]);
             ff_forms.push(FlatForm::of(&sg.setup[i]));
             ff_forms.push(FlatForm::of(&sg.hold[i]));
         }
+        let mut emax = simd::FormGroup::new();
+        let mut emin = simd::FormGroup::new();
+        let mut edge_forms = Vec::with_capacity(2 * n_edges);
+        for edge in &sg.edges {
+            emax.push(&edge.max_delay);
+            emin.push(&edge.min_delay);
+            edge_forms.push(FlatForm::of(&edge.max_delay));
+            edge_forms.push(FlatForm::of(&edge.min_delay));
+        }
+        let n_forms = 2 * n_ffs + 2 * n_edges;
+        assert!(n_forms <= u32::MAX as usize, "graph too large for draw map");
+        // RNG draw order (must mirror `draw_chip_scalar` exactly): FF
+        // setup/hold pairs first, then the edge max/min pairs, skipping
+        // forms without an independent term.
+        let mut draw_slots = Vec::with_capacity(n_forms);
+        for i in 0..n_ffs {
+            if setup.indep[i] != 0.0 {
+                draw_slots.push(dense_index(n_ffs, n_edges, 0, i) as u32);
+            }
+            if hold.indep[i] != 0.0 {
+                draw_slots.push(dense_index(n_ffs, n_edges, 1, i) as u32);
+            }
+        }
+        for e in 0..n_edges {
+            if emax.indep[e] != 0.0 {
+                draw_slots.push(dense_index(n_ffs, n_edges, 2, e) as u32);
+            }
+            if emin.indep[e] != 0.0 {
+                draw_slots.push(dense_index(n_ffs, n_edges, 3, e) as u32);
+            }
+        }
         Self {
-            edge_forms,
+            setup,
+            hold,
+            emax,
+            emin,
             ff_forms,
+            edge_forms,
+            draw_slots,
+            n_forms,
         }
     }
 
-    /// Fills `batch` with chips `first..first + batch.len()` of `stream`.
+    #[inline]
+    fn n_ffs(&self) -> usize {
+        self.setup.len()
+    }
+
+    #[inline]
+    fn n_edges(&self) -> usize {
+        self.emax.len()
+    }
+
+    /// Fills `batch` with chips `first..first + batch.len()` of `stream`
+    /// on the process-wide kernel backend ([`simd::active`]).
     ///
     /// # Panics
     ///
     /// Panics if the batch shape does not match this sampler's graph.
     pub fn fill(&self, stream: u64, first: u64, batch: &mut SampleBatch) {
+        self.fill_with(simd::active(), stream, first, batch);
+    }
+
+    /// [`fill`](CanonicalBatchSampler::fill) on an explicit kernel
+    /// backend.  Every backend produces bit-identical buffers; this
+    /// entry point exists for parity tests and scalar-vs-SIMD benchmarks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch shape does not match this sampler's graph, or
+    /// if `backend` is not available on this host.
+    pub fn fill_with(
+        &self,
+        backend: simd::Backend,
+        stream: u64,
+        first: u64,
+        batch: &mut SampleBatch,
+    ) {
         assert_eq!(
-            batch.n_edges * 2,
-            self.edge_forms.len(),
+            batch.n_edges,
+            self.n_edges(),
             "batch not reset for this sampler's graph"
         );
-        assert_eq!(batch.n_ffs * 2, self.ff_forms.len());
+        assert_eq!(batch.n_ffs, self.n_ffs());
+        assert!(
+            backend.is_available(),
+            "kernel backend {} not available on this host",
+            backend.name()
+        );
         batch.first_index = first;
         let n_edges = batch.n_edges;
         let n_ffs = batch.n_ffs;
-        for row in 0..batch.len {
-            let f0 = row * n_ffs;
-            let e0 = row * n_edges;
-            self.draw_chip_into(
-                stream,
-                first + row as u64,
-                &mut batch.edge_max[e0..e0 + n_edges],
-                &mut batch.edge_min[e0..e0 + n_edges],
-                &mut batch.setup[f0..f0 + n_ffs],
-                &mut batch.hold[f0..f0 + n_ffs],
-            );
+        if backend == simd::Backend::Scalar {
+            for row in 0..batch.len {
+                let f0 = row * n_ffs;
+                let e0 = row * n_edges;
+                self.draw_chip_scalar(
+                    stream,
+                    first + row as u64,
+                    &mut batch.edge_max[e0..e0 + n_edges],
+                    &mut batch.edge_min[e0..e0 + n_edges],
+                    &mut batch.setup[f0..f0 + n_ffs],
+                    &mut batch.hold[f0..f0 + n_ffs],
+                );
+            }
+        } else {
+            simd::with_scratch(|scratch| {
+                scratch.ensure(self.n_forms);
+                for row in 0..batch.len {
+                    let f0 = row * n_ffs;
+                    let e0 = row * n_edges;
+                    self.draw_chip_wide(
+                        backend,
+                        scratch,
+                        stream,
+                        first + row as u64,
+                        &mut batch.edge_max[e0..e0 + n_edges],
+                        &mut batch.edge_min[e0..e0 + n_edges],
+                        &mut batch.setup[f0..f0 + n_ffs],
+                        &mut batch.hold[f0..f0 + n_ffs],
+                    );
+                }
+            });
         }
     }
 
     /// Draws one chip directly into a reused [`SampleTiming`] — the
     /// allocation-free single-chip form of [`CanonicalBatchSampler::fill`],
     /// used by the flow's replay paths (speed binning, constraint replay).
-    /// Produces exactly the chip a batch containing `index` would hold.
+    /// Produces exactly the chip a batch containing `index` would hold
+    /// (kernel backends are bit-identical, so this holds regardless of
+    /// which backend filled the batch).
     pub fn fill_one(&self, stream: u64, index: u64, out: &mut SampleTiming) {
-        let n_edges = self.edge_forms.len() / 2;
-        let n_ffs = self.ff_forms.len() / 2;
+        self.fill_one_with(simd::active(), stream, index, out);
+    }
+
+    /// [`fill_one`](CanonicalBatchSampler::fill_one) on an explicit
+    /// kernel backend (parity tests and benchmarks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backend` is not available on this host.
+    pub fn fill_one_with(
+        &self,
+        backend: simd::Backend,
+        stream: u64,
+        index: u64,
+        out: &mut SampleTiming,
+    ) {
+        assert!(
+            backend.is_available(),
+            "kernel backend {} not available on this host",
+            backend.name()
+        );
+        let n_edges = self.n_edges();
+        let n_ffs = self.n_ffs();
         out.edge_max.clear();
         out.edge_max.resize(n_edges, 0.0);
         out.edge_min.clear();
@@ -334,20 +505,40 @@ impl CanonicalBatchSampler {
         out.setup.resize(n_ffs, 0.0);
         out.hold.clear();
         out.hold.resize(n_ffs, 0.0);
-        self.draw_chip_into(
-            stream,
-            index,
-            &mut out.edge_max,
-            &mut out.edge_min,
-            &mut out.setup,
-            &mut out.hold,
-        );
+        if backend == simd::Backend::Scalar {
+            self.draw_chip_scalar(
+                stream,
+                index,
+                &mut out.edge_max,
+                &mut out.edge_min,
+                &mut out.setup,
+                &mut out.hold,
+            );
+        } else {
+            simd::with_scratch(|scratch| {
+                scratch.ensure(self.n_forms);
+                self.draw_chip_wide(
+                    backend,
+                    scratch,
+                    stream,
+                    index,
+                    &mut out.edge_max,
+                    &mut out.edge_min,
+                    &mut out.setup,
+                    &mut out.hold,
+                );
+            });
+        }
     }
 
-    /// Shared per-chip kernel.  Draw order: FF setup/hold first, then the
-    /// edge pairs — every caller must go through here so a chip's values
-    /// depend only on `(stream, index)`.
-    fn draw_chip_into(
+    /// Fused per-chip scalar kernel — the reference path (and the
+    /// `PSBI_FORCE_SCALAR=1` path).  Draw order: FF setup/hold first,
+    /// then the edge pairs — every caller must go through here or
+    /// [`draw_chip_wide`](Self::draw_chip_wide) (which consumes the RNG in
+    /// the identical order) so a chip's values depend only on
+    /// `(stream, index)`.
+    #[allow(clippy::too_many_arguments)]
+    fn draw_chip_scalar(
         &self,
         stream: u64,
         index: u64,
@@ -367,6 +558,58 @@ impl CanonicalBatchSampler {
             *pair.0 = dmax.max(dmin);
             *pair.1 = dmin.min(dmax);
         }
+    }
+
+    /// Staged per-chip wide kernel: (1) consume the chip's RNG stream
+    /// into dense uniform slots — the same uniforms, in the same order,
+    /// as the scalar path; (2) probit the whole chip in one vectorised
+    /// sweep; (3) combine coefficients with the globals per form group;
+    /// (4) order the edge pairs.  Bit-identical to
+    /// [`draw_chip_scalar`](Self::draw_chip_scalar) on every backend.
+    #[allow(clippy::too_many_arguments)]
+    fn draw_chip_wide(
+        &self,
+        backend: simd::Backend,
+        scratch: &mut simd::Scratch,
+        stream: u64,
+        index: u64,
+        edge_max: &mut [f64],
+        edge_min: &mut [f64],
+        setup: &mut [f64],
+        hold: &mut [f64],
+    ) {
+        let (globals, mut rng) = chip_rng(stream, index);
+        for &slot in &self.draw_slots {
+            scratch.u[slot as usize] = unit_uniform(&mut rng);
+        }
+        let n = self.n_forms;
+        simd::probit_dense(backend, &scratch.u[..n], &mut scratch.z[..n]);
+        let n_ffs = self.n_ffs();
+        let n_edges = self.n_edges();
+        let z = &scratch.z;
+        simd::combine_draws(backend, &self.setup, &globals.delta, &z[..n_ffs], setup);
+        simd::combine_draws(
+            backend,
+            &self.hold,
+            &globals.delta,
+            &z[n_ffs..2 * n_ffs],
+            hold,
+        );
+        simd::combine_draws(
+            backend,
+            &self.emax,
+            &globals.delta,
+            &z[2 * n_ffs..2 * n_ffs + n_edges],
+            edge_max,
+        );
+        simd::combine_draws(
+            backend,
+            &self.emin,
+            &globals.delta,
+            &z[2 * n_ffs + n_edges..n],
+            edge_min,
+        );
+        simd::order_edge_pairs(backend, edge_max, edge_min);
     }
 }
 
@@ -707,6 +950,62 @@ mod tests {
             assert_eq!(v.edge_min, &st.edge_min[..]);
             assert_eq!(v.setup, &st.setup[..]);
             assert_eq!(v.hold, &st.hold[..]);
+        }
+    }
+
+    #[test]
+    fn wide_backends_bit_identical_to_scalar() {
+        // The tentpole parity contract: every kernel backend fills the
+        // same bytes as the fused scalar reference, for batch lengths
+        // that do and do not divide the lane widths (4 for AVX2/portable,
+        // 2 for NEON) and for a non-zero window start.
+        let fx = Fixture::new(21);
+        let tg = TimingGraph::build(&fx.circuit, &fx.lib, &fx.model).unwrap();
+        let sg = SequentialGraph::extract(&tg);
+        let sampler = CanonicalBatchSampler::new(&sg);
+        for len in [1usize, 2, 3, 5, 8, 13] {
+            let mut reference = SampleBatch::new();
+            reference.reset(&sg, len);
+            sampler.fill_with(crate::simd::Backend::Scalar, 33, 7, &mut reference);
+            for backend in crate::simd::Backend::available() {
+                let mut batch = SampleBatch::new();
+                batch.reset(&sg, len);
+                sampler.fill_with(backend, 33, 7, &mut batch);
+                for row in 0..len {
+                    let a = reference.view(row);
+                    let b = batch.view(row);
+                    for e in 0..sg.edges.len() {
+                        assert_eq!(
+                            a.edge_max[e].to_bits(),
+                            b.edge_max[e].to_bits(),
+                            "backend {} len {len} row {row} edge_max {e}",
+                            backend.name()
+                        );
+                        assert_eq!(a.edge_min[e].to_bits(), b.edge_min[e].to_bits());
+                    }
+                    for i in 0..sg.n_ffs {
+                        assert_eq!(a.setup[i].to_bits(), b.setup[i].to_bits());
+                        assert_eq!(a.hold[i].to_bits(), b.hold[i].to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fill_one_bit_identical_across_backends() {
+        let fx = Fixture::new(22);
+        let tg = TimingGraph::build(&fx.circuit, &fx.lib, &fx.model).unwrap();
+        let sg = SequentialGraph::extract(&tg);
+        let sampler = CanonicalBatchSampler::new(&sg);
+        let mut reference = SampleTiming::for_graph(&sg);
+        let mut st = SampleTiming::for_graph(&sg);
+        for index in [0u64, 1, 63, 1_000_003] {
+            sampler.fill_one_with(crate::simd::Backend::Scalar, 5, index, &mut reference);
+            for backend in crate::simd::Backend::available() {
+                sampler.fill_one_with(backend, 5, index, &mut st);
+                assert_eq!(st, reference, "backend {} index {index}", backend.name());
+            }
         }
     }
 

@@ -85,4 +85,49 @@ proptest! {
         prop_assert_eq!(shifted.setup_bound[e], base.setup_bound[e] + 10);
         prop_assert_eq!(shifted.hold_bound[e], base.hold_bound[e] - 10);
     }
+
+    /// SIMD parity across the replay boundary: for random circuits, seeds
+    /// and window starts, the allocation-free single-chip replay
+    /// (`fill_one`) must be bit-identical to the corresponding SIMD batch
+    /// row on *every* available kernel backend — including batch lengths
+    /// that leave lane remainders.  The flow's speed-binning and
+    /// constraint-replay paths rely on exactly this equivalence.
+    #[test]
+    fn fill_one_pins_simd_batch_rows(
+        n_ffs in 6usize..28,
+        seed in 0u64..30,
+        stream in 0u64..1_000,
+        first in 0u64..10_000,
+        len in 1usize..11,
+    ) {
+        use psbi_timing::sample::{CanonicalBatchSampler, SampleBatch};
+        use psbi_timing::Backend;
+        let circuit = GeneratorProfile::sized("p", n_ffs, n_ffs * 5).generate(seed);
+        let lib = Library::industry_like();
+        let model = VariationModel::paper_defaults();
+        let tg = TimingGraph::build(&circuit, &lib, &model).unwrap();
+        let sg = SequentialGraph::extract(&tg);
+        let sampler = CanonicalBatchSampler::new(&sg);
+        let mut st = SampleTiming::for_graph(&sg);
+        for backend in Backend::available() {
+            let mut batch = SampleBatch::new();
+            batch.reset(&sg, len);
+            sampler.fill_with(backend, stream, first, &mut batch);
+            for row in 0..len {
+                sampler.fill_one(stream, first + row as u64, &mut st);
+                let v = batch.view(row);
+                for e in 0..sg.edges.len() {
+                    prop_assert_eq!(
+                        v.edge_max[e].to_bits(), st.edge_max[e].to_bits(),
+                        "backend {} row {} edge {}", backend.name(), row, e
+                    );
+                    prop_assert_eq!(v.edge_min[e].to_bits(), st.edge_min[e].to_bits());
+                }
+                for i in 0..sg.n_ffs {
+                    prop_assert_eq!(v.setup[i].to_bits(), st.setup[i].to_bits());
+                    prop_assert_eq!(v.hold[i].to_bits(), st.hold[i].to_bits());
+                }
+            }
+        }
+    }
 }

@@ -87,6 +87,67 @@ pub fn probit(p: f64) -> f64 {
     x - u / (1.0 + 0.5 * x * u)
 }
 
+/// Acklam's probit coefficients, exported so wide (SIMD) re-implementations
+/// of the central branch can evaluate the *identical* expression tree as
+/// [`probit_fast`] — the bit-parity contract between the scalar and
+/// vectorised sampling kernels depends on both sides reading the same
+/// constants.
+pub mod acklam {
+    /// Central-branch numerator coefficients.
+    #[allow(clippy::excessive_precision)]
+    pub const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_690e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    /// Central-branch denominator coefficients.
+    pub const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    /// Tail-branch numerator coefficients.
+    pub const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    /// Tail-branch denominator coefficients.
+    pub const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    /// Branch threshold: `p < P_LOW` / `p > 1 − P_LOW` take the tails.
+    pub const P_LOW: f64 = 0.024_25;
+}
+
+/// The central branch of [`probit_fast`] — Acklam's rational approximation
+/// for `p ∈ [P_LOW, 1 − P_LOW]`, with no `ln`/`sqrt`.
+///
+/// Exposed separately because the SIMD sampling kernels vectorise exactly
+/// this branch (it is branch-free and uses only exactly-rounded IEEE ops,
+/// so a lane-wise evaluation is bit-identical to this scalar one) and
+/// patch the rare tail lanes through [`probit_fast`].  Outside the central
+/// interval the returned value is a smooth but *wrong* extrapolation.
+#[inline]
+pub fn probit_central(p: f64) -> f64 {
+    use acklam::{A, B};
+    let q = p - 0.5;
+    let r = q * q;
+    (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+        / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+}
+
 /// Inverse of the standard normal CDF without the Halley refinement —
 /// Acklam's raw rational approximation (relative error ≈ `1.15e-9`).
 ///
@@ -101,47 +162,13 @@ pub fn probit(p: f64) -> f64 {
 #[inline]
 pub fn probit_fast(p: f64) -> f64 {
     debug_assert!(p > 0.0 && p < 1.0, "probit_fast requires p in (0,1)");
-    // Acklam's coefficients.
-    #[allow(clippy::excessive_precision)]
-    const A: [f64; 6] = [
-        -3.969_683_028_665_376e1,
-        2.209_460_984_245_205e2,
-        -2.759_285_104_469_687e2,
-        1.383_577_518_672_690e2,
-        -3.066_479_806_614_716e1,
-        2.506_628_277_459_239,
-    ];
-    const B: [f64; 5] = [
-        -5.447_609_879_822_406e1,
-        1.615_858_368_580_409e2,
-        -1.556_989_798_598_866e2,
-        6.680_131_188_771_972e1,
-        -1.328_068_155_288_572e1,
-    ];
-    const C: [f64; 6] = [
-        -7.784_894_002_430_293e-3,
-        -3.223_964_580_411_365e-1,
-        -2.400_758_277_161_838,
-        -2.549_732_539_343_734,
-        4.374_664_141_464_968,
-        2.938_163_982_698_783,
-    ];
-    const D: [f64; 4] = [
-        7.784_695_709_041_462e-3,
-        3.224_671_290_700_398e-1,
-        2.445_134_137_142_996,
-        3.754_408_661_907_416,
-    ];
-    const P_LOW: f64 = 0.024_25;
+    use acklam::{C, D, P_LOW};
     if p < P_LOW {
         let q = (-2.0 * p.ln()).sqrt();
         (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
             / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
     } else if p <= 1.0 - P_LOW {
-        let q = p - 0.5;
-        let r = q * q;
-        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
-            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+        probit_central(p)
     } else {
         let q = (-2.0 * (1.0 - p).ln()).sqrt();
         -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])

@@ -38,12 +38,26 @@ pub fn sample_rng(base_seed: u64, index: u64) -> StdRng {
 /// assert_ne!(a, b);
 /// ```
 pub fn stream_seed(base_seed: u64, label: &str) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
-    for byte in label.as_bytes() {
-        h ^= u64::from(*byte);
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    splitmix64(base_seed ^ fnv1a(label.as_bytes()))
+}
+
+/// 64-bit FNV-1a digest — the workspace's one shared implementation
+/// (stream labelling here, campaign fingerprints in `psbi_fleet`, parity
+/// dumps in `psbi-bench`).
+///
+/// ```
+/// // Offset basis: the hash of the empty string.
+/// assert_eq!(psbi_variation::seeding::fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+/// ```
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for &byte in bytes {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(FNV_PRIME);
     }
-    splitmix64(base_seed ^ h)
+    h
 }
 
 #[cfg(test)]
