@@ -58,6 +58,33 @@ def main() -> int:
                     base_wide * (1.0 - tolerance),
                 )
             )
+        # Incremental-solve ratios (warm vs cold re-solve): present since
+        # the cross-pass state cache landed; older baselines without the
+        # section skip the floor rather than fail.
+        probe_incr = probe.get("incremental", {})
+        base_incr = baseline.get("incremental", {})
+        if "pass_resolve_speedup" in probe_incr and "pass_resolve_speedup" in base_incr:
+            base_resolve = base_incr["pass_resolve_speedup"]
+            checks.append(
+                (
+                    "incremental pass_resolve_speedup (warm vs cold A3+B1+B2)",
+                    probe_incr["pass_resolve_speedup"],
+                    base_resolve,
+                    base_resolve * (1.0 - tolerance),
+                )
+            )
+        probe_sweep = probe_incr.get("sweep", {})
+        base_sweep = base_incr.get("sweep", {})
+        if "speedup" in probe_sweep and "speedup" in base_sweep:
+            base_sw = base_sweep["speedup"]
+            checks.append(
+                (
+                    "incremental sweep speedup (adjacent-target fleet)",
+                    probe_sweep["speedup"],
+                    base_sw,
+                    base_sw * (1.0 - tolerance),
+                )
+            )
     else:
         notes.append(
             f"probe backend `{probe_backend}` differs from committed baseline "

@@ -73,6 +73,10 @@ pub mod solve;
 pub mod yield_eval;
 
 pub use flow::{
-    BufferInsertionFlow, FlowConfig, FlowError, InsertionResult, TargetPeriod, WorkspacePool,
+    BufferInsertionFlow, FlowConfig, FlowDiagnostics, FlowError, InsertionResult, TargetPeriod,
+    WorkspacePool,
 };
-pub use solve::{BufferSpace, PushObjective, SampleResult, SampleSolver, SolverOptions};
+pub use solve::{
+    BufferSpace, ChipSolveState, PassDiagnostics, PushObjective, SampleResult, SampleSolver,
+    SolverOptions,
+};

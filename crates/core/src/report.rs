@@ -84,6 +84,34 @@ pub fn summary(r: &InsertionResult) -> String {
     )
 }
 
+/// Per-pass incremental-cache and saturation counters as a small Markdown
+/// table — the observability surface for cache efficacy and `region_cap`
+/// saturation.  Non-canonical (like wall times): the counters legitimately
+/// differ between incremental and `PSBI_NO_INCREMENTAL=1` runs.
+pub fn solver_diagnostics(r: &InsertionResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| pass | regions | saturated (region_cap) | regions reused | supports rehit |"
+    );
+    let _ = writeln!(out, "|---|---:|---:|---:|---:|");
+    let d = &r.diagnostics;
+    for (pass, p) in [("A1", &d.a1), ("A3", &d.a3), ("B1", &d.b1), ("B2", &d.b2)] {
+        let _ = writeln!(
+            out,
+            "| {pass} | {} | {} | {} | {} |",
+            p.regions_total, p.regions_saturated, p.regions_reused, p.supports_rehit
+        );
+    }
+    let total = d.total();
+    let _ = writeln!(
+        out,
+        "| total | {} | {} | {} | {} |",
+        total.regions_total, total.regions_saturated, total.regions_reused, total.supports_rehit
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,5 +158,19 @@ mod tests {
         assert!(s.contains("tiny_demo"));
         assert!(s.contains("buffers"));
         assert!(s.contains("yield"));
+    }
+
+    #[test]
+    fn solver_diagnostics_renders_all_passes() {
+        let r = sample_result();
+        let table = solver_diagnostics(&r);
+        assert_eq!(table.lines().count(), 7); // header + sep + 4 passes + total
+        for pass in ["A1", "A3", "B1", "B2", "total"] {
+            assert!(table.contains(&format!("| {pass} |")), "missing {pass}");
+        }
+        // The default flow runs incrementally, so the table is not all
+        // zeros: at minimum B1/B2 replay A3's decompositions.
+        let totals = r.diagnostics.total();
+        assert!(totals.regions_reused + totals.supports_rehit > 0);
     }
 }

@@ -16,22 +16,51 @@
 //!   holds (or it saturates its connected component, proving
 //!   infeasibility).
 //! * **Support-set branch and bound.** Inside a region the search branches
-//!   on "buffer is adjusted / not adjusted".  Feasibility of a candidate
-//!   support is a bounded difference-constraint system —
-//!   [`psbi_timing::DiffSolver`] decides it in near-linear time — and a
-//!   matching over still-uncovered violated constraints gives a
-//!   vertex-cover lower bound.
+//!   on "buffer is adjusted / not adjusted" ([`search`] module).
+//!   Feasibility of a candidate support is a bounded difference-constraint
+//!   system — [`psbi_timing::DiffSolver`] decides it in near-linear time —
+//!   and a matching over still-uncovered violated constraints gives a
+//!   vertex-cover lower bound.  Tie-breaking in the search is pinned (see
+//!   `search`), so the returned support is a pure function of the region
+//!   system — the property incremental replay relies on.
 //! * **Value concentration.** With the budget fixed, `min Σ|x_i − a_i|` is
 //!   solved as a MILP ([`psbi_milp`]) with indicator constraints — the
-//!   exact formulation of the paper's eqs. (14)–(21) — on the small region.
+//!   exact formulation of the paper's eqs. (14)–(21) — on the small region,
+//!   warm-started with the search's known-feasible witness (identically in
+//!   cold and incremental runs, so the warm start is result-neutral
+//!   between the two modes).
+//!
+//! # Incremental cross-pass state
+//!
+//! Region *discovery* (violation collection, BFS region growth, constraint
+//! attachment) is split from region *solving* so a [`ChipSolveState`] can
+//! carry decompositions, optimal support sets and warm witnesses from one
+//! pass to the next — and, through the flow's state arena, across adjacent
+//! targets of a fleet sweep.  Every reuse is guarded by an exact value
+//! comparison of the inputs the cached artefact was derived from (the
+//! invalidation keys are tabulated in [`state`]'s docs); a mismatch falls
+//! back to the cold path, so results are bit-identical with the cache on,
+//! off (`PSBI_NO_INCREMENTAL=1`), or partially hitting.
 //!
 //! The generic big-M MILP formulation of the whole problem is also
 //! available ([`SampleSolver::solve_reference_milp`]) and is used by tests
 //! to cross-validate the specialised path.
 
 use psbi_milp::{Model, Op, Status};
-use psbi_timing::feasibility::{Arc, DiffSolver};
-use psbi_timing::{ConstraintsView, IntegerConstraints, SequentialGraph};
+use psbi_timing::feasibility::{Arc as FeasArc, DiffSolver};
+use psbi_timing::{
+    ConstraintKind, ConstraintsView, IntegerConstraints, SequentialGraph, Violation,
+};
+use std::sync::Arc;
+
+mod search;
+mod state;
+#[cfg(test)]
+mod tests;
+
+use search::{run_support_search, SearchPhase, SupportSearch};
+use state::{CachedOutcome, CachedRegion};
+pub use state::{ChipSolveState, PassDiagnostics};
 
 /// Which buffers exist and their tuning windows (in steps).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -133,7 +162,7 @@ impl SampleResult {
 
 /// Normalised constraint `k(a) − k(b) ≤ bound` with FF endpoints.
 #[derive(Debug, Clone, Copy)]
-struct RegCons {
+pub(crate) struct RegCons {
     a: u32,
     b: u32,
     bound: i64,
@@ -145,7 +174,10 @@ struct RegCons {
 /// scratch, the branch-and-bound's per-node buffers and the saturation
 /// screen's arc/bound arrays — lives in this struct and is reused across
 /// chips, so a steady-state pass performs no per-chip allocation outside
-/// the result vectors themselves.
+/// the result vectors themselves.  Cross-*pass* state, by contrast, lives
+/// in per-chip [`ChipSolveState`]s owned by the caller: workspaces are
+/// checked out racily per chunk, so anything keyed to a chip identity
+/// must not live here.
 #[derive(Debug, Default)]
 pub struct SampleSolver {
     diff: DiffSolver,
@@ -156,23 +188,30 @@ pub struct SampleSolver {
     /// Scratch: visited stamp for BFS.
     dist: Vec<u32>,
     /// Scratch: violated constraints of the current chip.
-    violated: Vec<RegCons>,
+    violated: Vec<Violation>,
     /// Scratch: per-edge visit stamp for region-constraint attachment.
     edge_stamp: Vec<u32>,
     /// Current epoch for `edge_stamp`.
     epoch: u32,
     /// Scratch for the whole-chip saturation screen.
     fx_vars: Vec<u32>,
-    fx_arcs: Vec<Arc>,
+    fx_arcs: Vec<FeasArc>,
     fx_bounds: Vec<(i64, i64)>,
     /// Per-node scratch reused by every support-search in every region.
     ss_vars: Vec<u32>,
     ss_slot: Vec<u32>,
-    ss_arcs: Vec<Arc>,
+    ss_arcs: Vec<FeasArc>,
     ss_bounds: Vec<(i64, i64)>,
 }
 
 const NONE: u32 = u32::MAX;
+
+/// Per-round accumulator of the region growth loop.
+struct RoundAcc {
+    tunings: Vec<(u32, i64)>,
+    exact: bool,
+    need_radius: usize,
+}
 
 impl SampleSolver {
     /// Creates a solver with empty workspaces.
@@ -195,7 +234,7 @@ impl SampleSolver {
 
     /// Solves one sample from a borrowed constraint view (an
     /// [`IntegerConstraints`] or one row of a
-    /// [`psbi_timing::ConstraintBatch`]).
+    /// [`psbi_timing::ConstraintBatch`]), without cross-pass state.
     pub fn solve_view(
         &mut self,
         sg: &SequentialGraph,
@@ -204,35 +243,83 @@ impl SampleSolver {
         push: PushObjective<'_>,
         opts: &SolverOptions,
     ) -> SampleResult {
+        let mut diag = PassDiagnostics::default();
+        self.solve_inner(sg, ic, space, push, opts, None, &mut diag)
+    }
+
+    /// As [`SampleSolver::solve_view`], accumulating the *workload*
+    /// counters (`regions_total`, `regions_saturated`) into `diag`.  The
+    /// reuse counters stay zero — there is no cross-pass state here — but
+    /// `region_cap` saturation remains observable even with the
+    /// incremental cache disabled.
+    pub fn solve_view_with_diag(
+        &mut self,
+        sg: &SequentialGraph,
+        ic: ConstraintsView<'_>,
+        space: &BufferSpace,
+        push: PushObjective<'_>,
+        opts: &SolverOptions,
+        diag: &mut PassDiagnostics,
+    ) -> SampleResult {
+        self.solve_inner(sg, ic, space, push, opts, None, diag)
+    }
+
+    /// Solves one sample with persistent per-chip state: cached region
+    /// decompositions and search outcomes from earlier passes are replayed
+    /// when their invalidation keys still match (see [`state`]), and
+    /// refreshed otherwise.  The result is **bit-identical** to
+    /// [`SampleSolver::solve_view`] on the same inputs for *any* prior
+    /// content of `solve_state` — reuse is a verified fast path, never a
+    /// semantic change.  Cache-efficacy counters accumulate into `diag`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn solve_view_cached(
+        &mut self,
+        sg: &SequentialGraph,
+        ic: ConstraintsView<'_>,
+        space: &Arc<BufferSpace>,
+        push: PushObjective<'_>,
+        opts: &SolverOptions,
+        solve_state: &mut ChipSolveState,
+        diag: &mut PassDiagnostics,
+    ) -> SampleResult {
+        self.solve_inner(sg, ic, space, push, opts, Some((space, solve_state)), diag)
+    }
+
+    /// Shared entry: violation collection, chip-level cache revalidation,
+    /// then the solve pipeline.
+    #[allow(clippy::too_many_arguments)]
+    fn solve_inner(
+        &mut self,
+        sg: &SequentialGraph,
+        ic: ConstraintsView<'_>,
+        space: &BufferSpace,
+        push: PushObjective<'_>,
+        opts: &SolverOptions,
+        cache: Option<(&Arc<BufferSpace>, &mut ChipSolveState)>,
+        diag: &mut PassDiagnostics,
+    ) -> SampleResult {
         let n = sg.n_ffs;
         debug_assert_eq!(space.has_buffer.len(), n);
 
-        // 1. Violated constraints at x = 0 (reused scratch).
+        // 1. Violated constraints at x = 0 — the chip's fingerprint
+        // (reused scratch).
         let mut violated = std::mem::take(&mut self.violated);
-        violated.clear();
-        for (e, edge) in sg.edges.iter().enumerate() {
-            if ic.setup_bound[e] < 0 {
-                violated.push(RegCons {
-                    a: edge.from,
-                    b: edge.to,
-                    bound: ic.setup_bound[e],
-                });
-            }
-            if ic.hold_bound[e] < 0 {
-                violated.push(RegCons {
-                    a: edge.to,
-                    b: edge.from,
-                    bound: ic.hold_bound[e],
-                });
-            }
-        }
-        let result = self.solve_with_violated(sg, ic, space, push, opts, &violated);
+        ic.collect_violations(sg, &mut violated);
+        // Chip-level revalidation clears any cached decomposition whose
+        // invalidation keys no longer match; everything that survives is
+        // safe to replay below.
+        let state = cache.map(|(space_arc, st)| {
+            st.revalidate(sg, space_arc, opts, &violated);
+            st
+        });
+        let result = self.solve_with_violated(sg, ic, space, push, opts, &violated, state, diag);
         self.violated = violated;
         result
     }
 
     /// The solve pipeline after violation collection (split out so the
     /// violation scratch can be taken and restored around it).
+    #[allow(clippy::too_many_arguments)]
     fn solve_with_violated(
         &mut self,
         sg: &SequentialGraph,
@@ -240,7 +327,9 @@ impl SampleSolver {
         space: &BufferSpace,
         push: PushObjective<'_>,
         opts: &SolverOptions,
-        violated: &[RegCons],
+        violated: &[Violation],
+        mut state: Option<&mut ChipSolveState>,
+        diag: &mut PassDiagnostics,
     ) -> SampleResult {
         if violated.is_empty() {
             return SampleResult {
@@ -263,8 +352,25 @@ impl SampleSolver {
         // 2. Infeasibility screen at full saturation: if the chip cannot be
         // configured even with *every* buffer free, no region growth can
         // help (a negative cycle stays negative), so decide this once with
-        // a single SPFA instead of growing regions toward it.
-        if !self.chip_fixable(sg, ic, space) {
+        // a single SPFA instead of growing regions toward it.  The
+        // carried per-chip witness seeds the solver's warm slot; it is
+        // fully re-validated there, so importing never changes the verdict.
+        if let Some(st) = state.as_deref_mut() {
+            if st.fixable_ok {
+                self.diff.import_witness(&st.fixable_witness);
+            }
+        }
+        let fixable = self.chip_fixable(sg, ic, space);
+        if let Some(st) = state.as_deref_mut() {
+            if fixable {
+                if let Some(w) = self.diff.export_witness() {
+                    st.fixable_witness.clear();
+                    st.fixable_witness.extend_from_slice(w);
+                    st.fixable_ok = true;
+                }
+            }
+        }
+        if !fixable {
             return SampleResult {
                 feasible: false,
                 exact: true,
@@ -279,51 +385,159 @@ impl SampleSolver {
         // suffice; a third guards the inexact (node-capped) case.
         let mut radius = opts.region_radius;
         for round in 0..3 {
-            let regions = self.collect_regions(sg, space, violated, radius);
-            let mut all_tunings: Vec<(u32, i64)> = Vec::new();
-            let mut exact = true;
-            let mut need_radius = radius;
-            for region in &regions {
-                let sol = self.solve_region(ic, space, region, push, opts);
-                match sol {
-                    RegionOutcome::Feasible {
-                        tunings,
-                        count,
-                        exact: ex,
-                    } => {
-                        if count > radius && !region.saturated {
-                            need_radius = need_radius.max(count);
-                        }
-                        all_tunings.extend(tunings);
-                        exact &= ex;
-                    }
-                    RegionOutcome::Infeasible => {
-                        // The chip as a whole is fixable (screened above);
-                        // a region-local infeasibility means the region is
-                        // too small — grow it.
-                        need_radius = need_radius.max(radius * 2 + 1);
-                        exact = false;
-                    }
+            let mut acc = RoundAcc {
+                tunings: Vec::new(),
+                exact: true,
+                need_radius: radius,
+            };
+            match state.as_deref_mut() {
+                Some(st) => {
+                    self.solve_round_cached(
+                        sg, ic, space, push, opts, violated, radius, st, diag, &mut acc,
+                    );
+                }
+                None => {
+                    self.solve_round_cold(
+                        sg, ic, space, push, opts, violated, radius, diag, &mut acc,
+                    );
                 }
             }
-            if need_radius == radius || round == 2 {
+            if acc.need_radius == radius || round == 2 {
                 return SampleResult {
                     feasible: true,
-                    exact: exact && need_radius == radius,
-                    tunings: all_tunings,
+                    exact: acc.exact && acc.need_radius == radius,
+                    tunings: acc.tunings,
                 };
             }
-            radius = need_radius;
+            radius = acc.need_radius;
         }
         unreachable!("growth loop returns within three rounds");
+    }
+
+    /// One growth round without cross-pass state: build the decomposition,
+    /// search every region, apply the push objective.
+    #[allow(clippy::too_many_arguments)]
+    fn solve_round_cold(
+        &mut self,
+        sg: &SequentialGraph,
+        ic: ConstraintsView<'_>,
+        space: &BufferSpace,
+        push: PushObjective<'_>,
+        opts: &SolverOptions,
+        violated: &[Violation],
+        radius: usize,
+        diag: &mut PassDiagnostics,
+        acc: &mut RoundAcc,
+    ) {
+        let regions = self.collect_regions(sg, space, violated, radius);
+        for region in &regions {
+            diag.regions_total += 1;
+            if region.ffs.len() > opts.region_cap {
+                diag.regions_saturated += 1;
+            }
+            let cons = materialize_cons(region, ic, space);
+            let outcome = self.search_region(&cons, space, region, opts);
+            self.apply_outcome(region, &cons, &outcome, space, push, opts, radius, acc);
+        }
+    }
+
+    /// One growth round with cross-pass state: replay the decomposition
+    /// and any region outcome whose invalidation keys still match, search
+    /// (and re-record) the rest.
+    #[allow(clippy::too_many_arguments)]
+    fn solve_round_cached(
+        &mut self,
+        sg: &SequentialGraph,
+        ic: ConstraintsView<'_>,
+        space: &BufferSpace,
+        push: PushObjective<'_>,
+        opts: &SolverOptions,
+        violated: &[Violation],
+        radius: usize,
+        st: &mut ChipSolveState,
+        diag: &mut PassDiagnostics,
+        acc: &mut RoundAcc,
+    ) {
+        let entry = match st.round_index(radius) {
+            Some(i) => {
+                diag.regions_reused += st.rounds[i].regions.len() as u64;
+                i
+            }
+            None => {
+                let regions = self.collect_regions(sg, space, violated, radius);
+                let cached = regions.into_iter().map(CachedRegion::new).collect();
+                st.insert_round(radius, opts.region_radius, cached)
+            }
+        };
+        for cr in st.rounds[entry].regions.iter_mut() {
+            diag.regions_total += 1;
+            if cr.region.ffs.len() > opts.region_cap {
+                diag.regions_saturated += 1;
+            }
+            let cons = materialize_cons(&cr.region, ic, space);
+            if cr.outcome_replayable(&cons, space) {
+                // Count only replayed *supports*: an Infeasible replay
+                // skips the search too, but there is no support set in it.
+                if matches!(cr.outcome, Some(CachedOutcome::Feasible { .. })) {
+                    diag.supports_rehit += 1;
+                }
+            } else {
+                let outcome = self.search_region(&cons, space, &cr.region, opts);
+                cr.record(&cons, space, outcome);
+            }
+            let outcome = cr.outcome.as_ref().expect("recorded above");
+            // `cr` borrows the state arena slot, `self` owns the solver
+            // scratch — disjoint, so the push objective can run in place.
+            self.apply_outcome(&cr.region, &cons, outcome, space, push, opts, radius, acc);
+        }
+    }
+
+    /// Applies one region's search outcome to the round accumulator:
+    /// growth bookkeeping plus the pass's push objective.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_outcome(
+        &mut self,
+        region: &Region,
+        cons: &[RegCons],
+        outcome: &CachedOutcome,
+        space: &BufferSpace,
+        push: PushObjective<'_>,
+        opts: &SolverOptions,
+        radius: usize,
+        acc: &mut RoundAcc,
+    ) {
+        match outcome {
+            CachedOutcome::Feasible {
+                count,
+                support,
+                witness,
+                exact,
+            } => {
+                if *count > radius && !region.saturated {
+                    acc.need_radius = acc.need_radius.max(*count);
+                }
+                let tunings =
+                    self.finish_region(region, cons, space, *count, support, witness, push, opts);
+                acc.tunings.extend(tunings);
+                acc.exact &= exact;
+            }
+            CachedOutcome::Infeasible => {
+                // The chip as a whole is fixable (screened above); a
+                // region-local infeasibility means the region is too
+                // small — grow it.
+                acc.need_radius = acc.need_radius.max(radius * 2 + 1);
+                acc.exact = false;
+            }
+        }
     }
 
     /// One SPFA over the whole circuit with every buffer free: can this
     /// chip be configured at all?
     ///
-    /// Uses the warm-started solver: the previous chip's witness usually
-    /// still fits (chips differ only slightly), in which case this is a
-    /// single `O(edges)` validation sweep with no graph build at all.
+    /// Uses the warm-started solver: the witness carried for this chip
+    /// (incremental mode) or left by the previous chip (workspace reuse)
+    /// usually still fits, in which case this is a single `O(edges)`
+    /// validation sweep with no graph build at all.
     fn chip_fixable(
         &mut self,
         sg: &SequentialGraph,
@@ -366,7 +580,7 @@ impl SampleSolver {
                     break;
                 }
             } else {
-                arcs.push(Arc::new(vt, vf, sb));
+                arcs.push(FeasArc::new(vt, vf, sb));
             }
             let hb = ic.hold_bound[e];
             if vf == root && vt == root {
@@ -375,7 +589,7 @@ impl SampleSolver {
                     break;
                 }
             } else {
-                arcs.push(Arc::new(vf, vt, hb));
+                arcs.push(FeasArc::new(vf, vt, hb));
             }
         }
         if fixable {
@@ -390,11 +604,15 @@ impl SampleSolver {
 
     /// Builds regions: buffered FFs within `radius` hops of a violated
     /// constraint endpoint, split into connected components.
+    ///
+    /// This is the region-*discovery* half of the solve — a pure function
+    /// of (`has_buffer`, ordered violated endpoints, `radius`, graph), the
+    /// exact triple the decomposition cache keys on.
     fn collect_regions(
         &mut self,
         sg: &SequentialGraph,
         space: &BufferSpace,
-        violated: &[RegCons],
+        violated: &[Violation],
         radius: usize,
     ) -> Vec<Region> {
         let n = sg.n_ffs;
@@ -489,13 +707,13 @@ impl SampleSolver {
                         a: edge.from,
                         b: edge.to,
                         edge: e,
-                        kind: Kind::Setup,
+                        kind: ConstraintKind::Setup,
                     });
                     region.cons.push(ConsRef {
                         a: edge.to,
                         b: edge.from,
                         edge: e,
-                        kind: Kind::Hold,
+                        kind: ConstraintKind::Hold,
                     });
                 }
             }
@@ -503,15 +721,17 @@ impl SampleSolver {
         regions
     }
 
-    /// Solves one region.
-    fn solve_region(
+    /// Region-*solving* half: the support branch and bound, as a pure
+    /// function of the materialised constraints, the tuning windows and
+    /// the limits.  The outcome is push-independent, which is what makes
+    /// it cacheable across passes with different objectives.
+    fn search_region(
         &mut self,
-        ic: ConstraintsView<'_>,
+        cons: &[RegCons],
         space: &BufferSpace,
         region: &Region,
-        push: PushObjective<'_>,
         opts: &SolverOptions,
-    ) -> RegionOutcome {
+    ) -> CachedOutcome {
         let m = region.ffs.len();
         // Map ff -> local slot.
         self.var_of.clear();
@@ -519,19 +739,6 @@ impl SampleSolver {
         for (slot, &ff) in region.ffs.iter().enumerate() {
             self.var_of[ff as usize] = slot as u32;
         }
-        // Materialise constraints with bounds.
-        let cons: Vec<RegCons> = region
-            .cons
-            .iter()
-            .map(|c| RegCons {
-                a: c.a,
-                b: c.b,
-                bound: match c.kind {
-                    Kind::Setup => ic.setup_bound[c.edge as usize],
-                    Kind::Hold => ic.hold_bound[c.edge as usize],
-                },
-            })
-            .collect();
         let violated_local: Vec<usize> = cons
             .iter()
             .enumerate()
@@ -546,7 +753,7 @@ impl SampleSolver {
             solver: &mut self.diff,
             var_of: &self.var_of,
             region_ffs: &region.ffs,
-            cons: &cons,
+            cons,
             violated: &violated_local,
             bounds: &space.bounds,
             best: None,
@@ -559,39 +766,32 @@ impl SampleSolver {
             bounds_scratch: std::mem::take(&mut self.ss_bounds),
         };
         let phase = run_support_search(&mut search, m, opts.region_cap);
-        // Return the per-node scratch to the pool before `finish_region`
-        // needs `&mut self` again.
+        // Return the per-node scratch to the pool before the caller needs
+        // `&mut self` again.
         let (sv, ssl, sa, sb) = search.into_scratch();
         self.ss_vars = sv;
         self.ss_slot = ssl;
         self.ss_arcs = sa;
         self.ss_bounds = sb;
         match phase {
-            SearchPhase::Infeasible => RegionOutcome::Infeasible,
-            SearchPhase::Fallback { support, witness } => {
-                let count = support.len();
-                let tunings =
-                    self.finish_region(region, &cons, space, count, &support, &witness, push, opts);
-                RegionOutcome::Feasible {
-                    tunings,
-                    count,
-                    exact: false,
-                }
-            }
+            SearchPhase::Infeasible => CachedOutcome::Infeasible,
+            SearchPhase::Fallback { support, witness } => CachedOutcome::Feasible {
+                count: support.len(),
+                support,
+                witness,
+                exact: false,
+            },
             SearchPhase::Best {
                 count,
                 support,
                 witness,
                 exact,
-            } => {
-                let tunings =
-                    self.finish_region(region, &cons, space, count, &support, &witness, push, opts);
-                RegionOutcome::Feasible {
-                    tunings,
-                    count,
-                    exact,
-                }
-            }
+            } => CachedOutcome::Feasible {
+                count,
+                support,
+                witness,
+                exact,
+            },
         }
     }
 
@@ -633,6 +833,11 @@ impl SampleSolver {
 
     /// Solves `min Σ|k_i − a_i|` subject to the constraints and the buffer
     /// budget, as a MILP over the region (paper eqs. (14)–(21)).
+    ///
+    /// The MILP is warm-started with the search witness — a verified
+    /// feasible point supplied identically whether the witness came from a
+    /// fresh search or an incremental replay, so the warm start never
+    /// distinguishes the two modes.
     #[allow(clippy::too_many_arguments)]
     fn concentrate(
         &mut self,
@@ -667,7 +872,7 @@ impl SampleSolver {
         } else {
             support.to_vec()
         };
-        let mut var_slot = vec![NONE; self.var_of.len()];
+        let mut var_slot = vec![NONE; space.has_buffer.len()];
         let mut kvars = Vec::with_capacity(active.len());
         for (s, &ff) in active.iter().enumerate() {
             var_slot[ff as usize] = s as u32;
@@ -675,6 +880,18 @@ impl SampleSolver {
             let k = model.add_var(format!("k{ff}"), lo as f64, hi as f64, 0.0, true);
             kvars.push(k);
         }
+        // Witness values per active slot (0 outside the support) and the
+        // support membership — the warm-start point.
+        let mut kwarm = vec![0.0f64; active.len()];
+        let mut in_support = vec![false; active.len()];
+        for (i, ff) in support.iter().enumerate() {
+            let s = var_slot[*ff as usize];
+            if s != NONE {
+                kwarm[s as usize] = witness[i] as f64;
+                in_support[s as usize] = true;
+            }
+        }
+        let mut warm: Vec<f64> = kwarm.clone();
         if over_supports {
             let mut cterms = Vec::with_capacity(active.len());
             for (s, &ff) in active.iter().enumerate() {
@@ -683,6 +900,7 @@ impl SampleSolver {
                 let big_m = (lo.abs().max(hi.abs()) as f64).max(1.0);
                 model.add_indicator(kvars[s], c, big_m);
                 cterms.push((c, 1.0));
+                warm.push(if in_support[s] { 1.0 } else { 0.0 });
             }
             model.add_cons(cterms, Op::Le, budget as f64);
         }
@@ -704,7 +922,9 @@ impl SampleSolver {
         for (s, &ff) in active.iter().enumerate() {
             let target = targets.map_or(0.0, |t| t[ff as usize]);
             model.add_abs_deviation(kvars[s], target, 1.0);
+            warm.push((kwarm[s] - target).abs());
         }
+        model.set_warm_start(warm);
         let sol = model.solve();
         if matches!(sol.status, Status::Optimal | Status::Feasible) {
             active
@@ -835,337 +1055,66 @@ impl SampleSolver {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-enum Kind {
-    Setup,
-    Hold,
+/// Materialises a region's constraint bounds from the current chip,
+/// saturating vacuous ones.
+///
+/// With every region variable confined to its window and everything
+/// outside the region pinned to 0, the left-hand side `k(a) − k(b)` can
+/// never exceed `max(hi, 0) − min(lo, 0)` over the region's windows, so
+/// any bound at or above that cap constrains nothing and is equivalent to
+/// the cap itself.  Saturation is applied identically on the cold and
+/// incremental paths (it is part of the materialisation, not the cache),
+/// and it makes the materialised system — and therefore the
+/// outcome-replay fingerprint — invariant to slack drift on non-binding
+/// constraints.  That is what lets adjacent sweep targets, whose period
+/// shift perturbs every non-critical bound by a step or two, still replay
+/// each other's search outcomes for chips whose *binding* structure is
+/// unchanged.
+fn materialize_cons(region: &Region, ic: ConstraintsView<'_>, space: &BufferSpace) -> Vec<RegCons> {
+    let (mut lo, mut hi) = (0i64, 0i64);
+    for &ff in &region.ffs {
+        let (l, h) = space.bounds[ff as usize];
+        lo = lo.min(l);
+        hi = hi.max(h);
+    }
+    let cap = hi - lo;
+    region
+        .cons
+        .iter()
+        .map(|c| RegCons {
+            a: c.a,
+            b: c.b,
+            bound: c.bound_in(ic).min(cap),
+        })
+        .collect()
 }
 
+/// Reference to one side of an edge constraint, resolved against a chip's
+/// bounds on demand.
 #[derive(Debug, Clone, Copy)]
-struct ConsRef {
+pub(crate) struct ConsRef {
     a: u32,
     b: u32,
     edge: u32,
-    kind: Kind,
+    kind: ConstraintKind,
 }
 
-#[derive(Debug)]
-struct Region {
-    ffs: Vec<u32>,
-    cons: Vec<ConsRef>,
-    saturated: bool,
-}
-
-enum RegionOutcome {
-    Feasible {
-        tunings: Vec<(u32, i64)>,
-        count: usize,
-        exact: bool,
-    },
-    Infeasible,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Decision {
-    In,
-    Out,
-    Undecided,
-}
-
-/// Outcome of one region's support search.
-enum SearchPhase {
-    Infeasible,
-    /// Greedy (inexact) support from witness sparsification.
-    Fallback {
-        support: Vec<u32>,
-        witness: Vec<i64>,
-    },
-    /// Proven-best support from the branch and bound.
-    Best {
-        count: usize,
-        support: Vec<u32>,
-        witness: Vec<i64>,
-        exact: bool,
-    },
-}
-
-/// Drives one region's support search to a [`SearchPhase`].
-fn run_support_search(search: &mut SupportSearch<'_>, m: usize, region_cap: usize) -> SearchPhase {
-    let mut state = vec![Decision::Undecided; m];
-    // Quick relaxation check with everything allowed.
-    if !search.feasible_support(&state, true) {
-        return SearchPhase::Infeasible;
-    }
-    let mut full_witness = Vec::new();
-    search.solver.copy_witness(m, &mut full_witness);
-    if m > region_cap {
-        // Region too large for exact search: sparsify the full witness
-        // greedily (drop small tunings while feasibility holds).
-        let (support, witness) = search.sparsify(&full_witness);
-        return SearchPhase::Fallback { support, witness };
-    }
-    search.recurse(&mut state);
-    match search.best.take() {
-        Some((count, support, witness)) => SearchPhase::Best {
-            count,
-            support,
-            witness,
-            exact: search.exact,
-        },
-        None if !search.exact => {
-            // Node cap exhausted with no incumbent: fall back to the
-            // sparsified relaxation witness.
-            let (support, witness) = search.sparsify(&full_witness);
-            SearchPhase::Fallback { support, witness }
-        }
-        None => SearchPhase::Infeasible,
-    }
-}
-
-/// Branch-and-bound over support sets.
-struct SupportSearch<'a> {
-    solver: &'a mut DiffSolver,
-    var_of: &'a [u32],
-    region_ffs: &'a [u32],
-    cons: &'a [RegCons],
-    violated: &'a [usize],
-    bounds: &'a [(i64, i64)],
-    /// `(count, support ffs, witness values per support entry)`.
-    best: Option<(usize, Vec<u32>, Vec<i64>)>,
-    nodes: usize,
-    node_cap: usize,
-    exact: bool,
-    /// Per-node scratch, borrowed from [`SampleSolver`] for the region's
-    /// lifetime and reused by every feasibility probe.
-    vars_scratch: Vec<u32>,
-    slot_scratch: Vec<u32>,
-    arcs_scratch: Vec<Arc>,
-    bounds_scratch: Vec<(i64, i64)>,
-}
-
-impl SupportSearch<'_> {
-    /// Returns the scratch buffers to their owner.
-    #[allow(clippy::type_complexity)]
-    fn into_scratch(self) -> (Vec<u32>, Vec<u32>, Vec<Arc>, Vec<(i64, i64)>) {
-        (
-            self.vars_scratch,
-            self.slot_scratch,
-            self.arcs_scratch,
-            self.bounds_scratch,
-        )
-    }
-
-    /// Greedy fallback for oversized regions: start from the all-variables
-    /// witness and drop tunings (smallest magnitude first) while the system
-    /// stays feasible.  Returns `(support, witness values)`.
-    fn sparsify(&mut self, full_witness: &[i64]) -> (Vec<u32>, Vec<i64>) {
-        let m = self.region_ffs.len();
-        let mut state: Vec<Decision> = (0..m)
-            .map(|i| {
-                if full_witness[i] != 0 {
-                    Decision::In
-                } else {
-                    Decision::Out
-                }
-            })
-            .collect();
-        // Candidates ordered by |value| ascending: cheap drops first.
-        let mut order: Vec<usize> = (0..m).filter(|&i| full_witness[i] != 0).collect();
-        order.sort_by_key(|&i| full_witness[i].abs());
-        for &i in &order {
-            state[i] = Decision::Out;
-            if !self.feasible_support(&state, false) {
-                state[i] = Decision::In;
-            }
-        }
-        let support: Vec<u32> = state
-            .iter()
-            .enumerate()
-            .filter(|(_, d)| **d == Decision::In)
-            .map(|(i, _)| self.region_ffs[i])
-            .collect();
-        assert!(
-            self.feasible_support(&state, false),
-            "sparsify only removes while feasibility holds"
-        );
-        let mut witness = Vec::new();
-        self.solver.copy_witness(support.len(), &mut witness);
-        (support, witness)
-    }
-
-    /// Feasibility with support = In (or In ∪ Undecided when `relaxed`).
-    ///
-    /// Builds the subsystem in the reusable scratch buffers; the witness of
-    /// a feasible check can be read back with `solver.copy_witness` (the
-    /// variable order is the support order).
-    fn feasible_support(&mut self, state: &[Decision], relaxed: bool) -> bool {
-        self.vars_scratch.clear();
-        self.slot_scratch.clear();
-        self.slot_scratch.resize(state.len(), NONE);
-        for (i, d) in state.iter().enumerate() {
-            let included = match d {
-                Decision::In => true,
-                Decision::Undecided => relaxed,
-                Decision::Out => false,
-            };
-            if included {
-                self.slot_scratch[i] = self.vars_scratch.len() as u32;
-                self.vars_scratch.push(self.region_ffs[i]);
-            }
-        }
-        let root = self.vars_scratch.len() as u32;
-        self.arcs_scratch.clear();
-        for c in self.cons {
-            let la = self.local_of(c.a);
-            let lb = self.local_of(c.b);
-            let slot = &self.slot_scratch;
-            let va = la.map_or(root, |l| if slot[l] != NONE { slot[l] } else { root });
-            let vb = lb.map_or(root, |l| if slot[l] != NONE { slot[l] } else { root });
-            if va == root && vb == root {
-                if c.bound < 0 {
-                    return false;
-                }
-                continue;
-            }
-            // k(a) − k(b) ≤ bound  →  arc b → a with weight bound.
-            self.arcs_scratch.push(Arc::new(vb, va, c.bound));
-        }
-        self.bounds_scratch.clear();
-        self.bounds_scratch
-            .extend(self.vars_scratch.iter().map(|&ff| self.bounds[ff as usize]));
-        self.solver.decide_bounded(
-            self.vars_scratch.len(),
-            &self.arcs_scratch,
-            &self.bounds_scratch,
-        )
-    }
-
+impl ConsRef {
+    /// The bound this constraint takes in chip `ic`.
     #[inline]
-    fn local_of(&self, ff: u32) -> Option<usize> {
-        let v = self.var_of[ff as usize];
-        (v != NONE).then_some(v as usize)
-    }
-
-    fn in_count(state: &[Decision]) -> usize {
-        state.iter().filter(|d| **d == Decision::In).count()
-    }
-
-    /// Matching-based lower bound: violated constraints not covered by In
-    /// whose endpoints are still undecided each need one more buffer, and
-    /// vertex-disjoint ones need distinct buffers.
-    fn matching_lb(&self, state: &[Decision]) -> usize {
-        let mut used = vec![false; state.len()];
-        let mut lb = 0usize;
-        for &v in self.violated {
-            let c = &self.cons[v];
-            let la = self.local_of(c.a);
-            let lb_ = self.local_of(c.b);
-            let covered = [la, lb_]
-                .iter()
-                .any(|l| l.is_some_and(|i| state[i] == Decision::In));
-            if covered {
-                continue;
-            }
-            // Usable endpoints: undecided, unused so far.
-            let mut usable: Vec<usize> = Vec::new();
-            for l in [la, lb_].into_iter().flatten() {
-                if state[l] == Decision::Undecided && !used[l] {
-                    usable.push(l);
-                }
-            }
-            if usable.is_empty() {
-                continue; // handled by feasibility pruning
-            }
-            // Claim both endpoints so the next edge must be disjoint.
-            for l in [la, lb_].into_iter().flatten() {
-                used[l] = true;
-            }
-            lb += 1;
+    pub(crate) fn bound_in(&self, ic: ConstraintsView<'_>) -> i64 {
+        match self.kind {
+            ConstraintKind::Setup => ic.setup_bound[self.edge as usize],
+            ConstraintKind::Hold => ic.hold_bound[self.edge as usize],
         }
-        lb
-    }
-
-    fn recurse(&mut self, state: &mut Vec<Decision>) {
-        self.nodes += 1;
-        if self.nodes > self.node_cap {
-            self.exact = false;
-            return;
-        }
-        let in_count = Self::in_count(state);
-        if let Some((best, _, _)) = &self.best {
-            if in_count >= *best {
-                return;
-            }
-            if in_count + self.matching_lb(state) >= *best {
-                return;
-            }
-        }
-        // Relaxation: can anything still work?
-        if !self.feasible_support(state, true) {
-            return;
-        }
-        // Is In alone already enough?
-        if self.feasible_support(state, false) {
-            let support: Vec<u32> = state
-                .iter()
-                .enumerate()
-                .filter(|(_, d)| **d == Decision::In)
-                .map(|(i, _)| self.region_ffs[i])
-                .collect();
-            let better = self
-                .best
-                .as_ref()
-                .is_none_or(|(c, _, _)| support.len() < *c);
-            if better {
-                // Witness values of support vars, in support order.
-                let mut values = Vec::new();
-                self.solver.copy_witness(support.len(), &mut values);
-                self.best = Some((support.len(), support, values));
-            }
-            return;
-        }
-        // Branch: pick an undecided endpoint of an uncovered violated
-        // constraint; fall back to any undecided vertex.
-        let pick = self.pick_branch_var(state);
-        let Some(v) = pick else {
-            return; // everything decided yet infeasible with In
-        };
-        state[v] = Decision::In;
-        self.recurse(state);
-        state[v] = Decision::Out;
-        self.recurse(state);
-        state[v] = Decision::Undecided;
-    }
-
-    fn pick_branch_var(&self, state: &[Decision]) -> Option<usize> {
-        // Count appearances of undecided vars in uncovered violated
-        // constraints; pick the most frequent.
-        let mut score = vec![0usize; state.len()];
-        for &v in self.violated {
-            let c = &self.cons[v];
-            let la = self.local_of(c.a);
-            let lb = self.local_of(c.b);
-            let covered = [la, lb]
-                .iter()
-                .any(|l| l.is_some_and(|i| state[i] == Decision::In));
-            if covered {
-                continue;
-            }
-            for l in [la, lb].into_iter().flatten() {
-                if state[l] == Decision::Undecided {
-                    score[l] += 1;
-                }
-            }
-        }
-        let best = score
-            .iter()
-            .enumerate()
-            .filter(|(i, s)| **s > 0 && state[*i] == Decision::Undecided)
-            .max_by_key(|(_, s)| **s)
-            .map(|(i, _)| i);
-        best.or_else(|| state.iter().position(|d| *d == Decision::Undecided))
     }
 }
 
-#[cfg(test)]
-mod tests;
+/// One connected solve region: its FFs (pinned BFS order), the attached
+/// constraints, and whether it saturated its component.
+#[derive(Debug)]
+pub(crate) struct Region {
+    pub(crate) ffs: Vec<u32>,
+    pub(crate) cons: Vec<ConsRef>,
+    pub(crate) saturated: bool,
+}

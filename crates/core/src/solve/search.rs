@@ -1,0 +1,342 @@
+//! The per-region support-set branch and bound.
+//!
+//! Split out of the orchestration layer ([`super`]) so region *solving* is
+//! a pure function of its inputs: the region's flip-flops, the
+//! materialised constraint bounds, the tuning windows and the solver
+//! limits.  Nothing here reads or writes cross-pass state — incremental
+//! reuse happens one level up by *replaying* a cached outcome after an
+//! exact input comparison, never by steering this search.
+//!
+//! # Pinned tie-breaking
+//!
+//! Minimum-count supports are often not unique.  The search returns the
+//! **first optimum in a pinned depth-first order**, which makes the result
+//! a deterministic function of the inputs:
+//!
+//! * the branch variable is the undecided endpoint covering the most
+//!   uncovered violated constraints, ties broken to the **lowest region
+//!   slot** (explicit in [`SupportSearch::pick_branch_var`]);
+//! * the `In` branch is explored before the `Out` branch;
+//! * an incumbent is only replaced by a *strictly smaller* support, so the
+//!   first optimal-count support reached in that order is the one
+//!   returned.
+//!
+//! This is what lets the incremental layer cache a region's outcome and
+//! replay it later: re-running the search on identical inputs provably
+//! reproduces the cached support bit for bit.  (Seeding the search with a
+//! cached incumbent instead was considered and rejected: under
+//! [`SolverOptions::bb_node_cap`](super::SolverOptions::bb_node_cap) a
+//! seeded search can exhaust its node budget at a different point than an
+//! unseeded one and return an observably different fallback, breaking the
+//! `PSBI_NO_INCREMENTAL` bit-identity contract.)
+
+use super::{RegCons, NONE};
+use psbi_timing::feasibility::{Arc, DiffSolver};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Decision {
+    In,
+    Out,
+    Undecided,
+}
+
+/// Outcome of one region's support search.
+pub(crate) enum SearchPhase {
+    Infeasible,
+    /// Greedy (inexact) support from witness sparsification.
+    Fallback {
+        support: Vec<u32>,
+        witness: Vec<i64>,
+    },
+    /// Proven-best support from the branch and bound.
+    Best {
+        count: usize,
+        support: Vec<u32>,
+        witness: Vec<i64>,
+        exact: bool,
+    },
+}
+
+/// Drives one region's support search to a [`SearchPhase`].
+pub(crate) fn run_support_search(
+    search: &mut SupportSearch<'_>,
+    m: usize,
+    region_cap: usize,
+) -> SearchPhase {
+    let mut state = vec![Decision::Undecided; m];
+    // Quick relaxation check with everything allowed.
+    if !search.feasible_support(&state, true) {
+        return SearchPhase::Infeasible;
+    }
+    let mut full_witness = Vec::new();
+    search.solver.copy_witness(m, &mut full_witness);
+    if m > region_cap {
+        // Region too large for exact search: sparsify the full witness
+        // greedily (drop small tunings while feasibility holds).
+        let (support, witness) = search.sparsify(&full_witness);
+        return SearchPhase::Fallback { support, witness };
+    }
+    search.recurse(&mut state);
+    match search.best.take() {
+        Some((count, support, witness)) => SearchPhase::Best {
+            count,
+            support,
+            witness,
+            exact: search.exact,
+        },
+        None if !search.exact => {
+            // Node cap exhausted with no incumbent: fall back to the
+            // sparsified relaxation witness.
+            let (support, witness) = search.sparsify(&full_witness);
+            SearchPhase::Fallback { support, witness }
+        }
+        None => SearchPhase::Infeasible,
+    }
+}
+
+/// Branch-and-bound over support sets.
+pub(crate) struct SupportSearch<'a> {
+    pub(crate) solver: &'a mut DiffSolver,
+    pub(crate) var_of: &'a [u32],
+    pub(crate) region_ffs: &'a [u32],
+    pub(crate) cons: &'a [RegCons],
+    pub(crate) violated: &'a [usize],
+    pub(crate) bounds: &'a [(i64, i64)],
+    /// `(count, support ffs, witness values per support entry)`.
+    pub(crate) best: Option<(usize, Vec<u32>, Vec<i64>)>,
+    pub(crate) nodes: usize,
+    pub(crate) node_cap: usize,
+    pub(crate) exact: bool,
+    /// Per-node scratch, borrowed from [`super::SampleSolver`] for the
+    /// region's lifetime and reused by every feasibility probe.
+    pub(crate) vars_scratch: Vec<u32>,
+    pub(crate) slot_scratch: Vec<u32>,
+    pub(crate) arcs_scratch: Vec<Arc>,
+    pub(crate) bounds_scratch: Vec<(i64, i64)>,
+}
+
+impl SupportSearch<'_> {
+    /// Returns the scratch buffers to their owner.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn into_scratch(self) -> (Vec<u32>, Vec<u32>, Vec<Arc>, Vec<(i64, i64)>) {
+        (
+            self.vars_scratch,
+            self.slot_scratch,
+            self.arcs_scratch,
+            self.bounds_scratch,
+        )
+    }
+
+    /// Greedy fallback for oversized regions: start from the all-variables
+    /// witness and drop tunings (smallest magnitude first) while the system
+    /// stays feasible.  Returns `(support, witness values)`.
+    fn sparsify(&mut self, full_witness: &[i64]) -> (Vec<u32>, Vec<i64>) {
+        let m = self.region_ffs.len();
+        let mut state: Vec<Decision> = (0..m)
+            .map(|i| {
+                if full_witness[i] != 0 {
+                    Decision::In
+                } else {
+                    Decision::Out
+                }
+            })
+            .collect();
+        // Candidates ordered by |value| ascending: cheap drops first.
+        let mut order: Vec<usize> = (0..m).filter(|&i| full_witness[i] != 0).collect();
+        order.sort_by_key(|&i| full_witness[i].abs());
+        for &i in &order {
+            state[i] = Decision::Out;
+            if !self.feasible_support(&state, false) {
+                state[i] = Decision::In;
+            }
+        }
+        let support: Vec<u32> = state
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| **d == Decision::In)
+            .map(|(i, _)| self.region_ffs[i])
+            .collect();
+        assert!(
+            self.feasible_support(&state, false),
+            "sparsify only removes while feasibility holds"
+        );
+        let mut witness = Vec::new();
+        self.solver.copy_witness(support.len(), &mut witness);
+        (support, witness)
+    }
+
+    /// Feasibility with support = In (or In ∪ Undecided when `relaxed`).
+    ///
+    /// Builds the subsystem in the reusable scratch buffers; the witness of
+    /// a feasible check can be read back with `solver.copy_witness` (the
+    /// variable order is the support order).
+    fn feasible_support(&mut self, state: &[Decision], relaxed: bool) -> bool {
+        self.vars_scratch.clear();
+        self.slot_scratch.clear();
+        self.slot_scratch.resize(state.len(), NONE);
+        for (i, d) in state.iter().enumerate() {
+            let included = match d {
+                Decision::In => true,
+                Decision::Undecided => relaxed,
+                Decision::Out => false,
+            };
+            if included {
+                self.slot_scratch[i] = self.vars_scratch.len() as u32;
+                self.vars_scratch.push(self.region_ffs[i]);
+            }
+        }
+        let root = self.vars_scratch.len() as u32;
+        self.arcs_scratch.clear();
+        for c in self.cons {
+            let la = self.local_of(c.a);
+            let lb = self.local_of(c.b);
+            let slot = &self.slot_scratch;
+            let va = la.map_or(root, |l| if slot[l] != NONE { slot[l] } else { root });
+            let vb = lb.map_or(root, |l| if slot[l] != NONE { slot[l] } else { root });
+            if va == root && vb == root {
+                if c.bound < 0 {
+                    return false;
+                }
+                continue;
+            }
+            // k(a) − k(b) ≤ bound  →  arc b → a with weight bound.
+            self.arcs_scratch.push(Arc::new(vb, va, c.bound));
+        }
+        self.bounds_scratch.clear();
+        self.bounds_scratch
+            .extend(self.vars_scratch.iter().map(|&ff| self.bounds[ff as usize]));
+        self.solver.decide_bounded(
+            self.vars_scratch.len(),
+            &self.arcs_scratch,
+            &self.bounds_scratch,
+        )
+    }
+
+    #[inline]
+    fn local_of(&self, ff: u32) -> Option<usize> {
+        let v = self.var_of[ff as usize];
+        (v != NONE).then_some(v as usize)
+    }
+
+    fn in_count(state: &[Decision]) -> usize {
+        state.iter().filter(|d| **d == Decision::In).count()
+    }
+
+    /// Matching-based lower bound: violated constraints not covered by In
+    /// whose endpoints are still undecided each need one more buffer, and
+    /// vertex-disjoint ones need distinct buffers.
+    fn matching_lb(&self, state: &[Decision]) -> usize {
+        let mut used = vec![false; state.len()];
+        let mut lb = 0usize;
+        for &v in self.violated {
+            let c = &self.cons[v];
+            let la = self.local_of(c.a);
+            let lb_ = self.local_of(c.b);
+            let covered = [la, lb_]
+                .iter()
+                .any(|l| l.is_some_and(|i| state[i] == Decision::In));
+            if covered {
+                continue;
+            }
+            // Usable endpoints: undecided, unused so far.
+            let mut usable: Vec<usize> = Vec::new();
+            for l in [la, lb_].into_iter().flatten() {
+                if state[l] == Decision::Undecided && !used[l] {
+                    usable.push(l);
+                }
+            }
+            if usable.is_empty() {
+                continue; // handled by feasibility pruning
+            }
+            // Claim both endpoints so the next edge must be disjoint.
+            for l in [la, lb_].into_iter().flatten() {
+                used[l] = true;
+            }
+            lb += 1;
+        }
+        lb
+    }
+
+    fn recurse(&mut self, state: &mut Vec<Decision>) {
+        self.nodes += 1;
+        if self.nodes > self.node_cap {
+            self.exact = false;
+            return;
+        }
+        let in_count = Self::in_count(state);
+        if let Some((best, _, _)) = &self.best {
+            if in_count >= *best {
+                return;
+            }
+            if in_count + self.matching_lb(state) >= *best {
+                return;
+            }
+        }
+        // Relaxation: can anything still work?
+        if !self.feasible_support(state, true) {
+            return;
+        }
+        // Is In alone already enough?
+        if self.feasible_support(state, false) {
+            let support: Vec<u32> = state
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| **d == Decision::In)
+                .map(|(i, _)| self.region_ffs[i])
+                .collect();
+            let better = self
+                .best
+                .as_ref()
+                .is_none_or(|(c, _, _)| support.len() < *c);
+            if better {
+                // Witness values of support vars, in support order.
+                let mut values = Vec::new();
+                self.solver.copy_witness(support.len(), &mut values);
+                self.best = Some((support.len(), support, values));
+            }
+            return;
+        }
+        // Branch: pick an undecided endpoint of an uncovered violated
+        // constraint; fall back to any undecided vertex.
+        let pick = self.pick_branch_var(state);
+        let Some(v) = pick else {
+            return; // everything decided yet infeasible with In
+        };
+        state[v] = Decision::In;
+        self.recurse(state);
+        state[v] = Decision::Out;
+        self.recurse(state);
+        state[v] = Decision::Undecided;
+    }
+
+    /// The pinned branch rule (see the module docs): the undecided
+    /// variable appearing in the most uncovered violated constraints,
+    /// ties broken to the lowest region slot.
+    fn pick_branch_var(&self, state: &[Decision]) -> Option<usize> {
+        let mut score = vec![0usize; state.len()];
+        for &v in self.violated {
+            let c = &self.cons[v];
+            let la = self.local_of(c.a);
+            let lb = self.local_of(c.b);
+            let covered = [la, lb]
+                .iter()
+                .any(|l| l.is_some_and(|i| state[i] == Decision::In));
+            if covered {
+                continue;
+            }
+            for l in [la, lb].into_iter().flatten() {
+                if state[l] == Decision::Undecided {
+                    score[l] += 1;
+                }
+            }
+        }
+        let mut best: Option<(usize, usize)> = None; // (score, slot)
+        for (i, s) in score.iter().enumerate() {
+            if *s > 0 && state[i] == Decision::Undecided && best.is_none_or(|(bs, _)| *s > bs) {
+                best = Some((*s, i));
+            }
+        }
+        best.map(|(_, i)| i)
+            .or_else(|| state.iter().position(|d| *d == Decision::Undecided))
+    }
+}

@@ -1,0 +1,290 @@
+//! Persistent per-chip solver state: the cross-pass (and cross-target)
+//! incremental cache.
+//!
+//! The flow re-solves the *same* deterministic chip population once per
+//! pass (III-A1 → III-A3 → III-B1 → III-B2), and a fleet sweep re-solves
+//! it once per adjacent target on top.  A [`ChipSolveState`] carries the
+//! expensive intermediates of one chip's solve from pass to pass so each
+//! re-solve only pays for what actually changed.  Reuse is always a
+//! **verified fast path**: every cached artefact is guarded by an exact
+//! value comparison of the inputs it was derived from (no hashing — a
+//! collision could silently replay a wrong answer), so enabling the cache
+//! can never change a result.  `PSBI_NO_INCREMENTAL=1` bypasses it
+//! entirely and is bit-identical by construction.
+//!
+//! # Cached artefacts and their invalidation keys
+//!
+//! | artefact | valid while … |
+//! |---|---|
+//! | region decomposition (per radius) | ordered violated-constraint endpoints and [`SolverOptions`](super::SolverOptions) are unchanged, and `has_buffer` is unchanged over discovery's exact read set (violated endpoints, region FFs, their neighbours) — so a prune far from the chip's regions keeps the cache |
+//! | region search outcome (support, witness, count, exactness) | … additionally, the region's materialised constraint bounds and its FFs' tuning windows are unchanged |
+//! | whole-chip saturation witness | validated per use by [`DiffSolver`](psbi_timing::feasibility::DiffSolver) — never trusted, only re-checked |
+//!
+//! Between A1 and A3 the prune changes `has_buffer` at a few rarely-used
+//! FFs, so most chips replay their decompositions *and* search outcomes
+//! (the constraint bounds are identical — same stream, period and step);
+//! between A3 and B1/B2 the window assignment (III-A4) changes only the
+//! *bounds*, so the decomposition replays while the searches re-run;
+//! between B1 and B2 nothing changes, so the search outcomes replay too
+//! and B2 pays only its concentration MILPs.  Across adjacent sweep
+//! targets the constraint bounds shift with the period, so outcome replay
+//! is rare but decomposition replay still fires whenever a chip's
+//! violated endpoints coincide.
+
+use super::{BufferSpace, RegCons, Region, SolverOptions};
+use psbi_timing::{SequentialGraph, Violation};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Cache-efficacy counters of one sampling pass, aggregated over chips.
+///
+/// Deterministic for a fixed arena history (the counters are order-free
+/// sums over per-chip events that depend only on the chip index and the
+/// pass sequence), but **not** part of any canonical output surface: they
+/// differ between incremental and `PSBI_NO_INCREMENTAL=1` runs, so
+/// journals and canonical reports must never embed them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PassDiagnostics {
+    /// Regions processed (counted once per round they participate in).
+    pub regions_total: u64,
+    /// Regions larger than [`SolverOptions::region_cap`](super::SolverOptions::region_cap),
+    /// solved by the inexact sparsified-witness fallback.
+    pub regions_saturated: u64,
+    /// Regions whose decomposition was replayed from a previous pass.
+    pub regions_reused: u64,
+    /// Regions whose entire search outcome (optimal support set, witness,
+    /// count) was replayed from a previous pass.
+    pub supports_rehit: u64,
+}
+
+impl PassDiagnostics {
+    /// Accumulates another pass/chunk worth of counters.
+    pub fn merge(&mut self, other: &Self) {
+        self.regions_total += other.regions_total;
+        self.regions_saturated += other.regions_saturated;
+        self.regions_reused += other.regions_reused;
+        self.supports_rehit += other.supports_rehit;
+    }
+}
+
+/// Push-independent search outcome of one region (the part of a region
+/// solve that [`PushObjective`](super::PushObjective) does not influence).
+#[derive(Debug, Clone)]
+pub(crate) enum CachedOutcome {
+    /// The region (at this radius) admits no feasible support.
+    Infeasible,
+    /// A support was found.
+    Feasible {
+        /// Support size (the paper's per-chip `n_k` contribution).
+        count: usize,
+        /// The support FFs, in pinned search order.
+        support: Vec<u32>,
+        /// Witness tuning per support entry.
+        witness: Vec<i64>,
+        /// Whether the search proved optimality.
+        exact: bool,
+    },
+}
+
+/// One region plus the exact inputs its cached outcome was derived from.
+#[derive(Debug)]
+pub(crate) struct CachedRegion {
+    pub(crate) region: Region,
+    /// Materialised constraint bounds (in `region.cons` order) at search
+    /// time; `None` until the region has been searched once.
+    pub(crate) cons_bounds: Vec<i64>,
+    /// Tuning windows over `region.ffs` at search time.
+    pub(crate) ff_bounds: Vec<(i64, i64)>,
+    /// The search outcome those inputs produced.
+    pub(crate) outcome: Option<CachedOutcome>,
+}
+
+impl CachedRegion {
+    pub(crate) fn new(region: Region) -> Self {
+        Self {
+            region,
+            cons_bounds: Vec::new(),
+            ff_bounds: Vec::new(),
+            outcome: None,
+        }
+    }
+
+    /// Exact input comparison for outcome replay: every *materialised*
+    /// (saturation-normalised) constraint bound and every tuning window
+    /// the search read must be unchanged.
+    pub(crate) fn outcome_replayable(&self, cons: &[RegCons], space: &BufferSpace) -> bool {
+        self.outcome.is_some()
+            && self.cons_bounds.len() == cons.len()
+            && self.ff_bounds.len() == self.region.ffs.len()
+            && cons
+                .iter()
+                .zip(&self.cons_bounds)
+                .all(|(c, cached)| c.bound == *cached)
+            && self
+                .region
+                .ffs
+                .iter()
+                .zip(&self.ff_bounds)
+                .all(|(ff, cached)| space.bounds[*ff as usize] == *cached)
+    }
+
+    /// Records the inputs and outcome of a fresh search.
+    pub(crate) fn record(&mut self, cons: &[RegCons], space: &BufferSpace, outcome: CachedOutcome) {
+        self.cons_bounds.clear();
+        self.cons_bounds.extend(cons.iter().map(|c| c.bound));
+        self.ff_bounds.clear();
+        self.ff_bounds
+            .extend(self.region.ffs.iter().map(|ff| space.bounds[*ff as usize]));
+        self.outcome = Some(outcome);
+    }
+}
+
+/// Decomposition cache for one growth radius.
+#[derive(Debug)]
+pub(crate) struct RadiusEntry {
+    pub(crate) radius: usize,
+    pub(crate) regions: Vec<CachedRegion>,
+}
+
+/// Persistent solver state of one Monte-Carlo chip (see the module docs).
+///
+/// One instance per chip index lives in the flow's per-target state arena;
+/// standalone users construct one per chip with [`ChipSolveState::new`]
+/// and hand it to
+/// [`SampleSolver::solve_view_cached`](super::SampleSolver::solve_view_cached).
+///
+/// A state is bound to **one** [`SequentialGraph`]: cached regions store
+/// edge indices and adjacency-derived structure that only mean anything
+/// against the graph they were discovered on.  The flow enforces this by
+/// owner-keying its arenas per flow instance; standalone users must not
+/// hand one state to solves against different graphs.  As a backstop,
+/// revalidation rejects (and clears) any state whose recorded graph
+/// dimensions disagree with the current graph, so a mixed-up state
+/// degrades to a cold solve instead of replaying foreign regions.
+#[derive(Debug, Default)]
+pub struct ChipSolveState {
+    /// Dimensions `(n_ffs, n_edges)` of the graph the cache was built
+    /// against — the cross-graph misuse backstop.
+    pub(crate) graph_dims: Option<(usize, usize)>,
+    /// The buffer space the cached decompositions were built against.
+    /// `Arc::ptr_eq` is the cheap same-pass/same-space fast path; a full
+    /// `has_buffer` comparison is the fallback (bounds are deliberately
+    /// *not* compared here — they only gate outcome replay, per region).
+    pub(crate) space: Option<Arc<BufferSpace>>,
+    /// Solver limits the cache was built under.
+    pub(crate) opts: Option<SolverOptions>,
+    /// The chip's violated-constraint fingerprint at cache time.
+    pub(crate) violated: Vec<Violation>,
+    /// Decompositions, one per growth radius seen (initial radius first).
+    pub(crate) rounds: Vec<RadiusEntry>,
+    /// Carried witness for the whole-chip saturation screen; imported into
+    /// the [`DiffSolver`](psbi_timing::feasibility::DiffSolver) warm slot
+    /// and fully re-validated there before use.
+    pub(crate) fixable_witness: Vec<i64>,
+    pub(crate) fixable_ok: bool,
+}
+
+impl ChipSolveState {
+    /// An empty state (everything cold).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Chip-level revalidation: returns `true` when the cached region
+    /// decompositions are still valid for (`space`, `opts`, `violated`),
+    /// clearing them otherwise.  Decomposition validity needs the
+    /// *ordered violated endpoints* and the solver options to be
+    /// unchanged, plus every `has_buffer` value region discovery actually
+    /// read — checked by [`ChipSolveState::read_set_unchanged`] when the
+    /// vectors differ, so a prune that only touched FFs far from this
+    /// chip's regions (the common case, §III-A2 removes rarely-used
+    /// buffers) does *not* invalidate it.  Bound values are compared
+    /// later, per region, because they only affect the search outcome.
+    pub(crate) fn revalidate(
+        &mut self,
+        sg: &SequentialGraph,
+        space: &Arc<BufferSpace>,
+        opts: &SolverOptions,
+        violated: &[Violation],
+    ) -> bool {
+        let violated_ok = self.violated.len() == violated.len()
+            && self
+                .violated
+                .iter()
+                .zip(violated)
+                .all(|(a, b)| a.a == b.a && a.b == b.b);
+        let dims = (sg.n_ffs, sg.edges.len());
+        // The dims check gates the read-set walk too: cached regions hold
+        // FF indices that must not be resolved against a foreign graph.
+        let dims_ok = self.graph_dims == Some(dims);
+        let space_ok = dims_ok
+            && self.space.as_ref().is_some_and(|old| {
+                Arc::ptr_eq(old, space)
+                    || old.has_buffer == space.has_buffer
+                    || (violated_ok && self.read_set_unchanged(sg, old, space))
+            });
+        let valid = space_ok && violated_ok && self.opts.as_ref() == Some(opts);
+        if !valid {
+            self.rounds.clear();
+            self.violated.clear();
+            self.violated.extend_from_slice(violated);
+            self.opts = Some(*opts);
+        }
+        // Repoint the identity either way so the next pass can fast-path.
+        self.graph_dims = Some(dims);
+        self.space = Some(Arc::clone(space));
+        valid
+    }
+
+    /// Exact replay guard for a `has_buffer` delta: region discovery reads
+    /// `has_buffer` at the violated endpoints, at every region FF and at
+    /// every neighbour of a region FF (BFS growth, component expansion and
+    /// the saturation probe all read through those, and nothing else).  If
+    /// the old and new spaces agree on that whole read set — for every
+    /// cached radius — the discovery trace is identical and the cached
+    /// decompositions remain exact.
+    fn read_set_unchanged(
+        &self,
+        sg: &SequentialGraph,
+        old: &BufferSpace,
+        new: &BufferSpace,
+    ) -> bool {
+        if old.has_buffer.len() != new.has_buffer.len() {
+            return false;
+        }
+        let same = |ff: usize| old.has_buffer[ff] == new.has_buffer[ff];
+        self.violated
+            .iter()
+            .all(|v| same(v.a as usize) && same(v.b as usize))
+            && self.rounds.iter().all(|entry| {
+                entry.regions.iter().all(|cr| {
+                    cr.region
+                        .ffs
+                        .iter()
+                        .all(|&ff| same(ff as usize) && sg.neighbors(ff as usize).all(same))
+                })
+            })
+    }
+
+    /// Looks up the decomposition cached for `radius`.
+    pub(crate) fn round_index(&self, radius: usize) -> Option<usize> {
+        self.rounds.iter().position(|e| e.radius == radius)
+    }
+
+    /// Inserts a freshly built decomposition for `radius`, evicting stale
+    /// growth rounds (everything but the initial radius — the entry every
+    /// pass starts from) when the table would exceed three entries.
+    pub(crate) fn insert_round(
+        &mut self,
+        radius: usize,
+        initial_radius: usize,
+        regions: Vec<CachedRegion>,
+    ) -> usize {
+        if self.rounds.len() >= 3 {
+            self.rounds
+                .retain(|e| e.radius == initial_radius && e.radius != radius);
+        }
+        self.rounds.push(RadiusEntry { radius, regions });
+        self.rounds.len() - 1
+    }
+}

@@ -1,6 +1,7 @@
 use super::*;
 use psbi_timing::seq::SeqEdge;
 use psbi_variation::CanonicalForm;
+use std::sync::Arc;
 
 /// Builds a sequential graph with the given directed edges (delays are
 /// irrelevant here: tests fill `IntegerConstraints` directly).
@@ -363,6 +364,93 @@ mod prop {
             }
         }
 
+        /// Cross-pass state never leaks stale answers: a pass sequence
+        /// that mutates the insertion space between passes (narrowed
+        /// windows as in III-A4, then a pruned buffer as in III-A2, then
+        /// shifted constraints as across sweep targets) must match fresh
+        /// cold solves at every step, and the mutations must invalidate
+        /// the matching cache tier (no stale-support, no stale-region
+        /// reuse).
+        #[test]
+        fn incremental_state_invalidates_on_space_mutations(
+            n in 3usize..6,
+            raw_edges in proptest::collection::vec((0u32..6, 0u32..6), 1..8),
+            raw_setup in proptest::collection::vec(-4i64..6, 8),
+            raw_hold in proptest::collection::vec(-2i64..6, 8),
+            window_lo in -6i64..0,
+            pruned in 0usize..6,
+            shift in 1i64..3,
+        ) {
+            let edges: Vec<(u32, u32)> = raw_edges
+                .into_iter()
+                .map(|(a, b)| (a % n as u32, b % n as u32))
+                .collect();
+            let m = edges.len();
+            let sg = graph(n, &edges);
+            let ic = constraints(&raw_setup[..m], &raw_hold[..m]);
+            let opts = SolverOptions::default();
+            let mut warm = SampleSolver::new();
+            let mut cold = SampleSolver::new();
+            let mut state = ChipSolveState::new();
+
+            // Pass 1: floating windows (primes the cache).
+            let space1 = Arc::new(BufferSpace::floating(n, 6));
+            let mut diag = PassDiagnostics::default();
+            let got = warm.solve_view_cached(
+                &sg, ic.as_view(), &space1, PushObjective::ToZero, &opts, &mut state, &mut diag);
+            let want = cold.solve_view(&sg, ic.as_view(), &space1, PushObjective::ToZero, &opts);
+            prop_assert_eq!(&got, &want, "pass 1 (cold prime)");
+
+            // Pass 2: every window narrowed (bounds changed, has_buffer
+            // unchanged) — decompositions may replay, supports must not.
+            let mut s2 = BufferSpace::floating(n, 6);
+            for b in s2.bounds.iter_mut() {
+                *b = (window_lo, window_lo + 6);
+            }
+            let space2 = Arc::new(s2);
+            let mut diag = PassDiagnostics::default();
+            let got = warm.solve_view_cached(
+                &sg, ic.as_view(), &space2, PushObjective::ToZero, &opts, &mut state, &mut diag);
+            let want = cold.solve_view(&sg, ic.as_view(), &space2, PushObjective::ToZero, &opts);
+            prop_assert_eq!(&got, &want, "pass 2 (narrowed windows)");
+            prop_assert_eq!(diag.supports_rehit, 0,
+                "changed windows must invalidate every cached support");
+
+            // Pass 3: a buffer pruned (has_buffer changed).  Pruning a
+            // *violated endpoint* always lands inside the discovery read
+            // set, so nothing may replay — not even decompositions.  (A
+            // prune outside the read set legitimately keeps the cache;
+            // that path is covered by the equality assertion alone.)
+            let mut s3 = (*space2).clone();
+            let endpoint = ic
+                .setup_bound
+                .iter()
+                .zip(&ic.hold_bound)
+                .position(|(s, h)| *s < 0 || *h < 0)
+                .map(|e| edges[e].0 as usize);
+            s3.has_buffer[endpoint.unwrap_or(pruned % n)] = false;
+            let space3 = Arc::new(s3);
+            let mut diag = PassDiagnostics::default();
+            let got = warm.solve_view_cached(
+                &sg, ic.as_view(), &space3, PushObjective::ToZero, &opts, &mut state, &mut diag);
+            let want = cold.solve_view(&sg, ic.as_view(), &space3, PushObjective::ToZero, &opts);
+            prop_assert_eq!(&got, &want, "pass 3 (pruned buffer)");
+            prop_assert_eq!(diag.regions_reused, 0,
+                "pruning a violated endpoint must invalidate every cached decomposition");
+            prop_assert_eq!(diag.supports_rehit, 0,
+                "pruning a violated endpoint must invalidate every cached support");
+
+            // Pass 4: constraints shift (the cross-target case) against
+            // the *original* space — stale pass-3 state must not leak.
+            let shifted: Vec<i64> = raw_setup[..m].iter().map(|b| b - shift).collect();
+            let ic4 = constraints(&shifted, &raw_hold[..m]);
+            let mut diag = PassDiagnostics::default();
+            let got = warm.solve_view_cached(
+                &sg, ic4.as_view(), &space1, PushObjective::ToZero, &opts, &mut state, &mut diag);
+            let want = cold.solve_view(&sg, ic4.as_view(), &space1, PushObjective::ToZero, &opts);
+            prop_assert_eq!(&got, &want, "pass 4 (shifted constraints)");
+        }
+
         /// Solutions are always valid assignments within windows.
         #[test]
         fn solutions_always_valid(
@@ -387,6 +475,87 @@ mod prop {
             }
         }
     }
+}
+
+#[test]
+fn tie_breaking_is_pinned_and_cache_replay_matches() {
+    // k0 − k1 ≤ −4 admits two optimal single-buffer supports ({0} at −4
+    // or {1} at +4).  The pinned DFS order (most-covering endpoint, ties
+    // to the lowest region slot, In before Out) must return the same one
+    // every time — cold, freshly cached, and replayed.
+    let sg = graph(2, &[(0, 1)]);
+    let ic = constraints(&[-4], &[100]);
+    let space = Arc::new(BufferSpace::floating(2, 20));
+    let opts = SolverOptions::default();
+    let mut s = SampleSolver::new();
+    let cold = s.solve_view(&sg, ic.as_view(), &space, PushObjective::None, &opts);
+    assert_eq!(cold.count(), 1);
+    // Lowest-slot tie-break: FF0 is branched In first and accepted.
+    assert_eq!(cold.tunings[0].0, 0, "tie must break to the lowest slot");
+    let mut state = ChipSolveState::new();
+    let mut diag = PassDiagnostics::default();
+    let fresh = s.solve_view_cached(
+        &sg,
+        ic.as_view(),
+        &space,
+        PushObjective::None,
+        &opts,
+        &mut state,
+        &mut diag,
+    );
+    assert_eq!(diag.supports_rehit, 0, "first cached solve searches");
+    let replayed = s.solve_view_cached(
+        &sg,
+        ic.as_view(),
+        &space,
+        PushObjective::None,
+        &opts,
+        &mut state,
+        &mut diag,
+    );
+    assert!(diag.supports_rehit >= 1, "second solve must replay");
+    assert_eq!(cold, fresh);
+    assert_eq!(cold, replayed);
+}
+
+#[test]
+fn cached_outcome_survives_push_objective_changes() {
+    // The search outcome is push-independent: an A1-style (count-only)
+    // pass primes the cache, and a push-to-zero pass on the same inputs
+    // replays the support while still running its own concentration —
+    // matching a cold solve bit for bit.
+    let sg = graph(3, &[(0, 1), (1, 2), (0, 2)]);
+    let ic = constraints(&[-2, -2, 4], &[9, 9, 9]);
+    let space = Arc::new(BufferSpace::floating(3, 10));
+    let opts = SolverOptions::default();
+    let mut s = SampleSolver::new();
+    let mut state = ChipSolveState::new();
+    let mut diag = PassDiagnostics::default();
+    let a1 = s.solve_view_cached(
+        &sg,
+        ic.as_view(),
+        &space,
+        PushObjective::None,
+        &opts,
+        &mut state,
+        &mut diag,
+    );
+    let rehit_before = diag.supports_rehit;
+    let a3 = s.solve_view_cached(
+        &sg,
+        ic.as_view(),
+        &space,
+        PushObjective::ToZero,
+        &opts,
+        &mut state,
+        &mut diag,
+    );
+    assert!(diag.supports_rehit > rehit_before, "support must replay");
+    let mut cold_solver = SampleSolver::new();
+    let cold_a1 = cold_solver.solve_view(&sg, ic.as_view(), &space, PushObjective::None, &opts);
+    let cold_a3 = cold_solver.solve_view(&sg, ic.as_view(), &space, PushObjective::ToZero, &opts);
+    assert_eq!(a1, cold_a1);
+    assert_eq!(a3, cold_a3);
 }
 
 #[test]

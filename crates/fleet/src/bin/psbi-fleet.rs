@@ -6,7 +6,7 @@
 //! psbi-fleet plan   --spec campaign.json
 //! psbi-fleet run    --spec campaign.json --journal c.journal
 //!                   [--workers N] [--max-jobs K] [--report out.json]
-//!                   [--with-timings] [--quiet]
+//!                   [--with-timings] [--quiet] [--no-incremental]
 //! psbi-fleet report --spec campaign.json --journal c.journal
 //!                   [--json out.json] [--with-timings]
 //! ```
@@ -64,7 +64,7 @@ fn usage() -> ExitCode {
          \x20 psbi-fleet plan   --spec campaign.json\n\
          \x20 psbi-fleet run    --spec campaign.json --journal c.journal\n\
          \x20                   [--workers N] [--max-jobs K] [--report out.json]\n\
-         \x20                   [--with-timings] [--quiet]\n\
+         \x20                   [--with-timings] [--quiet] [--no-incremental]\n\
          \x20 psbi-fleet report --spec campaign.json --journal c.journal\n\
          \x20                   [--json out.json] [--with-timings]\n\
          \n\
@@ -159,6 +159,9 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         workers: args.get("workers").unwrap_or(0),
         max_jobs: args.get("max-jobs"),
         progress: !args.has("quiet"),
+        // Results are bit-identical either way; --no-incremental (like
+        // PSBI_NO_INCREMENTAL=1) exists for debugging and A/B timing.
+        incremental: !args.has("no-incremental"),
     };
     let outcome = run_campaign(&spec, &journal, &opts).map_err(|e| e.to_string())?;
     let report = CampaignReport::from_outcome(&spec, &outcome);

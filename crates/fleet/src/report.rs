@@ -14,6 +14,7 @@ use crate::journal::JobRecord;
 use crate::json::{escape, fmt_f64};
 use crate::runner::CampaignOutcome;
 use crate::spec::CampaignSpec;
+use psbi_core::flow::FlowDiagnostics;
 use std::fmt::Write as _;
 
 /// Aggregates per sigma factor `k` (one column group of the paper's
@@ -49,6 +50,11 @@ pub struct CampaignReport {
     pub records: Vec<JobRecord>,
     /// Per-job wall seconds (`None` when resumed or unavailable).
     pub job_wall_s: Vec<Option<f64>>,
+    /// Per-job incremental-cache counters (`None` when resumed or
+    /// unavailable).  Non-canonical, exactly like the wall times: they
+    /// vary with worker scheduling and the `PSBI_NO_INCREMENTAL` escape
+    /// hatch, so they live outside the canonical byte surface.
+    pub job_diagnostics: Vec<Option<FlowDiagnostics>>,
     /// Wall time of the producing invocation, when known.
     pub wall_s: Option<f64>,
 }
@@ -62,6 +68,7 @@ impl CampaignReport {
             total_jobs: outcome.total_jobs,
             records: outcome.records.clone(),
             job_wall_s: outcome.job_wall_s.clone(),
+            job_diagnostics: outcome.job_diagnostics.clone(),
             wall_s: Some(outcome.wall_s),
         }
     }
@@ -74,9 +81,22 @@ impl CampaignReport {
             fingerprint: spec.fingerprint(),
             total_jobs: total,
             job_wall_s: vec![None; total],
+            job_diagnostics: vec![None; total],
             records,
             wall_s: None,
         }
+    }
+
+    /// Incremental-cache counters summed over the jobs this invocation
+    /// executed, when any were recorded.
+    pub fn solver_cache_totals(&self) -> Option<psbi_core::solve::PassDiagnostics> {
+        let mut any = false;
+        let mut total = psbi_core::solve::PassDiagnostics::default();
+        for diag in self.job_diagnostics.iter().flatten() {
+            any = true;
+            total.merge(&diag.total());
+        }
+        any.then_some(total)
     }
 
     /// Whether every grid cell has a record.
@@ -179,6 +199,17 @@ impl CampaignReport {
                 s.total_delay_elements
             );
         }
+        if let Some(cache) = self.solver_cache_totals() {
+            let _ = writeln!(
+                out,
+                "solver cache (executed jobs): {} regions reused, {} supports rehit, \
+                 {} of {} regions saturated region_cap",
+                cache.regions_reused,
+                cache.supports_rehit,
+                cache.regions_saturated,
+                cache.regions_total
+            );
+        }
         if let Some(wall) = self.wall_s {
             let executed = self.job_wall_s.iter().flatten().count();
             let _ = writeln!(
@@ -256,7 +287,28 @@ impl CampaignReport {
                 self.wall_s
                     .map_or_else(|| "null".to_string(), |v| format!("{v:.6}"))
             );
-            let _ = writeln!(out, "  }}");
+            // The incremental-solver counters ride in the same
+            // non-canonical section as the wall times: both vary with
+            // scheduling and the PSBI_NO_INCREMENTAL escape hatch while
+            // the canonical results do not.
+            match self.solver_cache_totals() {
+                Some(cache) => {
+                    let _ = writeln!(out, "  }},");
+                    let _ = writeln!(out, "  \"solver_cache\": {{");
+                    let _ = writeln!(out, "    \"regions_total\": {},", cache.regions_total);
+                    let _ = writeln!(
+                        out,
+                        "    \"regions_saturated\": {},",
+                        cache.regions_saturated
+                    );
+                    let _ = writeln!(out, "    \"regions_reused\": {},", cache.regions_reused);
+                    let _ = writeln!(out, "    \"supports_rehit\": {}", cache.supports_rehit);
+                    let _ = writeln!(out, "  }}");
+                }
+                None => {
+                    let _ = writeln!(out, "  }}");
+                }
+            }
         } else {
             let _ = writeln!(out, "  }}");
         }

@@ -33,7 +33,10 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Execution knobs for one `run_campaign` invocation.
-#[derive(Debug, Clone, Default)]
+///
+/// These are *runtime* knobs: none of them participates in the spec
+/// fingerprint, because none of them may change a result.
+#[derive(Debug, Clone)]
 pub struct FleetOptions {
     /// Concurrent jobs (0 = all cores).  Total parallelism is
     /// `workers × threads_per_job`.
@@ -43,6 +46,24 @@ pub struct FleetOptions {
     pub max_jobs: Option<usize>,
     /// Print per-job progress lines to stderr.
     pub progress: bool,
+    /// Carry incremental solver state across the passes of each job and
+    /// across adjacent sweep targets of one circuit (see
+    /// `psbi_core::solve`).  Results are bit-identical either way — this
+    /// is a performance knob, which is why it lives here and not in the
+    /// fingerprinted [`CampaignSpec`].  `PSBI_NO_INCREMENTAL=1` overrides
+    /// it process-wide.
+    pub incremental: bool,
+}
+
+impl Default for FleetOptions {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            max_jobs: None,
+            progress: false,
+            incremental: true,
+        }
+    }
 }
 
 /// What one `run_campaign` invocation produced.
@@ -59,6 +80,11 @@ pub struct CampaignOutcome {
     /// Per-job wall time in seconds; `None` for jobs that were resumed
     /// from the journal (or not yet run).  Indexed by job.
     pub job_wall_s: Vec<Option<f64>>,
+    /// Per-job incremental-cache counters; `None` for resumed jobs.
+    /// Non-canonical, like [`CampaignOutcome::job_wall_s`]: the counters
+    /// depend on which targets warmed a flow's state arena first, which
+    /// races with worker scheduling — results never do.
+    pub job_diagnostics: Vec<Option<psbi_core::flow::FlowDiagnostics>>,
     /// Wall time of this invocation.
     pub wall_s: f64,
 }
@@ -77,19 +103,21 @@ struct CommitState {
     /// Next job index to commit.
     next: usize,
     /// Completed jobs waiting for their predecessors.
-    parked: BTreeMap<usize, (JobRecord, f64)>,
+    parked: BTreeMap<usize, (JobRecord, f64, psbi_core::flow::FlowDiagnostics)>,
     records: Vec<JobRecord>,
     job_wall_s: Vec<Option<f64>>,
+    job_diagnostics: Vec<Option<psbi_core::flow::FlowDiagnostics>>,
     error: Option<FleetError>,
 }
 
 impl CommitState {
     /// Commits every parked record that has become next-in-line.
     fn drain(&mut self) -> Result<(), FleetError> {
-        while let Some((record, wall)) = self.parked.remove(&self.next) {
+        while let Some((record, wall, diag)) = self.parked.remove(&self.next) {
             self.journal.append(&record)?;
             self.records.push(record);
             self.job_wall_s[self.next] = Some(wall);
+            self.job_diagnostics[self.next] = Some(diag);
             self.next += 1;
         }
         Ok(())
@@ -129,6 +157,7 @@ pub fn run_campaign(
     };
 
     let job_wall_s = vec![None; total];
+    let job_diagnostics = vec![None; total];
     if resumed >= end {
         return Ok(CampaignOutcome {
             records: existing,
@@ -136,6 +165,7 @@ pub fn run_campaign(
             executed_jobs: 0,
             total_jobs: total,
             job_wall_s,
+            job_diagnostics,
             wall_s: t_start.elapsed().as_secs_f64(),
         });
     }
@@ -159,7 +189,8 @@ pub fn run_campaign(
         })
         .collect::<Result<_, _>>()?;
     let pool = Arc::new(WorkspacePool::new());
-    let cfg = spec.flow_config();
+    let mut cfg = spec.flow_config();
+    cfg.incremental = opts.incremental;
     let flows: Vec<Option<BufferInsertionFlow>> = circuits
         .iter()
         .map(|c| {
@@ -186,6 +217,7 @@ pub fn run_campaign(
         parked: BTreeMap::new(),
         records: existing,
         job_wall_s,
+        job_diagnostics,
         error: None,
     });
     let cursor = AtomicUsize::new(resumed);
@@ -223,7 +255,7 @@ pub fn run_campaign(
                     );
                 }
                 let mut st = state.lock().expect("commit lock");
-                st.parked.insert(j, (record, wall));
+                st.parked.insert(j, (record, wall, result.diagnostics));
                 if let Err(e) = st.drain() {
                     st.error.get_or_insert(e);
                     failed.store(true, Ordering::Relaxed);
@@ -244,6 +276,7 @@ pub fn run_campaign(
         executed_jobs: executed,
         total_jobs: total,
         job_wall_s: state.job_wall_s,
+        job_diagnostics: state.job_diagnostics,
         wall_s: t_start.elapsed().as_secs_f64(),
     })
 }

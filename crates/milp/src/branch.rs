@@ -25,6 +25,14 @@ pub fn solve_branch_and_bound(model: &Model) -> Solution {
 
     let mut best_obj = f64::INFINITY;
     let mut best_x: Option<Vec<f64>> = None;
+    // A verified warm-start point becomes the incumbent before the first
+    // node: the search then only replaces it with strictly better points,
+    // so a warm start can change *which* optimal point is returned (ties
+    // keep the incumbent) but never the optimal objective.
+    if let Some((x, obj)) = model.verified_warm_start() {
+        best_obj = obj;
+        best_x = Some(x);
+    }
     let mut nodes = 0usize;
     let mut stack = vec![BbNode {
         lo: root_lo,
@@ -171,6 +179,45 @@ mod tests {
         assert_eq!(s.int_value(a), 1);
         assert_eq!(s.int_value(b), 1);
         assert_eq!(s.int_value(c), 0);
+    }
+
+    #[test]
+    fn warm_start_is_verified_and_preserves_the_optimum() {
+        // max 10a + 6b + 4c s.t. a+b+c <= 2 (binary) → 16 at (1,1,0).
+        let build = || {
+            let mut m = Model::new();
+            let a = m.add_binary("a", -10.0);
+            let b = m.add_binary("b", -6.0);
+            let c = m.add_binary("c", -4.0);
+            m.add_cons(vec![(a, 1.0), (b, 1.0), (c, 1.0)], Op::Le, 2.0);
+            m
+        };
+        // A feasible but sub-optimal warm start: the search must still
+        // find the true optimum.
+        let mut m = build();
+        m.set_warm_start(vec![1.0, 0.0, 1.0]); // objective -14
+        let s = m.solve();
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective + 16.0).abs() < 1e-6);
+        // The optimal warm start is kept (ties keep the incumbent).
+        let mut m = build();
+        m.set_warm_start(vec![1.0, 1.0, 0.0]);
+        let s = m.solve();
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective + 16.0).abs() < 1e-6);
+        assert_eq!(s.values, vec![1.0, 1.0, 0.0]);
+        // An infeasible warm start is discarded, not trusted.
+        let mut m = build();
+        m.set_warm_start(vec![1.0, 1.0, 1.0]); // violates the knapsack
+        let s = m.solve();
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective + 16.0).abs() < 1e-6);
+        // A fractional value on an integer variable is rejected too.
+        let mut m = build();
+        m.set_warm_start(vec![0.5, 0.0, 0.0]);
+        let s = m.solve();
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective + 16.0).abs() < 1e-6);
     }
 
     #[test]

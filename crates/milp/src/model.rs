@@ -89,6 +89,8 @@ pub struct Model {
     pub(crate) cons: Vec<ConsDef>,
     /// Maximum branch-and-bound nodes (default 200 000).
     pub node_limit: usize,
+    /// Optional warm-start point (see [`Model::set_warm_start`]).
+    pub(crate) warm: Option<Vec<f64>>,
 }
 
 impl Model {
@@ -98,7 +100,62 @@ impl Model {
             vars: Vec::new(),
             cons: Vec::new(),
             node_limit: 200_000,
+            warm: None,
         }
+    }
+
+    /// Supplies a known solution as the branch-and-bound's initial
+    /// incumbent — the **witness import** half of the bounded solver's
+    /// warm-start pair (the export half is simply [`Solution::values`]).
+    ///
+    /// The point is *verified* before use: bounds, integrality and every
+    /// constraint are checked, and a point that fails any check is
+    /// silently discarded.  A valid incumbent tightens pruning from node
+    /// one; it never changes which points are feasible, so an invalid or
+    /// stale witness can only cost the verification sweep, not
+    /// correctness.  Callers that need run-to-run reproducibility must
+    /// supply the warm start deterministically (or not at all): an
+    /// incumbent whose objective ties the optimum is kept in preference
+    /// to an equal solution found later by the search.
+    pub fn set_warm_start(&mut self, values: Vec<f64>) {
+        self.warm = Some(values);
+    }
+
+    /// Verifies a warm-start point: length, bounds, integrality and all
+    /// constraints within tolerance.  Returns the (integer-snapped) point
+    /// and its objective when valid.
+    pub(crate) fn verified_warm_start(&self) -> Option<(Vec<f64>, f64)> {
+        const TOL: f64 = 1e-6;
+        let w = self.warm.as_ref()?;
+        if w.len() != self.vars.len() {
+            return None;
+        }
+        let mut snapped = w.clone();
+        for (x, v) in snapped.iter_mut().zip(&self.vars) {
+            if v.integer {
+                let r = x.round();
+                if (*x - r).abs() > TOL {
+                    return None;
+                }
+                *x = r;
+            }
+            if *x < v.lo - TOL || *x > v.hi + TOL {
+                return None;
+            }
+        }
+        for c in &self.cons {
+            let lhs: f64 = c.terms.iter().map(|(v, coef)| coef * snapped[v.0]).sum();
+            let ok = match c.op {
+                Op::Le => lhs <= c.rhs + TOL,
+                Op::Ge => lhs >= c.rhs - TOL,
+                Op::Eq => (lhs - c.rhs).abs() <= TOL,
+            };
+            if !ok {
+                return None;
+            }
+        }
+        let objective: f64 = self.vars.iter().zip(&snapped).map(|(v, x)| v.obj * x).sum();
+        Some((snapped, objective))
     }
 
     /// Adds a variable with bounds `[lo, hi]`, objective coefficient `obj`

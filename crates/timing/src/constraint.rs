@@ -132,11 +132,61 @@ pub struct ConstraintsView<'a> {
     pub hold_bound: &'a [i64],
 }
 
+/// One constraint violated with all tunings at zero, normalised to the
+/// difference form `k[a] − k[b] ≤ bound` (with `bound < 0`).
+///
+/// The ordered sequence of a chip's violations is its **violated-constraint
+/// fingerprint**: two chips (or the same chip across flow passes) with
+/// equal fingerprints seed identical solver region decompositions, which
+/// is what lets `psbi_core::solve` carry a region decomposition from one
+/// pass to the next after an exact value comparison — no hashing, so a
+/// fingerprint match can never replay a wrong decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Violation {
+    /// Left-hand FF of the difference constraint.
+    pub a: u32,
+    /// Right-hand FF of the difference constraint.
+    pub b: u32,
+    /// Edge index in the sequential graph.
+    pub edge: u32,
+    /// Setup or hold side of the edge.
+    pub kind: ConstraintKind,
+    /// The (negative) floored bound.
+    pub bound: i64,
+}
+
 impl ConstraintsView<'_> {
     /// True when the zero assignment satisfies every constraint.
     #[inline]
     pub fn feasible_at_zero(&self) -> bool {
         self.setup_bound.iter().all(|b| *b >= 0) && self.hold_bound.iter().all(|b| *b >= 0)
+    }
+
+    /// Collects this chip's violated constraints into `out` (cleared
+    /// first) in the canonical edge-major, setup-before-hold order — the
+    /// chip's violated-constraint fingerprint (see [`Violation`]).
+    pub fn collect_violations(&self, sg: &SequentialGraph, out: &mut Vec<Violation>) {
+        out.clear();
+        for (e, edge) in sg.edges.iter().enumerate() {
+            if self.setup_bound[e] < 0 {
+                out.push(Violation {
+                    a: edge.from,
+                    b: edge.to,
+                    edge: e as u32,
+                    kind: ConstraintKind::Setup,
+                    bound: self.setup_bound[e],
+                });
+            }
+            if self.hold_bound[e] < 0 {
+                out.push(Violation {
+                    a: edge.to,
+                    b: edge.from,
+                    edge: e as u32,
+                    kind: ConstraintKind::Hold,
+                    bound: self.hold_bound[e],
+                });
+            }
+        }
     }
 }
 

@@ -66,7 +66,9 @@ pub mod sample;
 pub mod seq;
 pub mod simd;
 
-pub use constraint::{ConstraintBatch, ConstraintsView, IntegerConstraints};
+pub use constraint::{
+    ConstraintBatch, ConstraintKind, ConstraintsView, IntegerConstraints, Violation,
+};
 pub use feasibility::{DiffSolver, Feasibility};
 pub use graph::TimingGraph;
 pub use sample::{CanonicalBatchSampler, SampleBatch, SampleTiming, SampleView};

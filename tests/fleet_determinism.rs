@@ -32,8 +32,7 @@ fn tmp(tag: &str) -> PathBuf {
 fn opts(workers: usize) -> FleetOptions {
     FleetOptions {
         workers,
-        max_jobs: None,
-        progress: false,
+        ..FleetOptions::default()
     }
 }
 
@@ -88,7 +87,7 @@ fn killed_and_resumed_campaign_reproduces_uninterrupted_run() {
         &FleetOptions {
             workers: 2,
             max_jobs: Some(2),
-            progress: false,
+            ..FleetOptions::default()
         },
     )
     .expect("partial campaign");

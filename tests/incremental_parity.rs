@@ -1,0 +1,123 @@
+//! Incremental-solve parity regression: carrying per-chip solver state
+//! (region decompositions, support sets, warm witnesses) across the
+//! A1→A3→B1→B2 passes — and across adjacent targets of a fleet sweep —
+//! must be **bit-invisible**.  Every surface the flow produces is compared
+//! with the cache on versus off, at 1 and 8 workers:
+//!
+//! * full `InsertionResult`s (modulo wall times and the cache's own
+//!   counters, which are non-canonical by contract),
+//! * fleet journal bytes and canonical report bytes.
+//!
+//! The `PSBI_NO_INCREMENTAL=1` environment form of the same contract is
+//! pinned by the CI determinism job (the env flag is read once per
+//! process, so this in-process test uses the equivalent config/option
+//! knobs instead).
+
+use psbi::core::flow::{BufferInsertionFlow, FlowConfig, InsertionResult, TargetPeriod};
+use psbi::fleet::{run_campaign, CampaignReport, CampaignSpec, FleetOptions};
+use psbi::netlist::bench_suite;
+use std::path::PathBuf;
+
+/// Strips the non-canonical surfaces: wall times always differ between
+/// runs, and the cache counters differ between modes by definition.
+fn normalized(mut r: InsertionResult) -> InsertionResult {
+    r.runtime = Default::default();
+    r.diagnostics = Default::default();
+    r
+}
+
+#[test]
+fn full_flow_is_bit_identical_with_incremental_on_and_off() {
+    let circuit = bench_suite::tiny_demo(42);
+    let cfg = |threads: usize, incremental: bool| FlowConfig {
+        samples: 160,
+        yield_samples: 300,
+        calibration_samples: 300,
+        seed: 2024,
+        threads,
+        target: TargetPeriod::SigmaFactor(0.0),
+        record_histograms: 2,
+        incremental,
+        ..FlowConfig::default()
+    };
+    // One warm flow swept over adjacent targets (its state arena carries
+    // across run_target calls) versus cold flows, at both worker counts.
+    let warm1 = BufferInsertionFlow::new(&circuit, cfg(1, true)).unwrap();
+    let warm8 = BufferInsertionFlow::new(&circuit, cfg(8, true)).unwrap();
+    let cold1 = BufferInsertionFlow::new(&circuit, cfg(1, false)).unwrap();
+    let mut reused = 0u64;
+    for k in [0.0, 0.5, 1.0] {
+        let target = TargetPeriod::SigmaFactor(k);
+        let w1 = warm1.run_target(target);
+        let w8 = warm8.run_target(target);
+        let c1 = cold1.run_target(target);
+        reused += w1.diagnostics.total().regions_reused + w1.diagnostics.total().supports_rehit;
+        let reference = normalized(c1);
+        assert_eq!(
+            normalized(w1),
+            reference,
+            "incremental (1 worker) diverged from cold at k = {k}"
+        );
+        assert_eq!(
+            normalized(w8),
+            reference,
+            "incremental (8 workers) diverged from cold at k = {k}"
+        );
+    }
+    assert!(reused > 0, "the warm sweep never exercised the cache");
+}
+
+fn tmp(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "psbi_incremental_parity_{tag}_{}",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn fleet_journal_bytes_are_identical_with_incremental_on_and_off() {
+    let spec = CampaignSpec {
+        samples: 100,
+        yield_samples: 200,
+        calibration_samples: 200,
+        seed: 2024,
+        // Adjacent sigma factors so the sweep actually revisits warm
+        // state between targets of one circuit.
+        sigma_factors: vec![0.0, 0.25, 0.5],
+        ..CampaignSpec::example()
+    };
+    let opts = |workers: usize, incremental: bool| FleetOptions {
+        workers,
+        incremental,
+        ..FleetOptions::default()
+    };
+    let mut journals: Vec<(PathBuf, Vec<u8>, String)> = Vec::new();
+    for (tag, workers, incremental) in [
+        ("on_w1", 1, true),
+        ("on_w8", 8, true),
+        ("off_w1", 1, false),
+        ("off_w8", 8, false),
+    ] {
+        let path = tmp(tag);
+        let _ = std::fs::remove_file(&path);
+        let outcome =
+            run_campaign(&spec, &path, &opts(workers, incremental)).expect("campaign runs");
+        assert!(outcome.complete());
+        let report = CampaignReport::from_outcome(&spec, &outcome).canonical_json();
+        let bytes = std::fs::read(&path).expect("journal written");
+        journals.push((path, bytes, report));
+    }
+    let (_, reference_bytes, reference_report) = &journals[0];
+    for (path, bytes, report) in &journals[1..] {
+        assert_eq!(
+            bytes,
+            reference_bytes,
+            "journal bytes differ: {}",
+            path.display()
+        );
+        assert_eq!(report, reference_report, "canonical report differs");
+    }
+    for (path, _, _) in &journals {
+        let _ = std::fs::remove_file(path);
+    }
+}
