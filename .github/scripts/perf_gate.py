@@ -28,6 +28,7 @@ def main() -> int:
 
     checks = []
     notes = []
+    failed_baseline = False
 
     # The committed ratios embed the baseline's kernel backend (an AVX2
     # host's batched_speedup is far above a portable host's), so floors
@@ -85,12 +86,47 @@ def main() -> int:
                     base_sw * (1.0 - tolerance),
                 )
             )
+        # Cross-chip memoisation floor: the adjacent-target warm flow
+        # (arenas + region memo) versus a fully cold flow, step1+step2.
+        probe_cc = probe.get("cross_chip", {})
+        base_cc = baseline.get("cross_chip", {})
+        if "warm_step_speedup" in probe_cc and "warm_step_speedup" in base_cc:
+            base_step = base_cc["warm_step_speedup"]
+            checks.append(
+                (
+                    "cross_chip warm_step_speedup (warm vs cold step1+step2)",
+                    probe_cc["warm_step_speedup"],
+                    base_step,
+                    base_step * (1.0 - tolerance),
+                )
+            )
     else:
         notes.append(
             f"probe backend `{probe_backend}` differs from committed baseline "
             f"backend `{base_backend}` — ratios not comparable, floors skipped "
             f"(probe batched_speedup: {probe['batched_speedup']:.3f}x)"
         )
+
+    # The committed baseline must keep recording live cross-chip memo
+    # activity: a regenerated BENCH_sampling.json with a dead memo (zero
+    # hits / zero keys) means the dedup path stopped firing and must not
+    # land silently.  Hardware-independent, so checked regardless of the
+    # probe's backend.
+    base_cc = baseline.get("cross_chip")
+    if base_cc is not None:
+        for field in ("cross_chip_hits", "distinct_keys"):
+            if base_cc.get(field, 0) <= 0:
+                notes.append(
+                    f"baseline cross_chip.{field} is {base_cc.get(field)} — "
+                    "the committed BENCH must show a live memo (> 0)"
+                )
+                failed_baseline = True
+        if base_cc.get("hit_rate", 0.0) <= 0.0:
+            notes.append(
+                "baseline cross_chip.hit_rate is 0 — the committed BENCH "
+                "must show a nonzero cross-chip hit rate"
+            )
+            failed_baseline = True
 
     lines = [
         "## Sampling perf gate",
@@ -105,7 +141,7 @@ def main() -> int:
     if checks:
         lines.append("| metric | probe | committed | floor | delta | status |")
         lines.append("|---|---|---|---|---|---|")
-    failed = False
+    failed = failed_baseline
     for name, got, committed, floor in checks:
         delta = (got / committed - 1.0) * 100.0
         ok = got >= floor

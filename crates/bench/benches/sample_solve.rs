@@ -5,7 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use psbi_core::solve::{
-    BufferSpace, ChipSolveState, PassDiagnostics, PushObjective, SampleSolver, SolverOptions,
+    BufferSpace, ChipSolveState, PassDiagnostics, PushObjective, RegionMemo, SampleSolver,
+    SolverOptions,
 };
 use psbi_liberty::Library;
 use psbi_netlist::bench_suite;
@@ -263,10 +264,92 @@ fn bench_pass_resolve_warm_vs_cold(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cross-chip memo hit versus cold search over one pass of 512 chips:
+/// the memoised side re-solves the identical chip population through a
+/// pre-warmed `RegionMemo` (every region system published, no per-chip
+/// state), so each region is a lookup + verified replay instead of a
+/// branch-and-bound — the microbench behind the `cross_chip` section of
+/// `BENCH_sampling.json`.
+fn bench_region_memo_hit_vs_cold(c: &mut Criterion) {
+    const SAMPLES: usize = 512;
+    const CHUNK: usize = 64;
+    let circuit = bench_suite::small_demo(2);
+    let lib = Library::industry_like();
+    let model = VariationModel::paper_defaults();
+    let tg = TimingGraph::build(&circuit, &lib, &model).unwrap();
+    let sg = SequentialGraph::extract(&tg);
+    let skews = vec![0.0; sg.n_ffs];
+    let mut periods = Vec::new();
+    let mut st = SampleTiming::for_graph(&sg);
+    for k in 0..200 {
+        let (globals, mut rng) = chip_rng(5, k);
+        sample_canonical(&sg, &globals, &mut rng, &mut st);
+        periods.push(constraint::min_period(&sg, &st, &skews).period);
+    }
+    let period = psbi_variation::mean(&periods);
+    let step = period / 160.0;
+    let space = std::sync::Arc::new(BufferSpace::floating(sg.n_ffs, 20));
+    let opts = SolverOptions::default();
+    let sampler = CanonicalBatchSampler::new(&sg);
+
+    let run_pass = |solver: &mut SampleSolver,
+                    batch: &mut SampleBatch,
+                    cons: &mut ConstraintBatch,
+                    memo: Option<&RegionMemo>,
+                    diag: &mut PassDiagnostics| {
+        let mut solved = 0usize;
+        let mut lo = 0usize;
+        while lo < SAMPLES {
+            let len = CHUNK.min(SAMPLES - lo);
+            batch.reset(&sg, len);
+            sampler.fill(9, lo as u64, batch);
+            cons.build_from(&sg, batch, &skews, period, step);
+            for row in 0..len {
+                let r = solver.solve_view_memo(
+                    &sg,
+                    cons.view(row),
+                    &space,
+                    PushObjective::ToZero,
+                    &opts,
+                    memo,
+                    None,
+                    diag,
+                );
+                solved += usize::from(r.feasible);
+            }
+            lo += len;
+        }
+        solved
+    };
+
+    let mut group = c.benchmark_group("region_memo_hit_vs_cold");
+    group.sample_size(10);
+    group.bench_function("cold_search", |b| {
+        let mut solver = SampleSolver::new();
+        let mut batch = SampleBatch::new();
+        let mut cons = ConstraintBatch::new();
+        let mut diag = PassDiagnostics::default();
+        b.iter(|| run_pass(&mut solver, &mut batch, &mut cons, None, &mut diag))
+    });
+    group.bench_function("memo_hit_replay", |b| {
+        let mut solver = SampleSolver::new();
+        let mut batch = SampleBatch::new();
+        let mut cons = ConstraintBatch::new();
+        let memo = RegionMemo::new();
+        let mut diag = PassDiagnostics::default();
+        // Prime: publish every region system of the population.
+        run_pass(&mut solver, &mut batch, &mut cons, Some(&memo), &mut diag);
+        assert!(!memo.is_empty(), "priming pass must publish");
+        b.iter(|| run_pass(&mut solver, &mut batch, &mut cons, Some(&memo), &mut diag))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_sample_solve,
     bench_pass_pipeline,
-    bench_pass_resolve_warm_vs_cold
+    bench_pass_resolve_warm_vs_cold,
+    bench_region_memo_hit_vs_cold
 );
 criterion_main!(benches);

@@ -12,11 +12,15 @@
 //! Besides the sampling-throughput and flow-stage sections, the output
 //! carries a `simd` section — the chunked fill + extraction loop pinned
 //! to the fused scalar backend versus the active wide backend
-//! (AVX2/NEON/portable), which the `perf-gate` CI job tracks — and a
-//! `campaign` section: a small 2-circuit × 2-target fleet campaign timed
-//! against the same jobs as back-to-back `BufferInsertionFlow::run()`
-//! calls, plus the pure journal-replay (resume no-op) time — the fleet
-//! subsystem's overhead trajectory.
+//! (AVX2/NEON/portable), which the `perf-gate` CI job tracks — a
+//! `cross_chip` section (adjacent-target warm flow with every solver
+//! cache tier on versus a fully cold flow, with the region-memo hit
+//! rate and distinct-key count), a `solver_stages` breakdown inside the
+//! `flow` section (discovery / saturation-screen / search / MILP
+//! seconds), and a `campaign` section: a small 2-circuit × 2-target
+//! fleet campaign timed against the same jobs as back-to-back
+//! `BufferInsertionFlow::run()` calls, plus the pure journal-replay
+//! (resume no-op) time — the fleet subsystem's overhead trajectory.
 
 use psbi_bench::Args;
 use psbi_core::flow::{BufferInsertionFlow, FlowConfig, TargetPeriod};
@@ -36,6 +40,23 @@ use std::time::Instant;
 
 /// Chunk size mirroring the flow's parallel work unit.
 const CHUNK: usize = 64;
+
+/// The solver passes are sub-second at bench sizes, so single-shot wall
+/// times are noise-dominated: run the measurement three times and keep
+/// the fastest (results and diagnostics are identical across repeats —
+/// the flows are deterministic, only wall time varies).
+fn best_of<F: FnMut() -> (f64, psbi_core::flow::InsertionResult)>(
+    mut run: F,
+) -> (f64, psbi_core::flow::InsertionResult) {
+    let mut best: Option<(f64, psbi_core::flow::InsertionResult)> = None;
+    for _ in 0..3 {
+        let (secs, r) = run();
+        if best.as_ref().is_none_or(|(b, _)| secs < *b) {
+            best = Some((secs, r));
+        }
+    }
+    best.expect("at least one run")
+}
 
 fn main() {
     let args = Args::from_env();
@@ -155,25 +176,61 @@ fn main() {
         skip_refit_threshold: 0.0,
         ..cfg
     };
-    let warm_result = BufferInsertionFlow::new(&circuit, incr_cfg.clone())
-        .expect("valid circuit")
-        .run();
-    let cold_result = BufferInsertionFlow::new(
-        &circuit,
-        FlowConfig {
-            incremental: false,
-            ..incr_cfg
-        },
-    )
-    .expect("valid circuit")
-    .run();
-    let warm_resolve_s = warm_result.runtime.pass_a3_s
-        + warm_result.runtime.pass_b1_s
-        + warm_result.runtime.pass_b2_s;
-    let cold_resolve_s = cold_result.runtime.pass_a3_s
-        + cold_result.runtime.pass_b1_s
-        + cold_result.runtime.pass_b2_s;
+    let resolve_sum = |r: &psbi_core::flow::InsertionResult| {
+        r.runtime.pass_a3_s + r.runtime.pass_b1_s + r.runtime.pass_b2_s
+    };
+    let (warm_resolve_s, warm_result) = best_of(|| {
+        let r = BufferInsertionFlow::new(&circuit, incr_cfg.clone())
+            .expect("valid circuit")
+            .run();
+        (resolve_sum(&r), r)
+    });
+    let cold_flow_cfg = FlowConfig {
+        incremental: false,
+        cross_chip: false,
+        ..incr_cfg.clone()
+    };
+    let (cold_resolve_s, _) = best_of(|| {
+        let r = BufferInsertionFlow::new(&circuit, cold_flow_cfg.clone())
+            .expect("valid circuit")
+            .run();
+        (resolve_sum(&r), r)
+    });
     let warm_totals = warm_result.diagnostics.total();
+
+    // Cross-chip trajectory: a warm flow in the adjacent-target regime —
+    // one flow swept to the next sweep point, all cache tiers on (parked
+    // arenas, cross-chip memo) — against a fully cold flow at the same
+    // target.  Single-threaded so the memo hit counters are
+    // deterministic (racing workers make them vary, results never);
+    // each warm repeat builds a fresh flow so the measured target is
+    // warmed by exactly one adjacent target, never by itself.
+    let step_sum = |r: &psbi_core::flow::InsertionResult| r.runtime.step1_s + r.runtime.step2_s;
+    let cc_warm_cfg = FlowConfig {
+        threads: 1,
+        ..incr_cfg.clone()
+    };
+    let (cc_warm_step_s, cc_warm) = best_of(|| {
+        let flow = BufferInsertionFlow::new(&circuit, cc_warm_cfg.clone()).expect("valid circuit");
+        let _ = flow.run_target(TargetPeriod::SigmaFactor(0.0));
+        let r = flow.run_target(TargetPeriod::SigmaFactor(0.02));
+        (step_sum(&r), r)
+    });
+    let cc_cold_cfg = FlowConfig {
+        threads: 1,
+        ..cold_flow_cfg.clone()
+    };
+    // A fresh flow per repeat: reusing one flow would let its pooled
+    // workspaces carry warm saturation-screen witnesses into the later
+    // repeats, and best-of would keep a not-actually-cold time.
+    let (cc_cold_step_s, _) = best_of(|| {
+        let flow = BufferInsertionFlow::new(&circuit, cc_cold_cfg.clone()).expect("valid circuit");
+        let r = flow.run_target(TargetPeriod::SigmaFactor(0.02));
+        (step_sum(&r), r)
+    });
+    let cc_totals = cc_warm.diagnostics.total();
+    let cc_hit_rate = cc_totals.cross_chip_hits as f64 / cc_totals.regions_total.max(1) as f64;
+    let stage = result.diagnostics.total().stage;
 
     // Fleet campaign vs the same jobs back to back.  The campaign path
     // journals every job and commits in order; the back-to-back path is
@@ -266,8 +323,22 @@ fn main() {
         }
         (s, totals, cross_target)
     };
-    let (sweep_cold_s, _, _) = time_sweep(false);
-    let (sweep_warm_s, sweep_totals, sweep_cross) = time_sweep(true);
+    // Best-of-3 like the flow ratios: the sweep is sub-second at bench
+    // sizes and the counters are deterministic at 1 worker.
+    let mut sweep_cold_s = f64::INFINITY;
+    let mut sweep_warm_s = f64::INFINITY;
+    let mut sweep_totals = psbi_core::solve::PassDiagnostics::default();
+    let mut sweep_cross = psbi_core::solve::PassDiagnostics::default();
+    for _ in 0..3 {
+        let (cold_s, _, _) = time_sweep(false);
+        sweep_cold_s = sweep_cold_s.min(cold_s);
+        let (warm_s, totals, cross) = time_sweep(true);
+        if warm_s < sweep_warm_s {
+            sweep_warm_s = warm_s;
+            sweep_totals = totals;
+            sweep_cross = cross;
+        }
+    }
     let _ = std::fs::remove_file(&sweep_journal);
 
     let scalar_rate = samples as f64 / scalar_s;
@@ -319,7 +390,44 @@ fn main() {
         "    \"yield_with_buffers\": {:.4},",
         result.yield_with_buffers
     );
-    let _ = writeln!(json, "    \"buffers\": {}", result.nb);
+    let _ = writeln!(json, "    \"buffers\": {},", result.nb);
+    let _ = writeln!(json, "    \"solver_stages\": {{");
+    let secs = psbi_core::solve::StageTimes::secs;
+    let _ = writeln!(
+        json,
+        "      \"discovery_s\": {:.6},",
+        secs(stage.discovery_ns)
+    );
+    let _ = writeln!(
+        json,
+        "      \"saturation_screen_s\": {:.6},",
+        secs(stage.screen_ns)
+    );
+    let _ = writeln!(json, "      \"search_s\": {:.6},", secs(stage.search_ns));
+    let _ = writeln!(json, "      \"milp_s\": {:.6}", secs(stage.milp_ns));
+    let _ = writeln!(json, "    }}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"cross_chip\": {{");
+    let _ = writeln!(json, "    \"flow_samples\": {flow_samples},");
+    let _ = writeln!(json, "    \"warm_step_solve_s\": {cc_warm_step_s:.6},");
+    let _ = writeln!(json, "    \"cold_step_solve_s\": {cc_cold_step_s:.6},");
+    let _ = writeln!(
+        json,
+        "    \"warm_step_speedup\": {:.3},",
+        cc_cold_step_s / cc_warm_step_s
+    );
+    let _ = writeln!(
+        json,
+        "    \"cross_chip_hits\": {},",
+        cc_totals.cross_chip_hits
+    );
+    let _ = writeln!(json, "    \"hit_rate\": {cc_hit_rate:.6},");
+    let _ = writeln!(
+        json,
+        "    \"distinct_keys\": {},",
+        cc_warm.diagnostics.memo_entries
+    );
+    let _ = writeln!(json, "    \"regions_total\": {}", cc_totals.regions_total);
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"incremental\": {{");
     let _ = writeln!(json, "    \"flow_samples\": {flow_samples},");
@@ -372,8 +480,13 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "      \"cross_target_supports_rehit\": {}",
+        "      \"cross_target_supports_rehit\": {},",
         sweep_cross.supports_rehit
+    );
+    let _ = writeln!(
+        json,
+        "      \"cross_chip_hits\": {}",
+        sweep_totals.cross_chip_hits
     );
     let _ = writeln!(json, "    }}");
     let _ = writeln!(json, "  }},");
@@ -395,12 +508,16 @@ fn main() {
     eprintln!(
         "perf_json: scalar {scalar_rate:.0}/s, batched {batched_rate:.0}/s \
          ({:.2}x), backend {} ({:.2}x vs scalar kernels), flow {flow_s:.2}s, \
-         incremental A3+B1+B2 {:.2}x / sweep {:.2}x -> {out_path}",
+         incremental A3+B1+B2 {:.2}x / sweep {:.2}x, cross-chip warm \
+         step1+step2 {:.2}x ({} hits, {} keys) -> {out_path}",
         scalar_s / batched_s,
         backend.name(),
         simd_scalar_s / simd_wide_s,
         cold_resolve_s / warm_resolve_s,
-        sweep_cold_s / sweep_warm_s
+        sweep_cold_s / sweep_warm_s,
+        cc_cold_step_s / cc_warm_step_s,
+        cc_totals.cross_chip_hits,
+        cc_warm.diagnostics.memo_entries
     );
     print!("{json}");
 }

@@ -38,7 +38,8 @@
 use crate::group::{group_buffers, BufferCandidate, Group, GroupConfig};
 use crate::prune::{prune, PruneConfig, PruneReport};
 use crate::solve::{
-    BufferSpace, ChipSolveState, PassDiagnostics, PushObjective, SampleSolver, SolverOptions,
+    BufferSpace, ChipSolveState, PassDiagnostics, PushObjective, RegionMemo, SampleSolver,
+    SolverOptions,
 };
 use crate::yield_eval::{Deployment, YieldReport};
 use psbi_liberty::Library;
@@ -125,6 +126,14 @@ pub struct FlowConfig {
     /// a performance knob.  The `PSBI_NO_INCREMENTAL=1` environment
     /// variable force-disables it process-wide regardless of this flag.
     pub incremental: bool,
+    /// Dedup identical region subproblems **across chips** through a
+    /// flow-level memo table keyed by the exact value of the
+    /// saturation-normalised region system (see
+    /// [`crate::solve::RegionMemo`]).  Like [`FlowConfig::incremental`]
+    /// this is purely a performance knob — a memo hit is a verified
+    /// replay of a pure function, so results are bit-identical either
+    /// way; `PSBI_NO_CROSSCHIP=1` force-disables it process-wide.
+    pub cross_chip: bool,
 }
 
 impl Default for FlowConfig {
@@ -148,6 +157,7 @@ impl Default for FlowConfig {
             skew: None,
             record_histograms: 0,
             incremental: true,
+            cross_chip: true,
         }
     }
 }
@@ -160,6 +170,15 @@ fn incremental_env_enabled() -> bool {
     *ON.get_or_init(|| {
         !std::env::var("PSBI_NO_INCREMENTAL").is_ok_and(|v| !v.is_empty() && v != "0")
     })
+}
+
+/// Process-wide `PSBI_NO_CROSSCHIP` escape hatch, read once: any value
+/// other than empty or `0` disables the cross-chip region memo
+/// everywhere.  Independent of `PSBI_NO_INCREMENTAL` — the per-chip
+/// arenas and the cross-chip memo are separate cache tiers.
+fn cross_chip_env_enabled() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| !std::env::var("PSBI_NO_CROSSCHIP").is_ok_and(|v| !v.is_empty() && v != "0"))
 }
 
 /// Errors raised when building a flow.
@@ -233,6 +252,18 @@ pub struct FlowDiagnostics {
     pub b1: PassDiagnostics,
     /// The B2 concentrate pass.
     pub b2: PassDiagnostics,
+    /// Distinct region systems in this flow's cross-chip memo table at
+    /// the end of the run (0 when the memo is disabled).
+    pub memo_entries: u64,
+    /// Pool-wide chip-state slots resident after this run parked its
+    /// arenas — what a campaign pays to keep this pool's warm state.
+    pub resident_states: u64,
+    /// Pool-wide peak of [`FlowDiagnostics::resident_states`] so far —
+    /// with per-circuit reclamation (see
+    /// [`BufferInsertionFlow::release_solver_state`]) this stays capped
+    /// at the concurrently active flows instead of growing with every
+    /// circuit a campaign ever touched.
+    pub peak_resident_states: u64,
 }
 
 impl FlowDiagnostics {
@@ -430,6 +461,15 @@ pub struct WorkspacePool {
     free: Mutex<Vec<Workspace>>,
     /// Parked incremental-state arenas, checked out per `run_target` call.
     state_arenas: Mutex<Vec<SolveStateArena>>,
+    /// Cross-chip region memo tables, one per owner flow.  `Arc`-shared
+    /// (not checked out): concurrent `run_target` calls of one flow read
+    /// and publish into the same table.
+    region_memos: Mutex<Vec<(u64, Arc<RegionMemo>)>>,
+    /// Chip-state slots currently resident in this pool's arenas
+    /// (parked or checked out) — the memory-cap observability counter.
+    resident_states: AtomicU64,
+    /// All-time peak of `resident_states`.
+    peak_resident_states: AtomicU64,
 }
 
 impl WorkspacePool {
@@ -463,13 +503,69 @@ impl WorkspacePool {
             .map(|i| parked.swap_remove(i))
             .unwrap_or_else(|| SolveStateArena::new(owner));
         drop(parked);
+        let grown = samples.saturating_sub(arena.states.len()) as u64;
         arena.ensure(samples);
+        if grown > 0 {
+            let now = self.resident_states.fetch_add(grown, Ordering::Relaxed) + grown;
+            self.peak_resident_states.fetch_max(now, Ordering::Relaxed);
+        }
         arena
     }
 
     /// Parks an arena for the next `run_target` call of its owner flow.
     fn return_state_arena(&self, arena: SolveStateArena) {
         self.state_arenas.lock().expect("arena lock").push(arena);
+    }
+
+    /// The shared cross-chip memo table of `owner` (created on first use).
+    fn checkout_region_memo(&self, owner: u64) -> Arc<RegionMemo> {
+        let mut memos = self.region_memos.lock().expect("memo lock");
+        match memos.iter().find(|(id, _)| *id == owner) {
+            Some((_, memo)) => Arc::clone(memo),
+            None => {
+                let memo = Arc::new(RegionMemo::new());
+                memos.push((owner, Arc::clone(&memo)));
+                memo
+            }
+        }
+    }
+
+    /// Frees every incremental artefact parked for arena owner
+    /// `arena_owner` — its per-chip state arenas *and* its cross-chip
+    /// memo epoch.  Campaign runners call this (via
+    /// [`BufferInsertionFlow::release_solver_state`]) once a flow's last
+    /// sweep target has committed, capping the pool's peak resident
+    /// state at the concurrently active flows.  Must not race a
+    /// `run_target` call of the same flow: a concurrent call would park
+    /// its arena *after* the release and resurrect the state.
+    fn release_owner(&self, arena_owner: u64) {
+        let mut freed = 0u64;
+        let mut parked = self.state_arenas.lock().expect("arena lock");
+        parked.retain(|a| {
+            let owned = a.owner == 2 * arena_owner || a.owner == 2 * arena_owner + 1;
+            if owned {
+                freed += a.states.len() as u64;
+            }
+            !owned
+        });
+        drop(parked);
+        if freed > 0 {
+            self.resident_states.fetch_sub(freed, Ordering::Relaxed);
+        }
+        self.region_memos
+            .lock()
+            .expect("memo lock")
+            .retain(|(id, _)| *id != arena_owner);
+    }
+
+    /// Chip-state slots currently resident in this pool's arenas.
+    pub fn resident_states(&self) -> u64 {
+        self.resident_states.load(Ordering::Relaxed)
+    }
+
+    /// All-time peak of [`WorkspacePool::resident_states`].
+    pub fn peak_resident_states(&self) -> u64 {
+        self.peak_resident_states.load(Ordering::Relaxed)
     }
 }
 
@@ -687,6 +783,27 @@ impl<'a> BufferInsertionFlow<'a> {
         self.cfg.incremental && incremental_env_enabled()
     }
 
+    /// Whether this flow's sampling passes dedup region solves across
+    /// chips ([`FlowConfig::cross_chip`] gated by `PSBI_NO_CROSSCHIP`).
+    /// Observability only — results are bit-identical either way.
+    pub fn cross_chip_enabled(&self) -> bool {
+        self.cfg.cross_chip && cross_chip_env_enabled()
+    }
+
+    /// Frees this flow's incremental solver state from the shared pool:
+    /// the per-chip state arenas parked between `run_target` calls and
+    /// the cross-chip memo table.  Purely a memory-reclamation knob —
+    /// subsequent `run_target` calls simply start cold (and re-create
+    /// state lazily).  Campaign runners call this once a circuit's last
+    /// sweep target has committed so a many-circuit campaign holds warm
+    /// state only for the flows still in flight; callers must not invoke
+    /// it concurrently with a `run_target` call on the same flow
+    /// (released state would be resurrected when that call parks its
+    /// arenas).
+    pub fn release_solver_state(&self) {
+        self.pool.release_owner(self.arena_id);
+    }
+
     /// The workspace pool this flow draws workers' scratch from — hand it
     /// to further flows ([`BufferInsertionFlow::with_shared_pool`]) to
     /// share solver workspaces across a campaign.
@@ -898,6 +1015,7 @@ impl<'a> BufferInsertionFlow<'a> {
         &self,
         space: &Arc<BufferSpace>,
         arena: Option<&SolveStateArena>,
+        memo: Option<&RegionMemo>,
         push: Push,
         targets: Option<&[f64]>,
         record_matrix: bool,
@@ -958,33 +1076,21 @@ impl<'a> BufferInsertionFlow<'a> {
                         PushObjective::ToTargets(targets.expect("targets provided for ToTargets"))
                     }
                 };
-                let r = match arena {
-                    Some(arena) => {
-                        // SAFETY: rows lo..lo + len belong exclusively to
-                        // this chunk (fixed boundaries, each chunk claimed
-                        // by exactly one worker) and passes run
-                        // sequentially, so no other thread can touch these
-                        // chip states while we hold them.
-                        let chip_state = unsafe { arena.state_mut(lo + row) };
-                        ws.solver.solve_view_cached(
-                            &self.sg,
-                            ws.cons.view(row),
-                            space,
-                            objective,
-                            &self.cfg.solver,
-                            chip_state,
-                            &mut local.diag,
-                        )
-                    }
-                    None => ws.solver.solve_view_with_diag(
-                        &self.sg,
-                        ws.cons.view(row),
-                        space,
-                        objective,
-                        &self.cfg.solver,
-                        &mut local.diag,
-                    ),
-                };
+                // SAFETY: rows lo..lo + len belong exclusively to this
+                // chunk (fixed boundaries, each chunk claimed by exactly
+                // one worker) and passes run sequentially, so no other
+                // thread can touch these chip states while we hold them.
+                let chip_state = arena.map(|arena| unsafe { arena.state_mut(lo + row) });
+                let r = ws.solver.solve_view_memo(
+                    &self.sg,
+                    ws.cons.view(row),
+                    space,
+                    objective,
+                    &self.cfg.solver,
+                    memo,
+                    chip_state,
+                    &mut local.diag,
+                );
                 if !r.feasible {
                     local.infeasible += 1;
                 } else {
@@ -1117,6 +1223,13 @@ impl<'a> BufferInsertionFlow<'a> {
         });
         let a1_arena = a1_arena_owned.as_ref();
         let arena = step_arena_owned.as_ref();
+        // The cross-chip memo table: shared (not checked out), so a fleet
+        // sweeping several targets of this circuit concurrently deduples
+        // across the whole job group.
+        let memo_owned = self
+            .cross_chip_enabled()
+            .then(|| self.pool.checkout_region_memo(self.arena_id));
+        let memo = memo_owned.as_deref();
 
         // ---- Step 1 ----
         let t1 = Instant::now();
@@ -1127,6 +1240,7 @@ impl<'a> BufferInsertionFlow<'a> {
         let a1 = self.run_pass(
             &space_a1,
             a1_arena,
+            memo,
             Push::CountOnly,
             None,
             false,
@@ -1149,7 +1263,7 @@ impl<'a> BufferInsertionFlow<'a> {
         // Second epoch: the prune changed `has_buffer`.
         let space_a3 = Arc::new(space.clone());
         let tp = Instant::now();
-        let a3 = self.run_pass(&space_a3, arena, a3_push, None, false, period, step);
+        let a3 = self.run_pass(&space_a3, arena, memo, a3_push, None, false, period, step);
         let pass_a3_s = tp.elapsed().as_secs_f64();
         // Window assignment (III-A4): most-covering window containing 0.
         let mut miss_events = 0u64;
@@ -1172,7 +1286,16 @@ impl<'a> BufferInsertionFlow<'a> {
         let space_b = Arc::new(space.clone());
         let (b1, pass_b1_s) = if refit_ran {
             let tp = Instant::now();
-            let b1 = self.run_pass(&space_b, arena, Push::CountOnly, None, false, period, step);
+            let b1 = self.run_pass(
+                &space_b,
+                arena,
+                memo,
+                Push::CountOnly,
+                None,
+                false,
+                period,
+                step,
+            );
             (b1, tp.elapsed().as_secs_f64())
         } else {
             // Reuse the step-1 tunings (they already respect the windows).
@@ -1209,7 +1332,16 @@ impl<'a> BufferInsertionFlow<'a> {
             Push::CountOnly
         };
         let tp = Instant::now();
-        let b2 = self.run_pass(&space_b, arena, b2_push, Some(&targets), true, period, step);
+        let b2 = self.run_pass(
+            &space_b,
+            arena,
+            memo,
+            b2_push,
+            Some(&targets),
+            true,
+            period,
+            step,
+        );
         let pass_b2_s = tp.elapsed().as_secs_f64();
         let step2_s = t2.elapsed().as_secs_f64();
         // Park the arenas for the next target of the sweep.
@@ -1219,6 +1351,7 @@ impl<'a> BufferInsertionFlow<'a> {
         if let Some(arena) = step_arena_owned {
             self.pool.return_state_arena(arena);
         }
+        let memo_entries = memo.map_or(0, |m| m.len() as u64);
 
         // ---- Step 3 ----
         let t3 = Instant::now();
@@ -1325,6 +1458,9 @@ impl<'a> BufferInsertionFlow<'a> {
                 a3: a3.diag,
                 b1: b1.diag,
                 b2: b2.diag,
+                memo_entries,
+                resident_states: self.pool.resident_states(),
+                peak_resident_states: self.pool.peak_resident_states(),
             },
         }
     }

@@ -92,22 +92,66 @@ pub fn solver_diagnostics(r: &InsertionResult) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "| pass | regions | saturated (region_cap) | regions reused | supports rehit |"
+        "| pass | regions | saturated (region_cap) | regions reused | supports rehit | cross-chip hits |"
     );
-    let _ = writeln!(out, "|---|---:|---:|---:|---:|");
+    let _ = writeln!(out, "|---|---:|---:|---:|---:|---:|");
     let d = &r.diagnostics;
     for (pass, p) in [("A1", &d.a1), ("A3", &d.a3), ("B1", &d.b1), ("B2", &d.b2)] {
         let _ = writeln!(
             out,
-            "| {pass} | {} | {} | {} | {} |",
-            p.regions_total, p.regions_saturated, p.regions_reused, p.supports_rehit
+            "| {pass} | {} | {} | {} | {} | {} |",
+            p.regions_total,
+            p.regions_saturated,
+            p.regions_reused,
+            p.supports_rehit,
+            p.cross_chip_hits
         );
     }
     let total = d.total();
     let _ = writeln!(
         out,
-        "| total | {} | {} | {} | {} |",
-        total.regions_total, total.regions_saturated, total.regions_reused, total.supports_rehit
+        "| total | {} | {} | {} | {} | {} |",
+        total.regions_total,
+        total.regions_saturated,
+        total.regions_reused,
+        total.supports_rehit,
+        total.cross_chip_hits
+    );
+    out
+}
+
+/// Per-pass solver-stage wall times (discovery / saturation screen /
+/// search / push-MILP) as a Markdown table — the observability surface
+/// behind `BENCH_sampling.json`'s `solver_stages` section.  Wall times
+/// are non-canonical by contract.
+pub fn solver_stage_times(r: &InsertionResult) -> String {
+    let secs = crate::solve::StageTimes::secs;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| pass | discovery (s) | screen (s) | search (s) | push MILP (s) |"
+    );
+    let _ = writeln!(out, "|---|---:|---:|---:|---:|");
+    let d = &r.diagnostics;
+    for (pass, p) in [("A1", &d.a1), ("A3", &d.a3), ("B1", &d.b1), ("B2", &d.b2)] {
+        let s = &p.stage;
+        let _ = writeln!(
+            out,
+            "| {pass} | {:.4} | {:.4} | {:.4} | {:.4} |",
+            secs(s.discovery_ns),
+            secs(s.screen_ns),
+            secs(s.search_ns),
+            secs(s.milp_ns)
+        );
+    }
+    let t = d.total().stage;
+    let _ = writeln!(
+        out,
+        "| total | {:.4} | {:.4} | {:.4} | {:.4} |",
+        secs(t.discovery_ns),
+        secs(t.screen_ns),
+        secs(t.search_ns),
+        secs(t.milp_ns)
     );
     out
 }
@@ -165,6 +209,7 @@ mod tests {
         let r = sample_result();
         let table = solver_diagnostics(&r);
         assert_eq!(table.lines().count(), 7); // header + sep + 4 passes + total
+        assert!(table.contains("cross-chip hits"));
         for pass in ["A1", "A3", "B1", "B2", "total"] {
             assert!(table.contains(&format!("| {pass} |")), "missing {pass}");
         }
@@ -172,5 +217,19 @@ mod tests {
         // zeros: at minimum B1/B2 replay A3's decompositions.
         let totals = r.diagnostics.total();
         assert!(totals.regions_reused + totals.supports_rehit > 0);
+    }
+
+    #[test]
+    fn solver_stage_times_renders_all_passes() {
+        let r = sample_result();
+        let table = solver_stage_times(&r);
+        assert_eq!(table.lines().count(), 7); // header + sep + 4 passes + total
+        for pass in ["A1", "A3", "B1", "B2", "total"] {
+            assert!(table.contains(&format!("| {pass} |")), "missing {pass}");
+        }
+        // The flow solved real chips, so the search stage cannot be
+        // all-zero wall time.
+        let totals = r.diagnostics.total();
+        assert!(totals.stage.search_ns + totals.stage.screen_ns > 0);
     }
 }

@@ -52,15 +52,25 @@ use psbi_timing::{
     ConstraintKind, ConstraintsView, IntegerConstraints, SequentialGraph, Violation,
 };
 use std::sync::Arc;
+use std::time::Instant;
 
+mod memo;
 mod search;
 mod state;
 #[cfg(test)]
 mod tests;
 
+use memo::MemoKey;
+pub use memo::RegionMemo;
 use search::{run_support_search, SearchPhase, SupportSearch};
 use state::{CachedOutcome, CachedRegion};
-pub use state::{ChipSolveState, PassDiagnostics};
+pub use state::{ChipSolveState, PassDiagnostics, StageTimes};
+
+/// Elapsed nanoseconds since `t`, saturated into a `u64`.
+#[inline]
+fn elapsed_ns(t: Instant) -> u64 {
+    u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// Which buffers exist and their tuning windows (in steps).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -118,7 +128,11 @@ pub enum PushObjective<'a> {
 }
 
 /// Tunable solver limits.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+///
+/// `Eq`/`Hash` because the options are part of every region-memo key:
+/// two region systems solved under different limits may legitimately
+/// return different (fallback) outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub struct SolverOptions {
     /// Initial region radius (hops around violated constraints).
     pub region_radius: usize,
@@ -244,7 +258,7 @@ impl SampleSolver {
         opts: &SolverOptions,
     ) -> SampleResult {
         let mut diag = PassDiagnostics::default();
-        self.solve_inner(sg, ic, space, push, opts, None, &mut diag)
+        self.solve_inner(sg, ic, space, push, opts, None, None, &mut diag)
     }
 
     /// As [`SampleSolver::solve_view`], accumulating the *workload*
@@ -261,7 +275,7 @@ impl SampleSolver {
         opts: &SolverOptions,
         diag: &mut PassDiagnostics,
     ) -> SampleResult {
-        self.solve_inner(sg, ic, space, push, opts, None, diag)
+        self.solve_inner(sg, ic, space, push, opts, None, None, diag)
     }
 
     /// Solves one sample with persistent per-chip state: cached region
@@ -282,7 +296,40 @@ impl SampleSolver {
         solve_state: &mut ChipSolveState,
         diag: &mut PassDiagnostics,
     ) -> SampleResult {
-        self.solve_inner(sg, ic, space, push, opts, Some((space, solve_state)), diag)
+        self.solve_inner(
+            sg,
+            ic,
+            space,
+            push,
+            opts,
+            Some((space, solve_state)),
+            None,
+            diag,
+        )
+    }
+
+    /// The full shared-state entry point: per-chip incremental state
+    /// (optional) **plus** a flow-level cross-chip [`RegionMemo`]
+    /// (optional).  Regions that cannot replay from the chip's own
+    /// history are looked up in `memo` by the exact value of their
+    /// saturation-normalised system and searched (then published) on a
+    /// miss.  Like every other cache tier, the memo is a verified fast
+    /// path: the result is bit-identical to [`SampleSolver::solve_view`]
+    /// for any memo/state content and any interleaving of publishers.
+    #[allow(clippy::too_many_arguments)]
+    pub fn solve_view_memo(
+        &mut self,
+        sg: &SequentialGraph,
+        ic: ConstraintsView<'_>,
+        space: &Arc<BufferSpace>,
+        push: PushObjective<'_>,
+        opts: &SolverOptions,
+        memo: Option<&RegionMemo>,
+        solve_state: Option<&mut ChipSolveState>,
+        diag: &mut PassDiagnostics,
+    ) -> SampleResult {
+        let chip = solve_state.map(|st| (space, st));
+        self.solve_inner(sg, ic, space, push, opts, chip, memo, diag)
     }
 
     /// Shared entry: violation collection, chip-level cache revalidation,
@@ -296,6 +343,7 @@ impl SampleSolver {
         push: PushObjective<'_>,
         opts: &SolverOptions,
         cache: Option<(&Arc<BufferSpace>, &mut ChipSolveState)>,
+        memo: Option<&RegionMemo>,
         diag: &mut PassDiagnostics,
     ) -> SampleResult {
         let n = sg.n_ffs;
@@ -303,8 +351,10 @@ impl SampleSolver {
 
         // 1. Violated constraints at x = 0 — the chip's fingerprint
         // (reused scratch).
+        let t_discover = Instant::now();
         let mut violated = std::mem::take(&mut self.violated);
         ic.collect_violations(sg, &mut violated);
+        diag.stage.discovery_ns += elapsed_ns(t_discover);
         // Chip-level revalidation clears any cached decomposition whose
         // invalidation keys no longer match; everything that survives is
         // safe to replay below.
@@ -312,7 +362,8 @@ impl SampleSolver {
             st.revalidate(sg, space_arc, opts, &violated);
             st
         });
-        let result = self.solve_with_violated(sg, ic, space, push, opts, &violated, state, diag);
+        let result =
+            self.solve_with_violated(sg, ic, space, push, opts, &violated, state, memo, diag);
         self.violated = violated;
         result
     }
@@ -329,6 +380,7 @@ impl SampleSolver {
         opts: &SolverOptions,
         violated: &[Violation],
         mut state: Option<&mut ChipSolveState>,
+        memo: Option<&RegionMemo>,
         diag: &mut PassDiagnostics,
     ) -> SampleResult {
         if violated.is_empty() {
@@ -355,6 +407,7 @@ impl SampleSolver {
         // a single SPFA instead of growing regions toward it.  The
         // carried per-chip witness seeds the solver's warm slot; it is
         // fully re-validated there, so importing never changes the verdict.
+        let t_screen = Instant::now();
         if let Some(st) = state.as_deref_mut() {
             if st.fixable_ok {
                 self.diff.import_witness(&st.fixable_witness);
@@ -370,6 +423,7 @@ impl SampleSolver {
                 }
             }
         }
+        diag.stage.screen_ns += elapsed_ns(t_screen);
         if !fixable {
             return SampleResult {
                 feasible: false,
@@ -393,12 +447,12 @@ impl SampleSolver {
             match state.as_deref_mut() {
                 Some(st) => {
                     self.solve_round_cached(
-                        sg, ic, space, push, opts, violated, radius, st, diag, &mut acc,
+                        sg, ic, space, push, opts, violated, radius, st, memo, diag, &mut acc,
                     );
                 }
                 None => {
                     self.solve_round_cold(
-                        sg, ic, space, push, opts, violated, radius, diag, &mut acc,
+                        sg, ic, space, push, opts, violated, radius, memo, diag, &mut acc,
                     );
                 }
             }
@@ -414,8 +468,44 @@ impl SampleSolver {
         unreachable!("growth loop returns within three rounds");
     }
 
+    /// Resolves one region's outcome through the cache hierarchy below
+    /// the per-chip tier: cross-chip memo lookup (exact key equality)
+    /// first, fresh search + publish on a miss.  Search time lands in
+    /// `diag.stage.search_ns` either way (a hit contributes ~0).
+    fn memo_or_search(
+        &mut self,
+        region: &Region,
+        cons: &[RegCons],
+        space: &BufferSpace,
+        opts: &SolverOptions,
+        memo: Option<&RegionMemo>,
+        diag: &mut PassDiagnostics,
+    ) -> Arc<CachedOutcome> {
+        let t_search = Instant::now();
+        let outcome = match memo {
+            Some(memo) => {
+                let key = MemoKey::capture(region, cons, space, opts);
+                match memo.lookup(&key) {
+                    Some(hit) => {
+                        diag.cross_chip_hits += 1;
+                        hit
+                    }
+                    None => {
+                        let fresh = Arc::new(self.search_region(cons, space, region, opts));
+                        memo.publish(key, Arc::clone(&fresh));
+                        fresh
+                    }
+                }
+            }
+            None => Arc::new(self.search_region(cons, space, region, opts)),
+        };
+        diag.stage.search_ns += elapsed_ns(t_search);
+        outcome
+    }
+
     /// One growth round without cross-pass state: build the decomposition,
-    /// search every region, apply the push objective.
+    /// search every region (through the cross-chip memo when one is
+    /// active), apply the push objective.
     #[allow(clippy::too_many_arguments)]
     fn solve_round_cold(
         &mut self,
@@ -426,24 +516,30 @@ impl SampleSolver {
         opts: &SolverOptions,
         violated: &[Violation],
         radius: usize,
+        memo: Option<&RegionMemo>,
         diag: &mut PassDiagnostics,
         acc: &mut RoundAcc,
     ) {
+        let t_discover = Instant::now();
         let regions = self.collect_regions(sg, space, violated, radius);
+        diag.stage.discovery_ns += elapsed_ns(t_discover);
         for region in &regions {
             diag.regions_total += 1;
             if region.ffs.len() > opts.region_cap {
                 diag.regions_saturated += 1;
             }
             let cons = materialize_cons(region, ic, space);
-            let outcome = self.search_region(&cons, space, region, opts);
-            self.apply_outcome(region, &cons, &outcome, space, push, opts, radius, acc);
+            let outcome = self.memo_or_search(region, &cons, space, opts, memo, diag);
+            self.apply_outcome(
+                region, &cons, &outcome, space, push, opts, radius, diag, acc,
+            );
         }
     }
 
     /// One growth round with cross-pass state: replay the decomposition
-    /// and any region outcome whose invalidation keys still match, search
-    /// (and re-record) the rest.
+    /// and any region outcome whose invalidation keys still match, fall
+    /// back to the cross-chip memo for the rest, search (and re-record,
+    /// and publish) what misses both tiers.
     #[allow(clippy::too_many_arguments)]
     fn solve_round_cached(
         &mut self,
@@ -455,6 +551,7 @@ impl SampleSolver {
         violated: &[Violation],
         radius: usize,
         st: &mut ChipSolveState,
+        memo: Option<&RegionMemo>,
         diag: &mut PassDiagnostics,
         acc: &mut RoundAcc,
     ) {
@@ -464,7 +561,9 @@ impl SampleSolver {
                 i
             }
             None => {
+                let t_discover = Instant::now();
                 let regions = self.collect_regions(sg, space, violated, radius);
+                diag.stage.discovery_ns += elapsed_ns(t_discover);
                 let cached = regions.into_iter().map(CachedRegion::new).collect();
                 st.insert_round(radius, opts.region_radius, cached)
             }
@@ -478,17 +577,19 @@ impl SampleSolver {
             if cr.outcome_replayable(&cons, space) {
                 // Count only replayed *supports*: an Infeasible replay
                 // skips the search too, but there is no support set in it.
-                if matches!(cr.outcome, Some(CachedOutcome::Feasible { .. })) {
+                if matches!(cr.outcome.as_deref(), Some(CachedOutcome::Feasible { .. })) {
                     diag.supports_rehit += 1;
                 }
             } else {
-                let outcome = self.search_region(&cons, space, &cr.region, opts);
+                let outcome = self.memo_or_search(&cr.region, &cons, space, opts, memo, diag);
                 cr.record(&cons, space, outcome);
             }
             let outcome = cr.outcome.as_ref().expect("recorded above");
             // `cr` borrows the state arena slot, `self` owns the solver
             // scratch — disjoint, so the push objective can run in place.
-            self.apply_outcome(&cr.region, &cons, outcome, space, push, opts, radius, acc);
+            self.apply_outcome(
+                &cr.region, &cons, outcome, space, push, opts, radius, diag, acc,
+            );
         }
     }
 
@@ -504,6 +605,7 @@ impl SampleSolver {
         push: PushObjective<'_>,
         opts: &SolverOptions,
         radius: usize,
+        diag: &mut PassDiagnostics,
         acc: &mut RoundAcc,
     ) {
         match outcome {
@@ -516,8 +618,10 @@ impl SampleSolver {
                 if *count > radius && !region.saturated {
                     acc.need_radius = acc.need_radius.max(*count);
                 }
+                let t_push = Instant::now();
                 let tunings =
                     self.finish_region(region, cons, space, *count, support, witness, push, opts);
+                diag.stage.milp_ns += elapsed_ns(t_push);
                 acc.tunings.extend(tunings);
                 acc.exact &= exact;
             }
@@ -568,27 +672,40 @@ impl SampleSolver {
                 v
             }
         };
+        // Same saturation normalisation as [`materialize_cons`]: with
+        // `k(ff)` confined to its window (0 where bufferless), a bound at
+        // or above `hi(from) − lo(to)` can never bind, so the arc is
+        // elided — the verdict is unchanged and the SPFA graph shrinks to
+        // the near-critical core.  A root–root cap is 0, so an unfixable
+        // bufferless pair still trips the `bound < cap` test.
+        let win = |ff: u32| -> (i64, i64) {
+            if space.has_buffer[ff as usize] {
+                space.bounds[ff as usize]
+            } else {
+                (0, 0)
+            }
+        };
         let mut fixable = true;
         for (e, edge) in sg.edges.iter().enumerate() {
             let vf = resolve(edge.from, &self.var_of);
             let vt = resolve(edge.to, &self.var_of);
+            let (lo_f, hi_f) = win(edge.from);
+            let (lo_t, hi_t) = win(edge.to);
             // Setup: k_from − k_to ≤ sb → arc to→from.
             let sb = ic.setup_bound[e];
-            if vf == root && vt == root {
-                if sb < 0 {
-                    fixable = false;
+            if sb < hi_f - lo_t {
+                if vf == root && vt == root {
+                    fixable = false; // cap is 0, so sb < 0: dead pair
                     break;
                 }
-            } else {
                 arcs.push(FeasArc::new(vt, vf, sb));
             }
             let hb = ic.hold_bound[e];
-            if vf == root && vt == root {
-                if hb < 0 {
+            if hb < hi_t - lo_f {
+                if vf == root && vt == root {
                     fixable = false;
                     break;
                 }
-            } else {
                 arcs.push(FeasArc::new(vf, vt, hb));
             }
         }
@@ -675,8 +792,11 @@ impl SampleSolver {
                     }
                 }
             }
+            let mut members = ffs.clone();
+            members.sort_unstable();
             regions.push(Region {
                 ffs,
+                members,
                 cons: Vec::new(),
                 saturated,
             });
@@ -1055,36 +1175,55 @@ impl SampleSolver {
     }
 }
 
-/// Materialises a region's constraint bounds from the current chip,
-/// saturating vacuous ones.
+/// Materialises a region's constraint system from the current chip in
+/// **saturation-normalised form**: every bound is clamped at its exact
+/// per-constraint cap, and constraints *at* their cap — which can never
+/// bind — are elided entirely.
 ///
 /// With every region variable confined to its window and everything
-/// outside the region pinned to 0, the left-hand side `k(a) − k(b)` can
-/// never exceed `max(hi, 0) − min(lo, 0)` over the region's windows, so
-/// any bound at or above that cap constrains nothing and is equivalent to
-/// the cap itself.  Saturation is applied identically on the cold and
-/// incremental paths (it is part of the materialisation, not the cache),
-/// and it makes the materialised system — and therefore the
-/// outcome-replay fingerprint — invariant to slack drift on non-binding
-/// constraints.  That is what lets adjacent sweep targets, whose period
-/// shift perturbs every non-critical bound by a step or two, still replay
-/// each other's search outcomes for chips whose *binding* structure is
-/// unchanged.
+/// outside the region pinned to 0, the left-hand side of
+/// `k(a) − k(b) ≤ bound` can never exceed `cap(a,b) = hi'(a) − lo'(b)`,
+/// where `hi'`/`lo'` are the endpoint's window bounds inside the region
+/// and 0 outside.  A bound at or above that cap therefore constrains
+/// nothing — for the feasibility probes, for the branch-and-bound and
+/// for the concentration MILP alike — so dropping it leaves the feasible
+/// set of every support bit-for-bit unchanged while shrinking every
+/// probe the search runs (regions attach each member FF's full edge
+/// neighbourhood, and on paper-scale circuits the overwhelming majority
+/// of those bounds are vacuous).  Violated bounds are negative and caps
+/// never are, so every violated constraint survives exactly.
+///
+/// Normalisation is applied identically on the cold and incremental
+/// paths (it is part of the materialisation, not the cache), and it
+/// makes the materialised system — and therefore the outcome-replay and
+/// cross-chip memo fingerprints — invariant to slack drift on
+/// non-binding constraints.  That is what lets adjacent sweep targets,
+/// whose period shift perturbs every non-critical bound by a step or
+/// two, still replay each other's search outcomes for chips whose
+/// *binding* structure is unchanged.
 fn materialize_cons(region: &Region, ic: ConstraintsView<'_>, space: &BufferSpace) -> Vec<RegCons> {
-    let (mut lo, mut hi) = (0i64, 0i64);
-    for &ff in &region.ffs {
-        let (l, h) = space.bounds[ff as usize];
-        lo = lo.min(l);
-        hi = hi.max(h);
-    }
-    let cap = hi - lo;
+    // Membership is checked against the region's sorted FF list; regions
+    // are small, so a sorted probe beats touching an n-sized scratch.
+    let window = |ff: u32| -> Option<(i64, i64)> {
+        region
+            .members
+            .binary_search(&ff)
+            .ok()
+            .map(|_| space.bounds[ff as usize])
+    };
     region
         .cons
         .iter()
-        .map(|c| RegCons {
-            a: c.a,
-            b: c.b,
-            bound: c.bound_in(ic).min(cap),
+        .filter_map(|c| {
+            let hi_a = window(c.a).map_or(0, |w| w.1);
+            let lo_b = window(c.b).map_or(0, |w| w.0);
+            let cap = hi_a - lo_b;
+            let bound = c.bound_in(ic);
+            (bound < cap).then_some(RegCons {
+                a: c.a,
+                b: c.b,
+                bound,
+            })
         })
         .collect()
 }
@@ -1115,6 +1254,9 @@ impl ConsRef {
 #[derive(Debug)]
 pub(crate) struct Region {
     pub(crate) ffs: Vec<u32>,
+    /// `ffs` sorted — the membership probe used by the saturation
+    /// normalisation (see [`materialize_cons`]).
+    pub(crate) members: Vec<u32>,
     pub(crate) cons: Vec<ConsRef>,
     pub(crate) saturated: bool,
 }

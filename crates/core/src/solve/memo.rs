@@ -1,0 +1,257 @@
+//! The cross-chip region-solve memo table.
+//!
+//! Monte-Carlo chips drawn from one variation model concentrate onto a
+//! small number of distinct violated-endpoint patterns, and the
+//! saturation-normalised materialisation (see
+//! [`materialize_cons`](super::materialize_cons)) collapses their
+//! non-binding slack drift on top — so one flow re-derives the *same*
+//! region subproblem hundreds of times across chips.  The per-chip
+//! [`ChipSolveState`](super::ChipSolveState) arenas can only replay a
+//! chip's **own** history; this module dedups across chips (and, through
+//! the shared [`WorkspacePool`](crate::flow::WorkspacePool), across the
+//! concurrently running sweep targets of one circuit's fleet job group).
+//!
+//! # Correctness model
+//!
+//! A region search outcome is a **pure function** of the saturation-
+//! normalised region system — the pinned tie-breaking introduced with the
+//! incremental layer (see [`super::search`]) makes the returned support a
+//! deterministic function of exactly the inputs captured in [`MemoKey`]:
+//!
+//! * the region's flip-flops in pinned BFS order (the search's slot
+//!   numbering),
+//! * every attached constraint as `(a, b, materialised bound)` in
+//!   attachment order (`violated`, `var_of` and the feasibility systems
+//!   are all derived from these),
+//! * each region FF's tuning window,
+//! * the [`SolverOptions`] limits (`region_cap` picks the fallback path,
+//!   `bb_node_cap` bounds the search).
+//!
+//! Replay is **verified**: a hit requires *exact value equality* on the
+//! full key — the hash only picks the shard and the bucket (the standard
+//! `HashMap` compares the complete key on every probe), never the answer.
+//! A memo hit therefore returns a bit-identical outcome regardless of
+//! which worker computed it first, which is what keeps flow results and
+//! fleet journals byte-identical for any worker count and with the table
+//! disabled (`PSBI_NO_CROSSCHIP=1`).
+//!
+//! # Concurrency
+//!
+//! The table is sharded: the key hash selects one of [`SHARDS`] mutexes,
+//! so concurrent workers only contend when they touch the same slice of
+//! the key space.  Publishes race benignly — both racers computed the
+//! same pure function, so first-writer-wins inserts an outcome any loser
+//! would have inserted bit for bit.  Outcomes are stored (and handed
+//! out) behind `Arc`, so a hit never copies the support/witness vectors.
+
+use super::state::CachedOutcome;
+use super::{RegCons, Region, SolverOptions};
+use crate::solve::BufferSpace;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
+
+/// Shard count: enough to make cross-worker contention rare at realistic
+/// core counts while keeping the empty table's footprint trivial.
+const SHARDS: usize = 64;
+
+/// The exact value of one saturation-normalised region system — the full
+/// read set of [`SampleSolver::search_region`](super::SampleSolver), and
+/// therefore the complete invalidation key of its outcome.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct MemoKey {
+    /// Region FFs in pinned BFS order (global indices; the table is
+    /// owner-keyed per flow, so indices never meet a foreign graph).
+    ffs: Box<[u32]>,
+    /// Attached constraints `(a, b, saturation-normalised bound)` in
+    /// attachment order.
+    cons: Box<[(u32, u32, i64)]>,
+    /// Tuning windows over `ffs`, in the same order.
+    bounds: Box<[(i64, i64)]>,
+    /// Solver limits the search runs under.
+    opts: SolverOptions,
+}
+
+impl MemoKey {
+    /// Captures the exact search inputs of `region` under the
+    /// materialised constraints `cons` and the windows of `space`.
+    pub(crate) fn capture(
+        region: &Region,
+        cons: &[RegCons],
+        space: &BufferSpace,
+        opts: &SolverOptions,
+    ) -> Self {
+        Self {
+            ffs: region.ffs.as_slice().into(),
+            cons: cons
+                .iter()
+                .map(|c| (c.a, c.b, c.bound))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            bounds: region
+                .ffs
+                .iter()
+                .map(|&ff| space.bounds[ff as usize])
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            opts: *opts,
+        }
+    }
+
+    /// The shard this key lives in.  Any deterministic hash works here —
+    /// it only spreads keys over mutexes; equality is always checked on
+    /// the full key value.
+    fn shard(&self) -> usize {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        self.hash(&mut hasher);
+        (hasher.finish() as usize) % SHARDS
+    }
+}
+
+/// A flow-level (optionally fleet-level) concurrent memo table of region
+/// search outcomes, keyed by the exact saturation-normalised region
+/// system (see the module docs).
+///
+/// One table serves **one** flow — like the per-chip state arenas it is
+/// owner-keyed in the [`WorkspacePool`](crate::flow::WorkspacePool), so a
+/// cached region can never be replayed against a different circuit's
+/// graph.  Unlike the arenas it is shared (`Arc`) rather than checked out
+/// exclusively: concurrent `run_target` calls of one flow — a fleet
+/// sweeping several sigma targets of one circuit in parallel — all read
+/// and publish into the same table.
+#[derive(Default)]
+pub struct RegionMemo {
+    shards: Vec<Mutex<HashMap<MemoKey, Arc<CachedOutcome>>>>,
+}
+
+impl RegionMemo {
+    /// An empty table.
+    pub fn new() -> Self {
+        let mut shards = Vec::with_capacity(SHARDS);
+        shards.resize_with(SHARDS, || Mutex::new(HashMap::new()));
+        Self { shards }
+    }
+
+    /// Number of distinct region systems memoised so far.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("memo shard lock").len())
+            .sum()
+    }
+
+    /// Whether the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up the outcome memoised for exactly `key` (full value
+    /// equality; the hash only locates the shard/bucket).
+    pub(crate) fn lookup(&self, key: &MemoKey) -> Option<Arc<CachedOutcome>> {
+        self.shards[key.shard()]
+            .lock()
+            .expect("memo shard lock")
+            .get(key)
+            .map(Arc::clone)
+    }
+
+    /// Publishes a freshly searched outcome.  First writer wins: a racing
+    /// publish for the same key computed the same pure function, so the
+    /// retained value is bit-identical either way.
+    pub(crate) fn publish(&self, key: MemoKey, outcome: Arc<CachedOutcome>) {
+        self.shards[key.shard()]
+            .lock()
+            .expect("memo shard lock")
+            .entry(key)
+            .or_insert(outcome);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(ffs: &[u32]) -> Region {
+        let mut members = ffs.to_vec();
+        members.sort_unstable();
+        Region {
+            ffs: ffs.to_vec(),
+            members,
+            cons: Vec::new(),
+            saturated: false,
+        }
+    }
+
+    fn space(n: usize) -> BufferSpace {
+        BufferSpace::floating(n, 10)
+    }
+
+    #[test]
+    fn lookup_requires_full_key_equality() {
+        let memo = RegionMemo::new();
+        let opts = SolverOptions::default();
+        let sp = space(4);
+        let cons = vec![
+            RegCons {
+                a: 0,
+                b: 1,
+                bound: -3,
+            },
+            RegCons {
+                a: 1,
+                b: 2,
+                bound: 20,
+            },
+        ];
+        let key = MemoKey::capture(&region(&[0, 1, 2]), &cons, &sp, &opts);
+        memo.publish(key.clone(), Arc::new(CachedOutcome::Infeasible));
+        assert_eq!(memo.len(), 1);
+        assert!(memo.lookup(&key).is_some());
+
+        // Any single-component difference must miss: a shifted bound …
+        let mut shifted = cons.clone();
+        shifted[0].bound = -2;
+        let miss = MemoKey::capture(&region(&[0, 1, 2]), &shifted, &sp, &opts);
+        assert!(memo.lookup(&miss).is_none());
+        // … a different FF order (slots renumber) …
+        let miss = MemoKey::capture(&region(&[1, 0, 2]), &cons, &sp, &opts);
+        assert!(memo.lookup(&miss).is_none());
+        // … a different window …
+        let mut narrow = space(4);
+        narrow.bounds[1] = (-1, 1);
+        let miss = MemoKey::capture(&region(&[0, 1, 2]), &cons, &narrow, &opts);
+        assert!(memo.lookup(&miss).is_none());
+        // … or different solver limits.
+        let capped = SolverOptions {
+            bb_node_cap: 7,
+            ..opts
+        };
+        let miss = MemoKey::capture(&region(&[0, 1, 2]), &cons, &sp, &capped);
+        assert!(memo.lookup(&miss).is_none());
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn first_publish_wins_and_len_counts_distinct_keys() {
+        let memo = RegionMemo::new();
+        let opts = SolverOptions::default();
+        let sp = space(2);
+        let cons = vec![RegCons {
+            a: 0,
+            b: 1,
+            bound: -1,
+        }];
+        let key = MemoKey::capture(&region(&[0, 1]), &cons, &sp, &opts);
+        let first = Arc::new(CachedOutcome::Feasible {
+            count: 1,
+            support: vec![0],
+            witness: vec![-1],
+            exact: true,
+        });
+        memo.publish(key.clone(), Arc::clone(&first));
+        memo.publish(key.clone(), Arc::new(CachedOutcome::Infeasible));
+        assert_eq!(memo.len(), 1);
+        let hit = memo.lookup(&key).expect("published");
+        assert!(Arc::ptr_eq(&hit, &first), "first writer must win");
+    }
+}

@@ -36,13 +36,52 @@ use psbi_timing::{SequentialGraph, Violation};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
+/// Wall-clock nanoseconds one pass spent in each solver stage, summed
+/// over chips.  Stored as integer nanoseconds so the struct stays `Eq`
+/// alongside the counters; render in seconds for humans.  Like wall
+/// times everywhere else these are **non-canonical** — they legitimately
+/// differ between runs and must never enter journals or canonical
+/// reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StageTimes {
+    /// Violation collection + region discovery (BFS growth, component
+    /// split, constraint attachment).
+    pub discovery_ns: u64,
+    /// The whole-chip saturation screen (one warm SPFA per chip).
+    pub screen_ns: u64,
+    /// The per-region support branch and bound.
+    pub search_ns: u64,
+    /// The push objective (the concentration MILP in A3/B2; a trivial
+    /// witness filter in count-only passes).
+    pub milp_ns: u64,
+}
+
+impl StageTimes {
+    /// Accumulates another pass/chunk worth of stage times.
+    pub fn merge(&mut self, other: &Self) {
+        self.discovery_ns += other.discovery_ns;
+        self.screen_ns += other.screen_ns;
+        self.search_ns += other.search_ns;
+        self.milp_ns += other.milp_ns;
+    }
+
+    /// One stage in seconds.
+    pub fn secs(ns: u64) -> f64 {
+        ns as f64 / 1e9
+    }
+}
+
 /// Cache-efficacy counters of one sampling pass, aggregated over chips.
 ///
-/// Deterministic for a fixed arena history (the counters are order-free
-/// sums over per-chip events that depend only on the chip index and the
-/// pass sequence), but **not** part of any canonical output surface: they
-/// differ between incremental and `PSBI_NO_INCREMENTAL=1` runs, so
-/// journals and canonical reports must never embed them.
+/// The workload and per-chip-reuse counters are deterministic for a fixed
+/// arena history (order-free sums over per-chip events that depend only
+/// on the chip index and the pass sequence).  [`PassDiagnostics::cross_chip_hits`]
+/// and the [`StageTimes`] are **not**: whether a chip hits the shared
+/// memo table depends on which racing worker published the key first, and
+/// wall times are wall times.  None of it is part of any canonical output
+/// surface — the counters differ between incremental and
+/// `PSBI_NO_INCREMENTAL=1` / `PSBI_NO_CROSSCHIP=1` runs, so journals and
+/// canonical reports must never embed them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct PassDiagnostics {
     /// Regions processed (counted once per round they participate in).
@@ -53,8 +92,15 @@ pub struct PassDiagnostics {
     /// Regions whose decomposition was replayed from a previous pass.
     pub regions_reused: u64,
     /// Regions whose entire search outcome (optimal support set, witness,
-    /// count) was replayed from a previous pass.
+    /// count) was replayed from a previous pass *of the same chip*.
     pub supports_rehit: u64,
+    /// Regions whose search outcome was replayed from the flow-level
+    /// cross-chip memo table (published by **any** chip of any pass —
+    /// usually a different chip of the same pass).  Schedule-dependent
+    /// with more than one worker; results never are.
+    pub cross_chip_hits: u64,
+    /// Per-stage wall time of this pass.
+    pub stage: StageTimes,
 }
 
 impl PassDiagnostics {
@@ -64,11 +110,17 @@ impl PassDiagnostics {
         self.regions_saturated += other.regions_saturated;
         self.regions_reused += other.regions_reused;
         self.supports_rehit += other.supports_rehit;
+        self.cross_chip_hits += other.cross_chip_hits;
+        self.stage.merge(&other.stage);
     }
 }
 
 /// Push-independent search outcome of one region (the part of a region
 /// solve that [`PushObjective`](super::PushObjective) does not influence).
+///
+/// Shared behind `Arc` between the per-chip state arenas and the
+/// flow-level cross-chip memo table, so publishing or replaying an
+/// outcome never copies the support/witness vectors.
 #[derive(Debug, Clone)]
 pub(crate) enum CachedOutcome {
     /// The region (at this radius) admits no feasible support.
@@ -90,13 +142,17 @@ pub(crate) enum CachedOutcome {
 #[derive(Debug)]
 pub(crate) struct CachedRegion {
     pub(crate) region: Region,
-    /// Materialised constraint bounds (in `region.cons` order) at search
-    /// time; `None` until the region has been searched once.
-    pub(crate) cons_bounds: Vec<i64>,
+    /// The materialised (saturation-normalised, vacuous-elided)
+    /// constraint system at search time — full `(a, b, bound)` triples,
+    /// not just bounds: elision makes the *surviving subset* vary
+    /// between passes, so two systems can agree on every bound value
+    /// positionally while constraining different endpoint pairs.
+    pub(crate) cons_bounds: Vec<RegCons>,
     /// Tuning windows over `region.ffs` at search time.
     pub(crate) ff_bounds: Vec<(i64, i64)>,
-    /// The search outcome those inputs produced.
-    pub(crate) outcome: Option<CachedOutcome>,
+    /// The search outcome those inputs produced (shared with the
+    /// cross-chip memo table when one is active).
+    pub(crate) outcome: Option<Arc<CachedOutcome>>,
 }
 
 impl CachedRegion {
@@ -109,9 +165,10 @@ impl CachedRegion {
         }
     }
 
-    /// Exact input comparison for outcome replay: every *materialised*
-    /// (saturation-normalised) constraint bound and every tuning window
-    /// the search read must be unchanged.
+    /// Exact input comparison for outcome replay: the entire surviving
+    /// (saturation-normalised) constraint system — endpoints *and*
+    /// bounds — and every tuning window the search read must be
+    /// unchanged.
     pub(crate) fn outcome_replayable(&self, cons: &[RegCons], space: &BufferSpace) -> bool {
         self.outcome.is_some()
             && self.cons_bounds.len() == cons.len()
@@ -119,7 +176,7 @@ impl CachedRegion {
             && cons
                 .iter()
                 .zip(&self.cons_bounds)
-                .all(|(c, cached)| c.bound == *cached)
+                .all(|(c, cached)| c.a == cached.a && c.b == cached.b && c.bound == cached.bound)
             && self
                 .region
                 .ffs
@@ -128,10 +185,16 @@ impl CachedRegion {
                 .all(|(ff, cached)| space.bounds[*ff as usize] == *cached)
     }
 
-    /// Records the inputs and outcome of a fresh search.
-    pub(crate) fn record(&mut self, cons: &[RegCons], space: &BufferSpace, outcome: CachedOutcome) {
+    /// Records the inputs and outcome of a fresh search (or a verified
+    /// cross-chip memo hit).
+    pub(crate) fn record(
+        &mut self,
+        cons: &[RegCons],
+        space: &BufferSpace,
+        outcome: Arc<CachedOutcome>,
+    ) {
         self.cons_bounds.clear();
-        self.cons_bounds.extend(cons.iter().map(|c| c.bound));
+        self.cons_bounds.extend_from_slice(cons);
         self.ff_bounds.clear();
         self.ff_bounds
             .extend(self.region.ffs.iter().map(|ff| space.bounds[*ff as usize]));

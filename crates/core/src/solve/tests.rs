@@ -451,6 +451,71 @@ mod prop {
             prop_assert_eq!(&got, &want, "pass 4 (shifted constraints)");
         }
 
+        /// The cross-chip contract, end to end: (a) region solving is a
+        /// pure function — two independent solvers given the same chip
+        /// return bitwise-equal results; (b) two *different* chips whose
+        /// bounds differ only above the saturation cap produce equal
+        /// memo keys, so the second solve replays the first chip's
+        /// outcomes through the shared memo and still matches its own
+        /// cold solve bit for bit.
+        #[test]
+        fn equal_memo_keys_produce_bitwise_equal_outcomes(
+            n in 3usize..6,
+            raw_edges in proptest::collection::vec((0u32..6, 0u32..6), 1..8),
+            raw_setup in proptest::collection::vec(-4i64..6, 8),
+            raw_hold in proptest::collection::vec(-2i64..6, 8),
+            bump in 1i64..5,
+        ) {
+            let edges: Vec<(u32, u32)> = raw_edges
+                .into_iter()
+                .map(|(a, b)| (a % n as u32, b % n as u32))
+                .collect();
+            let m = edges.len();
+            let sg = graph(n, &edges);
+            let ic = constraints(&raw_setup[..m], &raw_hold[..m]);
+            // Floating ±2 windows: the saturation cap over any region is
+            // at most 4, so every bound ≥ 4 is vacuous and clamps.
+            let space = Arc::new(BufferSpace::floating(n, 2));
+            let cap = 4i64;
+            let opts = SolverOptions::default();
+
+            // (a) purity: independent solvers, bit-equal results.
+            let mut s1 = SampleSolver::new();
+            let mut s2 = SampleSolver::new();
+            let one = s1.solve_view(&sg, ic.as_view(), &space, PushObjective::ToZero, &opts);
+            let two = s2.solve_view(&sg, ic.as_view(), &space, PushObjective::ToZero, &opts);
+            prop_assert_eq!(&one, &two, "region solving must be a pure function");
+
+            // (b) chip B differs from chip A only in vacuous bounds.
+            let bumped: Vec<i64> = raw_setup[..m]
+                .iter()
+                .map(|b| if *b >= cap { *b + bump } else { *b })
+                .collect();
+            let ic_b = constraints(&bumped, &raw_hold[..m]);
+            let memo = RegionMemo::new();
+            let mut diag = PassDiagnostics::default();
+            let via_a = s1.solve_view_memo(
+                &sg, ic.as_view(), &space, PushObjective::ToZero, &opts,
+                Some(&memo), None, &mut diag);
+            prop_assert_eq!(&via_a, &one, "memo publish pass must stay cold-identical");
+            let published = memo.len();
+            let mut diag_b = PassDiagnostics::default();
+            let via_b = s2.solve_view_memo(
+                &sg, ic_b.as_view(), &space, PushObjective::ToZero, &opts,
+                Some(&memo), None, &mut diag_b);
+            let cold_b = s1.solve_view(&sg, ic_b.as_view(), &space, PushObjective::ToZero, &opts);
+            prop_assert_eq!(&via_b, &cold_b, "memo replay must match B's own cold solve");
+            if published > 0 {
+                // A had regions; B's saturation-equal system must replay
+                // them rather than re-search (equal keys ⇒ hits).
+                prop_assert!(diag_b.cross_chip_hits > 0,
+                    "saturation-equal chips must share memo entries \
+                     ({} published, B hit none)", published);
+                prop_assert_eq!(memo.len(), published,
+                    "B must not mint new keys for a saturation-equal system");
+            }
+        }
+
         /// Solutions are always valid assignments within windows.
         #[test]
         fn solutions_always_valid(
@@ -475,6 +540,171 @@ mod prop {
             }
         }
     }
+}
+
+#[test]
+fn outcome_replay_rejects_aliased_surviving_systems() {
+    // Vacuous-constraint elision makes the *surviving subset* of a
+    // region's constraints vary between passes, so two materialised
+    // systems can agree on every bound value positionally while
+    // constraining different endpoint pairs.  The replay guard must
+    // compare the full (a, b, bound) triples, not just the bounds.
+    use super::state::{CachedOutcome, CachedRegion};
+    let mut members = vec![0u32, 1, 2];
+    members.sort_unstable();
+    let region = Region {
+        ffs: vec![0, 1, 2],
+        members,
+        cons: Vec::new(),
+        saturated: false,
+    };
+    let space = BufferSpace::floating(3, 2);
+    let mk = |a: u32, b: u32, bound: i64| RegCons { a, b, bound };
+    let recorded = vec![mk(0, 1, 2), mk(1, 0, -1)];
+    let mut cr = CachedRegion::new(region);
+    cr.record(
+        &recorded,
+        &space,
+        Arc::new(CachedOutcome::Feasible {
+            count: 1,
+            support: vec![1],
+            witness: vec![1],
+            exact: true,
+        }),
+    );
+    assert!(cr.outcome_replayable(&recorded, &space), "identity replays");
+    // Same length, same bound sequence, different surviving endpoints:
+    // the (0,1) constraint was elided this pass and (1,2) survived.
+    let aliased = vec![mk(1, 2, 2), mk(1, 0, -1)];
+    assert!(
+        !cr.outcome_replayable(&aliased, &space),
+        "an aliased surviving system must not replay"
+    );
+}
+
+#[test]
+fn cross_chip_memo_replays_identical_region_systems() {
+    // Two different "chips" with the same violated pattern and bounds
+    // produce the same saturation-normalised region system; the second
+    // solve — through a *fresh* solver, as a different worker would —
+    // must hit the shared memo and still match a cold solve bit for bit.
+    let sg = graph(4, &[(0, 1), (1, 2), (2, 3)]);
+    let ic = constraints(&[-3, 2, 5], &[6, 6, 6]);
+    let space = Arc::new(BufferSpace::floating(4, 20));
+    let opts = SolverOptions::default();
+    let memo = RegionMemo::new();
+
+    let mut first = SampleSolver::new();
+    let mut diag = PassDiagnostics::default();
+    let a = first.solve_view_memo(
+        &sg,
+        ic.as_view(),
+        &space,
+        PushObjective::ToZero,
+        &opts,
+        Some(&memo),
+        None,
+        &mut diag,
+    );
+    assert_eq!(diag.cross_chip_hits, 0, "first chip must publish, not hit");
+    assert!(!memo.is_empty(), "first chip must publish its regions");
+
+    let mut second = SampleSolver::new();
+    let mut diag2 = PassDiagnostics::default();
+    let b = second.solve_view_memo(
+        &sg,
+        ic.as_view(),
+        &space,
+        PushObjective::ToZero,
+        &opts,
+        Some(&memo),
+        None,
+        &mut diag2,
+    );
+    assert!(diag2.cross_chip_hits > 0, "identical system must memo-hit");
+    let mut cold = SampleSolver::new();
+    let want = cold.solve_view(&sg, ic.as_view(), &space, PushObjective::ToZero, &opts);
+    assert_eq!(a, want);
+    assert_eq!(b, want, "memo replay must be bit-identical to cold");
+
+    // A shifted *binding* bound is a different system: no false hit.
+    let shifted = constraints(&[-2, 2, 5], &[6, 6, 6]);
+    let mut diag3 = PassDiagnostics::default();
+    let c = second.solve_view_memo(
+        &sg,
+        shifted.as_view(),
+        &space,
+        PushObjective::ToZero,
+        &opts,
+        Some(&memo),
+        None,
+        &mut diag3,
+    );
+    assert_eq!(diag3.cross_chip_hits, 0, "changed bound must miss");
+    let want_shifted =
+        cold.solve_view(&sg, shifted.as_view(), &space, PushObjective::ToZero, &opts);
+    assert_eq!(c, want_shifted);
+}
+
+#[test]
+fn memo_composes_with_per_chip_state() {
+    // Chip-state arenas and the memo are independent tiers: a chip whose
+    // own state replays skips the memo; a chip whose state was
+    // invalidated falls through to the memo (published by another chip)
+    // before searching.
+    let sg = graph(3, &[(0, 1), (1, 2)]);
+    let ic = constraints(&[-3, 5], &[5, 5]);
+    let space = Arc::new(BufferSpace::floating(3, 20));
+    let opts = SolverOptions::default();
+    let memo = RegionMemo::new();
+    let mut solver = SampleSolver::new();
+    // Chip 1 (fresh state): searches + publishes.
+    let mut st1 = ChipSolveState::new();
+    let mut diag = PassDiagnostics::default();
+    let r1 = solver.solve_view_memo(
+        &sg,
+        ic.as_view(),
+        &space,
+        PushObjective::None,
+        &opts,
+        Some(&memo),
+        Some(&mut st1),
+        &mut diag,
+    );
+    assert_eq!(diag.cross_chip_hits, 0);
+    // Chip 2 (fresh state, same system): memo hit, recorded into its own
+    // state…
+    let mut st2 = ChipSolveState::new();
+    let mut diag = PassDiagnostics::default();
+    let r2 = solver.solve_view_memo(
+        &sg,
+        ic.as_view(),
+        &space,
+        PushObjective::None,
+        &opts,
+        Some(&memo),
+        Some(&mut st2),
+        &mut diag,
+    );
+    assert!(diag.cross_chip_hits > 0);
+    assert_eq!(diag.supports_rehit, 0);
+    // … so the next pass of chip 2 replays from its own state and never
+    // consults the memo again.
+    let mut diag = PassDiagnostics::default();
+    let r3 = solver.solve_view_memo(
+        &sg,
+        ic.as_view(),
+        &space,
+        PushObjective::None,
+        &opts,
+        Some(&memo),
+        Some(&mut st2),
+        &mut diag,
+    );
+    assert_eq!(diag.cross_chip_hits, 0);
+    assert!(diag.supports_rehit > 0);
+    assert_eq!(r1, r2);
+    assert_eq!(r2, r3);
 }
 
 #[test]

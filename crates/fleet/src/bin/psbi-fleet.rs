@@ -7,6 +7,7 @@
 //! psbi-fleet run    --spec campaign.json --journal c.journal
 //!                   [--workers N] [--max-jobs K] [--report out.json]
 //!                   [--with-timings] [--quiet] [--no-incremental]
+//!                   [--no-cross-chip]
 //! psbi-fleet report --spec campaign.json --journal c.journal
 //!                   [--json out.json] [--with-timings]
 //! ```
@@ -65,6 +66,7 @@ fn usage() -> ExitCode {
          \x20 psbi-fleet run    --spec campaign.json --journal c.journal\n\
          \x20                   [--workers N] [--max-jobs K] [--report out.json]\n\
          \x20                   [--with-timings] [--quiet] [--no-incremental]\n\
+         \x20                   [--no-cross-chip]\n\
          \x20 psbi-fleet report --spec campaign.json --journal c.journal\n\
          \x20                   [--json out.json] [--with-timings]\n\
          \n\
@@ -160,8 +162,10 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         max_jobs: args.get("max-jobs"),
         progress: !args.has("quiet"),
         // Results are bit-identical either way; --no-incremental (like
-        // PSBI_NO_INCREMENTAL=1) exists for debugging and A/B timing.
+        // PSBI_NO_INCREMENTAL=1) and --no-cross-chip (like
+        // PSBI_NO_CROSSCHIP=1) exist for debugging and A/B timing.
         incremental: !args.has("no-incremental"),
+        cross_chip: !args.has("no-cross-chip"),
     };
     let outcome = run_campaign(&spec, &journal, &opts).map_err(|e| e.to_string())?;
     let report = CampaignReport::from_outcome(&spec, &outcome);

@@ -54,7 +54,16 @@ pub struct CampaignReport {
     /// unavailable).  Non-canonical, exactly like the wall times: they
     /// vary with worker scheduling and the `PSBI_NO_INCREMENTAL` escape
     /// hatch, so they live outside the canonical byte surface.
+    ///
+    /// Resumed jobs are always `None`: diagnostics are quarantined from
+    /// the journal by design, so a resumed campaign only reports the
+    /// jobs *this* invocation executed (the tables and the
+    /// `solver_cache` section say so explicitly).
     pub job_diagnostics: Vec<Option<FlowDiagnostics>>,
+    /// Peak chip-state slots resident in the shared pool during the
+    /// producing invocation (`None` when rendered from a journal).
+    /// Non-canonical, like the wall times.
+    pub peak_resident_states: Option<u64>,
     /// Wall time of the producing invocation, when known.
     pub wall_s: Option<f64>,
 }
@@ -69,6 +78,7 @@ impl CampaignReport {
             records: outcome.records.clone(),
             job_wall_s: outcome.job_wall_s.clone(),
             job_diagnostics: outcome.job_diagnostics.clone(),
+            peak_resident_states: Some(outcome.peak_resident_states),
             wall_s: Some(outcome.wall_s),
         }
     }
@@ -82,6 +92,7 @@ impl CampaignReport {
             total_jobs: total,
             job_wall_s: vec![None; total],
             job_diagnostics: vec![None; total],
+            peak_resident_states: None,
             records,
             wall_s: None,
         }
@@ -202,12 +213,21 @@ impl CampaignReport {
         if let Some(cache) = self.solver_cache_totals() {
             let _ = writeln!(
                 out,
-                "solver cache (executed jobs): {} regions reused, {} supports rehit, \
-                 {} of {} regions saturated region_cap",
+                "solver cache (executed jobs; resumed jobs' counters stay in the \
+                 journal-quarantined past): {} regions reused, {} supports rehit, \
+                 {} cross-chip memo hits, {} of {} regions saturated region_cap",
                 cache.regions_reused,
                 cache.supports_rehit,
+                cache.cross_chip_hits,
                 cache.regions_saturated,
                 cache.regions_total
+            );
+        }
+        if let Some(peak) = self.peak_resident_states {
+            let _ = writeln!(
+                out,
+                "peak resident solver state: {peak} chip slots (arenas freed as \
+                 each circuit's job group completed)"
             );
         }
         if let Some(wall) = self.wall_s {
@@ -302,7 +322,14 @@ impl CampaignReport {
                         cache.regions_saturated
                     );
                     let _ = writeln!(out, "    \"regions_reused\": {},", cache.regions_reused);
-                    let _ = writeln!(out, "    \"supports_rehit\": {}", cache.supports_rehit);
+                    let _ = writeln!(out, "    \"supports_rehit\": {},", cache.supports_rehit);
+                    let _ = writeln!(out, "    \"cross_chip_hits\": {},", cache.cross_chip_hits);
+                    let _ = writeln!(
+                        out,
+                        "    \"peak_resident_states\": {}",
+                        self.peak_resident_states
+                            .map_or_else(|| "null".to_string(), |v| v.to_string())
+                    );
                     let _ = writeln!(out, "  }}");
                 }
                 None => {

@@ -53,6 +53,13 @@ pub struct FleetOptions {
     /// fingerprinted [`CampaignSpec`].  `PSBI_NO_INCREMENTAL=1` overrides
     /// it process-wide.
     pub incremental: bool,
+    /// Dedup identical region subproblems across chips — and, because
+    /// the memo table is shared per circuit, across the concurrently
+    /// running sweep targets of one circuit's job group (see
+    /// `psbi_core::solve::RegionMemo`).  A memo hit is a verified replay
+    /// of a pure function, so results are bit-identical either way;
+    /// `PSBI_NO_CROSSCHIP=1` overrides it process-wide.
+    pub cross_chip: bool,
 }
 
 impl Default for FleetOptions {
@@ -62,6 +69,7 @@ impl Default for FleetOptions {
             max_jobs: None,
             progress: false,
             incremental: true,
+            cross_chip: true,
         }
     }
 }
@@ -84,7 +92,25 @@ pub struct CampaignOutcome {
     /// Non-canonical, like [`CampaignOutcome::job_wall_s`]: the counters
     /// depend on which targets warmed a flow's state arena first, which
     /// races with worker scheduling — results never do.
+    ///
+    /// Jobs **resumed from the journal are `None` by design**: the
+    /// journal carries only the canonical byte surface, and these
+    /// counters are quarantined from it (they differ between cache
+    /// modes while the results do not), so an interrupted-and-resumed
+    /// campaign cannot recover the diagnostics of jobs a previous
+    /// process executed.  Aggregations label themselves "executed jobs"
+    /// accordingly (`resumed_diagnostics_quarantined` in the runner
+    /// tests pins this contract).
     pub job_diagnostics: Vec<Option<psbi_core::flow::FlowDiagnostics>>,
+    /// Peak chip-state slots resident in the shared workspace pool over
+    /// this invocation.  With per-circuit reclamation (arenas and the
+    /// cross-chip memo are freed when a circuit's last sweep target
+    /// commits) this is capped at the concurrently active circuits
+    /// instead of the whole campaign.  Non-canonical.
+    pub peak_resident_states: u64,
+    /// Chip-state slots still resident when this invocation returned
+    /// (0 once every circuit's job group completed).  Non-canonical.
+    pub final_resident_states: u64,
     /// Wall time of this invocation.
     pub wall_s: f64,
 }
@@ -166,6 +192,8 @@ pub fn run_campaign(
             total_jobs: total,
             job_wall_s,
             job_diagnostics,
+            peak_resident_states: 0,
+            final_resident_states: 0,
             wall_s: t_start.elapsed().as_secs_f64(),
         });
     }
@@ -191,6 +219,7 @@ pub fn run_campaign(
     let pool = Arc::new(WorkspacePool::new());
     let mut cfg = spec.flow_config();
     cfg.incremental = opts.incremental;
+    cfg.cross_chip = opts.cross_chip;
     let flows: Vec<Option<BufferInsertionFlow>> = circuits
         .iter()
         .map(|c| {
@@ -202,6 +231,17 @@ pub fn run_campaign(
                 .transpose()
         })
         .collect::<Result<_, _>>()?;
+
+    // Pending jobs per circuit in this invocation's window: the worker
+    // finishing a circuit's last job releases that flow's solver state
+    // (per-chip arenas + cross-chip memo) from the shared pool, capping
+    // campaign peak memory at the circuits still in flight.
+    let mut circuit_pending: Vec<usize> = vec![0; spec.circuits.len()];
+    for job in &jobs[resumed..end] {
+        circuit_pending[job.circuit_index] += 1;
+    }
+    let circuit_pending: Vec<AtomicUsize> =
+        circuit_pending.into_iter().map(AtomicUsize::new).collect();
 
     let pending = end - resumed;
     let workers = match opts.workers {
@@ -241,6 +281,14 @@ pub fn run_campaign(
                 let result = flow.run_target(TargetPeriod::SigmaFactor(job.sigma_factor));
                 let record = JobRecord::from_result(job, &result);
                 let wall = t_job.elapsed().as_secs_f64();
+                // Last pending job of this circuit: reclaim the flow's
+                // warm solver state.  Every `run_target` of the circuit
+                // has returned by the time the counter hits zero, so the
+                // release cannot race a park.  Purely a memory knob —
+                // a resumed invocation simply starts this circuit cold.
+                if circuit_pending[job.circuit_index].fetch_sub(1, Ordering::Relaxed) == 1 {
+                    flow.release_solver_state();
+                }
                 if opts.progress {
                     eprintln!(
                         "psbi-fleet: job {}/{} {} k={} Y {:.2}% -> {:.2}% ({} buffers, {:.2}s)",
@@ -277,6 +325,8 @@ pub fn run_campaign(
         total_jobs: total,
         job_wall_s: state.job_wall_s,
         job_diagnostics: state.job_diagnostics,
+        peak_resident_states: pool.peak_resident_states(),
+        final_resident_states: pool.resident_states(),
         wall_s: t_start.elapsed().as_secs_f64(),
     })
 }
@@ -372,5 +422,86 @@ mod tests {
         for p in [&path_a, &path_b, &path_c] {
             let _ = std::fs::remove_file(p);
         }
+    }
+
+    #[test]
+    fn arena_reclamation_caps_resident_state_at_active_circuits() {
+        // 2 circuits × 2 targets, 1 worker, circuit-major grid: each
+        // circuit's arenas (2 per flow, `samples` chip slots each) must
+        // be freed when its second target commits, so the pool's peak is
+        // ONE circuit's worth — not the whole campaign's — and nothing
+        // stays resident at the end.
+        let spec = quick_spec();
+        let path = tmp_path("reclaim");
+        let _ = std::fs::remove_file(&path);
+        let outcome = run_campaign(
+            &spec,
+            &path,
+            &FleetOptions {
+                workers: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(outcome.complete());
+        let per_circuit = 2 * spec.samples as u64; // A1 + post-prune arena
+        assert_eq!(
+            outcome.peak_resident_states, per_circuit,
+            "peak must be capped at one in-flight circuit"
+        );
+        assert_eq!(
+            outcome.final_resident_states, 0,
+            "every circuit's state must be reclaimed after its last job"
+        );
+        // The cross-chip memo actually fired while it was alive.
+        let hits: u64 = outcome
+            .job_diagnostics
+            .iter()
+            .flatten()
+            .map(|d| d.total().cross_chip_hits)
+            .sum();
+        assert!(hits > 0, "campaign never hit the cross-chip memo");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resumed_diagnostics_quarantined() {
+        // Solver-cache counters are quarantined from the journal (they
+        // differ between cache modes while the canonical bytes do not),
+        // so a resumed invocation CANNOT recover them for jobs a prior
+        // process executed: resumed slots stay `None`, executed slots
+        // are `Some`, and the aggregate labels itself "executed jobs".
+        let spec = quick_spec();
+        let path = tmp_path("quarantine");
+        let _ = std::fs::remove_file(&path);
+        let first = run_campaign(
+            &spec,
+            &path,
+            &FleetOptions {
+                max_jobs: Some(1),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(first.executed_jobs, 1);
+        assert!(first.job_diagnostics[0].is_some());
+        let resumed = run_campaign(&spec, &path, &FleetOptions::default()).unwrap();
+        assert!(resumed.complete());
+        assert_eq!(resumed.resumed_jobs, 1);
+        assert!(
+            resumed.job_diagnostics[0].is_none(),
+            "journal-resumed jobs must not fabricate diagnostics"
+        );
+        for j in 1..resumed.total_jobs {
+            assert!(
+                resumed.job_diagnostics[j].is_some(),
+                "executed job {j} must carry diagnostics"
+            );
+        }
+        let report = crate::CampaignReport::from_outcome(&spec, &resumed);
+        assert!(report.text().contains("executed jobs"));
+        let timed = report.json(true);
+        assert!(timed.contains("\"solver_cache\""));
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -28,9 +28,12 @@ fn run_once(threads: usize) -> InsertionResult {
         .run()
 }
 
-/// Strips wall-clock times, which legitimately differ between runs.
+/// Strips the non-canonical surfaces: wall-clock times (including the
+/// per-stage solver times inside the diagnostics) legitimately differ
+/// between runs, and the cache counters vary with worker scheduling.
 fn normalized(mut r: InsertionResult) -> InsertionResult {
     r.runtime = Default::default();
+    r.diagnostics = Default::default();
     r
 }
 

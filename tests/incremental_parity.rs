@@ -1,17 +1,20 @@
-//! Incremental-solve parity regression: carrying per-chip solver state
-//! (region decompositions, support sets, warm witnesses) across the
-//! A1→A3→B1→B2 passes — and across adjacent targets of a fleet sweep —
-//! must be **bit-invisible**.  Every surface the flow produces is compared
-//! with the cache on versus off, at 1 and 8 workers:
+//! Incremental-solve and cross-chip-memo parity regression: carrying
+//! per-chip solver state (region decompositions, support sets, warm
+//! witnesses) across the A1→A3→B1→B2 passes — and across adjacent targets
+//! of a fleet sweep — and deduplicating identical region subproblems
+//! across chips through the flow-level memo table must both be
+//! **bit-invisible**.  Every surface the flow produces is compared across
+//! the cache matrix (incremental on/off × cross-chip on/off), at 1 and 8
+//! workers:
 //!
-//! * full `InsertionResult`s (modulo wall times and the cache's own
+//! * full `InsertionResult`s (modulo wall times and the caches' own
 //!   counters, which are non-canonical by contract),
 //! * fleet journal bytes and canonical report bytes.
 //!
-//! The `PSBI_NO_INCREMENTAL=1` environment form of the same contract is
-//! pinned by the CI determinism job (the env flag is read once per
-//! process, so this in-process test uses the equivalent config/option
-//! knobs instead).
+//! The `PSBI_NO_INCREMENTAL=1` / `PSBI_NO_CROSSCHIP=1` environment forms
+//! of the same contract are pinned by the CI determinism job (the env
+//! flags are read once per process, so this in-process test uses the
+//! equivalent config/option knobs instead).
 
 use psbi::core::flow::{BufferInsertionFlow, FlowConfig, InsertionResult, TargetPeriod};
 use psbi::fleet::{run_campaign, CampaignReport, CampaignSpec, FleetOptions};
@@ -27,9 +30,9 @@ fn normalized(mut r: InsertionResult) -> InsertionResult {
 }
 
 #[test]
-fn full_flow_is_bit_identical_with_incremental_on_and_off() {
+fn full_flow_is_bit_identical_across_the_cache_matrix() {
     let circuit = bench_suite::tiny_demo(42);
-    let cfg = |threads: usize, incremental: bool| FlowConfig {
+    let cfg = |threads: usize, incremental: bool, cross_chip: bool| FlowConfig {
         samples: 160,
         yield_samples: 300,
         calibration_samples: 300,
@@ -38,33 +41,62 @@ fn full_flow_is_bit_identical_with_incremental_on_and_off() {
         target: TargetPeriod::SigmaFactor(0.0),
         record_histograms: 2,
         incremental,
+        cross_chip,
         ..FlowConfig::default()
     };
-    // One warm flow swept over adjacent targets (its state arena carries
-    // across run_target calls) versus cold flows, at both worker counts.
-    let warm1 = BufferInsertionFlow::new(&circuit, cfg(1, true)).unwrap();
-    let warm8 = BufferInsertionFlow::new(&circuit, cfg(8, true)).unwrap();
-    let cold1 = BufferInsertionFlow::new(&circuit, cfg(1, false)).unwrap();
+    // Warm flows swept over adjacent targets (state arenas and memo
+    // carried across run_target calls) versus a fully cold flow, across
+    // the cache matrix and at both worker counts.
+    let reference_flow = BufferInsertionFlow::new(&circuit, cfg(1, false, false)).unwrap();
+    assert!(!reference_flow.incremental_enabled());
+    assert!(!reference_flow.cross_chip_enabled());
+    let variants = [
+        ("incremental+crosschip w1", cfg(1, true, true)),
+        ("incremental+crosschip w8", cfg(8, true, true)),
+        ("incremental-only w8", cfg(8, true, false)),
+        ("crosschip-only w8", cfg(8, false, true)),
+    ];
+    let flows: Vec<(&str, BufferInsertionFlow)> = variants
+        .iter()
+        .map(|(name, c)| {
+            (
+                *name,
+                BufferInsertionFlow::new(&circuit, c.clone()).unwrap(),
+            )
+        })
+        .collect();
     let mut reused = 0u64;
+    let mut memo_hits = 0u64;
     for k in [0.0, 0.5, 1.0] {
         let target = TargetPeriod::SigmaFactor(k);
-        let w1 = warm1.run_target(target);
-        let w8 = warm8.run_target(target);
-        let c1 = cold1.run_target(target);
-        reused += w1.diagnostics.total().regions_reused + w1.diagnostics.total().supports_rehit;
-        let reference = normalized(c1);
-        assert_eq!(
-            normalized(w1),
-            reference,
-            "incremental (1 worker) diverged from cold at k = {k}"
-        );
-        assert_eq!(
-            normalized(w8),
-            reference,
-            "incremental (8 workers) diverged from cold at k = {k}"
-        );
+        let reference = normalized(reference_flow.run_target(target));
+        for (name, flow) in &flows {
+            let r = flow.run_target(target);
+            let totals = r.diagnostics.total();
+            reused += totals.regions_reused + totals.supports_rehit;
+            memo_hits += totals.cross_chip_hits;
+            if !flow.cross_chip_enabled() {
+                assert_eq!(totals.cross_chip_hits, 0, "{name} hit a disabled memo");
+            }
+            assert_eq!(
+                normalized(r),
+                reference,
+                "{name} diverged from the cold flow at k = {k}"
+            );
+        }
     }
-    assert!(reused > 0, "the warm sweep never exercised the cache");
+    assert!(reused > 0, "the warm sweeps never exercised the arenas");
+    // The CI determinism job re-runs this test with `PSBI_NO_CROSSCHIP=1`,
+    // where zero hits is the contract rather than a bug.
+    let env_allows_memo = flows.iter().any(|(_, f)| f.cross_chip_enabled());
+    if env_allows_memo {
+        assert!(
+            memo_hits > 0,
+            "the warm sweeps never hit the cross-chip memo"
+        );
+    } else {
+        assert_eq!(memo_hits, 0, "a disabled memo must never be consulted");
+    }
 }
 
 fn tmp(tag: &str) -> PathBuf {
@@ -75,7 +107,7 @@ fn tmp(tag: &str) -> PathBuf {
 }
 
 #[test]
-fn fleet_journal_bytes_are_identical_with_incremental_on_and_off() {
+fn fleet_journal_bytes_are_identical_across_the_cache_matrix() {
     let spec = CampaignSpec {
         samples: 100,
         yield_samples: 200,
@@ -86,22 +118,25 @@ fn fleet_journal_bytes_are_identical_with_incremental_on_and_off() {
         sigma_factors: vec![0.0, 0.25, 0.5],
         ..CampaignSpec::example()
     };
-    let opts = |workers: usize, incremental: bool| FleetOptions {
+    let opts = |workers: usize, incremental: bool, cross_chip: bool| FleetOptions {
         workers,
         incremental,
+        cross_chip,
         ..FleetOptions::default()
     };
     let mut journals: Vec<(PathBuf, Vec<u8>, String)> = Vec::new();
-    for (tag, workers, incremental) in [
-        ("on_w1", 1, true),
-        ("on_w8", 8, true),
-        ("off_w1", 1, false),
-        ("off_w8", 8, false),
+    for (tag, workers, incremental, cross_chip) in [
+        ("on_on_w1", 1, true, true),
+        ("on_on_w8", 8, true, true),
+        ("off_off_w1", 1, false, false),
+        ("off_off_w8", 8, false, false),
+        ("on_off_w8", 8, true, false),
+        ("off_on_w8", 8, false, true),
     ] {
         let path = tmp(tag);
         let _ = std::fs::remove_file(&path);
-        let outcome =
-            run_campaign(&spec, &path, &opts(workers, incremental)).expect("campaign runs");
+        let outcome = run_campaign(&spec, &path, &opts(workers, incremental, cross_chip))
+            .expect("campaign runs");
         assert!(outcome.complete());
         let report = CampaignReport::from_outcome(&spec, &outcome).canonical_json();
         let bytes = std::fs::read(&path).expect("journal written");
@@ -119,5 +154,53 @@ fn fleet_journal_bytes_are_identical_with_incremental_on_and_off() {
     }
     for (path, _, _) in &journals {
         let _ = std::fs::remove_file(path);
+    }
+}
+
+#[test]
+fn fleet_kill_and_resume_reproduces_bytes_with_cross_chip_memo() {
+    // A mid-campaign kill + resume (which also exercises the early
+    // per-circuit state release of the checkpointed window) must
+    // reproduce the uninterrupted journal and canonical report byte for
+    // byte with every cache enabled.
+    let spec = CampaignSpec {
+        samples: 80,
+        yield_samples: 160,
+        calibration_samples: 160,
+        seed: 77,
+        sigma_factors: vec![0.0, 0.25],
+        ..CampaignSpec::example()
+    };
+    let full = tmp("resume_full");
+    let split = tmp("resume_split");
+    for p in [&full, &split] {
+        let _ = std::fs::remove_file(p);
+    }
+    let uninterrupted = run_campaign(&spec, &full, &FleetOptions::default()).unwrap();
+    assert!(uninterrupted.complete());
+    let first = run_campaign(
+        &spec,
+        &split,
+        &FleetOptions {
+            max_jobs: Some(1),
+            ..FleetOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(!first.complete());
+    let second = run_campaign(&spec, &split, &FleetOptions::default()).unwrap();
+    assert!(second.complete());
+    assert_eq!(second.records, uninterrupted.records);
+    assert_eq!(
+        std::fs::read(&full).unwrap(),
+        std::fs::read(&split).unwrap(),
+        "kill + resume must reproduce the uninterrupted journal bytes"
+    );
+    assert_eq!(
+        CampaignReport::from_outcome(&spec, &second).canonical_json(),
+        CampaignReport::from_outcome(&spec, &uninterrupted).canonical_json()
+    );
+    for p in [&full, &split] {
+        let _ = std::fs::remove_file(p);
     }
 }
