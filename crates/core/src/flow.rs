@@ -54,7 +54,7 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Instant;
 
 /// Samples per parallel work unit.  Fixed (not derived from the thread
@@ -134,6 +134,16 @@ pub struct FlowConfig {
     /// replay of a pure function, so results are bit-identical either
     /// way; `PSBI_NO_CROSSCHIP=1` force-disables it process-wide.
     pub cross_chip: bool,
+    /// Re-check the final [`InsertionResult`] with [`crate::verify`]: an
+    /// independent pass that re-validates every sampled chip's claimed
+    /// fixability and the reported yields against the raw un-elided
+    /// constraint system — no memo, no per-chip state, no saturation
+    /// elision, no warm witnesses.  The structured
+    /// [`crate::verify::VerifyReport`] lands in
+    /// [`FlowDiagnostics::verify`]; canonical outputs are untouched.
+    /// Roughly doubles a run's cost (it re-solves both sample streams
+    /// cold).  `PSBI_VERIFY=1` force-enables it process-wide.
+    pub verify: bool,
 }
 
 impl Default for FlowConfig {
@@ -158,6 +168,7 @@ impl Default for FlowConfig {
             record_histograms: 0,
             incremental: true,
             cross_chip: true,
+            verify: false,
         }
     }
 }
@@ -179,6 +190,14 @@ fn incremental_env_enabled() -> bool {
 fn cross_chip_env_enabled() -> bool {
     static ON: OnceLock<bool> = OnceLock::new();
     *ON.get_or_init(|| !std::env::var("PSBI_NO_CROSSCHIP").is_ok_and(|v| !v.is_empty() && v != "0"))
+}
+
+/// Process-wide `PSBI_VERIFY` switch, read once.  Opposite polarity to the
+/// escape hatches above: any value other than empty or `0` force-*enables*
+/// the independent result verifier regardless of [`FlowConfig::verify`].
+fn verify_env_enabled() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| std::env::var("PSBI_VERIFY").is_ok_and(|v| !v.is_empty() && v != "0"))
 }
 
 /// Errors raised when building a flow.
@@ -242,7 +261,7 @@ pub struct RuntimeBreakdown {
 /// `PSBI_NO_INCREMENTAL=1` runs (and, across a fleet sweep, with the
 /// order targets reached a shared flow), so they are quarantined from
 /// journals and canonical reports exactly like wall-clock times.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct FlowDiagnostics {
     /// The A1 min-count pass.
     pub a1: PassDiagnostics,
@@ -264,6 +283,10 @@ pub struct FlowDiagnostics {
     /// at the concurrently active flows instead of growing with every
     /// circuit a campaign ever touched.
     pub peak_resident_states: u64,
+    /// Report of the independent result verifier, when it ran
+    /// ([`FlowConfig::verify`] or `PSBI_VERIFY=1`).  Like every other
+    /// diagnostic it never feeds back into canonical outputs.
+    pub verify: Option<crate::verify::VerifyReport>,
 }
 
 impl FlowDiagnostics {
@@ -380,7 +403,7 @@ impl InsertionResult {
 /// [`WorkspacePool`] per chunk and returned afterwards, so a handful of
 /// workspaces (one per concurrently active worker) serve the entire flow.
 #[derive(Default)]
-struct Workspace {
+pub(crate) struct Workspace {
     batch: SampleBatch,
     cons: ConstraintBatch,
     solver: SampleSolver,
@@ -472,6 +495,18 @@ pub struct WorkspacePool {
     peak_resident_states: AtomicU64,
 }
 
+/// Recovers a poisoned pool lock.  Pool locks only guard checkout of
+/// self-contained values (free lists, parked arenas, memo handles) — a
+/// worker that panicked *while holding* one of them can at worst have
+/// popped an entry that is now lost, never leave one half-updated — so
+/// the data is consistent and the campaign can keep draining jobs
+/// instead of wedging on `PoisonError`.
+fn recover<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
 impl WorkspacePool {
     /// An empty pool; workspaces are created lazily on first checkout.
     pub fn new() -> Self {
@@ -480,14 +515,12 @@ impl WorkspacePool {
 
     /// Runs `f` with a pooled workspace (creating one on first use).
     fn run<R>(&self, f: impl FnOnce(&mut Workspace) -> R) -> R {
-        let mut ws = self
-            .free
-            .lock()
-            .expect("pool lock")
-            .pop()
-            .unwrap_or_default();
+        let mut ws = recover(self.free.lock()).pop().unwrap_or_default();
+        if psbi_fault::failpoint!("pool.checkout.panic") {
+            panic!("injected fault: pool.checkout.panic");
+        }
         let result = f(&mut ws);
-        self.free.lock().expect("pool lock").push(ws);
+        recover(self.free.lock()).push(ws);
         result
     }
 
@@ -496,7 +529,7 @@ impl WorkspacePool {
     /// get distinct arenas — warm-state hit rates may vary with
     /// scheduling, results never do.
     fn checkout_state_arena(&self, owner: u64, samples: usize) -> SolveStateArena {
-        let mut parked = self.state_arenas.lock().expect("arena lock");
+        let mut parked = recover(self.state_arenas.lock());
         let mut arena = parked
             .iter()
             .position(|a| a.owner == owner)
@@ -514,12 +547,12 @@ impl WorkspacePool {
 
     /// Parks an arena for the next `run_target` call of its owner flow.
     fn return_state_arena(&self, arena: SolveStateArena) {
-        self.state_arenas.lock().expect("arena lock").push(arena);
+        recover(self.state_arenas.lock()).push(arena);
     }
 
     /// The shared cross-chip memo table of `owner` (created on first use).
     fn checkout_region_memo(&self, owner: u64) -> Arc<RegionMemo> {
-        let mut memos = self.region_memos.lock().expect("memo lock");
+        let mut memos = recover(self.region_memos.lock());
         match memos.iter().find(|(id, _)| *id == owner) {
             Some((_, memo)) => Arc::clone(memo),
             None => {
@@ -540,7 +573,7 @@ impl WorkspacePool {
     /// its arena *after* the release and resurrect the state.
     fn release_owner(&self, arena_owner: u64) {
         let mut freed = 0u64;
-        let mut parked = self.state_arenas.lock().expect("arena lock");
+        let mut parked = recover(self.state_arenas.lock());
         parked.retain(|a| {
             let owned = a.owner == 2 * arena_owner || a.owner == 2 * arena_owner + 1;
             if owned {
@@ -552,10 +585,7 @@ impl WorkspacePool {
         if freed > 0 {
             self.resident_states.fetch_sub(freed, Ordering::Relaxed);
         }
-        self.region_memos
-            .lock()
-            .expect("memo lock")
-            .retain(|(id, _)| *id != arena_owner);
+        recover(self.region_memos.lock()).retain(|(id, _)| *id != arena_owner);
     }
 
     /// Chip-state slots currently resident in this pool's arenas.
@@ -610,15 +640,15 @@ impl<T: Default + Clone> DisjointSlots<T> {
 /// The flow object: build once per circuit, run per target period.
 pub struct BufferInsertionFlow<'a> {
     circuit: &'a Circuit,
-    cfg: FlowConfig,
+    pub(crate) cfg: FlowConfig,
     #[allow(dead_code)]
     lib: Library,
     #[allow(dead_code)]
     model: VariationModel,
-    tg: TimingGraph<'a>,
-    sg: SequentialGraph,
+    pub(crate) tg: TimingGraph<'a>,
+    pub(crate) sg: SequentialGraph,
     placement: Placement,
-    skews: Vec<f64>,
+    pub(crate) skews: Vec<f64>,
     /// Flattened canonical coefficients for the batch sampling kernel.
     canon: CanonicalBatchSampler,
     /// Reusable worker workspaces, shared across all passes (and across
@@ -656,9 +686,13 @@ struct PassOutput {
     columns: Option<Vec<Vec<f32>>>,
     /// FF → slot map for `columns`.
     slot_of_ff: Vec<u32>,
+    /// Per-sample feasibility claims — what the independent verifier
+    /// re-checks against the raw constraint system.  Always recorded
+    /// (one bool per chip).
+    feasible: Vec<bool>,
 }
 
-const NONE: u32 = u32::MAX;
+pub(crate) const NONE: u32 = u32::MAX;
 
 impl<'a> BufferInsertionFlow<'a> {
     /// Builds a flow with the default industry-like library and the paper's
@@ -788,6 +822,15 @@ impl<'a> BufferInsertionFlow<'a> {
     /// Observability only — results are bit-identical either way.
     pub fn cross_chip_enabled(&self) -> bool {
         self.cfg.cross_chip && cross_chip_env_enabled()
+    }
+
+    /// Whether `run_target` re-checks its result with the independent
+    /// verifier ([`FlowConfig::verify`] or the `PSBI_VERIFY` environment
+    /// switch).  The verifier only adds a [`crate::verify::VerifyReport`]
+    /// to the diagnostics — canonical outputs are bit-identical either
+    /// way.
+    pub fn verify_enabled(&self) -> bool {
+        self.cfg.verify || verify_env_enabled()
     }
 
     /// Frees this flow's incremental solver state from the shared pool:
@@ -928,7 +971,7 @@ impl<'a> BufferInsertionFlow<'a> {
     /// and the examples.  Chips produced here are bit-identical to the
     /// ones the batched passes evaluate (it draws through the same batch
     /// kernel), so replaying an evaluated chip reproduces it exactly.
-    fn fill_sample(
+    pub(crate) fn fill_sample(
         &self,
         stream: u64,
         index: u64,
@@ -946,7 +989,7 @@ impl<'a> BufferInsertionFlow<'a> {
 
     /// Splits `n` samples into fixed [`SAMPLE_CHUNK`]-sized work units and
     /// maps them in parallel, returning per-chunk results in chunk order.
-    fn map_chunks<T: Send>(
+    pub(crate) fn map_chunks<T: Send>(
         &self,
         n: usize,
         f: impl Fn(&mut Workspace, usize, usize) -> T + Sync,
@@ -1047,6 +1090,12 @@ impl<'a> BufferInsertionFlow<'a> {
         let matrix = record_matrix.then(|| DisjointSlots::<f32>::new(n_slots as usize * samples));
         let matrix_ref = matrix.as_ref();
 
+        // Per-chip feasibility claims, written into disjoint slots like the
+        // matrix — the independent verifier re-checks these against the raw
+        // constraint system.
+        let feasible = DisjointSlots::<bool>::new(samples);
+        let feasible_ref = &feasible;
+
         struct Local {
             counts: Vec<u64>,
             hist: Vec<Histogram>,
@@ -1091,6 +1140,8 @@ impl<'a> BufferInsertionFlow<'a> {
                     chip_state,
                     &mut local.diag,
                 );
+                // SAFETY: row `lo + row` belongs to this chunk alone.
+                unsafe { feasible_ref.write(lo + row, r.feasible) };
                 if !r.feasible {
                     local.infeasible += 1;
                 } else {
@@ -1136,6 +1187,7 @@ impl<'a> BufferInsertionFlow<'a> {
                 flat.chunks_exact(samples).map(|c| c.to_vec()).collect()
             }),
             slot_of_ff,
+            feasible: feasible.into_vec(),
         };
         for local in locals {
             for ff in 0..n_ffs {
@@ -1311,6 +1363,7 @@ impl<'a> BufferInsertionFlow<'a> {
                 diag: PassDiagnostics::default(),
                 columns: None,
                 slot_of_ff: vec![NONE; n_ffs],
+                feasible: a3.feasible.clone(),
             };
             (b1, 0.0)
         };
@@ -1410,7 +1463,7 @@ impl<'a> BufferInsertionFlow<'a> {
 
         let groups = grouping.groups.clone();
         let ab = grouping.average_range();
-        InsertionResult {
+        let mut result = InsertionResult {
             circuit: self.circuit.name.clone(),
             n_ffs,
             n_gates: self.circuit.num_gates(),
@@ -1461,8 +1514,24 @@ impl<'a> BufferInsertionFlow<'a> {
                 memo_entries,
                 resident_states: self.pool.resident_states(),
                 peak_resident_states: self.pool.peak_resident_states(),
+                verify: None,
             },
+        };
+        if self.verify_enabled() {
+            let claims = crate::verify::PassClaims {
+                space_floating: &space_a1,
+                space_b: &space_b,
+                a1_feasible: &a1.feasible,
+                b2_feasible: &b2.feasible,
+                b2_columns: b2.columns.as_deref(),
+                b2_slot_of_ff: &b2.slot_of_ff,
+                period,
+                step,
+            };
+            result.diagnostics.verify =
+                Some(crate::verify::verify_insertion(self, &claims, &result));
         }
+        result
     }
 }
 

@@ -70,6 +70,7 @@ pub mod group;
 pub mod prune;
 pub mod report;
 pub mod solve;
+pub mod verify;
 pub mod yield_eval;
 
 pub use flow::{
@@ -80,3 +81,4 @@ pub use solve::{
     BufferSpace, ChipSolveState, PassDiagnostics, PushObjective, SampleResult, SampleSolver,
     SolverOptions,
 };
+pub use verify::VerifyReport;

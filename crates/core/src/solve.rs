@@ -488,7 +488,21 @@ impl SampleSolver {
                 match memo.lookup(&key) {
                     Some(hit) => {
                         diag.cross_chip_hits += 1;
-                        hit
+                        if psbi_fault::failpoint!("memo.replay.corrupt") {
+                            // Injected cache corruption: a claimed-feasible
+                            // outcome whose support is empty.  Downstream
+                            // this yields a chip "fixed" with no tunings —
+                            // exactly the class of silent wrong answer the
+                            // independent verifier must flag.
+                            Arc::new(CachedOutcome::Feasible {
+                                count: 0,
+                                support: Vec::new(),
+                                witness: Vec::new(),
+                                exact: true,
+                            })
+                        } else {
+                            hit
+                        }
                     }
                     None => {
                         let fresh = Arc::new(self.search_region(cons, space, region, opts));

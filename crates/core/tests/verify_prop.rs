@@ -1,0 +1,48 @@
+//! Property test: the independent insertion verifier passes on the full
+//! flow over *random* generated netlists — not just the hand-picked demo
+//! circuits the unit tests use.
+//!
+//! Each case runs the complete pipeline (calibration, A1/A3, prune,
+//! refit, grouping, yield evaluation) with every cache layer enabled and
+//! `verify` on, then requires the verifier's from-scratch re-check of
+//! every claim to succeed.  A failure here means either a real flow bug
+//! or a verifier false positive — both are release blockers.
+
+use proptest::prelude::*;
+use psbi_core::flow::{BufferInsertionFlow, FlowConfig};
+use psbi_netlist::generator::GeneratorProfile;
+
+proptest! {
+    // The flow is expensive; a handful of random circuits is plenty —
+    // variety comes from the generator's topology/seed space.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn verifier_passes_on_random_netlists(
+        n_ffs in 8usize..28,
+        ratio in 3u32..10,
+        seed in 0u64..10_000,
+    ) {
+        let circuit = GeneratorProfile::sized("prop", n_ffs, n_ffs * ratio as usize)
+            .generate(seed);
+        let cfg = FlowConfig {
+            samples: 80,
+            yield_samples: 160,
+            calibration_samples: 160,
+            seed: seed ^ 0x9e37_79b9,
+            verify: true,
+            ..FlowConfig::default()
+        };
+        let result = BufferInsertionFlow::new(&circuit, cfg)
+            .expect("generated circuits are valid flow inputs")
+            .run();
+        let report = result.diagnostics.verify.as_ref().expect("verify report");
+        prop_assert!(
+            report.passed,
+            "verifier flagged a random netlist (ffs={}, gates={}, seed={}): {}",
+            n_ffs, n_ffs * ratio as usize, seed, report
+        );
+        prop_assert!(report.checks > 0);
+        prop_assert_eq!(report.mismatches, 0);
+    }
+}

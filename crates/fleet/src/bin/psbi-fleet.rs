@@ -7,7 +7,7 @@
 //! psbi-fleet run    --spec campaign.json --journal c.journal
 //!                   [--workers N] [--max-jobs K] [--report out.json]
 //!                   [--with-timings] [--quiet] [--no-incremental]
-//!                   [--no-cross-chip]
+//!                   [--no-cross-chip] [--retries N] [--verify]
 //! psbi-fleet report --spec campaign.json --journal c.journal
 //!                   [--json out.json] [--with-timings]
 //! ```
@@ -16,8 +16,12 @@
 //! never re-executed, and an interrupted campaign continues exactly where
 //! its journal ends (`--max-jobs` bounds how many new jobs one invocation
 //! executes, which is also how the CI smoke test simulates a kill).
+//!
+//! Every failure class maps to a distinct exit code (usage errors are 2):
+//! spec=3, io=4, journal=5, circuit=6, corrupt journal=7, worker crash=8,
+//! verification failure=9 — see `FleetError::code`.
 
-use psbi_fleet::{run_campaign, CampaignReport, CampaignSpec, FleetOptions, Journal};
+use psbi_fleet::{run_campaign, CampaignReport, CampaignSpec, FleetError, FleetOptions, Journal};
 use psbi_netlist::bench_suite::CircuitRef;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -30,9 +34,11 @@ struct Args {
 
 impl Args {
     fn from_env() -> Self {
-        Self {
-            raw: std::env::args().skip(2).collect(),
-        }
+        Self::from_vec(std::env::args().skip(2).collect())
+    }
+
+    fn from_vec(raw: Vec<String>) -> Self {
+        Self { raw }
     }
 
     fn get<T: std::str::FromStr>(&self, key: &str) -> Option<T> {
@@ -66,32 +72,40 @@ fn usage() -> ExitCode {
          \x20 psbi-fleet run    --spec campaign.json --journal c.journal\n\
          \x20                   [--workers N] [--max-jobs K] [--report out.json]\n\
          \x20                   [--with-timings] [--quiet] [--no-incremental]\n\
-         \x20                   [--no-cross-chip]\n\
+         \x20                   [--no-cross-chip] [--retries N] [--verify]\n\
          \x20 psbi-fleet report --spec campaign.json --journal c.journal\n\
          \x20                   [--json out.json] [--with-timings]\n\
          \n\
          circuits: paper suite names (s9234, ...), demo classes\n\
          (tiny_demo:SEED, small_demo:SEED, medium_demo:SEED) or\n\
-         sized:NAME:FFS:GATES:SEED"
+         sized:NAME:FFS:GATES:SEED\n\
+         \n\
+         exit codes: 2 usage, 3 spec, 4 io, 5 journal, 6 circuit,\n\
+         7 corrupt journal, 8 worker crash, 9 verification failure"
     );
     ExitCode::from(2)
 }
 
-fn load_spec(args: &Args) -> Result<CampaignSpec, String> {
+fn load_spec(args: &Args) -> Result<CampaignSpec, FleetError> {
     let path: String = args
         .get("spec")
-        .ok_or_else(|| "--spec <campaign.json> is required".to_string())?;
-    let text = std::fs::read_to_string(&path).map_err(|e| format!("reading `{path}`: {e}"))?;
-    CampaignSpec::from_json(&text).map_err(|e| e.to_string())
+        .ok_or_else(|| FleetError::Spec("--spec <campaign.json> is required".into()))?;
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        FleetError::Io(std::io::Error::new(
+            e.kind(),
+            format!("reading `{path}`: {e}"),
+        ))
+    })?;
+    CampaignSpec::from_json(&text)
 }
 
-fn journal_path(args: &Args) -> Result<PathBuf, String> {
+fn journal_path(args: &Args) -> Result<PathBuf, FleetError> {
     args.get::<String>("journal")
         .map(PathBuf::from)
-        .ok_or_else(|| "--journal <path> is required".to_string())
+        .ok_or_else(|| FleetError::Spec("--journal <path> is required".into()))
 }
 
-fn cmd_init(args: &Args) -> Result<(), String> {
+fn cmd_init(args: &Args) -> Result<(), FleetError> {
     let mut spec = CampaignSpec::example();
     if let Some(name) = args.get::<String>("name") {
         spec.name = name;
@@ -100,12 +114,16 @@ fn cmd_init(args: &Args) -> Result<(), String> {
         spec.circuits = circuits
             .iter()
             .map(|c| CircuitRef::parse(c))
-            .collect::<Result<_, _>>()?;
+            .collect::<Result<_, _>>()
+            .map_err(FleetError::Spec)?;
     }
     if let Some(sigmas) = args.list("sigma") {
         spec.sigma_factors = sigmas
             .iter()
-            .map(|s| s.parse::<f64>().map_err(|_| format!("bad sigma `{s}`")))
+            .map(|s| {
+                s.parse::<f64>()
+                    .map_err(|_| FleetError::Spec(format!("bad sigma `{s}`")))
+            })
             .collect::<Result<_, _>>()?;
     }
     if let Some(samples) = args.get("samples") {
@@ -118,9 +136,14 @@ fn cmd_init(args: &Args) -> Result<(), String> {
     if let Some(seed) = args.get("seed") {
         spec.seed = seed;
     }
-    spec.validate().map_err(|e| e.to_string())?;
+    spec.validate()?;
     let out: String = args.get("out").unwrap_or_else(|| "campaign.json".into());
-    std::fs::write(&out, spec.to_json()).map_err(|e| format!("writing `{out}`: {e}"))?;
+    std::fs::write(&out, spec.to_json()).map_err(|e| {
+        FleetError::Io(std::io::Error::new(
+            e.kind(),
+            format!("writing `{out}`: {e}"),
+        ))
+    })?;
     println!(
         "wrote `{out}`: {} circuits x {} targets = {} jobs (fingerprint {})",
         spec.circuits.len(),
@@ -131,7 +154,7 @@ fn cmd_init(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_plan(args: &Args) -> Result<(), String> {
+fn cmd_plan(args: &Args) -> Result<(), FleetError> {
     let spec = load_spec(args)?;
     println!(
         "campaign `{}` (fingerprint {}): {} jobs",
@@ -154,7 +177,7 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_run(args: &Args) -> Result<(), String> {
+fn cmd_run(args: &Args) -> Result<(), FleetError> {
     let spec = load_spec(args)?;
     let journal = journal_path(args)?;
     let opts = FleetOptions {
@@ -166,13 +189,21 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         // PSBI_NO_CROSSCHIP=1) exist for debugging and A/B timing.
         incremental: !args.has("no-incremental"),
         cross_chip: !args.has("no-cross-chip"),
+        retries: args.get("retries").unwrap_or(2),
+        // PSBI_VERIFY=1 force-enables verification inside the flow even
+        // without the flag.
+        verify: args.has("verify"),
     };
-    let outcome = run_campaign(&spec, &journal, &opts).map_err(|e| e.to_string())?;
+    let outcome = run_campaign(&spec, &journal, &opts)?;
     let report = CampaignReport::from_outcome(&spec, &outcome);
     print!("{}", report.text());
     if let Some(out) = args.get::<String>("report") {
-        std::fs::write(&out, report.json(args.has("with-timings")))
-            .map_err(|e| format!("writing `{out}`: {e}"))?;
+        std::fs::write(&out, report.json(args.has("with-timings"))).map_err(|e| {
+            FleetError::Io(std::io::Error::new(
+                e.kind(),
+                format!("writing `{out}`: {e}"),
+            ))
+        })?;
         println!("report written to `{out}`");
     }
     if !outcome.complete() {
@@ -188,15 +219,19 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_report(args: &Args) -> Result<(), String> {
+fn cmd_report(args: &Args) -> Result<(), FleetError> {
     let spec = load_spec(args)?;
     let journal = journal_path(args)?;
-    let records = Journal::replay(&journal, &spec).map_err(|e| e.to_string())?;
+    let records = Journal::replay(&journal, &spec)?;
     let report = CampaignReport::from_records(&spec, records);
     print!("{}", report.text());
     if let Some(out) = args.get::<String>("json") {
-        std::fs::write(&out, report.json(args.has("with-timings")))
-            .map_err(|e| format!("writing `{out}`: {e}"))?;
+        std::fs::write(&out, report.json(args.has("with-timings"))).map_err(|e| {
+            FleetError::Io(std::io::Error::new(
+                e.kind(),
+                format!("writing `{out}`: {e}"),
+            ))
+        })?;
         println!("report written to `{out}`");
     }
     Ok(())
@@ -221,9 +256,83 @@ fn main() -> ExitCode {
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("psbi-fleet: {message}");
-            ExitCode::FAILURE
+        Err(e) => {
+            // One line per failure, and the exit code names the class so
+            // scripts need not parse stderr.
+            eprintln!("psbi-fleet: {e}");
+            ExitCode::from(e.code())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        Args::from_vec(list.iter().map(|s| s.to_string()).collect())
+    }
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("psbi_fleet_cli_test_{tag}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn malformed_spec_json_is_a_spec_error() {
+        let path = tmp_path("badspec");
+        std::fs::write(&path, "{not json").unwrap();
+        let e = cmd_plan(&args(&["--spec", path.to_str().unwrap()])).unwrap_err();
+        assert_eq!(e.code(), 3, "unexpected error {e}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_spec_flag_is_a_spec_error() {
+        let e = cmd_plan(&args(&[])).unwrap_err();
+        assert_eq!(e.code(), 3);
+        assert!(e.to_string().contains("--spec"));
+    }
+
+    #[test]
+    fn unreadable_journal_is_an_io_error() {
+        let spec_path = tmp_path("iospec");
+        std::fs::write(&spec_path, CampaignSpec::example().to_json()).unwrap();
+        let missing = tmp_path("no_such_journal");
+        let _ = std::fs::remove_file(&missing);
+        let e = cmd_report(&args(&[
+            "--spec",
+            spec_path.to_str().unwrap(),
+            "--journal",
+            missing.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert_eq!(e.code(), 4, "unexpected error {e}");
+        let _ = std::fs::remove_file(&spec_path);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_a_journal_error() {
+        // A journal written for spec A, reported against spec B.
+        let spec_a = CampaignSpec::example();
+        let mut spec_b = spec_a.clone();
+        spec_b.samples += 1;
+        let journal_path = tmp_path("fpjournal");
+        let _ = std::fs::remove_file(&journal_path);
+        let (journal, _) = Journal::open(&journal_path, &spec_a).unwrap();
+        drop(journal);
+        let spec_path = tmp_path("fpspec");
+        std::fs::write(&spec_path, spec_b.to_json()).unwrap();
+        let e = cmd_report(&args(&[
+            "--spec",
+            spec_path.to_str().unwrap(),
+            "--journal",
+            journal_path.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert_eq!(e.code(), 5, "unexpected error {e}");
+        assert!(e.to_string().contains("fingerprint"));
+        for p in [&journal_path, &spec_path] {
+            let _ = std::fs::remove_file(p);
         }
     }
 }

@@ -18,6 +18,31 @@
 //! `journal bytes (interrupted + resumed) == journal bytes (uninterrupted)`
 //! testable.  Timings live in the in-memory [`crate::runner::CampaignOutcome`]
 //! and the report's optional (non-canonical) timing section.
+//!
+//! # Format v2: per-record checksums
+//!
+//! Every record line ends in `"crc":"<16 hex digits>"` — the FNV-1a hash
+//! of the record body (the line with the crc member spliced out).  The
+//! checksum lets replay distinguish the two ways a journal can be damaged:
+//!
+//! * **torn tail** — the *last* line(s) fail their checksum and nothing
+//!   valid follows.  That is the signature of a kill mid-write; `open`
+//!   truncates to the valid prefix and the campaign resumes.
+//! * **mid-file corruption** — a record fails its checksum (or no longer
+//!   parses) but a valid, checksummed record follows it.  No crash
+//!   produces that shape; something rewrote history.  Replay refuses with
+//!   [`FleetError::Corrupt`] naming the exact record and leaves the file
+//!   untouched.
+//!
+//! The header carries `"psbi_fleet_journal":2`; v1 journals (no
+//! checksums) are refused through the usual header-mismatch path, so a
+//! resumed campaign can never mix checksummed and unchecksummed records.
+//!
+//! Records for jobs that kept panicking past the retry budget are written
+//! as **quarantined**: same line format, `"quarantined":true`, numeric
+//! result fields zeroed, and the `fault` field carrying the deterministic
+//! panic payload — so the journal stays byte-identical for any worker
+//! count even when jobs fail.
 
 use crate::error::FleetError;
 use crate::json::{escape, fmt_f64, Json};
@@ -78,6 +103,18 @@ pub struct JobRecord {
     pub b2_infeasible: u64,
     /// Whether the step-2 refit pass ran.
     pub refit_ran: bool,
+    /// Whether this job exhausted its retry budget and was quarantined
+    /// instead of producing a result (numeric fields are zeroed).
+    pub quarantined: bool,
+    /// The deterministic fault description for a quarantined job (empty
+    /// for successful jobs).
+    pub fault: String,
+}
+
+/// FNV-1a over the record body — the per-record checksum (same hash the
+/// spec fingerprint uses, so the journal depends on no extra machinery).
+fn crc(body: &str) -> u64 {
+    psbi_variation::seeding::fnv1a(body.as_bytes())
 }
 
 impl JobRecord {
@@ -108,12 +145,48 @@ impl JobRecord {
             a1_infeasible: r.stats.a1_infeasible,
             b2_infeasible: r.stats.b2_infeasible,
             refit_ran: r.stats.refit_ran,
+            quarantined: false,
+            fault: String::new(),
         }
     }
 
-    /// Renders the single-line JSON form (stable key order, shortest
-    /// round-trip floats — byte-deterministic for identical results).
-    pub fn to_json_line(&self) -> String {
+    /// The record of a job that exhausted its retry budget: every result
+    /// field is zeroed (a quarantined job produced no result) so the line
+    /// is a pure function of the job spec and the fault text — identical
+    /// for any worker count or retry timing.
+    pub fn quarantined(job: &JobSpec, fault: String) -> Self {
+        Self {
+            job: job.index,
+            circuit_id: job.circuit.id(),
+            circuit: job.circuit.id(),
+            n_ffs: 0,
+            n_gates: 0,
+            sigma_factor: job.sigma_factor,
+            mu_t: 0.0,
+            sigma_t: 0.0,
+            period: 0.0,
+            step: 0.0,
+            nb: 0,
+            ab: 0.0,
+            yield_baseline: 0.0,
+            yield_with_buffers: 0.0,
+            improvement: 0.0,
+            rescued: 0,
+            broken: 0,
+            buffers_before_grouping: 0,
+            delay_elements: 0,
+            config_bits: 0,
+            a1_infeasible: 0,
+            b2_infeasible: 0,
+            refit_ran: false,
+            quarantined: true,
+            fault,
+        }
+    }
+
+    /// Renders the record body — the line *without* its checksum member
+    /// (stable key order, shortest round-trip floats).
+    fn body(&self) -> String {
         format!(
             concat!(
                 "{{\"job\":{},\"circuit_id\":\"{}\",\"circuit\":\"{}\",",
@@ -123,7 +196,8 @@ impl JobRecord {
                 "\"yield_with_buffers\":{},\"improvement\":{},",
                 "\"rescued\":{},\"broken\":{},\"buffers_before_grouping\":{},",
                 "\"delay_elements\":{},\"config_bits\":{},",
-                "\"a1_infeasible\":{},\"b2_infeasible\":{},\"refit_ran\":{}}}"
+                "\"a1_infeasible\":{},\"b2_infeasible\":{},\"refit_ran\":{},",
+                "\"quarantined\":{},\"fault\":\"{}\"}}"
             ),
             self.job,
             escape(&self.circuit_id),
@@ -148,7 +222,56 @@ impl JobRecord {
             self.a1_infeasible,
             self.b2_infeasible,
             self.refit_ran,
+            self.quarantined,
+            escape(&self.fault),
         )
+    }
+
+    /// Renders the single-line JSON form: the body with the FNV-1a
+    /// checksum of the body spliced in as the final `crc` member
+    /// (byte-deterministic for identical results).
+    pub fn to_json_line(&self) -> String {
+        let body = self.body();
+        format!(
+            "{},\"crc\":\"{:016x}\"}}",
+            &body[..body.len() - 1],
+            crc(&body)
+        )
+    }
+
+    /// Splits a record line into (body, claimed checksum).  `escape`
+    /// backslash-escapes quotes inside string values, so the needle
+    /// `,"crc":"` can only occur in the checksum splice itself.
+    fn split_crc(line: &str) -> Option<(String, u64)> {
+        let idx = line.rfind(",\"crc\":\"")?;
+        let hex = line[idx + 8..].strip_suffix("\"}")?;
+        if hex.len() != 16 {
+            return None;
+        }
+        let claimed = u64::from_str_radix(hex, 16).ok()?;
+        let mut body = line[..idx].to_string();
+        body.push('}');
+        Some((body, claimed))
+    }
+
+    /// Parses and checksum-verifies one journal line.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Journal`] on a missing/mismatched checksum or a
+    /// malformed body.
+    pub fn from_json_line(line: &str) -> Result<Self, FleetError> {
+        let (body, claimed) = Self::split_crc(line)
+            .ok_or_else(|| FleetError::Journal("record has no checksum member".into()))?;
+        let actual = crc(&body);
+        if actual != claimed {
+            return Err(FleetError::Journal(format!(
+                "record checksum mismatch (stored {claimed:016x}, computed {actual:016x})"
+            )));
+        }
+        let parsed = Json::parse(&body)
+            .map_err(|e| FleetError::Journal(format!("record is not valid JSON: {e}")))?;
+        Self::from_json(&parsed)
     }
 
     /// Parses a record line previously written by
@@ -209,6 +332,10 @@ impl JobRecord {
             refit_ran: field("refit_ran")?
                 .as_bool()
                 .ok_or_else(|| FleetError::Journal("`refit_ran` must be a bool".into()))?,
+            quarantined: field("quarantined")?
+                .as_bool()
+                .ok_or_else(|| FleetError::Journal("`quarantined` must be a bool".into()))?,
+            fault: str_of("fault")?,
         })
     }
 }
@@ -222,7 +349,7 @@ pub struct Journal {
 
 fn header_line(spec: &CampaignSpec) -> String {
     format!(
-        "{{\"psbi_fleet_journal\":1,\"name\":\"{}\",\"fingerprint\":\"{}\",\"jobs\":{}}}",
+        "{{\"psbi_fleet_journal\":2,\"name\":\"{}\",\"fingerprint\":\"{}\",\"jobs\":{}}}",
         escape(&spec.name),
         spec.fingerprint(),
         spec.jobs().len()
@@ -276,21 +403,47 @@ fn replay_bytes(text: &str, spec: &CampaignSpec) -> Result<Replayed, FleetError>
     let mut records = Vec::new();
     let mut valid_len = (header_end + 1) as u64;
     let mut offset = header_end + 1;
+    let mut bad: Option<(usize, String)> = None;
     while let Some(nl) = text[offset..].find('\n') {
         let line = &text[offset..offset + nl];
         let line_end = offset + nl + 1;
-        let Ok(parsed) = Json::parse(line) else {
-            break; // torn or corrupt tail line
-        };
-        let Ok(record) = JobRecord::from_json(&parsed) else {
-            break;
-        };
-        if record.job != records.len() {
-            break; // out-of-sequence tail: not part of the valid prefix
+        match JobRecord::from_json_line(line) {
+            Ok(record) if record.job == records.len() => {
+                records.push(record);
+                valid_len = line_end as u64;
+                offset = line_end;
+            }
+            Ok(record) => {
+                bad = Some((line_end, format!("record claims job {}", record.job)));
+                break;
+            }
+            Err(FleetError::Journal(m)) => {
+                bad = Some((line_end, m));
+                break;
+            }
+            Err(e) => {
+                bad = Some((line_end, e.to_string()));
+                break;
+            }
         }
-        records.push(record);
-        valid_len = line_end as u64;
-        offset = line_end;
+    }
+    if let Some((after, detail)) = bad {
+        // Torn tail or mid-file corruption?  A kill can only damage the
+        // *end* of an append-only file; if any complete, checksummed,
+        // parseable record follows the first bad line, the damage is in
+        // the middle and truncating would silently drop committed
+        // history.  Refuse and name the first bad record instead.
+        let mut scan = after;
+        while let Some(nl) = text[scan..].find('\n') {
+            let line = &text[scan..scan + nl];
+            scan += nl + 1;
+            if JobRecord::from_json_line(line).is_ok() {
+                return Err(FleetError::Corrupt {
+                    record: records.len(),
+                    detail,
+                });
+            }
+        }
     }
     Ok(Replayed {
         records,
@@ -368,6 +521,17 @@ impl Journal {
     /// IO failures.
     pub fn append(&mut self, record: &JobRecord) -> Result<(), FleetError> {
         let line = format!("{}\n", record.to_json_line());
+        if psbi_fault::failpoint!("journal.write.torn", "record" = record.job) {
+            // Simulate a kill mid-write: half the line reaches the file,
+            // then the process "dies" (here: an IO error surfaces).  Specs
+            // should pin this with `times=1` so the resumed run's rewrite
+            // of the same record does not tear again.
+            self.file.write_all(&line.as_bytes()[..line.len() / 2])?;
+            self.file.flush()?;
+            return Err(FleetError::Io(std::io::Error::other(
+                "injected fault: journal.write.torn",
+            )));
+        }
         self.file.write_all(line.as_bytes())?;
         self.file.flush()?;
         Ok(())
@@ -409,6 +573,8 @@ mod tests {
             a1_infeasible: 1,
             b2_infeasible: 0,
             refit_ran: false,
+            quarantined: false,
+            fault: String::new(),
         }
     }
 
@@ -416,11 +582,45 @@ mod tests {
     fn record_line_round_trips_bit_exactly() {
         let r = record(7);
         let line = r.to_json_line();
-        let back = JobRecord::from_json(&Json::parse(&line).unwrap()).unwrap();
+        let back = JobRecord::from_json_line(&line).unwrap();
         assert_eq!(r, back);
         // Bit-exact floats survive the text round trip.
         assert_eq!(back.mu_t.to_bits(), r.mu_t.to_bits());
         assert_eq!(back.to_json_line(), line);
+        // The whole line is also plain JSON (crc is just another member).
+        assert!(Json::parse(&line).is_ok());
+    }
+
+    #[test]
+    fn checksum_rejects_any_single_byte_flip() {
+        let line = record(0).to_json_line();
+        assert!(JobRecord::from_json_line(&line).is_ok());
+        // Flip a digit inside a numeric field: still valid JSON, but the
+        // checksum catches it.
+        let tampered = line.replacen("\"rescued\":170", "\"rescued\":171", 1);
+        assert_ne!(tampered, line);
+        assert!(matches!(
+            JobRecord::from_json_line(&tampered),
+            Err(FleetError::Journal(m)) if m.contains("checksum mismatch")
+        ));
+        // A line with no crc member at all is rejected too.
+        assert!(matches!(
+            JobRecord::from_json_line("{\"job\":0}"),
+            Err(FleetError::Journal(m)) if m.contains("no checksum")
+        ));
+    }
+
+    #[test]
+    fn quarantined_record_round_trips_and_is_flagged() {
+        let spec = CampaignSpec::example();
+        let job = &spec.jobs()[1];
+        let r = JobRecord::quarantined(job, "injected fault: fleet.job.panic".into());
+        assert!(r.quarantined);
+        assert_eq!(r.job, job.index);
+        assert_eq!(r.nb, 0);
+        let back = JobRecord::from_json_line(&r.to_json_line()).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.fault, "injected fault: fleet.job.panic");
     }
 
     fn tmp_path(tag: &str) -> PathBuf {
@@ -488,7 +688,7 @@ mod tests {
         assert!(Journal::open(&path, &spec).is_err());
         assert_eq!(std::fs::read(&path).unwrap(), b"no newline here");
         // A torn prefix of our own header IS repaired.
-        let header = format!("{{\"psbi_fleet_journal\":1,\"name\":\"{}\"", spec.name);
+        let header = format!("{{\"psbi_fleet_journal\":2,\"name\":\"{}\"", spec.name);
         std::fs::write(&path, &header).unwrap();
         let (journal, records) = Journal::open(&path, &spec).unwrap();
         drop(journal);
@@ -508,6 +708,73 @@ mod tests {
         ));
         drop(journal);
         assert!(Journal::open(&path, &spec).is_ok());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn multi_record_torn_tail_is_repaired() {
+        let spec = CampaignSpec::example();
+        let path = tmp_path("multitorn");
+        let _ = std::fs::remove_file(&path);
+        let (mut journal, _) = Journal::open(&path, &spec).unwrap();
+        journal.append(&record(0)).unwrap();
+        journal.append(&record(1)).unwrap();
+        let pristine = std::fs::read(&path).unwrap();
+        journal.append(&record(2)).unwrap();
+        journal.append(&record(3)).unwrap();
+        drop(journal);
+
+        // Damage BOTH tail records: chop record 3 mid-line and break
+        // record 2's checksum — nothing valid follows either, so this is
+        // still a (multi-line) torn tail and must repair back to record 1.
+        let text = String::from_utf8(std::fs::read(&path).unwrap()).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        assert_eq!(lines.len(), 5); // header + 4 records
+        lines[3] = lines[3].replacen("\"crc\":\"", "\"crc\":\"0", 1); // record 2
+        let tail_len = lines[4].len() / 3;
+        lines[4].truncate(tail_len); // record 3, torn mid-line
+        std::fs::write(&path, format!("{}\n{}", lines[..4].join("\n"), lines[4])).unwrap();
+
+        let (journal, records) = Journal::open(&path, &spec).unwrap();
+        drop(journal);
+        assert_eq!(records.len(), 2);
+        assert_eq!(std::fs::read(&path).unwrap(), pristine);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn interior_corruption_is_refused_and_file_untouched() {
+        let spec = CampaignSpec::example();
+        let path = tmp_path("corrupt");
+        let _ = std::fs::remove_file(&path);
+        let (mut journal, _) = Journal::open(&path, &spec).unwrap();
+        journal.append(&record(0)).unwrap();
+        journal.append(&record(1)).unwrap();
+        journal.append(&record(2)).unwrap();
+        drop(journal);
+
+        // Flip a byte inside record 1: records 0 and 2 still checksum,
+        // so this is mid-file damage, not a torn tail.
+        let text = String::from_utf8(std::fs::read(&path).unwrap()).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        assert_eq!(lines.len(), 4); // header + 3 records
+        lines[2] = lines[2].replacen("\"yield_baseline\":51.25", "\"yield_baseline\":51.26", 1);
+        let damaged = format!("{}\n", lines.join("\n"));
+        assert_ne!(damaged, text);
+        std::fs::write(&path, &damaged).unwrap();
+
+        match Journal::open(&path, &spec) {
+            Err(FleetError::Corrupt { record, .. }) => assert_eq!(record, 1),
+            Err(other) => panic!("expected Corrupt, got {other}"),
+            Ok(_) => panic!("expected Corrupt, got Ok"),
+        }
+        // Refusal must not modify the file.
+        assert_eq!(std::fs::read(&path).unwrap(), damaged.as_bytes());
+        // Read-only replay refuses identically.
+        assert!(matches!(
+            Journal::replay(&path, &spec),
+            Err(FleetError::Corrupt { record: 1, .. })
+        ));
         let _ = std::fs::remove_file(&path);
     }
 

@@ -115,10 +115,19 @@ impl CampaignReport {
         self.records.len() == self.total_jobs
     }
 
+    /// Records that exhausted their retry budget and carry no result
+    /// (their numeric fields are zeroed — see `JobRecord::quarantined`).
+    pub fn quarantined(&self) -> Vec<&JobRecord> {
+        self.records.iter().filter(|r| r.quarantined).collect()
+    }
+
     /// Per-sigma-factor aggregates, in first-appearance (grid) order.
+    /// Quarantined records are excluded — averaging their zeroed fields
+    /// would silently drag every mean down.
     pub fn sigma_summaries(&self) -> Vec<SigmaSummary> {
+        let healthy: Vec<&JobRecord> = self.records.iter().filter(|r| !r.quarantined).collect();
         let mut order: Vec<f64> = Vec::new();
-        for r in &self.records {
+        for r in &healthy {
             if !order
                 .iter()
                 .any(|k| k.to_bits() == r.sigma_factor.to_bits())
@@ -129,9 +138,9 @@ impl CampaignReport {
         order
             .into_iter()
             .map(|k| {
-                let rows: Vec<&JobRecord> = self
-                    .records
+                let rows: Vec<&JobRecord> = healthy
                     .iter()
+                    .copied()
                     .filter(|r| r.sigma_factor.to_bits() == k.to_bits())
                     .collect();
                 let n = rows.len() as f64;
@@ -195,6 +204,18 @@ impl CampaignReport {
             );
         }
         let _ = writeln!(out);
+        let quarantined = self.quarantined();
+        if !quarantined.is_empty() {
+            let _ = writeln!(out, "quarantined jobs (excluded from aggregates):");
+            for r in &quarantined {
+                let _ = writeln!(
+                    out,
+                    "  job {} {} k={}: {}",
+                    r.job, r.circuit_id, r.sigma_factor, r.fault
+                );
+            }
+            let _ = writeln!(out);
+        }
         let _ = writeln!(out, "per-sigma aggregates:");
         for s in self.sigma_summaries() {
             let _ = writeln!(
@@ -250,6 +271,7 @@ impl CampaignReport {
         let _ = writeln!(out, "  \"fingerprint\": \"{}\",", self.fingerprint);
         let _ = writeln!(out, "  \"jobs_total\": {},", self.total_jobs);
         let _ = writeln!(out, "  \"jobs_completed\": {},", self.records.len());
+        let _ = writeln!(out, "  \"jobs_quarantined\": {},", self.quarantined().len());
         let _ = writeln!(out, "  \"complete\": {},", self.complete());
         let _ = writeln!(out, "  \"results\": [");
         for (i, r) in self.records.iter().enumerate() {
@@ -380,6 +402,8 @@ mod tests {
             a1_infeasible: 0,
             b2_infeasible: 0,
             refit_ran: false,
+            quarantined: false,
+            fault: String::new(),
         }
     }
 
@@ -423,6 +447,33 @@ mod tests {
         with_walls.job_wall_s = vec![Some(1.0); 4];
         with_walls.wall_s = Some(9.0);
         assert_eq!(with_walls.canonical_json(), canonical);
+    }
+
+    #[test]
+    fn quarantined_records_are_excluded_from_aggregates() {
+        let spec = CampaignSpec::example();
+        let mut bad = record(2, 0.0, 0);
+        bad.quarantined = true;
+        bad.fault = "injected fault: fleet.job.panic".into();
+        bad.nb = 0;
+        bad.yield_baseline = 0.0;
+        bad.yield_with_buffers = 0.0;
+        bad.improvement = 0.0;
+        let records = vec![record(0, 0.0, 3), record(1, 2.0, 2), bad, record(3, 2.0, 1)];
+        let report = CampaignReport::from_records(&spec, records);
+        assert_eq!(report.quarantined().len(), 1);
+        let sums = report.sigma_summaries();
+        // k=0 now aggregates ONE healthy job; the zeroed quarantined
+        // record must not drag the mean to half.
+        assert_eq!(sums[0].jobs, 1);
+        assert_eq!(sums[0].mean_yield_baseline, 50.0);
+        assert_eq!(sums[0].total_buffers, 3);
+        let text = report.text();
+        assert!(text.contains("quarantined jobs (excluded from aggregates):"));
+        assert!(text.contains("injected fault: fleet.job.panic"));
+        let json = report.canonical_json();
+        let v = Json::parse(&json).unwrap();
+        assert_eq!(v.get("jobs_quarantined").unwrap().as_usize(), Some(1));
     }
 
     #[test]

@@ -24,12 +24,13 @@
 
 use crate::error::FleetError;
 use crate::journal::{JobRecord, Journal};
-use crate::spec::CampaignSpec;
-use psbi_core::flow::{BufferInsertionFlow, TargetPeriod, WorkspacePool};
+use crate::spec::{CampaignSpec, JobSpec};
+use psbi_core::flow::{BufferInsertionFlow, InsertionResult, TargetPeriod, WorkspacePool};
 use psbi_netlist::Circuit;
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 /// Execution knobs for one `run_campaign` invocation.
@@ -60,6 +61,17 @@ pub struct FleetOptions {
     /// of a pure function, so results are bit-identical either way;
     /// `PSBI_NO_CROSSCHIP=1` overrides it process-wide.
     pub cross_chip: bool,
+    /// How many times a panicking job is re-executed before it is
+    /// quarantined.  Retries are deterministic: job `i` always re-runs
+    /// the same pure function, so a retry either reproduces the panic
+    /// (systematic fault → quarantine) or the first panic was transient
+    /// injection and the retry's result is the canonical one.
+    pub retries: usize,
+    /// Run the independent result verifier on every job
+    /// (`FlowConfig::verify`).  Canonical outputs are untouched; a
+    /// failed verification surfaces as [`FleetError::Verify`] *after*
+    /// the campaign completes and every record is journaled.
+    pub verify: bool,
 }
 
 impl Default for FleetOptions {
@@ -70,6 +82,8 @@ impl Default for FleetOptions {
             progress: false,
             incremental: true,
             cross_chip: true,
+            retries: 2,
+            verify: false,
         }
     }
 }
@@ -128,11 +142,14 @@ struct CommitState {
     journal: Journal,
     /// Next job index to commit.
     next: usize,
-    /// Completed jobs waiting for their predecessors.
-    parked: BTreeMap<usize, (JobRecord, f64, psbi_core::flow::FlowDiagnostics)>,
+    /// Completed jobs waiting for their predecessors (`None` diagnostics
+    /// for quarantined jobs — they produced no result).
+    parked: BTreeMap<usize, (JobRecord, f64, Option<psbi_core::flow::FlowDiagnostics>)>,
     records: Vec<JobRecord>,
     job_wall_s: Vec<Option<f64>>,
     job_diagnostics: Vec<Option<psbi_core::flow::FlowDiagnostics>>,
+    /// Per-job verifier failures, accumulated in commit (= job) order.
+    verify_failures: Vec<(usize, String)>,
     error: Option<FleetError>,
 }
 
@@ -140,14 +157,73 @@ impl CommitState {
     /// Commits every parked record that has become next-in-line.
     fn drain(&mut self) -> Result<(), FleetError> {
         while let Some((record, wall, diag)) = self.parked.remove(&self.next) {
+            if psbi_fault::failpoint!("fleet.commit.before_write", "job" = self.next) {
+                // Simulate a crash in the window between claiming the
+                // commit slot and writing the record: the journal keeps
+                // its valid prefix and resume re-executes this job.
+                panic!("injected fault: fleet.commit.before_write");
+            }
             self.journal.append(&record)?;
+            if let Some(report) = diag.as_ref().and_then(|d| d.verify.as_ref()) {
+                if !report.passed {
+                    self.verify_failures.push((self.next, report.to_string()));
+                }
+            }
             self.records.push(record);
             self.job_wall_s[self.next] = Some(wall);
-            self.job_diagnostics[self.next] = Some(diag);
+            self.job_diagnostics[self.next] = diag;
             self.next += 1;
         }
         Ok(())
     }
+}
+
+/// Locks the commit state, recovering from poisoning: the state is a
+/// reorder buffer of already-complete values, so a panic while a worker
+/// held the lock (e.g. an injected commit fault) leaves it fully
+/// consistent — the remaining workers may keep committing.
+fn lock_commit<'a>(state: &'a Mutex<CommitState>) -> MutexGuard<'a, CommitState> {
+    state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Best-effort human-readable panic payload (deterministic for string
+/// panics, which is all the fault harness and the flow ever raise).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one job under `catch_unwind` with a bounded retry budget.
+///
+/// `Ok` is the job's (bit-deterministic) result; `Err` carries the final
+/// panic message after the budget is exhausted — the caller quarantines.
+/// Unwinding cannot corrupt the flow: workspaces checked out when a
+/// panic strikes are simply not returned to the pool, shared mutexes
+/// recover from poisoning, and every retry recomputes from the same
+/// deterministic inputs.
+fn execute_job(
+    flow: &BufferInsertionFlow,
+    job: &JobSpec,
+    retries: usize,
+) -> Result<InsertionResult, String> {
+    let mut fault = String::new();
+    for _attempt in 0..=retries {
+        match catch_unwind(AssertUnwindSafe(|| {
+            if psbi_fault::failpoint!("fleet.job.panic", "job" = job.index) {
+                panic!("injected fault: fleet.job.panic");
+            }
+            flow.run_target(TargetPeriod::SigmaFactor(job.sigma_factor))
+        })) {
+            Ok(result) => return Ok(result),
+            Err(payload) => fault = panic_message(payload),
+        }
+    }
+    Err(fault)
 }
 
 /// Runs (or resumes) `spec` against the journal at `journal_path`.
@@ -220,6 +296,7 @@ pub fn run_campaign(
     let mut cfg = spec.flow_config();
     cfg.incremental = opts.incremental;
     cfg.cross_chip = opts.cross_chip;
+    cfg.verify = opts.verify;
     let flows: Vec<Option<BufferInsertionFlow>> = circuits
         .iter()
         .map(|c| {
@@ -258,64 +335,111 @@ pub fn run_campaign(
         records: existing,
         job_wall_s,
         job_diagnostics,
+        verify_failures: Vec::new(),
         error: None,
     });
     let cursor = AtomicUsize::new(resumed);
     let failed = AtomicBool::new(false);
 
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                if failed.load(Ordering::Relaxed) {
-                    break;
-                }
-                let j = cursor.fetch_add(1, Ordering::Relaxed);
-                if j >= end {
-                    break;
-                }
-                let job = &jobs[j];
-                let flow = flows[job.circuit_index]
-                    .as_ref()
-                    .expect("flows built for every pending circuit");
-                let t_job = Instant::now();
-                let result = flow.run_target(TargetPeriod::SigmaFactor(job.sigma_factor));
-                let record = JobRecord::from_result(job, &result);
-                let wall = t_job.elapsed().as_secs_f64();
-                // Last pending job of this circuit: reclaim the flow's
-                // warm solver state.  Every `run_target` of the circuit
-                // has returned by the time the counter hits zero, so the
-                // release cannot race a park.  Purely a memory knob —
-                // a resumed invocation simply starts this circuit cold.
-                if circuit_pending[job.circuit_index].fetch_sub(1, Ordering::Relaxed) == 1 {
-                    flow.release_solver_state();
-                }
-                if opts.progress {
-                    eprintln!(
-                        "psbi-fleet: job {}/{} {} k={} Y {:.2}% -> {:.2}% ({} buffers, {:.2}s)",
-                        j + 1,
-                        total,
-                        record.circuit_id,
-                        record.sigma_factor,
-                        record.yield_baseline,
-                        record.yield_with_buffers,
-                        record.nb,
-                        wall
-                    );
-                }
-                let mut st = state.lock().expect("commit lock");
-                st.parked.insert(j, (record, wall, result.diagnostics));
-                if let Err(e) = st.drain() {
-                    st.error.get_or_insert(e);
-                    failed.store(true, Ordering::Relaxed);
-                    break;
-                }
-            });
-        }
-    });
+    // The scope itself runs under `catch_unwind`: a panic that escapes a
+    // worker thread (possible only *outside* the per-job retry harness,
+    // e.g. an injected commit fault) must not abort the process — the
+    // journal's valid prefix is on disk and resume recovers it.
+    let scope_panic = catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    if failed.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let j = cursor.fetch_add(1, Ordering::Relaxed);
+                    if j >= end {
+                        break;
+                    }
+                    let job = &jobs[j];
+                    let Some(flow) = flows[job.circuit_index].as_ref() else {
+                        let mut st = lock_commit(&state);
+                        st.error.get_or_insert(FleetError::Circuit(format!(
+                            "internal: no flow was built for circuit index {}",
+                            job.circuit_index
+                        )));
+                        failed.store(true, Ordering::Relaxed);
+                        break;
+                    };
+                    let t_job = Instant::now();
+                    let executed = execute_job(flow, job, opts.retries);
+                    let wall = t_job.elapsed().as_secs_f64();
+                    // Last pending job of this circuit: reclaim the flow's
+                    // warm solver state.  Every `run_target` of the circuit
+                    // has returned by the time the counter hits zero, so the
+                    // release cannot race a park.  Purely a memory knob —
+                    // a resumed invocation simply starts this circuit cold.
+                    if circuit_pending[job.circuit_index].fetch_sub(1, Ordering::Relaxed) == 1 {
+                        flow.release_solver_state();
+                    }
+                    let (record, diag) = match executed {
+                        Ok(result) => {
+                            let record = JobRecord::from_result(job, &result);
+                            (record, Some(result.diagnostics))
+                        }
+                        Err(fault) => (JobRecord::quarantined(job, fault), None),
+                    };
+                    if opts.progress {
+                        if record.quarantined {
+                            eprintln!(
+                                "psbi-fleet: job {}/{} {} k={} QUARANTINED after {} attempts: {}",
+                                j + 1,
+                                total,
+                                record.circuit_id,
+                                record.sigma_factor,
+                                opts.retries + 1,
+                                record.fault
+                            );
+                        } else {
+                            eprintln!(
+                                "psbi-fleet: job {}/{} {} k={} Y {:.2}% -> {:.2}% ({} buffers, {:.2}s)",
+                                j + 1,
+                                total,
+                                record.circuit_id,
+                                record.sigma_factor,
+                                record.yield_baseline,
+                                record.yield_with_buffers,
+                                record.nb,
+                                wall
+                            );
+                        }
+                    }
+                    let mut st = lock_commit(&state);
+                    st.parked.insert(j, (record, wall, diag));
+                    if let Err(e) = st.drain() {
+                        st.error.get_or_insert(e);
+                        failed.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                });
+            }
+        })
+    }));
 
-    let state = state.into_inner().expect("commit lock");
-    if let Some(e) = state.error {
+    let mut state = state.into_inner().unwrap_or_else(PoisonError::into_inner);
+    if let Some(e) = state.error.take() {
         return Err(e);
+    }
+    if let Err(payload) = scope_panic {
+        return Err(FleetError::Worker(panic_message(payload)));
+    }
+    if !state.verify_failures.is_empty() {
+        let detail: Vec<String> = state
+            .verify_failures
+            .iter()
+            .map(|(job, report)| format!("job {job}: {report}"))
+            .collect();
+        return Err(FleetError::Verify(format!(
+            "{} of {} job(s) failed independent verification — {}",
+            state.verify_failures.len(),
+            state.records.len(),
+            detail.join("; ")
+        )));
     }
     let executed = state.records.len() - resumed;
     Ok(CampaignOutcome {
@@ -462,6 +586,51 @@ mod tests {
             .sum();
         assert!(hits > 0, "campaign never hit the cross-chip memo");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn verify_option_is_byte_neutral_and_populates_reports() {
+        // --verify must not change a single canonical byte: the verifier
+        // only *re-checks* results.  Its reports land in the (in-memory,
+        // non-canonical) diagnostics.
+        let spec = quick_spec();
+        let path_plain = tmp_path("verify_plain");
+        let path_verify = tmp_path("verify_on");
+        for p in [&path_plain, &path_verify] {
+            let _ = std::fs::remove_file(p);
+        }
+        let plain = run_campaign(&spec, &path_plain, &FleetOptions::default()).unwrap();
+        let verified = run_campaign(
+            &spec,
+            &path_verify,
+            &FleetOptions {
+                verify: true,
+                workers: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(plain.records, verified.records);
+        assert_eq!(
+            std::fs::read(&path_plain).unwrap(),
+            std::fs::read(&path_verify).unwrap()
+        );
+        for (j, diag) in verified.job_diagnostics.iter().enumerate() {
+            let report = diag
+                .as_ref()
+                .and_then(|d| d.verify.as_ref())
+                .unwrap_or_else(|| panic!("job {j} missing verify report"));
+            assert!(report.passed, "job {j}: {report}");
+            assert!(report.checks > 0);
+        }
+        assert!(plain
+            .job_diagnostics
+            .iter()
+            .flatten()
+            .all(|d| d.verify.is_none()));
+        for p in [&path_plain, &path_verify] {
+            let _ = std::fs::remove_file(p);
+        }
     }
 
     #[test]

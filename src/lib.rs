@@ -13,6 +13,8 @@
 //! * [`netlist`] — circuit graph, ISCAS89 parser, benchmark generator;
 //! * [`timing`] — STA/SSTA, sequential constraint graphs, feasibility;
 //! * [`milp`] — LP/MILP solver (simplex + branch and bound);
+//! * [`fault`] — deterministic fault-injection failpoints
+//!   (`PSBI_FAULT_SPEC`) for crash-safety testing;
 //! * [`core`] — the sampling-based insertion flow itself;
 //! * [`fleet`] — sharded multi-circuit campaign runner with
 //!   checkpoint/resume (the `psbi-fleet` binary).
@@ -36,6 +38,7 @@
 //! ```
 
 pub use psbi_core as core;
+pub use psbi_fault as fault;
 pub use psbi_fleet as fleet;
 pub use psbi_liberty as liberty;
 pub use psbi_milp as milp;
