@@ -107,6 +107,28 @@ def main() -> int:
             f"(probe batched_speedup: {probe['batched_speedup']:.3f}x)"
         )
 
+    # Disarmed-observability ceiling: a span+counter site with tracing and
+    # metrics off must stay in the low tens of nanoseconds (two relaxed
+    # atomic loads).  An absolute bound rather than a ratio — the cost of
+    # an uncontended atomic load is essentially hardware-independent, and
+    # a ratio against the committed baseline would let a slow creep land
+    # one tolerance-width at a time.  100 ns is ~30x the expected cost, so
+    # tripping it means a lock, an env read, or an allocation leaked onto
+    # the disarmed fast path.
+    probe_obs = probe.get("obs", {})
+    disarmed_ns = probe_obs.get("disarmed_span_ns")
+    if disarmed_ns is not None:
+        ok = disarmed_ns <= 100.0
+        failed_baseline |= not ok
+        notes.append(
+            f"disarmed span+counter site: {disarmed_ns:.1f} ns "
+            f"(ceiling 100 ns) — {'✅ pass' if ok else '❌ FAIL: the disarmed fast path regressed'}"
+        )
+    else:
+        notes.append(
+            "probe has no obs.disarmed_span_ns — disarmed-overhead ceiling skipped"
+        )
+
     # The committed baseline must keep recording live cross-chip memo
     # activity: a regenerated BENCH_sampling.json with a dead memo (zero
     # hits / zero keys) means the dedup path stopped firing and must not

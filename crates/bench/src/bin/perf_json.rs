@@ -68,6 +68,19 @@ fn main() {
         .get("out")
         .unwrap_or_else(|| "BENCH_sampling.json".to_string());
 
+    // Disarmed observability overhead, measured before anything arms the
+    // registry: one span guard constructed and dropped per iteration is
+    // the exact cost every instrumented site pays when PSBI_TRACE /
+    // PSBI_METRICS are unset (a relaxed atomic load each).  The perf-gate
+    // CI job pins a floor on this number.
+    let obs_iters = 2_000_000u64;
+    let t_obs = Instant::now();
+    for _ in 0..obs_iters {
+        let _ = std::hint::black_box(psbi_obs::Span::enter("bench.obs.disarmed"));
+        psbi_obs::metrics::counter_add("bench.obs.disarmed", 1);
+    }
+    let disarmed_span_ns = t_obs.elapsed().as_nanos() as f64 / obs_iters as f64;
+
     let spec = bench_suite::by_name(&circuit_name).unwrap_or_else(|| {
         panic!("unknown circuit `{circuit_name}`; see bench_suite::paper_suite()")
     });
@@ -150,7 +163,11 @@ fn main() {
     let simd_wide_s = time_backend(backend);
     std::hint::black_box(sink);
 
-    // One full flow run (calibration + passes + grouping + yield).
+    // One full flow run (calibration + passes + grouping + yield), under
+    // an armed path-less metrics registry so the solver-stage histograms
+    // (`solve.stage.*`) cover exactly this run — the old StageTimes
+    // plumbing lives in obs now, and the solver reads no clock at all
+    // unless the registry is armed.
     let cfg = FlowConfig {
         samples: flow_samples,
         yield_samples: flow_samples,
@@ -159,11 +176,19 @@ fn main() {
         target: TargetPeriod::SigmaFactor(0.0),
         ..FlowConfig::default()
     };
+    psbi_obs::metrics::arm(None);
     let t2 = Instant::now();
     let result = BufferInsertionFlow::new(&circuit, cfg.clone())
         .expect("valid circuit")
         .run();
     let flow_s = t2.elapsed().as_secs_f64();
+    let obs_flow = psbi_obs::metrics::snapshot();
+    let stage_s = |name: &str| -> f64 {
+        obs_flow
+            .histogram(name)
+            .map(|h| h.sum as f64 / 1e9)
+            .unwrap_or(0.0)
+    };
 
     // Incremental re-solve trajectory: the same flow warm (cross-pass
     // state carried) versus cold (the `PSBI_NO_INCREMENTAL` semantics),
@@ -230,7 +255,6 @@ fn main() {
     });
     let cc_totals = cc_warm.diagnostics.total();
     let cc_hit_rate = cc_totals.cross_chip_hits as f64 / cc_totals.regions_total.max(1) as f64;
-    let stage = result.diagnostics.total().stage;
 
     // Fleet campaign vs the same jobs back to back.  The campaign path
     // journals every job and commits in order; the back-to-back path is
@@ -392,19 +416,22 @@ fn main() {
     );
     let _ = writeln!(json, "    \"buffers\": {},", result.nb);
     let _ = writeln!(json, "    \"solver_stages\": {{");
-    let secs = psbi_core::solve::StageTimes::secs;
     let _ = writeln!(
         json,
         "      \"discovery_s\": {:.6},",
-        secs(stage.discovery_ns)
+        stage_s("solve.stage.discovery")
     );
     let _ = writeln!(
         json,
         "      \"saturation_screen_s\": {:.6},",
-        secs(stage.screen_ns)
+        stage_s("solve.stage.screen")
     );
-    let _ = writeln!(json, "      \"search_s\": {:.6},", secs(stage.search_ns));
-    let _ = writeln!(json, "      \"milp_s\": {:.6}", secs(stage.milp_ns));
+    let _ = writeln!(
+        json,
+        "      \"search_s\": {:.6},",
+        stage_s("solve.stage.search")
+    );
+    let _ = writeln!(json, "      \"milp_s\": {:.6}", stage_s("solve.stage.milp"));
     let _ = writeln!(json, "    }}");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"cross_chip\": {{");
@@ -501,6 +528,18 @@ fn main() {
         fleet_s / back_to_back_s - 1.0
     );
     let _ = writeln!(json, "    \"resume_noop_s\": {resume_noop_s:.6}");
+    let _ = writeln!(json, "  }},");
+    // Process-wide metrics snapshot (the registry armed before the flow
+    // run stayed armed through the campaign sections), plus the cost of
+    // an instrumented site with everything disarmed — the number the
+    // perf-gate floors.
+    let _ = writeln!(json, "  \"obs\": {{");
+    let _ = writeln!(json, "    \"disarmed_span_ns\": {disarmed_span_ns:.2},");
+    let _ = writeln!(
+        json,
+        "    \"metrics\": {}",
+        psbi_obs::metrics::snapshot().to_json()
+    );
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
 
@@ -519,5 +558,6 @@ fn main() {
         cc_totals.cross_chip_hits,
         cc_warm.diagnostics.memo_entries
     );
+    eprintln!("perf_json: disarmed obs site costs {disarmed_span_ns:.1} ns");
     print!("{json}");
 }

@@ -515,7 +515,16 @@ impl WorkspacePool {
 
     /// Runs `f` with a pooled workspace (creating one on first use).
     fn run<R>(&self, f: impl FnOnce(&mut Workspace) -> R) -> R {
-        let mut ws = recover(self.free.lock()).pop().unwrap_or_default();
+        psbi_obs::metrics::counter_add("pool.checkouts", 1);
+        let mut ws = match recover(self.free.lock()).pop() {
+            Some(ws) => ws,
+            None => {
+                // Schedule-dependent (how many workers ever overlapped),
+                // so excluded from metric-determinism tests.
+                psbi_obs::metrics::counter_add("pool.workspace.created", 1);
+                Workspace::default()
+            }
+        };
         if psbi_fault::failpoint!("pool.checkout.panic") {
             panic!("injected fault: pool.checkout.panic");
         }
@@ -995,12 +1004,17 @@ impl<'a> BufferInsertionFlow<'a> {
         f: impl Fn(&mut Workspace, usize, usize) -> T + Sync,
     ) -> Vec<T> {
         let n_chunks = n.div_ceil(SAMPLE_CHUNK);
+        psbi_obs::metrics::counter_add("flow.chunks", n_chunks as u64);
         self.parallel(|| {
             (0..n_chunks)
                 .into_par_iter()
                 .map(|c| {
                     let lo = c * SAMPLE_CHUNK;
                     let len = SAMPLE_CHUNK.min(n - lo);
+                    let _span = psbi_obs::Span::enter_with(
+                        "flow.chunk",
+                        &[("lo", lo as u64), ("len", len as u64)],
+                    );
                     self.pool.run(|ws| f(ws, lo, len))
                 })
                 .collect()
@@ -1015,6 +1029,8 @@ impl<'a> BufferInsertionFlow<'a> {
     }
 
     fn calibrate_uncached(&self) -> (f64, f64, f64) {
+        let _span = psbi_obs::Span::enter("flow.calibrate");
+        let _timer = psbi_obs::metrics::timer("flow.calibrate");
         let stream = stream_seed(self.cfg.seed, "calibrate");
         let n = self.cfg.calibration_samples;
         // Chip `k`'s period goes straight into slot `k`: chunks own
@@ -1207,6 +1223,8 @@ impl<'a> BufferInsertionFlow<'a> {
 
     /// Parallel yield evaluation on the fresh "yield" stream.
     fn evaluate_yield(&self, deployment: &Deployment, period: f64, step: f64) -> YieldReport {
+        let _span = psbi_obs::Span::enter("flow.yield");
+        let _timer = psbi_obs::metrics::timer("flow.yield");
         let stream = stream_seed(self.cfg.seed, "yield");
         let samples = self.cfg.yield_samples;
         let reports = self.map_chunks(samples, |ws, lo, len| {
@@ -1241,6 +1259,9 @@ impl<'a> BufferInsertionFlow<'a> {
     /// configuration and `target` — never on which targets ran before it
     /// or concurrently with it.
     pub fn run_target(&self, target: TargetPeriod) -> InsertionResult {
+        let _span =
+            psbi_obs::Span::enter_with("flow.target", &[("samples", self.cfg.samples as u64)]);
+        psbi_obs::metrics::counter_add("flow.targets", 1);
         let t_total = Instant::now();
         let steps = self.cfg.steps as i64;
         let n_ffs = self.sg.n_ffs;
@@ -1289,16 +1310,20 @@ impl<'a> BufferInsertionFlow<'a> {
         // First space epoch: the floating windows.
         let space_a1 = Arc::new(space.clone());
         let tp = Instant::now();
-        let a1 = self.run_pass(
-            &space_a1,
-            a1_arena,
-            memo,
-            Push::CountOnly,
-            None,
-            false,
-            period,
-            step,
-        );
+        let a1 = {
+            let _span = psbi_obs::Span::enter("flow.pass.a1");
+            let _timer = psbi_obs::metrics::timer("flow.pass.a1");
+            self.run_pass(
+                &space_a1,
+                a1_arena,
+                memo,
+                Push::CountOnly,
+                None,
+                false,
+                period,
+                step,
+            )
+        };
         let pass_a1_s = tp.elapsed().as_secs_f64();
         let prune_report = prune(
             &self.sg,
@@ -1315,7 +1340,11 @@ impl<'a> BufferInsertionFlow<'a> {
         // Second epoch: the prune changed `has_buffer`.
         let space_a3 = Arc::new(space.clone());
         let tp = Instant::now();
-        let a3 = self.run_pass(&space_a3, arena, memo, a3_push, None, false, period, step);
+        let a3 = {
+            let _span = psbi_obs::Span::enter("flow.pass.a3");
+            let _timer = psbi_obs::metrics::timer("flow.pass.a3");
+            self.run_pass(&space_a3, arena, memo, a3_push, None, false, period, step)
+        };
         let pass_a3_s = tp.elapsed().as_secs_f64();
         // Window assignment (III-A4): most-covering window containing 0.
         let mut miss_events = 0u64;
@@ -1338,16 +1367,20 @@ impl<'a> BufferInsertionFlow<'a> {
         let space_b = Arc::new(space.clone());
         let (b1, pass_b1_s) = if refit_ran {
             let tp = Instant::now();
-            let b1 = self.run_pass(
-                &space_b,
-                arena,
-                memo,
-                Push::CountOnly,
-                None,
-                false,
-                period,
-                step,
-            );
+            let b1 = {
+                let _span = psbi_obs::Span::enter("flow.pass.b1");
+                let _timer = psbi_obs::metrics::timer("flow.pass.b1");
+                self.run_pass(
+                    &space_b,
+                    arena,
+                    memo,
+                    Push::CountOnly,
+                    None,
+                    false,
+                    period,
+                    step,
+                )
+            };
             (b1, tp.elapsed().as_secs_f64())
         } else {
             // Reuse the step-1 tunings (they already respect the windows).
@@ -1385,16 +1418,20 @@ impl<'a> BufferInsertionFlow<'a> {
             Push::CountOnly
         };
         let tp = Instant::now();
-        let b2 = self.run_pass(
-            &space_b,
-            arena,
-            memo,
-            b2_push,
-            Some(&targets),
-            true,
-            period,
-            step,
-        );
+        let b2 = {
+            let _span = psbi_obs::Span::enter("flow.pass.b2");
+            let _timer = psbi_obs::metrics::timer("flow.pass.b2");
+            self.run_pass(
+                &space_b,
+                arena,
+                memo,
+                b2_push,
+                Some(&targets),
+                true,
+                period,
+                step,
+            )
+        };
         let pass_b2_s = tp.elapsed().as_secs_f64();
         let step2_s = t2.elapsed().as_secs_f64();
         // Park the arenas for the next target of the sweep.
@@ -1434,7 +1471,11 @@ impl<'a> BufferInsertionFlow<'a> {
             });
         }
         let buffers_before_grouping = candidates.len();
-        let grouping = group_buffers(&candidates, &self.placement, &self.cfg.grouping);
+        let grouping = {
+            let _span = psbi_obs::Span::enter("flow.group");
+            let _timer = psbi_obs::metrics::timer("flow.group");
+            group_buffers(&candidates, &self.placement, &self.cfg.grouping)
+        };
         let deployment = Deployment::from_grouping(n_ffs, &grouping);
         let step3_s = t3.elapsed().as_secs_f64();
 

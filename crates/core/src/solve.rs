@@ -52,7 +52,6 @@ use psbi_timing::{
     ConstraintKind, ConstraintsView, IntegerConstraints, SequentialGraph, Violation,
 };
 use std::sync::Arc;
-use std::time::Instant;
 
 mod memo;
 mod search;
@@ -64,12 +63,23 @@ use memo::MemoKey;
 pub use memo::RegionMemo;
 use search::{run_support_search, SearchPhase, SupportSearch};
 use state::{CachedOutcome, CachedRegion};
-pub use state::{ChipSolveState, PassDiagnostics, StageTimes};
+pub use state::{ChipSolveState, PassDiagnostics};
 
-/// Elapsed nanoseconds since `t`, saturated into a `u64`.
+/// One solver stage's observability guards: a trace span plus a
+/// wall-clock histogram timer under the same `solve.stage.*` name.  Both
+/// are single-relaxed-load no-ops while disarmed — the solve reads no
+/// clock at all unless the obs registry or trace sink is armed.
+struct StageObs {
+    _span: psbi_obs::Span,
+    _timer: psbi_obs::metrics::Timer,
+}
+
 #[inline]
-fn elapsed_ns(t: Instant) -> u64 {
-    u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+fn stage_obs(name: &'static str) -> StageObs {
+    StageObs {
+        _span: psbi_obs::Span::enter(name),
+        _timer: psbi_obs::metrics::timer(name),
+    }
 }
 
 /// Which buffers exist and their tuning windows (in steps).
@@ -351,10 +361,11 @@ impl SampleSolver {
 
         // 1. Violated constraints at x = 0 — the chip's fingerprint
         // (reused scratch).
-        let t_discover = Instant::now();
         let mut violated = std::mem::take(&mut self.violated);
-        ic.collect_violations(sg, &mut violated);
-        diag.stage.discovery_ns += elapsed_ns(t_discover);
+        {
+            let _obs = stage_obs("solve.stage.discovery");
+            ic.collect_violations(sg, &mut violated);
+        }
         // Chip-level revalidation clears any cached decomposition whose
         // invalidation keys no longer match; everything that survives is
         // safe to replay below.
@@ -407,23 +418,25 @@ impl SampleSolver {
         // a single SPFA instead of growing regions toward it.  The
         // carried per-chip witness seeds the solver's warm slot; it is
         // fully re-validated there, so importing never changes the verdict.
-        let t_screen = Instant::now();
-        if let Some(st) = state.as_deref_mut() {
-            if st.fixable_ok {
-                self.diff.import_witness(&st.fixable_witness);
-            }
-        }
-        let fixable = self.chip_fixable(sg, ic, space);
-        if let Some(st) = state.as_deref_mut() {
-            if fixable {
-                if let Some(w) = self.diff.export_witness() {
-                    st.fixable_witness.clear();
-                    st.fixable_witness.extend_from_slice(w);
-                    st.fixable_ok = true;
+        let fixable = {
+            let _obs = stage_obs("solve.stage.screen");
+            if let Some(st) = state.as_deref_mut() {
+                if st.fixable_ok {
+                    self.diff.import_witness(&st.fixable_witness);
                 }
             }
-        }
-        diag.stage.screen_ns += elapsed_ns(t_screen);
+            let fixable = self.chip_fixable(sg, ic, space);
+            if let Some(st) = state.as_deref_mut() {
+                if fixable {
+                    if let Some(w) = self.diff.export_witness() {
+                        st.fixable_witness.clear();
+                        st.fixable_witness.extend_from_slice(w);
+                        st.fixable_ok = true;
+                    }
+                }
+            }
+            fixable
+        };
         if !fixable {
             return SampleResult {
                 feasible: false,
@@ -470,8 +483,10 @@ impl SampleSolver {
 
     /// Resolves one region's outcome through the cache hierarchy below
     /// the per-chip tier: cross-chip memo lookup (exact key equality)
-    /// first, fresh search + publish on a miss.  Search time lands in
-    /// `diag.stage.search_ns` either way (a hit contributes ~0).
+    /// first, fresh search + publish on a miss.  Search time lands in the
+    /// `solve.stage.search` obs histogram either way (a hit contributes
+    /// ~0); the `solve.memo.{hit,miss,publish}` counters are
+    /// schedule-dependent like [`PassDiagnostics::cross_chip_hits`].
     fn memo_or_search(
         &mut self,
         region: &Region,
@@ -481,13 +496,14 @@ impl SampleSolver {
         memo: Option<&RegionMemo>,
         diag: &mut PassDiagnostics,
     ) -> Arc<CachedOutcome> {
-        let t_search = Instant::now();
-        let outcome = match memo {
+        let _obs = stage_obs("solve.stage.search");
+        match memo {
             Some(memo) => {
                 let key = MemoKey::capture(region, cons, space, opts);
                 match memo.lookup(&key) {
                     Some(hit) => {
                         diag.cross_chip_hits += 1;
+                        psbi_obs::metrics::counter_add("solve.memo.hit", 1);
                         if psbi_fault::failpoint!("memo.replay.corrupt") {
                             // Injected cache corruption: a claimed-feasible
                             // outcome whose support is empty.  Downstream
@@ -505,16 +521,16 @@ impl SampleSolver {
                         }
                     }
                     None => {
+                        psbi_obs::metrics::counter_add("solve.memo.miss", 1);
                         let fresh = Arc::new(self.search_region(cons, space, region, opts));
                         memo.publish(key, Arc::clone(&fresh));
+                        psbi_obs::metrics::counter_add("solve.memo.publish", 1);
                         fresh
                     }
                 }
             }
             None => Arc::new(self.search_region(cons, space, region, opts)),
-        };
-        diag.stage.search_ns += elapsed_ns(t_search);
-        outcome
+        }
     }
 
     /// One growth round without cross-pass state: build the decomposition,
@@ -534,9 +550,10 @@ impl SampleSolver {
         diag: &mut PassDiagnostics,
         acc: &mut RoundAcc,
     ) {
-        let t_discover = Instant::now();
-        let regions = self.collect_regions(sg, space, violated, radius);
-        diag.stage.discovery_ns += elapsed_ns(t_discover);
+        let regions = {
+            let _obs = stage_obs("solve.stage.discovery");
+            self.collect_regions(sg, space, violated, radius)
+        };
         for region in &regions {
             diag.regions_total += 1;
             if region.ffs.len() > opts.region_cap {
@@ -544,9 +561,7 @@ impl SampleSolver {
             }
             let cons = materialize_cons(region, ic, space);
             let outcome = self.memo_or_search(region, &cons, space, opts, memo, diag);
-            self.apply_outcome(
-                region, &cons, &outcome, space, push, opts, radius, diag, acc,
-            );
+            self.apply_outcome(region, &cons, &outcome, space, push, opts, radius, acc);
         }
     }
 
@@ -575,9 +590,10 @@ impl SampleSolver {
                 i
             }
             None => {
-                let t_discover = Instant::now();
-                let regions = self.collect_regions(sg, space, violated, radius);
-                diag.stage.discovery_ns += elapsed_ns(t_discover);
+                let regions = {
+                    let _obs = stage_obs("solve.stage.discovery");
+                    self.collect_regions(sg, space, violated, radius)
+                };
                 let cached = regions.into_iter().map(CachedRegion::new).collect();
                 st.insert_round(radius, opts.region_radius, cached)
             }
@@ -601,9 +617,7 @@ impl SampleSolver {
             let outcome = cr.outcome.as_ref().expect("recorded above");
             // `cr` borrows the state arena slot, `self` owns the solver
             // scratch — disjoint, so the push objective can run in place.
-            self.apply_outcome(
-                &cr.region, &cons, outcome, space, push, opts, radius, diag, acc,
-            );
+            self.apply_outcome(&cr.region, &cons, outcome, space, push, opts, radius, acc);
         }
     }
 
@@ -619,7 +633,6 @@ impl SampleSolver {
         push: PushObjective<'_>,
         opts: &SolverOptions,
         radius: usize,
-        diag: &mut PassDiagnostics,
         acc: &mut RoundAcc,
     ) {
         match outcome {
@@ -632,10 +645,10 @@ impl SampleSolver {
                 if *count > radius && !region.saturated {
                     acc.need_radius = acc.need_radius.max(*count);
                 }
-                let t_push = Instant::now();
-                let tunings =
-                    self.finish_region(region, cons, space, *count, support, witness, push, opts);
-                diag.stage.milp_ns += elapsed_ns(t_push);
+                let tunings = {
+                    let _obs = stage_obs("solve.stage.milp");
+                    self.finish_region(region, cons, space, *count, support, witness, push, opts)
+                };
                 acc.tunings.extend(tunings);
                 acc.exact &= exact;
             }

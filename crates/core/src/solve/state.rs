@@ -36,52 +36,21 @@ use psbi_timing::{SequentialGraph, Violation};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
-/// Wall-clock nanoseconds one pass spent in each solver stage, summed
-/// over chips.  Stored as integer nanoseconds so the struct stays `Eq`
-/// alongside the counters; render in seconds for humans.  Like wall
-/// times everywhere else these are **non-canonical** — they legitimately
-/// differ between runs and must never enter journals or canonical
-/// reports.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
-pub struct StageTimes {
-    /// Violation collection + region discovery (BFS growth, component
-    /// split, constraint attachment).
-    pub discovery_ns: u64,
-    /// The whole-chip saturation screen (one warm SPFA per chip).
-    pub screen_ns: u64,
-    /// The per-region support branch and bound.
-    pub search_ns: u64,
-    /// The push objective (the concentration MILP in A3/B2; a trivial
-    /// witness filter in count-only passes).
-    pub milp_ns: u64,
-}
-
-impl StageTimes {
-    /// Accumulates another pass/chunk worth of stage times.
-    pub fn merge(&mut self, other: &Self) {
-        self.discovery_ns += other.discovery_ns;
-        self.screen_ns += other.screen_ns;
-        self.search_ns += other.search_ns;
-        self.milp_ns += other.milp_ns;
-    }
-
-    /// One stage in seconds.
-    pub fn secs(ns: u64) -> f64 {
-        ns as f64 / 1e9
-    }
-}
-
 /// Cache-efficacy counters of one sampling pass, aggregated over chips.
 ///
 /// The workload and per-chip-reuse counters are deterministic for a fixed
 /// arena history (order-free sums over per-chip events that depend only
 /// on the chip index and the pass sequence).  [`PassDiagnostics::cross_chip_hits`]
-/// and the [`StageTimes`] are **not**: whether a chip hits the shared
-/// memo table depends on which racing worker published the key first, and
-/// wall times are wall times.  None of it is part of any canonical output
-/// surface — the counters differ between incremental and
+/// is **not**: whether a chip hits the shared memo table depends on which
+/// racing worker published the key first.  None of it is part of any
+/// canonical output surface — the counters differ between incremental and
 /// `PSBI_NO_INCREMENTAL=1` / `PSBI_NO_CROSSCHIP=1` runs, so journals and
 /// canonical reports must never embed them.
+///
+/// Per-stage wall times, which used to ride along here, now live in the
+/// `psbi_obs` metrics histograms (`solve.stage.discovery` / `.screen` /
+/// `.search` / `.milp`) — recorded only when the registry is armed, so
+/// the disarmed solve pays no clock reads at all.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct PassDiagnostics {
     /// Regions processed (counted once per round they participate in).
@@ -99,8 +68,6 @@ pub struct PassDiagnostics {
     /// usually a different chip of the same pass).  Schedule-dependent
     /// with more than one worker; results never are.
     pub cross_chip_hits: u64,
-    /// Per-stage wall time of this pass.
-    pub stage: StageTimes,
 }
 
 impl PassDiagnostics {
@@ -111,7 +78,6 @@ impl PassDiagnostics {
         self.regions_reused += other.regions_reused;
         self.supports_rehit += other.supports_rehit;
         self.cross_chip_hits += other.cross_chip_hits;
-        self.stage.merge(&other.stage);
     }
 }
 

@@ -6,11 +6,21 @@
 //! psbi-fleet plan   --spec campaign.json
 //! psbi-fleet run    --spec campaign.json --journal c.journal
 //!                   [--workers N] [--max-jobs K] [--report out.json]
-//!                   [--with-timings] [--quiet] [--no-incremental]
-//!                   [--no-cross-chip] [--retries N] [--verify]
+//!                   [--with-timings] [--quiet] [--progress]
+//!                   [--no-incremental] [--no-cross-chip] [--retries N]
+//!                   [--verify] [--trace trace.json]
 //! psbi-fleet report --spec campaign.json --journal c.journal
 //!                   [--json out.json] [--with-timings]
 //! ```
+//!
+//! `--trace` writes a Chrome trace-event JSON file covering the whole
+//! campaign (sampling batches, flow passes, solver stages, job
+//! lifecycle) — load it at <https://ui.perfetto.dev>.  Unless `--quiet`,
+//! progress goes to stderr as one line per finished job plus a periodic
+//! summary (jobs committed / total, quarantines, elapsed, ETA) read from
+//! the `psbi_obs` metrics registry; `--progress` re-enables it over
+//! `--quiet`.  Neither changes a single canonical byte (`PSBI_TRACE` /
+//! `PSBI_METRICS` in the README).
 //!
 //! `run` resumes automatically: jobs already present in the journal are
 //! never re-executed, and an interrupted campaign continues exactly where
@@ -71,8 +81,9 @@ fn usage() -> ExitCode {
          \x20 psbi-fleet plan   --spec campaign.json\n\
          \x20 psbi-fleet run    --spec campaign.json --journal c.journal\n\
          \x20                   [--workers N] [--max-jobs K] [--report out.json]\n\
-         \x20                   [--with-timings] [--quiet] [--no-incremental]\n\
-         \x20                   [--no-cross-chip] [--retries N] [--verify]\n\
+         \x20                   [--with-timings] [--quiet] [--progress]\n\
+         \x20                   [--no-incremental] [--no-cross-chip] [--retries N]\n\
+         \x20                   [--verify] [--trace trace.json]\n\
          \x20 psbi-fleet report --spec campaign.json --journal c.journal\n\
          \x20                   [--json out.json] [--with-timings]\n\
          \n\
@@ -183,7 +194,8 @@ fn cmd_run(args: &Args) -> Result<(), FleetError> {
     let opts = FleetOptions {
         workers: args.get("workers").unwrap_or(0),
         max_jobs: args.get("max-jobs"),
-        progress: !args.has("quiet"),
+        // On by default; --quiet silences it, --progress overrides --quiet.
+        progress: args.has("progress") || !args.has("quiet"),
         // Results are bit-identical either way; --no-incremental (like
         // PSBI_NO_INCREMENTAL=1) and --no-cross-chip (like
         // PSBI_NO_CROSSCHIP=1) exist for debugging and A/B timing.
@@ -193,6 +205,8 @@ fn cmd_run(args: &Args) -> Result<(), FleetError> {
         // PSBI_VERIFY=1 force-enables verification inside the flow even
         // without the flag.
         verify: args.has("verify"),
+        // Chrome trace-event output; equivalent to PSBI_TRACE=<path>.
+        trace: args.get::<String>("trace").map(PathBuf::from),
     };
     let outcome = run_campaign(&spec, &journal, &opts)?;
     let report = CampaignReport::from_outcome(&spec, &outcome);

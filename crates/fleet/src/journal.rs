@@ -520,6 +520,9 @@ impl Journal {
     ///
     /// IO failures.
     pub fn append(&mut self, record: &JobRecord) -> Result<(), FleetError> {
+        let _span =
+            psbi_obs::Span::enter_with("fleet.journal.write", &[("job", record.job as u64)]);
+        psbi_obs::metrics::counter_add("fleet.journal.writes", 1);
         let line = format!("{}\n", record.to_json_line());
         if psbi_fault::failpoint!("journal.write.torn", "record" = record.job) {
             // Simulate a kill mid-write: half the line reaches the file,

@@ -29,6 +29,7 @@ use psbi_core::flow::{BufferInsertionFlow, InsertionResult, TargetPeriod, Worksp
 use psbi_netlist::Circuit;
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
@@ -45,8 +46,18 @@ pub struct FleetOptions {
     /// Stop after this many *newly executed* jobs (checkpoint test hook
     /// and incremental-run knob); `None` runs to completion.
     pub max_jobs: Option<usize>,
-    /// Print per-job progress lines to stderr.
+    /// Print per-job progress lines to stderr, plus a periodic summary
+    /// line (jobs done / total, quarantines, elapsed, ETA) driven by the
+    /// `psbi_obs` metrics registry — the runner arms a path-less registry
+    /// if one is not armed already.
     pub progress: bool,
+    /// Arm span tracing for this campaign with the given flush
+    /// destination (Chrome trace-event JSON — load in Perfetto).
+    /// Equivalent to setting `PSBI_TRACE=<path>`; the trace covers
+    /// sampling batches, flow passes, solver stages and the fleet job
+    /// lifecycle.  Canonical outputs are byte-identical with tracing on
+    /// or off (`tests/obs.rs` pins this).
+    pub trace: Option<PathBuf>,
     /// Carry incremental solver state across the passes of each job and
     /// across adjacent sweep targets of one circuit (see
     /// `psbi_core::solve`).  Results are bit-identical either way — this
@@ -80,6 +91,7 @@ impl Default for FleetOptions {
             workers: 0,
             max_jobs: None,
             progress: false,
+            trace: None,
             incremental: true,
             cross_chip: true,
             retries: 2,
@@ -157,6 +169,7 @@ impl CommitState {
     /// Commits every parked record that has become next-in-line.
     fn drain(&mut self) -> Result<(), FleetError> {
         while let Some((record, wall, diag)) = self.parked.remove(&self.next) {
+            let _span = psbi_obs::Span::enter_with("fleet.commit", &[("job", self.next as u64)]);
             if psbi_fault::failpoint!("fleet.commit.before_write", "job" = self.next) {
                 // Simulate a crash in the window between claiming the
                 // commit slot and writing the record: the journal keeps
@@ -172,6 +185,7 @@ impl CommitState {
             self.records.push(record);
             self.job_wall_s[self.next] = Some(wall);
             self.job_diagnostics[self.next] = diag;
+            psbi_obs::metrics::counter_add("fleet.jobs.committed", 1);
             self.next += 1;
         }
         Ok(())
@@ -212,7 +226,15 @@ fn execute_job(
     retries: usize,
 ) -> Result<InsertionResult, String> {
     let mut fault = String::new();
-    for _attempt in 0..=retries {
+    for attempt in 0..=retries {
+        let _span = psbi_obs::Span::enter_with(
+            "fleet.job.attempt",
+            &[("job", job.index as u64), ("attempt", attempt as u64)],
+        );
+        psbi_obs::metrics::counter_add("fleet.job.attempts", 1);
+        if attempt > 0 {
+            psbi_obs::metrics::counter_add("fleet.jobs.retried", 1);
+        }
         match catch_unwind(AssertUnwindSafe(|| {
             if psbi_fault::failpoint!("fleet.job.panic", "job" = job.index) {
                 panic!("injected fault: fleet.job.panic");
@@ -224,6 +246,23 @@ fn execute_job(
         }
     }
     Err(fault)
+}
+
+/// RAII flush of both obs sinks when `run_campaign` returns (any path):
+/// rewrites the trace file and the metrics snapshot if their subsystems
+/// are armed, warning on stderr instead of failing the campaign — the
+/// canonical journal is already safely on disk by then.
+struct FlushObs;
+
+impl Drop for FlushObs {
+    fn drop(&mut self) {
+        if let Err(e) = psbi_obs::trace::flush() {
+            eprintln!("psbi-fleet: warning: trace flush failed: {e}");
+        }
+        if let Err(e) = psbi_obs::metrics::flush() {
+            eprintln!("psbi-fleet: warning: metrics flush failed: {e}");
+        }
+    }
 }
 
 /// Runs (or resumes) `spec` against the journal at `journal_path`.
@@ -242,9 +281,21 @@ pub fn run_campaign(
     opts: &FleetOptions,
 ) -> Result<CampaignOutcome, FleetError> {
     let t_start = Instant::now();
+    if let Some(path) = &opts.trace {
+        psbi_obs::trace::arm(path.clone());
+    }
+    if opts.progress && !psbi_obs::metrics::enabled() {
+        // The periodic progress line reads the metrics registry; arm a
+        // path-less one (in-process only, nothing written at flush) when
+        // the environment has not armed one already.
+        psbi_obs::metrics::arm(None);
+    }
+    let _flush_obs = FlushObs;
     spec.validate()?;
     let jobs = spec.jobs();
     let total = jobs.len();
+    let _campaign_span = psbi_obs::Span::enter_with("fleet.campaign", &[("jobs", total as u64)]);
+    psbi_obs::metrics::gauge_set("fleet.jobs.total", total as u64);
 
     let (journal, existing) = Journal::open(journal_path, spec)?;
     let resumed = existing.len();
@@ -257,6 +308,7 @@ pub fn run_campaign(
         Some(k) => total.min(resumed + k),
         None => total,
     };
+    psbi_obs::metrics::counter_add("fleet.jobs.resumed", resumed as u64);
 
     let job_wall_s = vec![None; total];
     let job_diagnostics = vec![None; total];
@@ -340,15 +392,26 @@ pub fn run_campaign(
     });
     let cursor = AtomicUsize::new(resumed);
     let failed = AtomicBool::new(false);
+    // Stop signal for the periodic progress reporter (set once every
+    // worker has been joined, so the final line reflects the last job).
+    let progress_done = AtomicBool::new(false);
+    // Registry baselines: the counters are process-cumulative, so a
+    // second campaign in one process must report its own deltas.
+    let committed0 = psbi_obs::metrics::counter_value("fleet.jobs.committed");
+    let quarantined0 = psbi_obs::metrics::counter_value("fleet.jobs.quarantined");
 
     // The scope itself runs under `catch_unwind`: a panic that escapes a
     // worker thread (possible only *outside* the per-job retry harness,
     // e.g. an injected commit fault) must not abort the process — the
-    // journal's valid prefix is on disk and resume recovers it.
+    // journal's valid prefix is on disk and resume recovers it.  Workers
+    // are joined explicitly so the progress reporter can be told to stop
+    // before the scope would otherwise wait on it; a worker panic is
+    // re-raised after that signal, preserving the pre-reporter contract.
     let scope_panic = catch_unwind(AssertUnwindSafe(|| {
         std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
             for _ in 0..workers {
-                scope.spawn(|| loop {
+                handles.push(scope.spawn(|| loop {
                     if failed.load(Ordering::Relaxed) {
                         break;
                     }
@@ -366,9 +429,14 @@ pub fn run_campaign(
                         failed.store(true, Ordering::Relaxed);
                         break;
                     };
+                    let _job_span = psbi_obs::Span::enter_with("fleet.job", &[("job", j as u64)]);
                     let t_job = Instant::now();
-                    let executed = execute_job(flow, job, opts.retries);
+                    let executed = {
+                        let _timer = psbi_obs::metrics::timer("fleet.job.wall");
+                        execute_job(flow, job, opts.retries)
+                    };
                     let wall = t_job.elapsed().as_secs_f64();
+                    psbi_obs::metrics::counter_add("fleet.jobs.executed", 1);
                     // Last pending job of this circuit: reclaim the flow's
                     // warm solver state.  Every `run_target` of the circuit
                     // has returned by the time the counter hits zero, so the
@@ -382,7 +450,10 @@ pub fn run_campaign(
                             let record = JobRecord::from_result(job, &result);
                             (record, Some(result.diagnostics))
                         }
-                        Err(fault) => (JobRecord::quarantined(job, fault), None),
+                        Err(fault) => {
+                            psbi_obs::metrics::counter_add("fleet.jobs.quarantined", 1);
+                            (JobRecord::quarantined(job, fault), None)
+                        }
                     };
                     if opts.progress {
                         if record.quarantined {
@@ -416,7 +487,49 @@ pub fn run_campaign(
                         failed.store(true, Ordering::Relaxed);
                         break;
                     }
+                }));
+            }
+            if opts.progress {
+                scope.spawn(|| {
+                    let mut last = Instant::now();
+                    while !progress_done.load(Ordering::Relaxed) {
+                        std::thread::sleep(std::time::Duration::from_millis(100));
+                        if last.elapsed().as_secs_f64() < 2.0 {
+                            continue;
+                        }
+                        last = Instant::now();
+                        let committed = psbi_obs::metrics::counter_value("fleet.jobs.committed")
+                            .saturating_sub(committed0);
+                        let quarantined =
+                            psbi_obs::metrics::counter_value("fleet.jobs.quarantined")
+                                .saturating_sub(quarantined0);
+                        let done = resumed + committed as usize;
+                        let elapsed = t_start.elapsed().as_secs_f64();
+                        if committed > 0 && done < end {
+                            let eta = (end - done) as f64 * elapsed / committed as f64;
+                            eprintln!(
+                                "psbi-fleet: progress {done}/{total} jobs committed \
+                                 ({quarantined} quarantined), {elapsed:.1}s elapsed, \
+                                 ETA {eta:.0}s"
+                            );
+                        } else {
+                            eprintln!(
+                                "psbi-fleet: progress {done}/{total} jobs committed \
+                                 ({quarantined} quarantined), {elapsed:.1}s elapsed"
+                            );
+                        }
+                    }
                 });
+            }
+            let mut worker_panic = None;
+            for handle in handles {
+                if let Err(payload) = handle.join() {
+                    worker_panic.get_or_insert(payload);
+                }
+            }
+            progress_done.store(true, Ordering::Relaxed);
+            if let Some(payload) = worker_panic {
+                std::panic::resume_unwind(payload);
             }
         })
     }));

@@ -302,6 +302,20 @@ impl ConstraintBatch {
             "kernel backend {} not available on this host",
             backend.name()
         );
+        let _span = psbi_obs::Span::enter_with(
+            "timing.extract",
+            &[
+                ("chips", batch.len() as u64),
+                ("first", batch.first_index()),
+            ],
+        );
+        psbi_obs::metrics::counter_add("timing.extract.batches", 1);
+        if psbi_fault::failpoint!("timing.extract.panic", "first" = batch.first_index()) {
+            // Models a constraint-extraction crash (e.g. a malformed bound
+            // tripping a downstream assert): the pass dies mid-chunk and
+            // the fleet's per-job retry recomputes it deterministically.
+            panic!("injected fault: timing.extract.panic");
+        }
         self.n_edges = sg.edges.len();
         self.len = batch.len();
         self.setup_bound.clear();

@@ -204,6 +204,12 @@ impl SampleBatch {
         first: u64,
     ) {
         assert_eq!(self.n_edges, sg.edges.len(), "batch not reset for graph");
+        let _span = psbi_obs::Span::enter_with(
+            "sample.batch.gate_level",
+            &[("chips", self.len as u64), ("first", first)],
+        );
+        psbi_obs::metrics::counter_add("sample.batches", 1);
+        psbi_obs::metrics::counter_add("sample.chips", self.len as u64);
         self.first_index = first;
         for row in 0..self.len {
             let (globals, mut rng) = chip_rng(stream, first + row as u64);
@@ -430,6 +436,23 @@ impl CanonicalBatchSampler {
             "kernel backend {} not available on this host",
             backend.name()
         );
+        let _span = psbi_obs::Span::enter_with(
+            "sample.batch.fill",
+            &[("chips", batch.len as u64), ("first", first)],
+        );
+        psbi_obs::metrics::counter_add("sample.batches", 1);
+        psbi_obs::metrics::counter_add("sample.chips", batch.len as u64);
+        // Which kernel the sampling engine is running (index into
+        // [`simd::Backend`]'s declaration order) — deterministic for a
+        // fixed environment, so it participates in metric-determinism
+        // tests unlike the wall-time histograms.
+        psbi_obs::metrics::gauge_set("simd.backend", backend as u64);
+        if psbi_fault::failpoint!("sample.batch.corrupt", "first" = first) {
+            // Models *detected* batch corruption (e.g. a poisoned draw
+            // buffer): the fill dies instead of returning garbage, and the
+            // fleet's per-job retry recomputes the batch deterministically.
+            panic!("injected fault: sample.batch.corrupt");
+        }
         batch.first_index = first;
         let n_edges = batch.n_edges;
         let n_ffs = batch.n_ffs;

@@ -43,5 +43,6 @@ pub use psbi_fleet as fleet;
 pub use psbi_liberty as liberty;
 pub use psbi_milp as milp;
 pub use psbi_netlist as netlist;
+pub use psbi_obs as obs;
 pub use psbi_timing as timing;
 pub use psbi_variation as variation;

@@ -153,6 +153,45 @@ fn workspace_checkout_panic_is_retried() {
 }
 
 #[test]
+fn sample_batch_corruption_is_retried_and_byte_identical() {
+    let spec = quick_spec();
+    let reference = reference_bytes(&spec, "sample_ref");
+
+    // Detected corruption of one sampling batch (modelled as a panic in
+    // the fill kernel) unwinds the whole job; the per-job retry recomputes
+    // every batch from the deterministic stream, so the journal must not
+    // know the difference.
+    let path = tmp("sample");
+    let _ = std::fs::remove_file(&path);
+    let outcome = psbi::fault::with_spec("sample.batch.corrupt@times=1", || {
+        run_campaign(&spec, &path, &opts(2)).expect("campaign with corrupt batch")
+    });
+    assert!(outcome.complete());
+    assert!(outcome.records.iter().all(|r| !r.quarantined));
+    assert_eq!(std::fs::read(&path).unwrap(), reference);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn constraint_extraction_panic_is_retried_and_byte_identical() {
+    let spec = quick_spec();
+    let reference = reference_bytes(&spec, "extract_ref");
+
+    // Same contract one layer up: a panic inside batched constraint
+    // extraction (`ConstraintBatch::build_from_with`) is absorbed by the
+    // job retry and leaves no trace in the canonical bytes.
+    let path = tmp("extract");
+    let _ = std::fs::remove_file(&path);
+    let outcome = psbi::fault::with_spec("timing.extract.panic@times=1", || {
+        run_campaign(&spec, &path, &opts(2)).expect("campaign with extraction panic")
+    });
+    assert!(outcome.complete());
+    assert!(outcome.records.iter().all(|r| !r.quarantined));
+    assert_eq!(std::fs::read(&path).unwrap(), reference);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn commit_crash_poisons_nothing_that_resume_needs() {
     let spec = quick_spec();
     let reference = reference_bytes(&spec, "commit_ref");
