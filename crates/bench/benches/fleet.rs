@@ -61,7 +61,8 @@ fn bench_fleet(c: &mut Criterion) {
                         target: TargetPeriod::SigmaFactor(*k),
                         ..spec.flow_config()
                     };
-                    let r = BufferInsertionFlow::new(circuit, cfg)
+                    let r = BufferInsertionFlow::builder(circuit, cfg)
+                        .build()
                         .expect("valid circuit")
                         .run();
                     buffers += r.nb;

@@ -21,7 +21,8 @@ fn bench_flow(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("tiny_demo_end_to_end", |b| {
         b.iter(|| {
-            BufferInsertionFlow::new(&circuit, cfg.clone())
+            BufferInsertionFlow::builder(&circuit, cfg.clone())
+                .build()
                 .unwrap()
                 .run()
                 .nb

@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use psbi_core::solve::{
     BufferSpace, ChipSolveState, PassDiagnostics, PushObjective, RegionMemo, SampleSolver,
-    SolverOptions,
+    SolveRequest, SolverOptions,
 };
 use psbi_liberty::Library;
 use psbi_netlist::bench_suite;
@@ -61,7 +61,14 @@ fn bench_sample_solve(c: &mut Criterion) {
         let mut solver = SampleSolver::new();
         b.iter(|| {
             solver
-                .solve(&sg, &ic, &space, PushObjective::None, &opts)
+                .solve(SolveRequest::new(
+                    &sg,
+                    ic.as_view(),
+                    &space,
+                    PushObjective::None,
+                    &opts,
+                ))
+                .result
                 .count()
         })
     });
@@ -69,7 +76,14 @@ fn bench_sample_solve(c: &mut Criterion) {
         let mut solver = SampleSolver::new();
         b.iter(|| {
             solver
-                .solve(&sg, &ic, &space, PushObjective::ToZero, &opts)
+                .solve(SolveRequest::new(
+                    &sg,
+                    ic.as_view(),
+                    &space,
+                    PushObjective::ToZero,
+                    &opts,
+                ))
+                .result
                 .count()
         })
     });
@@ -82,7 +96,14 @@ fn bench_sample_solve(c: &mut Criterion) {
         let mut solver = SampleSolver::new();
         b.iter(|| {
             solver
-                .solve(&sg, &ic_ok, &space, PushObjective::ToZero, &opts)
+                .solve(SolveRequest::new(
+                    &sg,
+                    ic_ok.as_view(),
+                    &space,
+                    PushObjective::ToZero,
+                    &opts,
+                ))
+                .result
                 .count()
         })
     });
@@ -129,7 +150,15 @@ fn bench_pass_pipeline(c: &mut Criterion) {
                 let (globals, mut rng) = chip_rng(9, k);
                 sample_canonical(&sg, &globals, &mut rng, &mut st);
                 ic.build(&sg, &st, &skews, period, step);
-                let r = solver.solve(&sg, &ic, &space, PushObjective::ToZero, &opts);
+                let r = solver
+                    .solve(SolveRequest::new(
+                        &sg,
+                        ic.as_view(),
+                        &space,
+                        PushObjective::ToZero,
+                        &opts,
+                    ))
+                    .result;
                 solved += usize::from(r.feasible);
             }
             solved
@@ -149,13 +178,15 @@ fn bench_pass_pipeline(c: &mut Criterion) {
                 sampler.fill(9, lo as u64, &mut batch);
                 cons.build_from(&sg, &batch, &skews, period, step);
                 for row in 0..len {
-                    let r = solver.solve_view(
-                        &sg,
-                        cons.view(row),
-                        &space,
-                        PushObjective::ToZero,
-                        &opts,
-                    );
+                    let r = solver
+                        .solve(SolveRequest::new(
+                            &sg,
+                            cons.view(row),
+                            &space,
+                            PushObjective::ToZero,
+                            &opts,
+                        ))
+                        .result;
                     solved += usize::from(r.feasible);
                 }
                 lo += len;
@@ -207,17 +238,30 @@ fn bench_pass_resolve_warm_vs_cold(c: &mut Criterion) {
             cons.build_from(&sg, batch, &skews, period, step);
             for row in 0..len {
                 let r = match states.as_deref_mut() {
-                    Some(states) => solver.solve_view_cached(
-                        &sg,
-                        cons.view(row),
-                        &space,
-                        PushObjective::ToZero,
-                        &opts,
-                        &mut states[lo + row],
-                        diag,
-                    ),
+                    Some(states) => {
+                        let out = solver.solve(
+                            SolveRequest::shared(
+                                &sg,
+                                cons.view(row),
+                                &space,
+                                PushObjective::ToZero,
+                                &opts,
+                            )
+                            .state(&mut states[lo + row]),
+                        );
+                        diag.merge(&out.diag);
+                        out.result
+                    }
                     None => {
-                        solver.solve_view(&sg, cons.view(row), &space, PushObjective::ToZero, &opts)
+                        solver
+                            .solve(SolveRequest::new(
+                                &sg,
+                                cons.view(row),
+                                &space,
+                                PushObjective::ToZero,
+                                &opts,
+                            ))
+                            .result
                     }
                 };
                 solved += usize::from(r.feasible);
@@ -305,16 +349,14 @@ fn bench_region_memo_hit_vs_cold(c: &mut Criterion) {
             sampler.fill(9, lo as u64, batch);
             cons.build_from(&sg, batch, &skews, period, step);
             for row in 0..len {
-                let r = solver.solve_view_memo(
-                    &sg,
-                    cons.view(row),
-                    &space,
-                    PushObjective::ToZero,
-                    &opts,
-                    memo,
-                    None,
-                    diag,
-                );
+                let mut req =
+                    SolveRequest::shared(&sg, cons.view(row), &space, PushObjective::ToZero, &opts);
+                if let Some(m) = memo {
+                    req = req.memo(m);
+                }
+                let out = solver.solve(req);
+                diag.merge(&out.diag);
+                let r = out.result;
                 solved += usize::from(r.feasible);
             }
             lo += len;

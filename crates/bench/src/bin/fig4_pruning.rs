@@ -28,7 +28,9 @@ fn main() {
     // Edge criticality under the chosen period: where the tuning demand
     // comes from (the counts on Fig. 4's nodes).
     let circuit = spec.generate();
-    let flow = BufferInsertionFlow::new(&circuit, cfg.flow_config(sigma)).expect("valid");
+    let flow = BufferInsertionFlow::builder(&circuit, cfg.flow_config(sigma))
+        .build()
+        .expect("valid");
     let sg = flow.sequential_graph();
     let crit = criticality::analyze(sg, flow.skews(), r.period, r.step, 500, |k, st| {
         let (globals, mut rng) = psbi_timing::sample::chip_rng(cfg.seed ^ 0xC817, k);

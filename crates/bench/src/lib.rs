@@ -129,7 +129,8 @@ impl ExperimentConfig {
 /// Runs the full flow for one circuit at one target period.
 pub fn run_cell(spec: &BenchmarkSpec, cfg: FlowConfig) -> InsertionResult {
     let circuit = spec.generate();
-    BufferInsertionFlow::new(&circuit, cfg)
+    BufferInsertionFlow::builder(&circuit, cfg)
+        .build()
         .expect("generated benchmarks are valid")
         .run()
 }

@@ -38,8 +38,8 @@
 use crate::group::{group_buffers, BufferCandidate, Group, GroupConfig};
 use crate::prune::{prune, PruneConfig, PruneReport};
 use crate::solve::{
-    BufferSpace, ChipSolveState, PassDiagnostics, PushObjective, RegionMemo, SampleSolver,
-    SolverOptions,
+    BufferSpace, ChipSolveState, PassDiagnostics, PushObjective, RegionMemo, SampleResult,
+    SampleSolver, SolveRequest, SolverOptions,
 };
 use crate::yield_eval::{Deployment, YieldReport};
 use psbi_liberty::Library;
@@ -144,6 +144,13 @@ pub struct FlowConfig {
     /// Roughly doubles a run's cost (it re-solves both sample streams
     /// cold).  `PSBI_VERIFY=1` force-enables it process-wide.
     pub verify: bool,
+    /// Fan each chip's independent region searches out across a worker
+    /// pool sized like [`FlowConfig::threads`] (active only when that
+    /// width is ≥ 2).  Region searching is a pure function committed in
+    /// pinned region order (see [`crate::solve`]), so results are
+    /// bit-identical either way — purely a performance knob.
+    /// `PSBI_NO_REGION_PARALLEL=1` force-disables it process-wide.
+    pub region_parallel: bool,
 }
 
 impl Default for FlowConfig {
@@ -169,6 +176,37 @@ impl Default for FlowConfig {
             incremental: true,
             cross_chip: true,
             verify: false,
+            region_parallel: true,
+        }
+    }
+}
+
+impl FlowConfig {
+    /// The default configuration with every `PSBI_*` process toggle
+    /// folded into the corresponding field — the one documented place
+    /// the environment surface is read:
+    ///
+    /// | Variable                 | Field                          | Polarity |
+    /// |--------------------------|--------------------------------|----------|
+    /// | `PSBI_NO_INCREMENTAL`    | [`FlowConfig::incremental`]    | disables |
+    /// | `PSBI_NO_CROSSCHIP`      | [`FlowConfig::cross_chip`]     | disables |
+    /// | `PSBI_NO_REGION_PARALLEL`| [`FlowConfig::region_parallel`]| disables |
+    /// | `PSBI_VERIFY`            | [`FlowConfig::verify`]         | enables  |
+    ///
+    /// For the `PSBI_NO_*` hatches any value other than empty or `0`
+    /// counts as set; `PSBI_VERIFY` has the opposite polarity.  The same
+    /// toggles are *also* applied when a flow is built from a
+    /// hand-constructed configuration (each is read once per process, so
+    /// an escape hatch always wins over the corresponding field) — this
+    /// constructor just makes the env-derived values visible in the
+    /// config itself.
+    pub fn from_env() -> Self {
+        Self {
+            incremental: incremental_env_enabled(),
+            cross_chip: cross_chip_env_enabled(),
+            verify: verify_env_enabled(),
+            region_parallel: region_parallel_env_enabled(),
+            ..Self::default()
         }
     }
 }
@@ -190,6 +228,16 @@ fn incremental_env_enabled() -> bool {
 fn cross_chip_env_enabled() -> bool {
     static ON: OnceLock<bool> = OnceLock::new();
     *ON.get_or_init(|| !std::env::var("PSBI_NO_CROSSCHIP").is_ok_and(|v| !v.is_empty() && v != "0"))
+}
+
+/// Process-wide `PSBI_NO_REGION_PARALLEL` escape hatch, read once: any
+/// value other than empty or `0` keeps every chip's region searches on
+/// the calling worker thread (see [`FlowConfig::region_parallel`]).
+fn region_parallel_env_enabled() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| {
+        !std::env::var("PSBI_NO_REGION_PARALLEL").is_ok_and(|v| !v.is_empty() && v != "0")
+    })
 }
 
 /// Process-wide `PSBI_VERIFY` switch, read once.  Opposite polarity to the
@@ -669,6 +717,11 @@ pub struct BufferInsertionFlow<'a> {
     /// Explicit thread pool when [`FlowConfig::threads`] > 0; `None` uses
     /// the global default (respecting `RAYON_NUM_THREADS`).
     thread_pool: Option<rayon::ThreadPool>,
+    /// Pool the sampling passes fan region searches out on — present only
+    /// when [`FlowConfig::region_parallel`] is on (and not overridden by
+    /// `PSBI_NO_REGION_PARALLEL`) and the worker width is ≥ 2, so a
+    /// single-threaded flow never pays fan-out overhead.
+    region_pool: Option<rayon::ThreadPool>,
     /// Unique flow identity keying this flow's state arenas in the pool
     /// (see [`SolveStateArena`]): state never migrates between flows.
     arena_id: u64,
@@ -703,71 +756,76 @@ struct PassOutput {
 
 pub(crate) const NONE: u32 = u32::MAX;
 
-impl<'a> BufferInsertionFlow<'a> {
-    /// Builds a flow with the default industry-like library and the paper's
-    /// variation model.
-    ///
-    /// # Errors
-    ///
-    /// Fails when the circuit is malformed, has no sequential paths, or the
-    /// configuration is invalid.
-    pub fn new(circuit: &'a Circuit, cfg: FlowConfig) -> Result<Self, FlowError> {
-        Self::with_library(
+/// Chainable constructor for [`BufferInsertionFlow`] — the single place a
+/// flow is assembled, replacing the former
+/// `new` / `with_library` / `with_shared_pool` / `with_library_and_pool`
+/// constructor ladder (which survives as deprecated one-line forwards).
+///
+/// ```
+/// use psbi_core::{BufferInsertionFlow, FlowConfig};
+///
+/// let circuit = psbi_netlist::bench_suite::tiny_demo(3);
+/// let flow = BufferInsertionFlow::builder(&circuit, FlowConfig::default())
+///     .build()
+///     .unwrap();
+/// ```
+pub struct FlowBuilder<'a> {
+    circuit: &'a Circuit,
+    cfg: FlowConfig,
+    lib: Option<Library>,
+    model: Option<VariationModel>,
+    pool: Option<Arc<WorkspacePool>>,
+}
+
+impl<'a> FlowBuilder<'a> {
+    /// Starts a builder for `circuit` under `cfg`, with the industry-like
+    /// library, the paper's variation model, and a private workspace pool
+    /// unless overridden.
+    pub fn new(circuit: &'a Circuit, cfg: FlowConfig) -> Self {
+        Self {
             circuit,
             cfg,
-            Library::industry_like(),
-            VariationModel::paper_defaults(),
-        )
+            lib: None,
+            model: None,
+            pool: None,
+        }
     }
 
-    /// Builds a flow with an explicit library and variation model.
+    /// Uses an explicit buffer/gate library.
+    #[must_use]
+    pub fn library(mut self, lib: Library) -> Self {
+        self.lib = Some(lib);
+        self
+    }
+
+    /// Uses an explicit process-variation model.
+    #[must_use]
+    pub fn model(mut self, model: VariationModel) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Checks worker workspaces out of an externally owned pool —
+    /// campaign runners share one pool across every flow they execute, so
+    /// solver scratch is reused across circuits and targets.
+    #[must_use]
+    pub fn pool(mut self, pool: Arc<WorkspacePool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Validates the configuration and builds the flow.
     ///
     /// # Errors
     ///
-    /// As [`BufferInsertionFlow::new`].
-    pub fn with_library(
-        circuit: &'a Circuit,
-        cfg: FlowConfig,
-        lib: Library,
-        model: VariationModel,
-    ) -> Result<Self, FlowError> {
-        Self::with_library_and_pool(circuit, cfg, lib, model, Arc::new(WorkspacePool::new()))
-    }
-
-    /// Builds a flow that checks worker workspaces out of an externally
-    /// owned pool — campaign runners share one pool across every flow they
-    /// execute, so solver scratch is reused across circuits and targets.
-    ///
-    /// # Errors
-    ///
-    /// As [`BufferInsertionFlow::new`].
-    pub fn with_shared_pool(
-        circuit: &'a Circuit,
-        cfg: FlowConfig,
-        pool: Arc<WorkspacePool>,
-    ) -> Result<Self, FlowError> {
-        Self::with_library_and_pool(
-            circuit,
-            cfg,
-            Library::industry_like(),
-            VariationModel::paper_defaults(),
-            pool,
-        )
-    }
-
-    /// Builds a flow with an explicit library, variation model and
-    /// workspace pool.
-    ///
-    /// # Errors
-    ///
-    /// As [`BufferInsertionFlow::new`].
-    pub fn with_library_and_pool(
-        circuit: &'a Circuit,
-        cfg: FlowConfig,
-        lib: Library,
-        model: VariationModel,
-        pool: Arc<WorkspacePool>,
-    ) -> Result<Self, FlowError> {
+    /// Fails when the circuit is malformed, has no sequential paths, or
+    /// the configuration is invalid.
+    pub fn build(self) -> Result<BufferInsertionFlow<'a>, FlowError> {
+        let circuit = self.circuit;
+        let cfg = self.cfg;
+        let lib = self.lib.unwrap_or_else(Library::industry_like);
+        let model = self.model.unwrap_or_else(VariationModel::paper_defaults);
+        let pool = self.pool.unwrap_or_else(|| Arc::new(WorkspacePool::new()));
         if cfg.samples == 0 || cfg.yield_samples == 0 || cfg.calibration_samples == 0 {
             return Err(FlowError::Config("sample counts must be positive".into()));
         }
@@ -801,8 +859,26 @@ impl<'a> BufferInsertionFlow<'a> {
         } else {
             None
         };
+        // The region fan-out pool exists only when it can actually help:
+        // knob on, no process-wide escape hatch, and ≥ 2 workers — a
+        // single-threaded flow runs every search inline, no setup cost.
+        let width = if cfg.threads > 0 {
+            cfg.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        };
+        let region_pool = if cfg.region_parallel && region_parallel_env_enabled() && width >= 2 {
+            Some(
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(width)
+                    .build()
+                    .map_err(|e| FlowError::Config(format!("region pool: {e}")))?,
+            )
+        } else {
+            None
+        };
         static NEXT_ARENA_ID: AtomicU64 = AtomicU64::new(0);
-        Ok(Self {
+        Ok(BufferInsertionFlow {
             circuit,
             cfg,
             lib,
@@ -815,8 +891,129 @@ impl<'a> BufferInsertionFlow<'a> {
             pool,
             calibration: OnceLock::new(),
             thread_pool,
+            region_pool,
             arena_id: NEXT_ARENA_ID.fetch_add(1, Ordering::Relaxed),
         })
+    }
+}
+
+/// Request for [`BufferInsertionFlow::speed_bins`]: the deployment to
+/// evaluate, the candidate bin periods (ps, ascending) and the
+/// design-time buffer step from [`InsertionResult::step`].
+#[derive(Debug, Clone, Copy)]
+pub struct BinningRequest<'a> {
+    deployment: &'a Deployment,
+    periods: &'a [f64],
+    step: f64,
+}
+
+impl<'a> BinningRequest<'a> {
+    /// A binning request over `periods` with and without `deployment`'s
+    /// buffers.
+    pub fn new(deployment: &'a Deployment, periods: &'a [f64], step: f64) -> Self {
+        Self {
+            deployment,
+            periods,
+            step,
+        }
+    }
+}
+
+/// Request for [`BufferInsertionFlow::chip_constraints`]: one chip of a
+/// named sample stream, materialised at a period/step operating point.
+#[derive(Debug, Clone, Copy)]
+pub struct SampleRequest<'a> {
+    stream: &'a str,
+    index: u64,
+    period: f64,
+    step: f64,
+}
+
+impl<'a> SampleRequest<'a> {
+    /// Chip `index` of `stream` (e.g. `"yield"`), at target `period` (ps)
+    /// with buffer step `step`.
+    pub fn new(stream: &'a str, index: u64, period: f64, step: f64) -> Self {
+        Self {
+            stream,
+            index,
+            period,
+            step,
+        }
+    }
+}
+
+impl<'a> BufferInsertionFlow<'a> {
+    /// Starts a [`FlowBuilder`] — the flow's constructor surface.
+    pub fn builder(circuit: &'a Circuit, cfg: FlowConfig) -> FlowBuilder<'a> {
+        FlowBuilder::new(circuit, cfg)
+    }
+
+    /// Builds a flow with the default industry-like library and the paper's
+    /// variation model.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the circuit is malformed, has no sequential paths, or the
+    /// configuration is invalid.
+    #[deprecated(note = "use `BufferInsertionFlow::builder(..).build()`")]
+    pub fn new(circuit: &'a Circuit, cfg: FlowConfig) -> Result<Self, FlowError> {
+        FlowBuilder::new(circuit, cfg).build()
+    }
+
+    /// Builds a flow with an explicit library and variation model.
+    ///
+    /// # Errors
+    ///
+    /// As [`FlowBuilder::build`].
+    #[deprecated(note = "use `BufferInsertionFlow::builder(..).library(..).model(..).build()`")]
+    pub fn with_library(
+        circuit: &'a Circuit,
+        cfg: FlowConfig,
+        lib: Library,
+        model: VariationModel,
+    ) -> Result<Self, FlowError> {
+        FlowBuilder::new(circuit, cfg)
+            .library(lib)
+            .model(model)
+            .build()
+    }
+
+    /// Builds a flow that checks worker workspaces out of an externally
+    /// owned pool.
+    ///
+    /// # Errors
+    ///
+    /// As [`FlowBuilder::build`].
+    #[deprecated(note = "use `BufferInsertionFlow::builder(..).pool(..).build()`")]
+    pub fn with_shared_pool(
+        circuit: &'a Circuit,
+        cfg: FlowConfig,
+        pool: Arc<WorkspacePool>,
+    ) -> Result<Self, FlowError> {
+        FlowBuilder::new(circuit, cfg).pool(pool).build()
+    }
+
+    /// Builds a flow with an explicit library, variation model and
+    /// workspace pool.
+    ///
+    /// # Errors
+    ///
+    /// As [`FlowBuilder::build`].
+    #[deprecated(
+        note = "use `BufferInsertionFlow::builder(..).library(..).model(..).pool(..).build()`"
+    )]
+    pub fn with_library_and_pool(
+        circuit: &'a Circuit,
+        cfg: FlowConfig,
+        lib: Library,
+        model: VariationModel,
+        pool: Arc<WorkspacePool>,
+    ) -> Result<Self, FlowError> {
+        FlowBuilder::new(circuit, cfg)
+            .library(lib)
+            .model(model)
+            .pool(pool)
+            .build()
     }
 
     /// Whether this flow's sampling passes carry incremental solver state
@@ -831,6 +1028,14 @@ impl<'a> BufferInsertionFlow<'a> {
     /// Observability only — results are bit-identical either way.
     pub fn cross_chip_enabled(&self) -> bool {
         self.cfg.cross_chip && cross_chip_env_enabled()
+    }
+
+    /// Whether this flow's sampling passes fan region searches out across
+    /// a worker pool ([`FlowConfig::region_parallel`] gated by
+    /// `PSBI_NO_REGION_PARALLEL`, and only with ≥ 2 workers).
+    /// Observability only — results are bit-identical either way.
+    pub fn region_parallel_enabled(&self) -> bool {
+        self.region_pool.is_some()
     }
 
     /// Whether `run_target` re-checks its result with the independent
@@ -889,15 +1094,9 @@ impl<'a> BufferInsertionFlow<'a> {
     }
 
     /// Classifies fresh evaluation chips into speed bins (the paper's
-    /// future-work "clock binning"), with and without `deployment`'s
-    /// buffers.  Bin periods are in ps, ascending; `step` is the
-    /// design-time buffer step from [`InsertionResult::step`].
-    pub fn evaluate_speed_bins(
-        &self,
-        deployment: &crate::yield_eval::Deployment,
-        periods: &[f64],
-        step: f64,
-    ) -> crate::binning::BinningReport {
+    /// future-work "clock binning"), with and without the request's
+    /// deployment buffers.
+    pub fn speed_bins(&self, req: BinningRequest<'_>) -> crate::binning::BinningReport {
         let stream = stream_seed(self.cfg.seed, "yield");
         let mut gls = self
             .cfg
@@ -905,18 +1104,49 @@ impl<'a> BufferInsertionFlow<'a> {
             .then(|| GateLevelSampler::new(&self.tg));
         crate::binning::classify(
             &self.sg,
-            deployment,
+            req.deployment,
             &self.skews,
-            periods,
-            step,
+            req.periods,
+            req.step,
             self.cfg.yield_samples,
             |k, st| self.fill_sample(stream, k, st, &mut gls),
         )
     }
 
+    /// Classifies fresh evaluation chips into speed bins.
+    #[deprecated(note = "build a `BinningRequest` and call `BufferInsertionFlow::speed_bins`")]
+    pub fn evaluate_speed_bins(
+        &self,
+        deployment: &crate::yield_eval::Deployment,
+        periods: &[f64],
+        step: f64,
+    ) -> crate::binning::BinningReport {
+        self.speed_bins(BinningRequest::new(deployment, periods, step))
+    }
+
     /// Builds the integer constraints of one chip from a named sample
     /// stream — lets examples and tests replay exact chips (e.g. the
     /// post-silicon configuration example replays the yield stream).
+    pub fn chip_constraints(&self, req: SampleRequest<'_>) -> IntegerConstraints {
+        let mut st = SampleTiming::for_graph(&self.sg);
+        let mut gls = self
+            .cfg
+            .gate_level_sampling
+            .then(|| GateLevelSampler::new(&self.tg));
+        self.fill_sample(
+            stream_seed(self.cfg.seed, req.stream),
+            req.index,
+            &mut st,
+            &mut gls,
+        );
+        let mut ic = IntegerConstraints::for_graph(&self.sg);
+        ic.build(&self.sg, &st, &self.skews, req.period, req.step);
+        ic
+    }
+
+    /// Builds the integer constraints of one chip from a named sample
+    /// stream.
+    #[deprecated(note = "build a `SampleRequest` and call `BufferInsertionFlow::chip_constraints`")]
     pub fn sample_constraints(
         &self,
         stream: &str,
@@ -924,15 +1154,7 @@ impl<'a> BufferInsertionFlow<'a> {
         period: f64,
         step: f64,
     ) -> IntegerConstraints {
-        let mut st = SampleTiming::for_graph(&self.sg);
-        let mut gls = self
-            .cfg
-            .gate_level_sampling
-            .then(|| GateLevelSampler::new(&self.tg));
-        self.fill_sample(stream_seed(self.cfg.seed, stream), index, &mut st, &mut gls);
-        let mut ic = IntegerConstraints::for_graph(&self.sg);
-        ic.build(&self.sg, &st, &self.skews, period, step);
-        ic
+        self.chip_constraints(SampleRequest::new(stream, index, period, step))
     }
 
     /// Runs `f` under this flow's worker-thread cap: the explicit pool
@@ -1133,29 +1355,61 @@ impl<'a> BufferInsertionFlow<'a> {
                 inexact: 0,
                 diag: PassDiagnostics::default(),
             };
-            for row in 0..len {
-                let objective = match push {
-                    Push::CountOnly => PushObjective::None,
-                    Push::ToZero => PushObjective::ToZero,
-                    Push::ToTargets => {
-                        PushObjective::ToTargets(targets.expect("targets provided for ToTargets"))
-                    }
-                };
+            let objective = match push {
+                Push::CountOnly => PushObjective::None,
+                Push::ToZero => PushObjective::ToZero,
+                Push::ToTargets => {
+                    PushObjective::ToTargets(targets.expect("targets provided for ToTargets"))
+                }
+            };
+            // Split borrows: the sessions hold this chunk's constraint
+            // views (shared) while the solver executes their searches
+            // (exclusive).
+            let solver = &mut ws.solver;
+            let cons = &ws.cons;
+            // One session per chip, driven to completion in chip order:
+            // chips with no violations (or a provably unfixable one)
+            // conclude inside `begin`; the rest plan their region
+            // decomposition and fan the fresh searches out on the region
+            // pool (when present), committing each round in pinned
+            // region order.  Chips stay sequential so a chip's memo
+            // publishes land before the next chip plans — the
+            // within-chunk cross-chip replay path the memo tier exists
+            // for — while the parallelism lives inside each round's
+            // independent `RegionTask`s.
+            let mut results: Vec<Option<SampleResult>> = vec![None; len];
+            for (row, slot) in results.iter_mut().enumerate() {
                 // SAFETY: rows lo..lo + len belong exclusively to this
                 // chunk (fixed boundaries, each chunk claimed by exactly
                 // one worker) and passes run sequentially, so no other
                 // thread can touch these chip states while we hold them.
                 let chip_state = arena.map(|arena| unsafe { arena.state_mut(lo + row) });
-                let r = ws.solver.solve_view_memo(
+                let mut req = SolveRequest::shared(
                     &self.sg,
-                    ws.cons.view(row),
+                    cons.view(row),
                     space,
                     objective,
                     &self.cfg.solver,
-                    memo,
-                    chip_state,
-                    &mut local.diag,
                 );
+                if let Some(m) = memo {
+                    req = req.memo(m);
+                }
+                if let Some(st) = chip_state {
+                    req = req.state(st);
+                }
+                let mut session = solver.begin(req);
+                while !session.is_done() {
+                    let tasks = session.plan(solver);
+                    let outcomes =
+                        solver.execute(&tasks, space, &self.cfg.solver, self.region_pool.as_ref());
+                    session.commit(solver, &outcomes);
+                }
+                let out = session.finish();
+                local.diag.merge(&out.diag);
+                *slot = Some(out.result);
+            }
+            for (row, slot) in results.into_iter().enumerate() {
+                let r = slot.expect("every chip concluded");
                 // SAFETY: row `lo + row` belongs to this chunk alone.
                 unsafe { feasible_ref.write(lo + row, r.feasible) };
                 if !r.feasible {
@@ -1595,7 +1849,9 @@ mod tests {
     #[test]
     fn end_to_end_on_tiny_circuit() {
         let c = bench_suite::tiny_demo(1);
-        let flow = BufferInsertionFlow::new(&c, quick_cfg()).unwrap();
+        let flow = BufferInsertionFlow::builder(&c, quick_cfg())
+            .build()
+            .unwrap();
         let r = flow.run();
         assert_eq!(r.n_ffs, 24);
         assert!(r.mu_t > 0.0);
@@ -1618,8 +1874,14 @@ mod tests {
         cfg1.threads = 1;
         let mut cfg4 = quick_cfg();
         cfg4.threads = 4;
-        let r1 = BufferInsertionFlow::new(&c, cfg1).unwrap().run();
-        let r4 = BufferInsertionFlow::new(&c, cfg4).unwrap().run();
+        let r1 = BufferInsertionFlow::builder(&c, cfg1)
+            .build()
+            .unwrap()
+            .run();
+        let r4 = BufferInsertionFlow::builder(&c, cfg4)
+            .build()
+            .unwrap()
+            .run();
         assert_eq!(r1.nb, r4.nb);
         assert_eq!(r1.groups, r4.groups);
         assert_eq!(r1.yield_with_buffers, r4.yield_with_buffers);
@@ -1633,8 +1895,14 @@ mod tests {
         cfg0.target = TargetPeriod::SigmaFactor(0.0);
         let mut cfg2 = quick_cfg();
         cfg2.target = TargetPeriod::SigmaFactor(2.0);
-        let r0 = BufferInsertionFlow::new(&c, cfg0).unwrap().run();
-        let r2 = BufferInsertionFlow::new(&c, cfg2).unwrap().run();
+        let r0 = BufferInsertionFlow::builder(&c, cfg0)
+            .build()
+            .unwrap()
+            .run();
+        let r2 = BufferInsertionFlow::builder(&c, cfg2)
+            .build()
+            .unwrap()
+            .run();
         assert!(
             r2.yield_baseline > r0.yield_baseline + 20.0,
             "2σ {} vs µ {}",
@@ -1649,7 +1917,7 @@ mod tests {
         let c = bench_suite::tiny_demo(4);
         let mut cfg = quick_cfg();
         cfg.target = TargetPeriod::Absolute(1234.5);
-        let flow = BufferInsertionFlow::new(&c, cfg).unwrap();
+        let flow = BufferInsertionFlow::builder(&c, cfg).build().unwrap();
         let r = flow.run();
         assert_eq!(r.period, 1234.5);
     }
@@ -1659,7 +1927,7 @@ mod tests {
         let c = bench_suite::tiny_demo(5);
         let mut cfg = quick_cfg();
         cfg.record_histograms = 2;
-        let r = BufferInsertionFlow::new(&c, cfg).unwrap().run();
+        let r = BufferInsertionFlow::builder(&c, cfg).build().unwrap().run();
         assert!(r.snapshots.len() <= 2);
         for s in &r.snapshots {
             assert!(!s.concentrated.is_empty());
@@ -1674,21 +1942,24 @@ mod tests {
         let mut cfg = quick_cfg();
         cfg.samples = 0;
         assert!(matches!(
-            BufferInsertionFlow::new(&c, cfg),
+            BufferInsertionFlow::builder(&c, cfg).build(),
             Err(FlowError::Config(_))
         ));
         let mut cfg = quick_cfg();
         cfg.steps = 0;
-        assert!(BufferInsertionFlow::new(&c, cfg).is_err());
+        assert!(BufferInsertionFlow::builder(&c, cfg).build().is_err());
         let mut cfg = quick_cfg();
         cfg.range_fraction = -1.0;
-        assert!(BufferInsertionFlow::new(&c, cfg).is_err());
+        assert!(BufferInsertionFlow::builder(&c, cfg).build().is_err());
     }
 
     #[test]
     fn grouping_never_increases_buffer_count() {
         let c = bench_suite::tiny_demo(8);
-        let r = BufferInsertionFlow::new(&c, quick_cfg()).unwrap().run();
+        let r = BufferInsertionFlow::builder(&c, quick_cfg())
+            .build()
+            .unwrap()
+            .run();
         assert!(r.nb <= r.buffers_before_grouping);
         // Every group window must be within the floating range.
         for g in &r.groups {
@@ -1713,11 +1984,13 @@ mod tests {
         // (`incremental = false`) flow bit-exactly at every point — the
         // in-process form of the `PSBI_NO_INCREMENTAL` contract.
         let c = bench_suite::tiny_demo(21);
-        let warm_flow = BufferInsertionFlow::new(&c, quick_cfg()).unwrap();
+        let warm_flow = BufferInsertionFlow::builder(&c, quick_cfg())
+            .build()
+            .unwrap();
         assert!(warm_flow.incremental_enabled());
         let mut cold_cfg = quick_cfg();
         cold_cfg.incremental = false;
-        let cold_flow = BufferInsertionFlow::new(&c, cold_cfg).unwrap();
+        let cold_flow = BufferInsertionFlow::builder(&c, cold_cfg).build().unwrap();
         assert!(!cold_flow.incremental_enabled());
         let mut total_reused = 0u64;
         for k in [0.0, 0.25, 0.5] {
@@ -1748,11 +2021,13 @@ mod tests {
         // One flow swept over several targets (cached calibration, reused
         // pool) must reproduce fresh single-target flows bit-exactly.
         let c = bench_suite::tiny_demo(11);
-        let swept = BufferInsertionFlow::new(&c, quick_cfg()).unwrap();
+        let swept = BufferInsertionFlow::builder(&c, quick_cfg())
+            .build()
+            .unwrap();
         for k in [0.0, 1.0, 2.0] {
             let mut cfg = quick_cfg();
             cfg.target = TargetPeriod::SigmaFactor(k);
-            let fresh = BufferInsertionFlow::new(&c, cfg).unwrap().run();
+            let fresh = BufferInsertionFlow::builder(&c, cfg).build().unwrap().run();
             let sweep = swept.run_target(TargetPeriod::SigmaFactor(k));
             assert_eq!(no_runtime(fresh), no_runtime(sweep), "k = {k}");
         }
@@ -1763,18 +2038,29 @@ mod tests {
         let c1 = bench_suite::tiny_demo(12);
         let c2 = bench_suite::tiny_demo(13);
         let pool = Arc::new(WorkspacePool::new());
-        let a = BufferInsertionFlow::with_shared_pool(&c1, quick_cfg(), Arc::clone(&pool))
+        let a = BufferInsertionFlow::builder(&c1, quick_cfg())
+            .pool(Arc::clone(&pool))
+            .build()
             .unwrap()
             .run();
         // Run a different circuit through the same (now warm) pool, then
         // the first again: pooled scratch must not leak between circuits.
-        let _ = BufferInsertionFlow::with_shared_pool(&c2, quick_cfg(), Arc::clone(&pool))
+        let _ = BufferInsertionFlow::builder(&c2, quick_cfg())
+            .pool(Arc::clone(&pool))
+            .build()
             .unwrap()
             .run();
-        let b = BufferInsertionFlow::with_shared_pool(&c1, quick_cfg(), pool)
+        let b = BufferInsertionFlow::builder(&c1, quick_cfg())
+            .pool(pool)
+            .build()
             .unwrap()
             .run();
-        let fresh = no_runtime(BufferInsertionFlow::new(&c1, quick_cfg()).unwrap().run());
+        let fresh = no_runtime(
+            BufferInsertionFlow::builder(&c1, quick_cfg())
+                .build()
+                .unwrap()
+                .run(),
+        );
         assert_eq!(no_runtime(a), fresh);
         assert_eq!(no_runtime(b), fresh);
     }
@@ -1784,7 +2070,7 @@ mod tests {
         let c = bench_suite::tiny_demo(9);
         let mut cfg = quick_cfg();
         cfg.grouping.max_buffers = Some(1);
-        let r = BufferInsertionFlow::new(&c, cfg).unwrap().run();
+        let r = BufferInsertionFlow::builder(&c, cfg).build().unwrap().run();
         assert!(r.nb <= 1);
     }
 }

@@ -48,6 +48,16 @@
 //! `RAYON_NUM_THREADS=1` versus all cores.  The `determinism` integration
 //! test enforces this.
 //!
+//! # Entry surfaces
+//!
+//! Flows are assembled with [`flow::FlowBuilder`]
+//! (`BufferInsertionFlow::builder(..).library(..).pool(..).build()`), and
+//! the per-sample solver is driven through a single request-shaped entry
+//! point ([`solve::SolveRequest`] → [`solve::SampleSolver::solve`]) whose
+//! optional cache tiers and region-parallel execution are fields of the
+//! request rather than separate entry points — see [`solve`] for the
+//! plan/execute session underneath.
+//!
 //! # Example
 //!
 //! ```
@@ -58,7 +68,8 @@
 //! let mut cfg = FlowConfig::default();
 //! cfg.samples = 150;
 //! cfg.yield_samples = 300;
-//! let result = BufferInsertionFlow::new(&circuit, cfg).unwrap().run();
+//! let flow = BufferInsertionFlow::builder(&circuit, cfg).build().unwrap();
+//! let result = flow.run();
 //! assert!(result.yield_with_buffers >= result.yield_baseline - 1e-9);
 //! ```
 
@@ -74,11 +85,12 @@ pub mod verify;
 pub mod yield_eval;
 
 pub use flow::{
-    BufferInsertionFlow, FlowConfig, FlowDiagnostics, FlowError, InsertionResult, TargetPeriod,
-    WorkspacePool,
+    BinningRequest, BufferInsertionFlow, FlowBuilder, FlowConfig, FlowDiagnostics, FlowError,
+    InsertionResult, SampleRequest, TargetPeriod, WorkspacePool,
 };
 pub use solve::{
-    BufferSpace, ChipSolveState, PassDiagnostics, PushObjective, SampleResult, SampleSolver,
+    BufferSpace, ChipSolveState, PassDiagnostics, PushObjective, RegionMemo, RegionOutcome,
+    RegionTask, SampleResult, SampleSolver, SolveOutcome, SolveRequest, SolveSession,
     SolverOptions,
 };
 pub use verify::VerifyReport;

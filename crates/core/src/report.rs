@@ -168,7 +168,7 @@ mod tests {
             target: TargetPeriod::SigmaFactor(0.0),
             ..FlowConfig::default()
         };
-        BufferInsertionFlow::new(&c, cfg).unwrap().run()
+        BufferInsertionFlow::builder(&c, cfg).build().unwrap().run()
     }
 
     #[test]

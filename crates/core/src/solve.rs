@@ -42,6 +42,32 @@
 //! back to the cold path, so results are bit-identical with the cache on,
 //! off (`PSBI_NO_INCREMENTAL=1`), or partially hitting.
 //!
+//! # Entry surface: request in, plan/execute underneath
+//!
+//! Everything above is driven through **one** entry point:
+//! [`SampleSolver::solve`] takes a [`SolveRequest`] carrying the
+//! constraint view, the buffer space, the push objective, the limits and
+//! the optional cache tiers (per-chip [`ChipSolveState`], cross-chip
+//! [`RegionMemo`]) as fields — replacing the former
+//! `solve_view` / `solve_view_with_diag` / `solve_view_cached` /
+//! `solve_view_memo` ladder, which survives only as deprecated wrappers.
+//!
+//! Underneath, a solve is an explicit plan/execute loop:
+//! [`SampleSolver::begin`] returns a [`SolveSession`];
+//! [`SolveSession::plan`] resolves the round's regions against the cache
+//! tiers and yields the ones that still need searching as self-contained
+//! [`RegionTask`]s; [`SampleSolver::execute`] searches a batch of tasks —
+//! inline, or fanned out across a rayon pool when one is supplied — and
+//! [`SolveSession::commit`] applies the outcomes **in pinned region
+//! order**, never completion order.  Region searching is a pure function
+//! of each task (warm-state independent, pinned tie-breaking — the same
+//! properties the memo tier relies on), so fan-out changes only the wall
+//! clock, never a byte of any result.  Callers that also hold a
+//! cross-chip [`RegionMemo`] (the flow's sample chunks) drive one session
+//! per chip to completion in chip order — so each chip's memo publishes
+//! land before the next chip plans — and fan out only within a round's
+//! independent tasks.
+//!
 //! The generic big-M MILP formulation of the whole problem is also
 //! available ([`SampleSolver::solve_reference_milp`]) and is used by tests
 //! to cross-validate the specialised path.
@@ -51,7 +77,8 @@ use psbi_timing::feasibility::{Arc as FeasArc, DiffSolver};
 use psbi_timing::{
     ConstraintKind, ConstraintsView, IntegerConstraints, SequentialGraph, Violation,
 };
-use std::sync::Arc;
+use rayon::prelude::*;
+use std::sync::{Arc, Mutex};
 
 mod memo;
 mod search;
@@ -204,10 +231,11 @@ pub(crate) struct RegCons {
 /// must not live here.
 #[derive(Debug, Default)]
 pub struct SampleSolver {
+    /// The warm-started SPFA solver of the whole-chip saturation screen.
     diff: DiffSolver,
     /// Scratch: per-FF region id (or `NONE`).
     region_of: Vec<u32>,
-    /// Scratch: per-FF variable slot within a support check.
+    /// Scratch: per-FF variable slot within the saturation screen.
     var_of: Vec<u32>,
     /// Scratch: visited stamp for BFS.
     dist: Vec<u32>,
@@ -221,11 +249,11 @@ pub struct SampleSolver {
     fx_vars: Vec<u32>,
     fx_arcs: Vec<FeasArc>,
     fx_bounds: Vec<(i64, i64)>,
-    /// Per-node scratch reused by every support-search in every region.
-    ss_vars: Vec<u32>,
-    ss_slot: Vec<u32>,
-    ss_arcs: Vec<FeasArc>,
-    ss_bounds: Vec<(i64, i64)>,
+    /// The inline region-search workspace (sequential `execute` path).
+    search: SearchScratch,
+    /// Extra search workspaces, minted on demand when a task batch fans
+    /// out across a thread pool and parked here between batches.
+    extra: Mutex<Vec<SearchScratch>>,
 }
 
 const NONE: u32 = u32::MAX;
@@ -237,28 +265,737 @@ struct RoundAcc {
     need_radius: usize,
 }
 
+/// Reusable workspace of one region search: a difference-constraint
+/// solver plus the per-node buffers every feasibility probe shares.  One
+/// lives inline in each [`SampleSolver`] (the sequential `execute` path);
+/// extras are minted on demand when a task batch fans out across a thread
+/// pool, so concurrent searches never share mutable scratch.  Searches
+/// are warm-state independent by contract (the memo tier relies on
+/// exactly that purity), so which scratch instance a task lands on can
+/// never change its outcome.
+#[derive(Debug, Default)]
+struct SearchScratch {
+    diff: DiffSolver,
+    /// Per-FF variable slot within a support check.
+    var_of: Vec<u32>,
+    /// Per-node scratch reused by every support-search probe.
+    ss_vars: Vec<u32>,
+    ss_slot: Vec<u32>,
+    ss_arcs: Vec<FeasArc>,
+    ss_bounds: Vec<(i64, i64)>,
+}
+
+impl SearchScratch {
+    /// Region-*solving* half: the support branch and bound, as a pure
+    /// function of (region FFs, materialised constraints, tuning windows,
+    /// limits).  The outcome is push-independent — what makes it cacheable
+    /// across passes with different objectives — and warm-state
+    /// independent, what makes it safe to run on any scratch from any
+    /// thread.
+    fn search_region(
+        &mut self,
+        ffs: &[u32],
+        cons: &[RegCons],
+        space: &BufferSpace,
+        opts: &SolverOptions,
+    ) -> CachedOutcome {
+        let m = ffs.len();
+        // Map ff -> local slot.
+        self.var_of.clear();
+        self.var_of.resize(space.has_buffer.len(), NONE);
+        for (slot, &ff) in ffs.iter().enumerate() {
+            self.var_of[ff as usize] = slot as u32;
+        }
+        let violated_local: Vec<usize> = cons
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.bound < 0)
+            .map(|(i, _)| i)
+            .collect();
+
+        // Branch and bound over supports.  The per-node buffers (variable
+        // maps, arc and bound arrays) come from this scratch, so
+        // thousands of feasibility probes share four allocations.
+        let mut search = SupportSearch {
+            solver: &mut self.diff,
+            var_of: &self.var_of,
+            region_ffs: ffs,
+            cons,
+            violated: &violated_local,
+            bounds: &space.bounds,
+            best: None,
+            nodes: 0,
+            node_cap: opts.bb_node_cap,
+            exact: true,
+            vars_scratch: std::mem::take(&mut self.ss_vars),
+            slot_scratch: std::mem::take(&mut self.ss_slot),
+            arcs_scratch: std::mem::take(&mut self.ss_arcs),
+            bounds_scratch: std::mem::take(&mut self.ss_bounds),
+        };
+        let phase = run_support_search(&mut search, m, opts.region_cap);
+        // Return the per-node scratch before the next task needs it.
+        let (sv, ssl, sa, sb) = search.into_scratch();
+        self.ss_vars = sv;
+        self.ss_slot = ssl;
+        self.ss_arcs = sa;
+        self.ss_bounds = sb;
+        match phase {
+            SearchPhase::Infeasible => CachedOutcome::Infeasible,
+            SearchPhase::Fallback { support, witness } => CachedOutcome::Feasible {
+                count: support.len(),
+                support,
+                witness,
+                exact: false,
+            },
+            SearchPhase::Best {
+                count,
+                support,
+                witness,
+                exact,
+            } => CachedOutcome::Feasible {
+                count,
+                support,
+                witness,
+                exact,
+            },
+        }
+    }
+}
+
+/// One sample solve, fully described: the chip's constraint system, the
+/// buffer space, the push objective, the solver limits, and the optional
+/// cache / execution tiers.
+///
+/// Build with [`SolveRequest::new`] (plain space) or
+/// [`SolveRequest::shared`] (a shared `Arc` space epoch — required for
+/// per-chip state), then chain [`SolveRequest::memo`],
+/// [`SolveRequest::state`] and [`SolveRequest::pool`] as needed.  Every
+/// tier is a field of the request instead of a separate entry point; the
+/// result is bit-identical for any combination of attached tiers.
+pub struct SolveRequest<'a> {
+    sg: &'a SequentialGraph,
+    ic: ConstraintsView<'a>,
+    space: &'a BufferSpace,
+    /// The `Arc` identity of `space` when the caller solves against a
+    /// shared space epoch — what per-chip state revalidation keys on.
+    epoch: Option<&'a Arc<BufferSpace>>,
+    push: PushObjective<'a>,
+    opts: &'a SolverOptions,
+    memo: Option<&'a RegionMemo>,
+    state: Option<&'a mut ChipSolveState>,
+    pool: Option<&'a rayon::ThreadPool>,
+}
+
+impl<'a> SolveRequest<'a> {
+    /// A request against a plain (unshared) buffer space.  Per-chip state
+    /// cannot ride such a request — revalidation needs the space's `Arc`
+    /// identity; use [`SolveRequest::shared`] for that.
+    pub fn new(
+        sg: &'a SequentialGraph,
+        ic: ConstraintsView<'a>,
+        space: &'a BufferSpace,
+        push: PushObjective<'a>,
+        opts: &'a SolverOptions,
+    ) -> Self {
+        Self {
+            sg,
+            ic,
+            space,
+            epoch: None,
+            push,
+            opts,
+            memo: None,
+            state: None,
+            pool: None,
+        }
+    }
+
+    /// A request against a shared space epoch (the flow's per-pass
+    /// `Arc<BufferSpace>`), enabling [`SolveRequest::state`].
+    pub fn shared(
+        sg: &'a SequentialGraph,
+        ic: ConstraintsView<'a>,
+        space: &'a Arc<BufferSpace>,
+        push: PushObjective<'a>,
+        opts: &'a SolverOptions,
+    ) -> Self {
+        let mut req = Self::new(sg, ic, space.as_ref(), push, opts);
+        req.epoch = Some(space);
+        req
+    }
+
+    /// Attaches the flow-level cross-chip [`RegionMemo`] tier.
+    #[must_use]
+    pub fn memo(mut self, memo: &'a RegionMemo) -> Self {
+        self.memo = Some(memo);
+        self
+    }
+
+    /// Attaches the chip's persistent cross-pass [`ChipSolveState`] tier.
+    /// Requires a request built with [`SolveRequest::shared`].
+    #[must_use]
+    pub fn state(mut self, state: &'a mut ChipSolveState) -> Self {
+        debug_assert!(
+            self.epoch.is_some(),
+            "per-chip state rides a shared space epoch; build with SolveRequest::shared"
+        );
+        self.state = Some(state);
+        self
+    }
+
+    /// Fans region searches out on `pool` instead of running them inline
+    /// on the calling thread.  Results are bit-identical either way.
+    #[must_use]
+    pub fn pool(mut self, pool: &'a rayon::ThreadPool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+}
+
+/// Result of one [`SampleSolver::solve`]: the sample's solution plus the
+/// counters the solve accumulated.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SolveOutcome {
+    /// The sample's solution.
+    pub result: SampleResult,
+    /// Workload / cache-efficacy counters of this solve (see
+    /// [`PassDiagnostics`] for which of them are deterministic).
+    pub diag: PassDiagnostics,
+}
+
+/// One region search, detached from its session: the region's FFs (pinned
+/// BFS order) and its materialised constraint system — the exact inputs
+/// of the pure search function.  Tasks own their data so a batch of them
+/// can fan out across threads while their sessions stay behind.
+#[derive(Debug, Clone)]
+pub struct RegionTask {
+    ffs: Vec<u32>,
+    cons: Vec<RegCons>,
+}
+
+/// One executed region search, opaque to callers: produced (in task
+/// order) by [`SampleSolver::execute`], consumed by
+/// [`SolveSession::commit`].
+#[derive(Debug, Clone)]
+pub struct RegionOutcome(Arc<CachedOutcome>);
+
+/// How one planned region obtains its outcome at commit time.
+enum Slot {
+    /// Replayed from the chip's own history: the outcome is already in
+    /// the cached region, nothing to record.
+    Replay,
+    /// Cross-chip memo hit, recorded into the chip state at commit.
+    Hit(Arc<CachedOutcome>),
+    /// Fresh search: the outcome arrives from [`SampleSolver::execute`]
+    /// at this task index and is published under the captured memo key.
+    Fresh(usize, Option<MemoKey>),
+}
+
+/// An in-flight sample solve, split at the region boundary.
+///
+/// [`SampleSolver::begin`] runs violation discovery and the whole-chip
+/// screen and returns a session; then, until [`SolveSession::is_done`],
+/// [`SolveSession::plan`] yields the current round's outstanding searches
+/// as [`RegionTask`]s, [`SampleSolver::execute`] runs them (inline or on
+/// a pool), and [`SolveSession::commit`] applies the outcomes **in pinned
+/// region order** — which keeps results bit-identical regardless of the
+/// order tasks actually completed in.  [`SolveSession::finish`] yields
+/// the [`SolveOutcome`].
+///
+/// The split exists so a caller driving many chips at once (the flow's
+/// sample chunks) can aggregate the tasks of several sessions into one
+/// batch and fan the whole batch out together; [`SampleSolver::solve`] is
+/// the single-chip loop over the same pieces.
+pub struct SolveSession<'a> {
+    req: SolveRequest<'a>,
+    /// Violated constraints of the chip (taken from the solver's scratch
+    /// at begin, returned when the session concludes).
+    violated: Vec<Violation>,
+    diag: PassDiagnostics,
+    radius: usize,
+    round: usize,
+    planned: bool,
+    /// Cold-path decomposition of the current round.
+    cold_regions: Vec<Region>,
+    /// Cached-path round entry index in the chip state.
+    entry: usize,
+    /// Materialised constraint system per region, in region order.
+    cons: Vec<Vec<RegCons>>,
+    /// Outcome source per region, in region order.
+    slots: Vec<Slot>,
+    n_tasks: usize,
+    done: Option<SampleResult>,
+}
+
+/// Resolves one non-replayable region against the cross-chip memo tier:
+/// a hit (exact key equality) becomes an immediate outcome; a miss (or no
+/// memo) appends a [`RegionTask`] for `execute`.
+fn plan_slot(
+    region: &Region,
+    cons: &[RegCons],
+    space: &BufferSpace,
+    opts: &SolverOptions,
+    memo: Option<&RegionMemo>,
+    diag: &mut PassDiagnostics,
+    tasks: &mut Vec<RegionTask>,
+) -> Slot {
+    if let Some(memo) = memo {
+        let key = MemoKey::capture(region, cons, space, opts);
+        if let Some(hit) = memo.lookup(&key) {
+            diag.cross_chip_hits += 1;
+            psbi_obs::metrics::counter_add("solve.memo.hit", 1);
+            let outcome = if psbi_fault::failpoint!("memo.replay.corrupt") {
+                // Injected cache corruption: a claimed-feasible outcome
+                // whose support is empty.  Downstream this yields a chip
+                // "fixed" with no tunings — exactly the class of silent
+                // wrong answer the independent verifier must flag.
+                Arc::new(CachedOutcome::Feasible {
+                    count: 0,
+                    support: Vec::new(),
+                    witness: Vec::new(),
+                    exact: true,
+                })
+            } else {
+                hit
+            };
+            return Slot::Hit(outcome);
+        }
+        psbi_obs::metrics::counter_add("solve.memo.miss", 1);
+        tasks.push(RegionTask {
+            ffs: region.ffs.clone(),
+            cons: cons.to_vec(),
+        });
+        Slot::Fresh(tasks.len() - 1, Some(key))
+    } else {
+        tasks.push(RegionTask {
+            ffs: region.ffs.clone(),
+            cons: cons.to_vec(),
+        });
+        Slot::Fresh(tasks.len() - 1, None)
+    }
+}
+
+/// Publishes a freshly searched outcome to the cross-chip memo, when both
+/// the memo tier and a captured key are present.
+fn publish(memo: Option<&RegionMemo>, key: Option<MemoKey>, outcome: &Arc<CachedOutcome>) {
+    if let (Some(memo), Some(key)) = (memo, key) {
+        memo.publish(key, Arc::clone(outcome));
+        psbi_obs::metrics::counter_add("solve.memo.publish", 1);
+    }
+}
+
+impl<'a> SolveSession<'a> {
+    /// Whether the solve has produced its final result.
+    pub fn is_done(&self) -> bool {
+        self.done.is_some()
+    }
+
+    /// The buffer space this session solves against.
+    pub fn space(&self) -> &'a BufferSpace {
+        self.req.space
+    }
+
+    /// The solver limits this session runs under.
+    pub fn opts(&self) -> &'a SolverOptions {
+        self.req.opts
+    }
+
+    /// The thread pool attached to the request, if any.
+    pub fn pool(&self) -> Option<&'a rayon::ThreadPool> {
+        self.req.pool
+    }
+
+    /// Plans the current round: builds (or replays) the region
+    /// decomposition, resolves every region against the cache tiers, and
+    /// returns the regions that still need a fresh search as
+    /// self-contained [`RegionTask`]s.  Must be followed by exactly one
+    /// [`SolveSession::commit`] carrying the executed outcomes.
+    pub fn plan(&mut self, solver: &mut SampleSolver) -> Vec<RegionTask> {
+        assert!(!self.is_done(), "plan on a finished session");
+        debug_assert!(!self.planned, "plan called twice without a commit");
+        let _span = psbi_obs::Span::enter("solve.region.plan");
+        self.cons.clear();
+        self.slots.clear();
+        self.cold_regions.clear();
+        let sg = self.req.sg;
+        let ic = self.req.ic;
+        let space = self.req.space;
+        let opts = self.req.opts;
+        let memo = self.req.memo;
+        let radius = self.radius;
+        let mut tasks = Vec::new();
+        match self.req.state.as_deref_mut() {
+            Some(st) => {
+                let entry = match st.round_index(radius) {
+                    Some(i) => {
+                        self.diag.regions_reused += st.rounds[i].regions.len() as u64;
+                        i
+                    }
+                    None => {
+                        let regions = {
+                            let _obs = stage_obs("solve.stage.discovery");
+                            solver.collect_regions(sg, space, &self.violated, radius)
+                        };
+                        let cached = regions.into_iter().map(CachedRegion::new).collect();
+                        st.insert_round(radius, opts.region_radius, cached)
+                    }
+                };
+                self.entry = entry;
+                for cr in st.rounds[entry].regions.iter_mut() {
+                    self.diag.regions_total += 1;
+                    if cr.region.ffs.len() > opts.region_cap {
+                        self.diag.regions_saturated += 1;
+                    }
+                    let cons = materialize_cons(&cr.region, ic, space);
+                    if cr.outcome_replayable(&cons, space) {
+                        // Count only replayed *supports*: an Infeasible
+                        // replay skips the search too, but there is no
+                        // support set in it.
+                        if matches!(cr.outcome.as_deref(), Some(CachedOutcome::Feasible { .. })) {
+                            self.diag.supports_rehit += 1;
+                        }
+                        self.slots.push(Slot::Replay);
+                    } else {
+                        self.slots.push(plan_slot(
+                            &cr.region,
+                            &cons,
+                            space,
+                            opts,
+                            memo,
+                            &mut self.diag,
+                            &mut tasks,
+                        ));
+                    }
+                    self.cons.push(cons);
+                }
+            }
+            None => {
+                let regions = {
+                    let _obs = stage_obs("solve.stage.discovery");
+                    solver.collect_regions(sg, space, &self.violated, radius)
+                };
+                for region in &regions {
+                    self.diag.regions_total += 1;
+                    if region.ffs.len() > opts.region_cap {
+                        self.diag.regions_saturated += 1;
+                    }
+                    let cons = materialize_cons(region, ic, space);
+                    self.slots.push(plan_slot(
+                        region,
+                        &cons,
+                        space,
+                        opts,
+                        memo,
+                        &mut self.diag,
+                        &mut tasks,
+                    ));
+                    self.cons.push(cons);
+                }
+                self.cold_regions = regions;
+            }
+        }
+        self.n_tasks = tasks.len();
+        self.planned = true;
+        tasks
+    }
+
+    /// Commits one executed round: outcomes are recorded into the cache
+    /// tiers, published to the memo and applied **in pinned region
+    /// order** (never completion order), then the round accumulator
+    /// decides growth — the session either concludes or re-arms for the
+    /// next round at the grown radius (a region's optimal count exceeding
+    /// the radius provably fits within radius = count; two rounds
+    /// suffice, a third guards the node-capped inexact case).
+    pub fn commit(&mut self, solver: &mut SampleSolver, outcomes: &[RegionOutcome]) {
+        assert!(self.planned, "commit without a plan");
+        assert_eq!(
+            outcomes.len(),
+            self.n_tasks,
+            "commit needs exactly one outcome per planned task"
+        );
+        let space = self.req.space;
+        let push = self.req.push;
+        let opts = self.req.opts;
+        let memo = self.req.memo;
+        let radius = self.radius;
+        let mut acc = RoundAcc {
+            tunings: Vec::new(),
+            exact: true,
+            need_radius: radius,
+        };
+        match self.req.state.as_deref_mut() {
+            Some(st) => {
+                for (i, cr) in st.rounds[self.entry].regions.iter_mut().enumerate() {
+                    let cons = &self.cons[i];
+                    let outcome = match std::mem::replace(&mut self.slots[i], Slot::Replay) {
+                        Slot::Replay => {
+                            Arc::clone(cr.outcome.as_ref().expect("replayable slot has an outcome"))
+                        }
+                        Slot::Hit(hit) => {
+                            cr.record(cons, space, Arc::clone(&hit));
+                            hit
+                        }
+                        Slot::Fresh(task, key) => {
+                            let fresh = Arc::clone(&outcomes[task].0);
+                            cr.record(cons, space, Arc::clone(&fresh));
+                            publish(memo, key, &fresh);
+                            fresh
+                        }
+                    };
+                    // `cr` borrows the state arena slot, `solver` owns the
+                    // push scratch — disjoint, so the objective runs in
+                    // place.
+                    solver.apply_outcome(
+                        &cr.region, cons, &outcome, space, push, opts, radius, &mut acc,
+                    );
+                }
+            }
+            None => {
+                for (i, region) in self.cold_regions.iter().enumerate() {
+                    let cons = &self.cons[i];
+                    let outcome = match std::mem::replace(&mut self.slots[i], Slot::Replay) {
+                        Slot::Replay => unreachable!("cold rounds never replay"),
+                        Slot::Hit(hit) => hit,
+                        Slot::Fresh(task, key) => {
+                            let fresh = Arc::clone(&outcomes[task].0);
+                            publish(memo, key, &fresh);
+                            fresh
+                        }
+                    };
+                    solver
+                        .apply_outcome(region, cons, &outcome, space, push, opts, radius, &mut acc);
+                }
+            }
+        }
+        self.planned = false;
+        if acc.need_radius == radius || self.round == 2 {
+            let exact = acc.exact && acc.need_radius == radius;
+            self.conclude(
+                solver,
+                SampleResult {
+                    feasible: true,
+                    exact,
+                    tunings: acc.tunings,
+                },
+            );
+        } else {
+            self.radius = acc.need_radius;
+            self.round += 1;
+        }
+    }
+
+    /// The final outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`SolveSession::is_done`].
+    pub fn finish(self) -> SolveOutcome {
+        SolveOutcome {
+            result: self.done.expect("finish on an unfinished session"),
+            diag: self.diag,
+        }
+    }
+
+    /// Concludes the session with `result`, returning the violation
+    /// scratch to the solver.
+    fn conclude(&mut self, solver: &mut SampleSolver, result: SampleResult) {
+        solver.violated = std::mem::take(&mut self.violated);
+        self.done = Some(result);
+    }
+}
+
 impl SampleSolver {
     /// Creates a solver with empty workspaces.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Solves one sample: minimum buffer count, then (optionally) value
-    /// concentration.
-    pub fn solve(
+    /// Solves one sample end to end: minimum buffer count, then
+    /// (optionally) value concentration, with whichever cache and
+    /// execution tiers the request carries.  This is the solver's single
+    /// entry point; [`SampleSolver::begin`] / [`SolveSession::plan`] /
+    /// [`SampleSolver::execute`] / [`SolveSession::commit`] are the same
+    /// pipeline exposed at the region boundary, for callers interleaving
+    /// several chips' searches in one batch.
+    pub fn solve(&mut self, req: SolveRequest<'_>) -> SolveOutcome {
+        let pool = req.pool;
+        let mut session = self.begin(req);
+        while !session.is_done() {
+            let tasks = session.plan(self);
+            let outcomes = self.execute(&tasks, session.space(), session.opts(), pool);
+            session.commit(self, &outcomes);
+        }
+        session.finish()
+    }
+
+    /// Starts a sample solve: violation discovery, chip-state
+    /// revalidation and the whole-chip saturation screen.  The returned
+    /// session has either concluded already (no violations, or provably
+    /// unfixable) or awaits plan/execute/commit rounds.
+    pub fn begin<'a>(&mut self, mut req: SolveRequest<'a>) -> SolveSession<'a> {
+        let n = req.sg.n_ffs;
+        debug_assert_eq!(req.space.has_buffer.len(), n);
+
+        // 1. Violated constraints at x = 0 — the chip's fingerprint
+        // (reused scratch, returned when the session concludes).
+        let mut violated = std::mem::take(&mut self.violated);
+        {
+            let _obs = stage_obs("solve.stage.discovery");
+            req.ic.collect_violations(req.sg, &mut violated);
+        }
+        // Chip-level revalidation clears any cached decomposition whose
+        // invalidation keys no longer match; everything that survives is
+        // safe to replay in `plan`.
+        if let Some(st) = req.state.as_deref_mut() {
+            let epoch = req
+                .epoch
+                .expect("per-chip state rides a shared space epoch");
+            st.revalidate(req.sg, epoch, req.opts, &violated);
+        }
+        let radius = req.opts.region_radius;
+        let mut session = SolveSession {
+            req,
+            violated,
+            diag: PassDiagnostics::default(),
+            radius,
+            round: 0,
+            planned: false,
+            cold_regions: Vec::new(),
+            entry: 0,
+            cons: Vec::new(),
+            slots: Vec::new(),
+            n_tasks: 0,
+            done: None,
+        };
+
+        if session.violated.is_empty() {
+            session.conclude(
+                self,
+                SampleResult {
+                    feasible: true,
+                    exact: true,
+                    tunings: Vec::new(),
+                },
+            );
+            return session;
+        }
+        // A violated constraint between two bufferless FFs is unfixable.
+        for i in 0..session.violated.len() {
+            let v = session.violated[i];
+            if !session.req.space.has_buffer[v.a as usize]
+                && !session.req.space.has_buffer[v.b as usize]
+            {
+                session.conclude(
+                    self,
+                    SampleResult {
+                        feasible: false,
+                        exact: true,
+                        tunings: Vec::new(),
+                    },
+                );
+                return session;
+            }
+        }
+
+        // 2. Infeasibility screen at full saturation: if the chip cannot be
+        // configured even with *every* buffer free, no region growth can
+        // help (a negative cycle stays negative), so decide this once with
+        // a single SPFA instead of growing regions toward it.  The
+        // carried per-chip witness seeds the solver's warm slot; it is
+        // fully re-validated there, so importing never changes the verdict.
+        let fixable = {
+            let _obs = stage_obs("solve.stage.screen");
+            if let Some(st) = session.req.state.as_deref_mut() {
+                if st.fixable_ok {
+                    self.diff.import_witness(&st.fixable_witness);
+                }
+            }
+            let fixable = self.chip_fixable(session.req.sg, session.req.ic, session.req.space);
+            if let Some(st) = session.req.state.as_deref_mut() {
+                if fixable {
+                    if let Some(w) = self.diff.export_witness() {
+                        st.fixable_witness.clear();
+                        st.fixable_witness.extend_from_slice(w);
+                        st.fixable_ok = true;
+                    }
+                }
+            }
+            fixable
+        };
+        if !fixable {
+            session.conclude(
+                self,
+                SampleResult {
+                    feasible: false,
+                    exact: true,
+                    tunings: Vec::new(),
+                },
+            );
+        }
+        session
+    }
+
+    /// Runs a batch of planned region searches and returns their outcomes
+    /// **in task order**.  With a pool attached and at least two tasks the
+    /// batch fans out across the pool's workers, each task on its own
+    /// [`SearchScratch`] (minted on demand, parked between batches);
+    /// otherwise the batch runs inline on the solver's own scratch.
+    /// Searches are pure, so the two paths are bit-identical.
+    ///
+    /// Tasks from several sessions may be aggregated into one call — an
+    /// outcome belongs to whichever session planned the task, at the same
+    /// index within that session's slice of the batch.
+    pub fn execute(
         &mut self,
-        sg: &SequentialGraph,
-        ic: &IntegerConstraints,
+        tasks: &[RegionTask],
         space: &BufferSpace,
-        push: PushObjective<'_>,
         opts: &SolverOptions,
-    ) -> SampleResult {
-        self.solve_view(sg, ic.as_view(), space, push, opts)
+        pool: Option<&rayon::ThreadPool>,
+    ) -> Vec<RegionOutcome> {
+        if tasks.is_empty() {
+            return Vec::new();
+        }
+        let _obs = stage_obs("solve.stage.search");
+        match pool {
+            Some(pool) if tasks.len() >= 2 => {
+                let extra = &self.extra;
+                pool.install(|| {
+                    (0..tasks.len())
+                        .into_par_iter()
+                        .map(|i| {
+                            let _span = psbi_obs::Span::enter("solve.region.task");
+                            let t = &tasks[i];
+                            let mut scratch = extra
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                .pop()
+                                .unwrap_or_default();
+                            let out = scratch.search_region(&t.ffs, &t.cons, space, opts);
+                            extra
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                .push(scratch);
+                            RegionOutcome(Arc::new(out))
+                        })
+                        .collect()
+                })
+            }
+            _ => tasks
+                .iter()
+                .map(|t| {
+                    let _span = psbi_obs::Span::enter("solve.region.task");
+                    RegionOutcome(Arc::new(
+                        self.search.search_region(&t.ffs, &t.cons, space, opts),
+                    ))
+                })
+                .collect(),
+        }
     }
 
     /// Solves one sample from a borrowed constraint view (an
     /// [`IntegerConstraints`] or one row of a
     /// [`psbi_timing::ConstraintBatch`]), without cross-pass state.
+    #[deprecated(note = "build a `SolveRequest` and call `SampleSolver::solve`")]
     pub fn solve_view(
         &mut self,
         sg: &SequentialGraph,
@@ -267,15 +1004,13 @@ impl SampleSolver {
         push: PushObjective<'_>,
         opts: &SolverOptions,
     ) -> SampleResult {
-        let mut diag = PassDiagnostics::default();
-        self.solve_inner(sg, ic, space, push, opts, None, None, &mut diag)
+        self.solve(SolveRequest::new(sg, ic, space, push, opts))
+            .result
     }
 
-    /// As [`SampleSolver::solve_view`], accumulating the *workload*
-    /// counters (`regions_total`, `regions_saturated`) into `diag`.  The
-    /// reuse counters stay zero — there is no cross-pass state here — but
-    /// `region_cap` saturation remains observable even with the
-    /// incremental cache disabled.
+    /// As the plain solve, accumulating the *workload* counters
+    /// (`regions_total`, `regions_saturated`) into `diag`.
+    #[deprecated(note = "build a `SolveRequest` and call `SampleSolver::solve`")]
     pub fn solve_view_with_diag(
         &mut self,
         sg: &SequentialGraph,
@@ -285,16 +1020,16 @@ impl SampleSolver {
         opts: &SolverOptions,
         diag: &mut PassDiagnostics,
     ) -> SampleResult {
-        self.solve_inner(sg, ic, space, push, opts, None, None, diag)
+        let out = self.solve(SolveRequest::new(sg, ic, space, push, opts));
+        diag.merge(&out.diag);
+        out.result
     }
 
-    /// Solves one sample with persistent per-chip state: cached region
-    /// decompositions and search outcomes from earlier passes are replayed
-    /// when their invalidation keys still match (see [`state`]), and
-    /// refreshed otherwise.  The result is **bit-identical** to
-    /// [`SampleSolver::solve_view`] on the same inputs for *any* prior
-    /// content of `solve_state` — reuse is a verified fast path, never a
-    /// semantic change.  Cache-efficacy counters accumulate into `diag`.
+    /// Solves one sample with persistent per-chip state (see
+    /// [`SolveRequest::state`]).
+    #[deprecated(
+        note = "build a `SolveRequest::shared(..).state(..)` and call `SampleSolver::solve`"
+    )]
     #[allow(clippy::too_many_arguments)]
     pub fn solve_view_cached(
         &mut self,
@@ -306,26 +1041,16 @@ impl SampleSolver {
         solve_state: &mut ChipSolveState,
         diag: &mut PassDiagnostics,
     ) -> SampleResult {
-        self.solve_inner(
-            sg,
-            ic,
-            space,
-            push,
-            opts,
-            Some((space, solve_state)),
-            None,
-            diag,
-        )
+        let out = self.solve(SolveRequest::shared(sg, ic, space, push, opts).state(solve_state));
+        diag.merge(&out.diag);
+        out.result
     }
 
     /// The full shared-state entry point: per-chip incremental state
-    /// (optional) **plus** a flow-level cross-chip [`RegionMemo`]
-    /// (optional).  Regions that cannot replay from the chip's own
-    /// history are looked up in `memo` by the exact value of their
-    /// saturation-normalised system and searched (then published) on a
-    /// miss.  Like every other cache tier, the memo is a verified fast
-    /// path: the result is bit-identical to [`SampleSolver::solve_view`]
-    /// for any memo/state content and any interleaving of publishers.
+    /// (optional) plus a flow-level cross-chip [`RegionMemo`] (optional).
+    #[deprecated(
+        note = "build a `SolveRequest` with `.memo(..)` / `.state(..)` and call `SampleSolver::solve`"
+    )]
     #[allow(clippy::too_many_arguments)]
     pub fn solve_view_memo(
         &mut self,
@@ -338,287 +1063,16 @@ impl SampleSolver {
         solve_state: Option<&mut ChipSolveState>,
         diag: &mut PassDiagnostics,
     ) -> SampleResult {
-        let chip = solve_state.map(|st| (space, st));
-        self.solve_inner(sg, ic, space, push, opts, chip, memo, diag)
-    }
-
-    /// Shared entry: violation collection, chip-level cache revalidation,
-    /// then the solve pipeline.
-    #[allow(clippy::too_many_arguments)]
-    fn solve_inner(
-        &mut self,
-        sg: &SequentialGraph,
-        ic: ConstraintsView<'_>,
-        space: &BufferSpace,
-        push: PushObjective<'_>,
-        opts: &SolverOptions,
-        cache: Option<(&Arc<BufferSpace>, &mut ChipSolveState)>,
-        memo: Option<&RegionMemo>,
-        diag: &mut PassDiagnostics,
-    ) -> SampleResult {
-        let n = sg.n_ffs;
-        debug_assert_eq!(space.has_buffer.len(), n);
-
-        // 1. Violated constraints at x = 0 — the chip's fingerprint
-        // (reused scratch).
-        let mut violated = std::mem::take(&mut self.violated);
-        {
-            let _obs = stage_obs("solve.stage.discovery");
-            ic.collect_violations(sg, &mut violated);
+        let mut req = SolveRequest::shared(sg, ic, space, push, opts);
+        if let Some(m) = memo {
+            req = req.memo(m);
         }
-        // Chip-level revalidation clears any cached decomposition whose
-        // invalidation keys no longer match; everything that survives is
-        // safe to replay below.
-        let state = cache.map(|(space_arc, st)| {
-            st.revalidate(sg, space_arc, opts, &violated);
-            st
-        });
-        let result =
-            self.solve_with_violated(sg, ic, space, push, opts, &violated, state, memo, diag);
-        self.violated = violated;
-        result
-    }
-
-    /// The solve pipeline after violation collection (split out so the
-    /// violation scratch can be taken and restored around it).
-    #[allow(clippy::too_many_arguments)]
-    fn solve_with_violated(
-        &mut self,
-        sg: &SequentialGraph,
-        ic: ConstraintsView<'_>,
-        space: &BufferSpace,
-        push: PushObjective<'_>,
-        opts: &SolverOptions,
-        violated: &[Violation],
-        mut state: Option<&mut ChipSolveState>,
-        memo: Option<&RegionMemo>,
-        diag: &mut PassDiagnostics,
-    ) -> SampleResult {
-        if violated.is_empty() {
-            return SampleResult {
-                feasible: true,
-                exact: true,
-                tunings: Vec::new(),
-            };
+        if let Some(st) = solve_state {
+            req = req.state(st);
         }
-        // A violated constraint between two bufferless FFs is unfixable.
-        for v in violated {
-            if !space.has_buffer[v.a as usize] && !space.has_buffer[v.b as usize] {
-                return SampleResult {
-                    feasible: false,
-                    exact: true,
-                    tunings: Vec::new(),
-                };
-            }
-        }
-
-        // 2. Infeasibility screen at full saturation: if the chip cannot be
-        // configured even with *every* buffer free, no region growth can
-        // help (a negative cycle stays negative), so decide this once with
-        // a single SPFA instead of growing regions toward it.  The
-        // carried per-chip witness seeds the solver's warm slot; it is
-        // fully re-validated there, so importing never changes the verdict.
-        let fixable = {
-            let _obs = stage_obs("solve.stage.screen");
-            if let Some(st) = state.as_deref_mut() {
-                if st.fixable_ok {
-                    self.diff.import_witness(&st.fixable_witness);
-                }
-            }
-            let fixable = self.chip_fixable(sg, ic, space);
-            if let Some(st) = state.as_deref_mut() {
-                if fixable {
-                    if let Some(w) = self.diff.export_witness() {
-                        st.fixable_witness.clear();
-                        st.fixable_witness.extend_from_slice(w);
-                        st.fixable_ok = true;
-                    }
-                }
-            }
-            fixable
-        };
-        if !fixable {
-            return SampleResult {
-                feasible: false,
-                exact: true,
-                tunings: Vec::new(),
-            };
-        }
-
-        // 3. Region growth: solve at the initial radius, then — if some
-        // region's optimal count exceeds the radius — once more at
-        // radius = count, which provably contains a global optimum (any
-        // better solution's components span fewer hops).  Two rounds
-        // suffice; a third guards the inexact (node-capped) case.
-        let mut radius = opts.region_radius;
-        for round in 0..3 {
-            let mut acc = RoundAcc {
-                tunings: Vec::new(),
-                exact: true,
-                need_radius: radius,
-            };
-            match state.as_deref_mut() {
-                Some(st) => {
-                    self.solve_round_cached(
-                        sg, ic, space, push, opts, violated, radius, st, memo, diag, &mut acc,
-                    );
-                }
-                None => {
-                    self.solve_round_cold(
-                        sg, ic, space, push, opts, violated, radius, memo, diag, &mut acc,
-                    );
-                }
-            }
-            if acc.need_radius == radius || round == 2 {
-                return SampleResult {
-                    feasible: true,
-                    exact: acc.exact && acc.need_radius == radius,
-                    tunings: acc.tunings,
-                };
-            }
-            radius = acc.need_radius;
-        }
-        unreachable!("growth loop returns within three rounds");
-    }
-
-    /// Resolves one region's outcome through the cache hierarchy below
-    /// the per-chip tier: cross-chip memo lookup (exact key equality)
-    /// first, fresh search + publish on a miss.  Search time lands in the
-    /// `solve.stage.search` obs histogram either way (a hit contributes
-    /// ~0); the `solve.memo.{hit,miss,publish}` counters are
-    /// schedule-dependent like [`PassDiagnostics::cross_chip_hits`].
-    fn memo_or_search(
-        &mut self,
-        region: &Region,
-        cons: &[RegCons],
-        space: &BufferSpace,
-        opts: &SolverOptions,
-        memo: Option<&RegionMemo>,
-        diag: &mut PassDiagnostics,
-    ) -> Arc<CachedOutcome> {
-        let _obs = stage_obs("solve.stage.search");
-        match memo {
-            Some(memo) => {
-                let key = MemoKey::capture(region, cons, space, opts);
-                match memo.lookup(&key) {
-                    Some(hit) => {
-                        diag.cross_chip_hits += 1;
-                        psbi_obs::metrics::counter_add("solve.memo.hit", 1);
-                        if psbi_fault::failpoint!("memo.replay.corrupt") {
-                            // Injected cache corruption: a claimed-feasible
-                            // outcome whose support is empty.  Downstream
-                            // this yields a chip "fixed" with no tunings —
-                            // exactly the class of silent wrong answer the
-                            // independent verifier must flag.
-                            Arc::new(CachedOutcome::Feasible {
-                                count: 0,
-                                support: Vec::new(),
-                                witness: Vec::new(),
-                                exact: true,
-                            })
-                        } else {
-                            hit
-                        }
-                    }
-                    None => {
-                        psbi_obs::metrics::counter_add("solve.memo.miss", 1);
-                        let fresh = Arc::new(self.search_region(cons, space, region, opts));
-                        memo.publish(key, Arc::clone(&fresh));
-                        psbi_obs::metrics::counter_add("solve.memo.publish", 1);
-                        fresh
-                    }
-                }
-            }
-            None => Arc::new(self.search_region(cons, space, region, opts)),
-        }
-    }
-
-    /// One growth round without cross-pass state: build the decomposition,
-    /// search every region (through the cross-chip memo when one is
-    /// active), apply the push objective.
-    #[allow(clippy::too_many_arguments)]
-    fn solve_round_cold(
-        &mut self,
-        sg: &SequentialGraph,
-        ic: ConstraintsView<'_>,
-        space: &BufferSpace,
-        push: PushObjective<'_>,
-        opts: &SolverOptions,
-        violated: &[Violation],
-        radius: usize,
-        memo: Option<&RegionMemo>,
-        diag: &mut PassDiagnostics,
-        acc: &mut RoundAcc,
-    ) {
-        let regions = {
-            let _obs = stage_obs("solve.stage.discovery");
-            self.collect_regions(sg, space, violated, radius)
-        };
-        for region in &regions {
-            diag.regions_total += 1;
-            if region.ffs.len() > opts.region_cap {
-                diag.regions_saturated += 1;
-            }
-            let cons = materialize_cons(region, ic, space);
-            let outcome = self.memo_or_search(region, &cons, space, opts, memo, diag);
-            self.apply_outcome(region, &cons, &outcome, space, push, opts, radius, acc);
-        }
-    }
-
-    /// One growth round with cross-pass state: replay the decomposition
-    /// and any region outcome whose invalidation keys still match, fall
-    /// back to the cross-chip memo for the rest, search (and re-record,
-    /// and publish) what misses both tiers.
-    #[allow(clippy::too_many_arguments)]
-    fn solve_round_cached(
-        &mut self,
-        sg: &SequentialGraph,
-        ic: ConstraintsView<'_>,
-        space: &BufferSpace,
-        push: PushObjective<'_>,
-        opts: &SolverOptions,
-        violated: &[Violation],
-        radius: usize,
-        st: &mut ChipSolveState,
-        memo: Option<&RegionMemo>,
-        diag: &mut PassDiagnostics,
-        acc: &mut RoundAcc,
-    ) {
-        let entry = match st.round_index(radius) {
-            Some(i) => {
-                diag.regions_reused += st.rounds[i].regions.len() as u64;
-                i
-            }
-            None => {
-                let regions = {
-                    let _obs = stage_obs("solve.stage.discovery");
-                    self.collect_regions(sg, space, violated, radius)
-                };
-                let cached = regions.into_iter().map(CachedRegion::new).collect();
-                st.insert_round(radius, opts.region_radius, cached)
-            }
-        };
-        for cr in st.rounds[entry].regions.iter_mut() {
-            diag.regions_total += 1;
-            if cr.region.ffs.len() > opts.region_cap {
-                diag.regions_saturated += 1;
-            }
-            let cons = materialize_cons(&cr.region, ic, space);
-            if cr.outcome_replayable(&cons, space) {
-                // Count only replayed *supports*: an Infeasible replay
-                // skips the search too, but there is no support set in it.
-                if matches!(cr.outcome.as_deref(), Some(CachedOutcome::Feasible { .. })) {
-                    diag.supports_rehit += 1;
-                }
-            } else {
-                let outcome = self.memo_or_search(&cr.region, &cons, space, opts, memo, diag);
-                cr.record(&cons, space, outcome);
-            }
-            let outcome = cr.outcome.as_ref().expect("recorded above");
-            // `cr` borrows the state arena slot, `self` owns the solver
-            // scratch — disjoint, so the push objective can run in place.
-            self.apply_outcome(&cr.region, &cons, outcome, space, push, opts, radius, acc);
-        }
+        let out = self.solve(req);
+        diag.merge(&out.diag);
+        out.result
     }
 
     /// Applies one region's search outcome to the round accumulator:
@@ -866,80 +1320,6 @@ impl SampleSolver {
             }
         }
         regions
-    }
-
-    /// Region-*solving* half: the support branch and bound, as a pure
-    /// function of the materialised constraints, the tuning windows and
-    /// the limits.  The outcome is push-independent, which is what makes
-    /// it cacheable across passes with different objectives.
-    fn search_region(
-        &mut self,
-        cons: &[RegCons],
-        space: &BufferSpace,
-        region: &Region,
-        opts: &SolverOptions,
-    ) -> CachedOutcome {
-        let m = region.ffs.len();
-        // Map ff -> local slot.
-        self.var_of.clear();
-        self.var_of.resize(space.has_buffer.len(), NONE);
-        for (slot, &ff) in region.ffs.iter().enumerate() {
-            self.var_of[ff as usize] = slot as u32;
-        }
-        let violated_local: Vec<usize> = cons
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.bound < 0)
-            .map(|(i, _)| i)
-            .collect();
-
-        // Branch and bound over supports.  The per-node buffers (variable
-        // maps, arc and bound arrays) come from the solver's scratch pool,
-        // so thousands of feasibility probes share four allocations.
-        let mut search = SupportSearch {
-            solver: &mut self.diff,
-            var_of: &self.var_of,
-            region_ffs: &region.ffs,
-            cons,
-            violated: &violated_local,
-            bounds: &space.bounds,
-            best: None,
-            nodes: 0,
-            node_cap: opts.bb_node_cap,
-            exact: true,
-            vars_scratch: std::mem::take(&mut self.ss_vars),
-            slot_scratch: std::mem::take(&mut self.ss_slot),
-            arcs_scratch: std::mem::take(&mut self.ss_arcs),
-            bounds_scratch: std::mem::take(&mut self.ss_bounds),
-        };
-        let phase = run_support_search(&mut search, m, opts.region_cap);
-        // Return the per-node scratch to the pool before the caller needs
-        // `&mut self` again.
-        let (sv, ssl, sa, sb) = search.into_scratch();
-        self.ss_vars = sv;
-        self.ss_slot = ssl;
-        self.ss_arcs = sa;
-        self.ss_bounds = sb;
-        match phase {
-            SearchPhase::Infeasible => CachedOutcome::Infeasible,
-            SearchPhase::Fallback { support, witness } => CachedOutcome::Feasible {
-                count: support.len(),
-                support,
-                witness,
-                exact: false,
-            },
-            SearchPhase::Best {
-                count,
-                support,
-                witness,
-                exact,
-            } => CachedOutcome::Feasible {
-                count,
-                support,
-                witness,
-                exact,
-            },
-        }
     }
 
     /// Applies the push objective to a solved region.

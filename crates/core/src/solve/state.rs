@@ -179,8 +179,8 @@ pub(crate) struct RadiusEntry {
 ///
 /// One instance per chip index lives in the flow's per-target state arena;
 /// standalone users construct one per chip with [`ChipSolveState::new`]
-/// and hand it to
-/// [`SampleSolver::solve_view_cached`](super::SampleSolver::solve_view_cached).
+/// and attach it with
+/// [`SolveRequest::state`](super::SolveRequest::state).
 ///
 /// A state is bound to **one** [`SequentialGraph`]: cached regions store
 /// edge indices and adjacency-derived structure that only mean anything

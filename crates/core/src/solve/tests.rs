@@ -30,6 +30,63 @@ fn constraints(setup: &[i64], hold: &[i64]) -> IntegerConstraints {
     }
 }
 
+/// Drives the unified entry point for the cold, stateless case the old
+/// positional `solve` signature covered.
+fn solve_plain(
+    s: &mut SampleSolver,
+    sg: &SequentialGraph,
+    ic: &IntegerConstraints,
+    space: &BufferSpace,
+    push: PushObjective,
+    opts: &SolverOptions,
+) -> SampleResult {
+    s.solve(SolveRequest::new(sg, ic.as_view(), space, push, opts))
+        .result
+}
+
+/// `solve_view_cached`-shaped driver: a shared-epoch request with the
+/// chip-state tier attached, counters merged into `diag`.
+#[allow(clippy::too_many_arguments)]
+fn solve_cached(
+    s: &mut SampleSolver,
+    sg: &SequentialGraph,
+    ic: ConstraintsView<'_>,
+    space: &Arc<BufferSpace>,
+    push: PushObjective,
+    opts: &SolverOptions,
+    state: &mut ChipSolveState,
+    diag: &mut PassDiagnostics,
+) -> SampleResult {
+    let out = s.solve(SolveRequest::shared(sg, ic, space, push, opts).state(state));
+    diag.merge(&out.diag);
+    out.result
+}
+
+/// `solve_view_memo`-shaped driver: optional memo / chip-state tiers.
+#[allow(clippy::too_many_arguments)]
+fn solve_memo(
+    s: &mut SampleSolver,
+    sg: &SequentialGraph,
+    ic: ConstraintsView<'_>,
+    space: &Arc<BufferSpace>,
+    push: PushObjective,
+    opts: &SolverOptions,
+    memo: Option<&RegionMemo>,
+    state: Option<&mut ChipSolveState>,
+    diag: &mut PassDiagnostics,
+) -> SampleResult {
+    let mut req = SolveRequest::shared(sg, ic, space, push, opts);
+    if let Some(m) = memo {
+        req = req.memo(m);
+    }
+    if let Some(st) = state {
+        req = req.state(st);
+    }
+    let out = s.solve(req);
+    diag.merge(&out.diag);
+    out.result
+}
+
 fn check_valid(
     sg: &SequentialGraph,
     ic: &IntegerConstraints,
@@ -64,7 +121,8 @@ fn no_violation_no_tuning() {
     let ic = constraints(&[5, 3], &[2, 2]);
     let space = BufferSpace::floating(3, 20);
     let mut s = SampleSolver::new();
-    let r = s.solve(
+    let r = solve_plain(
+        &mut s,
         &sg,
         &ic,
         &space,
@@ -82,7 +140,8 @@ fn single_violation_needs_one_buffer() {
     let ic = constraints(&[-3, 5], &[5, 5]);
     let space = BufferSpace::floating(3, 20);
     let mut s = SampleSolver::new();
-    let r = s.solve(
+    let r = solve_plain(
+        &mut s,
         &sg,
         &ic,
         &space,
@@ -107,7 +166,8 @@ fn chained_violation_forces_two_buffers() {
     let mut space = BufferSpace::floating(3, 20);
     space.has_buffer[0] = false;
     let mut s = SampleSolver::new();
-    let r = s.solve(
+    let r = solve_plain(
+        &mut s,
         &sg,
         &ic,
         &space,
@@ -127,7 +187,8 @@ fn unfixable_between_bufferless_ffs() {
     space.has_buffer[0] = false;
     space.has_buffer[1] = false;
     let mut s = SampleSolver::new();
-    let r = s.solve(
+    let r = solve_plain(
+        &mut s,
         &sg,
         &ic,
         &space,
@@ -148,7 +209,8 @@ fn window_too_small_is_infeasible() {
         bounds: vec![(-10, 10); 2],
     };
     let mut s = SampleSolver::new();
-    let r = s.solve(
+    let r = solve_plain(
+        &mut s,
         &sg,
         &ic,
         &space,
@@ -166,7 +228,8 @@ fn push_to_zero_minimises_magnitude() {
     let ic = constraints(&[-4], &[100]);
     let space = BufferSpace::floating(2, 20);
     let mut s = SampleSolver::new();
-    let r = s.solve(
+    let r = solve_plain(
+        &mut s,
         &sg,
         &ic,
         &space,
@@ -188,7 +251,8 @@ fn push_to_targets_hits_target_when_free() {
     let space = BufferSpace::floating(2, 20);
     let targets = vec![0.0, 6.0];
     let mut s = SampleSolver::new();
-    let r = s.solve(
+    let r = solve_plain(
+        &mut s,
         &sg,
         &ic,
         &space,
@@ -210,7 +274,8 @@ fn hold_violation_fixed_with_negative_delay() {
     let ic = constraints(&[100], &[-2]);
     let space = BufferSpace::floating(2, 20);
     let mut s = SampleSolver::new();
-    let r = s.solve(
+    let r = solve_plain(
+        &mut s,
         &sg,
         &ic,
         &space,
@@ -235,7 +300,8 @@ fn asymmetric_windows_respected() {
         bounds: vec![(-8, 2), (-2, 3)],
     };
     let mut s = SampleSolver::new();
-    let r = s.solve(
+    let r = solve_plain(
+        &mut s,
         &sg,
         &ic,
         &space,
@@ -256,7 +322,8 @@ fn self_loop_edges_are_handled() {
     let ic = constraints(&[-1], &[5]);
     let space = BufferSpace::floating(1, 20);
     let mut s = SampleSolver::new();
-    let r = s.solve(
+    let r = solve_plain(
+        &mut s,
         &sg,
         &ic,
         &space,
@@ -290,7 +357,8 @@ fn matches_reference_milp_on_fixed_cases() {
         let ic = constraints(&setup, &hold);
         let space = BufferSpace::floating(n, 10);
         let mut s = SampleSolver::new();
-        let fast = s.solve(
+        let fast = solve_plain(
+            &mut s,
             &sg,
             &ic,
             &space,
@@ -347,8 +415,7 @@ mod prop {
                 }
             }
             let mut s = SampleSolver::new();
-            let fast = s.solve(&sg, &ic, &space, PushObjective::ToZero,
-                               &SolverOptions::default());
+            let fast = solve_plain(&mut s, &sg, &ic, &space, PushObjective::ToZero, &SolverOptions::default());
             let slow = s.solve_reference_milp(&sg, &ic, &space, PushObjective::ToZero);
             prop_assert_eq!(fast.feasible, slow.feasible,
                 "feasibility: fast {:?} slow {:?}", fast, slow);
@@ -396,9 +463,9 @@ mod prop {
             // Pass 1: floating windows (primes the cache).
             let space1 = Arc::new(BufferSpace::floating(n, 6));
             let mut diag = PassDiagnostics::default();
-            let got = warm.solve_view_cached(
+            let got = solve_cached(&mut warm,
                 &sg, ic.as_view(), &space1, PushObjective::ToZero, &opts, &mut state, &mut diag);
-            let want = cold.solve_view(&sg, ic.as_view(), &space1, PushObjective::ToZero, &opts);
+            let want = cold.solve(SolveRequest::new(&sg, ic.as_view(), &space1, PushObjective::ToZero, &opts)).result;
             prop_assert_eq!(&got, &want, "pass 1 (cold prime)");
 
             // Pass 2: every window narrowed (bounds changed, has_buffer
@@ -409,9 +476,9 @@ mod prop {
             }
             let space2 = Arc::new(s2);
             let mut diag = PassDiagnostics::default();
-            let got = warm.solve_view_cached(
+            let got = solve_cached(&mut warm,
                 &sg, ic.as_view(), &space2, PushObjective::ToZero, &opts, &mut state, &mut diag);
-            let want = cold.solve_view(&sg, ic.as_view(), &space2, PushObjective::ToZero, &opts);
+            let want = cold.solve(SolveRequest::new(&sg, ic.as_view(), &space2, PushObjective::ToZero, &opts)).result;
             prop_assert_eq!(&got, &want, "pass 2 (narrowed windows)");
             prop_assert_eq!(diag.supports_rehit, 0,
                 "changed windows must invalidate every cached support");
@@ -431,9 +498,9 @@ mod prop {
             s3.has_buffer[endpoint.unwrap_or(pruned % n)] = false;
             let space3 = Arc::new(s3);
             let mut diag = PassDiagnostics::default();
-            let got = warm.solve_view_cached(
+            let got = solve_cached(&mut warm,
                 &sg, ic.as_view(), &space3, PushObjective::ToZero, &opts, &mut state, &mut diag);
-            let want = cold.solve_view(&sg, ic.as_view(), &space3, PushObjective::ToZero, &opts);
+            let want = cold.solve(SolveRequest::new(&sg, ic.as_view(), &space3, PushObjective::ToZero, &opts)).result;
             prop_assert_eq!(&got, &want, "pass 3 (pruned buffer)");
             prop_assert_eq!(diag.regions_reused, 0,
                 "pruning a violated endpoint must invalidate every cached decomposition");
@@ -445,9 +512,9 @@ mod prop {
             let shifted: Vec<i64> = raw_setup[..m].iter().map(|b| b - shift).collect();
             let ic4 = constraints(&shifted, &raw_hold[..m]);
             let mut diag = PassDiagnostics::default();
-            let got = warm.solve_view_cached(
+            let got = solve_cached(&mut warm,
                 &sg, ic4.as_view(), &space1, PushObjective::ToZero, &opts, &mut state, &mut diag);
-            let want = cold.solve_view(&sg, ic4.as_view(), &space1, PushObjective::ToZero, &opts);
+            let want = cold.solve(SolveRequest::new(&sg, ic4.as_view(), &space1, PushObjective::ToZero, &opts)).result;
             prop_assert_eq!(&got, &want, "pass 4 (shifted constraints)");
         }
 
@@ -482,8 +549,8 @@ mod prop {
             // (a) purity: independent solvers, bit-equal results.
             let mut s1 = SampleSolver::new();
             let mut s2 = SampleSolver::new();
-            let one = s1.solve_view(&sg, ic.as_view(), &space, PushObjective::ToZero, &opts);
-            let two = s2.solve_view(&sg, ic.as_view(), &space, PushObjective::ToZero, &opts);
+            let one = s1.solve(SolveRequest::new(&sg, ic.as_view(), &space, PushObjective::ToZero, &opts)).result;
+            let two = s2.solve(SolveRequest::new(&sg, ic.as_view(), &space, PushObjective::ToZero, &opts)).result;
             prop_assert_eq!(&one, &two, "region solving must be a pure function");
 
             // (b) chip B differs from chip A only in vacuous bounds.
@@ -494,16 +561,16 @@ mod prop {
             let ic_b = constraints(&bumped, &raw_hold[..m]);
             let memo = RegionMemo::new();
             let mut diag = PassDiagnostics::default();
-            let via_a = s1.solve_view_memo(
+            let via_a = solve_memo(&mut s1,
                 &sg, ic.as_view(), &space, PushObjective::ToZero, &opts,
                 Some(&memo), None, &mut diag);
             prop_assert_eq!(&via_a, &one, "memo publish pass must stay cold-identical");
             let published = memo.len();
             let mut diag_b = PassDiagnostics::default();
-            let via_b = s2.solve_view_memo(
+            let via_b = solve_memo(&mut s2,
                 &sg, ic_b.as_view(), &space, PushObjective::ToZero, &opts,
                 Some(&memo), None, &mut diag_b);
-            let cold_b = s1.solve_view(&sg, ic_b.as_view(), &space, PushObjective::ToZero, &opts);
+            let cold_b = s1.solve(SolveRequest::new(&sg, ic_b.as_view(), &space, PushObjective::ToZero, &opts)).result;
             prop_assert_eq!(&via_b, &cold_b, "memo replay must match B's own cold solve");
             if published > 0 {
                 // A had regions; B's saturation-equal system must replay
@@ -533,8 +600,7 @@ mod prop {
             let ic = constraints(&raw_setup[..m], &raw_hold[..m]);
             let space = BufferSpace::floating(n, 6);
             let mut s = SampleSolver::new();
-            let r = s.solve(&sg, &ic, &space, PushObjective::ToZero,
-                            &SolverOptions::default());
+            let r = solve_plain(&mut s, &sg, &ic, &space, PushObjective::ToZero, &SolverOptions::default());
             if r.feasible {
                 check_valid(&sg, &ic, &space, &r);
             }
@@ -596,7 +662,8 @@ fn cross_chip_memo_replays_identical_region_systems() {
 
     let mut first = SampleSolver::new();
     let mut diag = PassDiagnostics::default();
-    let a = first.solve_view_memo(
+    let a = solve_memo(
+        &mut first,
         &sg,
         ic.as_view(),
         &space,
@@ -611,7 +678,8 @@ fn cross_chip_memo_replays_identical_region_systems() {
 
     let mut second = SampleSolver::new();
     let mut diag2 = PassDiagnostics::default();
-    let b = second.solve_view_memo(
+    let b = solve_memo(
+        &mut second,
         &sg,
         ic.as_view(),
         &space,
@@ -623,14 +691,23 @@ fn cross_chip_memo_replays_identical_region_systems() {
     );
     assert!(diag2.cross_chip_hits > 0, "identical system must memo-hit");
     let mut cold = SampleSolver::new();
-    let want = cold.solve_view(&sg, ic.as_view(), &space, PushObjective::ToZero, &opts);
+    let want = cold
+        .solve(SolveRequest::new(
+            &sg,
+            ic.as_view(),
+            &space,
+            PushObjective::ToZero,
+            &opts,
+        ))
+        .result;
     assert_eq!(a, want);
     assert_eq!(b, want, "memo replay must be bit-identical to cold");
 
     // A shifted *binding* bound is a different system: no false hit.
     let shifted = constraints(&[-2, 2, 5], &[6, 6, 6]);
     let mut diag3 = PassDiagnostics::default();
-    let c = second.solve_view_memo(
+    let c = solve_memo(
+        &mut second,
         &sg,
         shifted.as_view(),
         &space,
@@ -641,8 +718,15 @@ fn cross_chip_memo_replays_identical_region_systems() {
         &mut diag3,
     );
     assert_eq!(diag3.cross_chip_hits, 0, "changed bound must miss");
-    let want_shifted =
-        cold.solve_view(&sg, shifted.as_view(), &space, PushObjective::ToZero, &opts);
+    let want_shifted = cold
+        .solve(SolveRequest::new(
+            &sg,
+            shifted.as_view(),
+            &space,
+            PushObjective::ToZero,
+            &opts,
+        ))
+        .result;
     assert_eq!(c, want_shifted);
 }
 
@@ -661,7 +745,8 @@ fn memo_composes_with_per_chip_state() {
     // Chip 1 (fresh state): searches + publishes.
     let mut st1 = ChipSolveState::new();
     let mut diag = PassDiagnostics::default();
-    let r1 = solver.solve_view_memo(
+    let r1 = solve_memo(
+        &mut solver,
         &sg,
         ic.as_view(),
         &space,
@@ -676,7 +761,8 @@ fn memo_composes_with_per_chip_state() {
     // state…
     let mut st2 = ChipSolveState::new();
     let mut diag = PassDiagnostics::default();
-    let r2 = solver.solve_view_memo(
+    let r2 = solve_memo(
+        &mut solver,
         &sg,
         ic.as_view(),
         &space,
@@ -691,7 +777,8 @@ fn memo_composes_with_per_chip_state() {
     // … so the next pass of chip 2 replays from its own state and never
     // consults the memo again.
     let mut diag = PassDiagnostics::default();
-    let r3 = solver.solve_view_memo(
+    let r3 = solve_memo(
+        &mut solver,
         &sg,
         ic.as_view(),
         &space,
@@ -718,13 +805,22 @@ fn tie_breaking_is_pinned_and_cache_replay_matches() {
     let space = Arc::new(BufferSpace::floating(2, 20));
     let opts = SolverOptions::default();
     let mut s = SampleSolver::new();
-    let cold = s.solve_view(&sg, ic.as_view(), &space, PushObjective::None, &opts);
+    let cold = s
+        .solve(SolveRequest::new(
+            &sg,
+            ic.as_view(),
+            &space,
+            PushObjective::None,
+            &opts,
+        ))
+        .result;
     assert_eq!(cold.count(), 1);
     // Lowest-slot tie-break: FF0 is branched In first and accepted.
     assert_eq!(cold.tunings[0].0, 0, "tie must break to the lowest slot");
     let mut state = ChipSolveState::new();
     let mut diag = PassDiagnostics::default();
-    let fresh = s.solve_view_cached(
+    let fresh = solve_cached(
+        &mut s,
         &sg,
         ic.as_view(),
         &space,
@@ -734,7 +830,8 @@ fn tie_breaking_is_pinned_and_cache_replay_matches() {
         &mut diag,
     );
     assert_eq!(diag.supports_rehit, 0, "first cached solve searches");
-    let replayed = s.solve_view_cached(
+    let replayed = solve_cached(
+        &mut s,
         &sg,
         ic.as_view(),
         &space,
@@ -761,7 +858,8 @@ fn cached_outcome_survives_push_objective_changes() {
     let mut s = SampleSolver::new();
     let mut state = ChipSolveState::new();
     let mut diag = PassDiagnostics::default();
-    let a1 = s.solve_view_cached(
+    let a1 = solve_cached(
+        &mut s,
         &sg,
         ic.as_view(),
         &space,
@@ -771,7 +869,8 @@ fn cached_outcome_survives_push_objective_changes() {
         &mut diag,
     );
     let rehit_before = diag.supports_rehit;
-    let a3 = s.solve_view_cached(
+    let a3 = solve_cached(
+        &mut s,
         &sg,
         ic.as_view(),
         &space,
@@ -782,8 +881,24 @@ fn cached_outcome_survives_push_objective_changes() {
     );
     assert!(diag.supports_rehit > rehit_before, "support must replay");
     let mut cold_solver = SampleSolver::new();
-    let cold_a1 = cold_solver.solve_view(&sg, ic.as_view(), &space, PushObjective::None, &opts);
-    let cold_a3 = cold_solver.solve_view(&sg, ic.as_view(), &space, PushObjective::ToZero, &opts);
+    let cold_a1 = cold_solver
+        .solve(SolveRequest::new(
+            &sg,
+            ic.as_view(),
+            &space,
+            PushObjective::None,
+            &opts,
+        ))
+        .result;
+    let cold_a3 = cold_solver
+        .solve(SolveRequest::new(
+            &sg,
+            ic.as_view(),
+            &space,
+            PushObjective::ToZero,
+            &opts,
+        ))
+        .result;
     assert_eq!(a1, cold_a1);
     assert_eq!(a3, cold_a3);
 }
@@ -805,7 +920,7 @@ fn oversized_region_falls_back_to_sparsified_witness() {
         ..SolverOptions::default()
     };
     let mut s = SampleSolver::new();
-    let r = s.solve(&sg, &ic, &space, PushObjective::ToZero, &opts);
+    let r = solve_plain(&mut s, &sg, &ic, &space, PushObjective::ToZero, &opts);
     assert!(r.feasible);
     assert!(!r.exact, "cap forces the inexact path");
     check_valid(&sg, &ic, &space, &r);
@@ -837,7 +952,7 @@ fn node_cap_fallback_is_still_valid() {
         ..SolverOptions::default()
     };
     let mut s = SampleSolver::new();
-    let r = s.solve(&sg, &ic, &space, PushObjective::None, &opts);
+    let r = solve_plain(&mut s, &sg, &ic, &space, PushObjective::None, &opts);
     if r.feasible {
         check_valid(&sg, &ic, &space, &r);
     }
@@ -850,7 +965,8 @@ fn unfixable_cycle_detected_by_global_screen() {
     let ic = constraints(&[-2, 0, 1], &[9, 9, 9]); // sum = -1 < 0
     let space = BufferSpace::floating(3, 20);
     let mut s = SampleSolver::new();
-    let r = s.solve(
+    let r = solve_plain(
+        &mut s,
         &sg,
         &ic,
         &space,
@@ -860,7 +976,8 @@ fn unfixable_cycle_detected_by_global_screen() {
     assert!(!r.feasible, "negative cycle must be unfixable");
     // A ring with non-negative total slack is fixable by rotation.
     let ic = constraints(&[-2, 1, 1], &[9, 9, 9]); // sum = 0
-    let r = s.solve(
+    let r = solve_plain(
+        &mut s,
         &sg,
         &ic,
         &space,
@@ -869,4 +986,94 @@ fn unfixable_cycle_detected_by_global_screen() {
     );
     assert!(r.feasible, "zero-sum ring is fixable");
     check_valid(&sg, &ic, &space, &r);
+}
+
+#[test]
+fn region_parallel_commits_in_pinned_region_order() {
+    // Two disconnected violated regions give a multi-task round.  The
+    // pinned-order contract: a round's outcomes are indexed by task
+    // slot, so executing the tasks in any completion order — here
+    // literally one by one, in reverse — and committing the reassembled
+    // vector must reproduce the one-shot solve bit for bit.
+    let sg = graph(4, &[(0, 1), (2, 3)]);
+    let ic = constraints(&[-3, -4], &[9, 9]);
+    let space = BufferSpace::floating(4, 20);
+    let opts = SolverOptions::default();
+
+    let mut reference = SampleSolver::new();
+    let want = reference.solve(SolveRequest::new(
+        &sg,
+        ic.as_view(),
+        &space,
+        PushObjective::ToZero,
+        &opts,
+    ));
+    assert!(want.result.feasible);
+
+    let mut s = SampleSolver::new();
+    let mut session = s.begin(SolveRequest::new(
+        &sg,
+        ic.as_view(),
+        &space,
+        PushObjective::ToZero,
+        &opts,
+    ));
+    let mut first_round_tasks = 0;
+    while !session.is_done() {
+        let tasks = session.plan(&mut s);
+        if first_round_tasks == 0 {
+            first_round_tasks = tasks.len();
+        }
+        let mut outcomes: Vec<Option<RegionOutcome>> = vec![None; tasks.len()];
+        for i in (0..tasks.len()).rev() {
+            let got = s.execute(std::slice::from_ref(&tasks[i]), &space, &opts, None);
+            outcomes[i] = got.into_iter().next();
+        }
+        let outcomes: Vec<RegionOutcome> = outcomes
+            .into_iter()
+            .map(|o| o.expect("one outcome per task"))
+            .collect();
+        session.commit(&mut s, &outcomes);
+    }
+    assert!(
+        first_round_tasks >= 2,
+        "expected a multi-region first round, got {first_round_tasks}"
+    );
+    assert_eq!(session.finish(), want);
+}
+
+#[test]
+fn region_pool_execution_is_bit_identical_to_inline() {
+    // The same request solved inline and fanned out on a wide pool must
+    // agree bit for bit — outcome, tunings, and diagnostics.
+    let sg = graph(6, &[(0, 1), (2, 3), (4, 5), (1, 2)]);
+    let ic = constraints(&[-3, -4, -2, 6], &[9, 9, 9, 9]);
+    let space = BufferSpace::floating(6, 20);
+    let opts = SolverOptions::default();
+
+    let mut inline = SampleSolver::new();
+    let want = inline.solve(SolveRequest::new(
+        &sg,
+        ic.as_view(),
+        &space,
+        PushObjective::ToZero,
+        &opts,
+    ));
+    assert!(want.result.feasible);
+
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(8)
+        .build()
+        .unwrap();
+    let mut par = SampleSolver::new();
+    let got = par.solve(
+        SolveRequest::new(&sg, ic.as_view(), &space, PushObjective::ToZero, &opts).pool(&pool),
+    );
+    assert_eq!(got, want);
+    // A second parallel solve on the same (now multi-scratch) solver
+    // stays identical — parked scratches never leak warm state.
+    let again = par.solve(
+        SolveRequest::new(&sg, ic.as_view(), &space, PushObjective::ToZero, &opts).pool(&pool),
+    );
+    assert_eq!(again, want);
 }

@@ -465,7 +465,7 @@ mod tests {
     #[test]
     fn verifier_passes_with_all_cache_layers_enabled() {
         let c = bench_suite::tiny_demo(31);
-        let flow = BufferInsertionFlow::new(&c, cfg()).unwrap();
+        let flow = BufferInsertionFlow::builder(&c, cfg()).build().unwrap();
         assert!(flow.verify_enabled());
         // Sweep two targets so the second run replays warm state.
         for k in [0.0, 0.5] {
@@ -483,8 +483,14 @@ mod tests {
         let c = bench_suite::tiny_demo(32);
         let mut plain_cfg = cfg();
         plain_cfg.verify = false;
-        let plain = BufferInsertionFlow::new(&c, plain_cfg).unwrap().run();
-        let mut checked = BufferInsertionFlow::new(&c, cfg()).unwrap().run();
+        let plain = BufferInsertionFlow::builder(&c, plain_cfg)
+            .build()
+            .unwrap()
+            .run();
+        let mut checked = BufferInsertionFlow::builder(&c, cfg())
+            .build()
+            .unwrap()
+            .run();
         assert!(plain.diagnostics.verify.is_none());
         assert!(checked.diagnostics.verify.is_some());
         // Canonical fields must be bit-identical; only the diagnostics and

@@ -6,7 +6,7 @@
 //! path reaching V arcs.  This instance is the minimal counterexample.
 
 use psbi_core::group::{Group, Grouping};
-use psbi_core::solve::{BufferSpace, PushObjective, SampleSolver, SolverOptions};
+use psbi_core::solve::{BufferSpace, PushObjective, SampleSolver, SolveRequest, SolverOptions};
 use psbi_core::yield_eval::Deployment;
 use psbi_timing::feasibility::DiffSolver;
 use psbi_timing::seq::SeqEdge;
@@ -73,13 +73,15 @@ fn specialised_solver_finds_the_fix() {
     let mut space = BufferSpace::floating(3, 5);
     space.has_buffer[2] = false;
     let mut s = SampleSolver::new();
-    let fast = s.solve(
-        &sg,
-        &ic,
-        &space,
-        PushObjective::ToZero,
-        &SolverOptions::default(),
-    );
+    let fast = s
+        .solve(SolveRequest::new(
+            &sg,
+            ic.as_view(),
+            &space,
+            PushObjective::ToZero,
+            &SolverOptions::default(),
+        ))
+        .result;
     let slow = s.solve_reference_milp(&sg, &ic, &space, PushObjective::ToZero);
     assert!(fast.feasible && slow.feasible);
     assert_eq!(fast.count(), slow.count());

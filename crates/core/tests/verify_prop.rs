@@ -33,7 +33,7 @@ proptest! {
             verify: true,
             ..FlowConfig::default()
         };
-        let result = BufferInsertionFlow::new(&circuit, cfg)
+        let result = BufferInsertionFlow::builder(&circuit, cfg).build()
             .expect("generated circuits are valid flow inputs")
             .run();
         let report = result.diagnostics.verify.as_ref().expect("verify report");

@@ -7,7 +7,8 @@
 //! psbi-fleet run    --spec campaign.json --journal c.journal
 //!                   [--workers N] [--max-jobs K] [--report out.json]
 //!                   [--with-timings] [--quiet] [--progress]
-//!                   [--no-incremental] [--no-cross-chip] [--retries N]
+//!                   [--no-incremental] [--no-cross-chip]
+//!                   [--no-region-parallel] [--retries N]
 //!                   [--verify] [--trace trace.json]
 //! psbi-fleet report --spec campaign.json --journal c.journal
 //!                   [--json out.json] [--with-timings]
@@ -82,7 +83,8 @@ fn usage() -> ExitCode {
          \x20 psbi-fleet run    --spec campaign.json --journal c.journal\n\
          \x20                   [--workers N] [--max-jobs K] [--report out.json]\n\
          \x20                   [--with-timings] [--quiet] [--progress]\n\
-         \x20                   [--no-incremental] [--no-cross-chip] [--retries N]\n\
+         \x20                   [--no-incremental] [--no-cross-chip]\n\
+         \x20                   [--no-region-parallel] [--retries N]\n\
          \x20                   [--verify] [--trace trace.json]\n\
          \x20 psbi-fleet report --spec campaign.json --journal c.journal\n\
          \x20                   [--json out.json] [--with-timings]\n\
@@ -201,6 +203,7 @@ fn cmd_run(args: &Args) -> Result<(), FleetError> {
         // PSBI_NO_CROSSCHIP=1) exist for debugging and A/B timing.
         incremental: !args.has("no-incremental"),
         cross_chip: !args.has("no-cross-chip"),
+        region_parallel: !args.has("no-region-parallel"),
         retries: args.get("retries").unwrap_or(2),
         // PSBI_VERIFY=1 force-enables verification inside the flow even
         // without the flag.

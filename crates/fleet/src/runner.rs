@@ -72,6 +72,12 @@ pub struct FleetOptions {
     /// of a pure function, so results are bit-identical either way;
     /// `PSBI_NO_CROSSCHIP=1` overrides it process-wide.
     pub cross_chip: bool,
+    /// Fan each chip's independent region searches out on the flow's
+    /// region pool (see `psbi_core::solve::SolveRequest::pool`).  Region
+    /// results commit in pinned region order, so results are
+    /// bit-identical either way; `PSBI_NO_REGION_PARALLEL=1` overrides
+    /// it process-wide.
+    pub region_parallel: bool,
     /// How many times a panicking job is re-executed before it is
     /// quarantined.  Retries are deterministic: job `i` always re-runs
     /// the same pure function, so a retry either reproduces the panic
@@ -94,6 +100,7 @@ impl Default for FleetOptions {
             trace: None,
             incremental: true,
             cross_chip: true,
+            region_parallel: true,
             retries: 2,
             verify: false,
         }
@@ -348,13 +355,16 @@ pub fn run_campaign(
     let mut cfg = spec.flow_config();
     cfg.incremental = opts.incremental;
     cfg.cross_chip = opts.cross_chip;
+    cfg.region_parallel = opts.region_parallel;
     cfg.verify = opts.verify;
     let flows: Vec<Option<BufferInsertionFlow>> = circuits
         .iter()
         .map(|c| {
             c.as_ref()
                 .map(|circuit| {
-                    BufferInsertionFlow::with_shared_pool(circuit, cfg.clone(), Arc::clone(&pool))
+                    BufferInsertionFlow::builder(circuit, cfg.clone())
+                        .pool(Arc::clone(&pool))
+                        .build()
                         .map_err(|e| FleetError::Circuit(format!("{}: {e}", circuit.name)))
                 })
                 .transpose()

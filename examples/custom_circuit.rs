@@ -74,7 +74,11 @@ fn main() {
         record_histograms: 1,
         ..FlowConfig::default()
     };
-    let flow = BufferInsertionFlow::with_library(&circuit, cfg, lib, model).expect("valid circuit");
+    let flow = BufferInsertionFlow::builder(&circuit, cfg)
+        .library(lib)
+        .model(model)
+        .build()
+        .expect("valid circuit");
     let r = flow.run();
     println!(
         "mu_T = {:.1} ps; inserted {} buffer(s); yield {:.1}% -> {:.1}%",

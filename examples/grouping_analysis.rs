@@ -35,7 +35,8 @@ fn main() {
         };
         cfg.grouping.correlation_threshold = rt;
         cfg.grouping.distance_factor = dt;
-        let r = BufferInsertionFlow::new(&circuit, cfg)
+        let r = BufferInsertionFlow::builder(&circuit, cfg)
+            .build()
             .expect("valid")
             .run();
         println!(

@@ -11,7 +11,7 @@
 //! ```
 
 use psbi::core::configure::{configure_chip, verify};
-use psbi::core::flow::{BufferInsertionFlow, FlowConfig, TargetPeriod};
+use psbi::core::flow::{BufferInsertionFlow, FlowConfig, SampleRequest, TargetPeriod};
 use psbi::netlist::bench_suite;
 
 fn main() {
@@ -22,7 +22,9 @@ fn main() {
         target: TargetPeriod::SigmaFactor(0.0),
         ..FlowConfig::default()
     };
-    let flow = BufferInsertionFlow::new(&circuit, cfg).expect("valid circuit");
+    let flow = BufferInsertionFlow::builder(&circuit, cfg)
+        .build()
+        .expect("valid circuit");
     let result = flow.run();
     println!(
         "design-time flow inserted {} buffer(s); windows: {:?}",
@@ -34,7 +36,12 @@ fn main() {
     let mut needed_tuning = 0;
     let mut dead = 0;
     for chip in 0..20u64 {
-        let ic = flow.sample_constraints("yield", chip, result.period, result.step);
+        let ic = flow.chip_constraints(SampleRequest::new(
+            "yield",
+            chip,
+            result.period,
+            result.step,
+        ));
         match configure_chip(flow.sequential_graph(), &ic, &result.deployment) {
             Some(conf) => {
                 assert!(

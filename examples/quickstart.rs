@@ -28,7 +28,9 @@ fn main() {
         ..FlowConfig::default()
     };
 
-    let flow = BufferInsertionFlow::new(&circuit, cfg).expect("valid circuit");
+    let flow = BufferInsertionFlow::builder(&circuit, cfg)
+        .build()
+        .expect("valid circuit");
     let result = flow.run();
 
     println!(

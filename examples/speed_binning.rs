@@ -6,7 +6,7 @@
 //! cargo run --release --example speed_binning
 //! ```
 
-use psbi::core::flow::{BufferInsertionFlow, FlowConfig, TargetPeriod};
+use psbi::core::flow::{BinningRequest, BufferInsertionFlow, FlowConfig, TargetPeriod};
 use psbi::netlist::bench_suite;
 
 fn main() {
@@ -17,7 +17,9 @@ fn main() {
         target: TargetPeriod::SigmaFactor(0.0),
         ..FlowConfig::default()
     };
-    let flow = BufferInsertionFlow::new(&circuit, cfg).expect("valid circuit");
+    let flow = BufferInsertionFlow::builder(&circuit, cfg)
+        .build()
+        .expect("valid circuit");
     let r = flow.run();
     println!(
         "inserted {} buffer(s); target period {:.1} ps (muT = {:.1}, sigmaT = {:.1})\n",
@@ -31,7 +33,7 @@ fn main() {
         r.mu_t + 2.0 * r.sigma_t,
         r.mu_t + 3.0 * r.sigma_t,
     ];
-    let report = flow.evaluate_speed_bins(&r.deployment, &bins, r.step);
+    let report = flow.speed_bins(BinningRequest::new(&r.deployment, &bins, r.step));
 
     println!(
         "{:<22} {:>12} {:>12}",

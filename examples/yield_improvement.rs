@@ -34,7 +34,8 @@ fn main() {
             target: TargetPeriod::SigmaFactor(sigma),
             ..FlowConfig::default()
         };
-        let r = BufferInsertionFlow::new(&circuit, cfg)
+        let r = BufferInsertionFlow::builder(&circuit, cfg)
+            .build()
             .expect("valid")
             .run();
         println!(

@@ -30,7 +30,7 @@
 //! let mut cfg = FlowConfig::default();
 //! cfg.samples = 200;
 //! cfg.yield_samples = 200;
-//! let result = BufferInsertionFlow::new(&circuit, cfg)
+//! let result = BufferInsertionFlow::builder(&circuit, cfg).build()
 //!     .expect("valid circuit")
 //!     .run();
 //! // Buffer insertion never hurts yield on the evaluation samples.

@@ -21,7 +21,9 @@ fn tiny_cfg() -> FlowConfig {
 #[test]
 fn bench_netlist_through_flow() {
     let circuit = parse_bench(EXAMPLE_BENCH).expect("parses");
-    let flow = BufferInsertionFlow::new(&circuit, tiny_cfg()).expect("valid");
+    let flow = BufferInsertionFlow::builder(&circuit, tiny_cfg())
+        .build()
+        .expect("valid");
     let r = flow.run();
     assert_eq!(r.n_ffs, 3);
     assert!(r.mu_t > 0.0);
@@ -34,8 +36,14 @@ fn bench_round_trip_preserves_flow_results() {
     let c1 = parse_bench(EXAMPLE_BENCH).unwrap();
     let text = to_bench(&c1, &lib);
     let c2 = parse_bench(&text).unwrap();
-    let r1 = BufferInsertionFlow::new(&c1, tiny_cfg()).unwrap().run();
-    let r2 = BufferInsertionFlow::new(&c2, tiny_cfg()).unwrap().run();
+    let r1 = BufferInsertionFlow::builder(&c1, tiny_cfg())
+        .build()
+        .unwrap()
+        .run();
+    let r2 = BufferInsertionFlow::builder(&c2, tiny_cfg())
+        .build()
+        .unwrap()
+        .run();
     // Same structure and same seeds → identical calibration.
     assert_eq!(r1.mu_t, r2.mu_t);
     assert_eq!(r1.nb, r2.nb);
@@ -46,13 +54,11 @@ fn plib_library_through_flow() {
     let text = to_text(&Library::industry_like());
     let lib = parse_plib(&text).expect("parses");
     let circuit = psbi::netlist::bench_suite::tiny_demo(2);
-    let flow = BufferInsertionFlow::with_library(
-        &circuit,
-        tiny_cfg(),
-        lib,
-        VariationModel::paper_defaults(),
-    )
-    .expect("valid");
+    let flow = BufferInsertionFlow::builder(&circuit, tiny_cfg())
+        .library(lib)
+        .model(VariationModel::paper_defaults())
+        .build()
+        .expect("valid");
     let r = flow.run();
     assert!(r.mu_t > 0.0);
 }
@@ -71,14 +77,14 @@ fn slower_library_means_longer_period() {
         slow.add_ff(ff.clone()).unwrap();
     }
     let circuit = psbi::netlist::bench_suite::tiny_demo(3);
-    let fast_flow = BufferInsertionFlow::new(&circuit, tiny_cfg()).unwrap();
-    let slow_flow = BufferInsertionFlow::with_library(
-        &circuit,
-        tiny_cfg(),
-        slow,
-        VariationModel::paper_defaults(),
-    )
-    .unwrap();
+    let fast_flow = BufferInsertionFlow::builder(&circuit, tiny_cfg())
+        .build()
+        .unwrap();
+    let slow_flow = BufferInsertionFlow::builder(&circuit, tiny_cfg())
+        .library(slow)
+        .model(VariationModel::paper_defaults())
+        .build()
+        .unwrap();
     let rf = fast_flow.run();
     let rs = slow_flow.run();
     assert!(
@@ -95,13 +101,11 @@ fn no_variation_means_deterministic_chips() {
     let circuit = psbi::netlist::bench_suite::tiny_demo(4);
     let mut cfg = tiny_cfg();
     cfg.target = TargetPeriod::SigmaFactor(0.0);
-    let flow = BufferInsertionFlow::with_library(
-        &circuit,
-        cfg,
-        Library::industry_like(),
-        VariationModel::none(),
-    )
-    .unwrap();
+    let flow = BufferInsertionFlow::builder(&circuit, cfg)
+        .library(Library::industry_like())
+        .model(VariationModel::none())
+        .build()
+        .unwrap();
     let r = flow.run();
     assert!(r.sigma_t.abs() < 1e-9);
     assert!(

@@ -23,7 +23,8 @@ fn run_once(threads: usize) -> InsertionResult {
         record_histograms: 2,
         ..FlowConfig::default()
     };
-    BufferInsertionFlow::new(&circuit, cfg)
+    BufferInsertionFlow::builder(&circuit, cfg)
+        .build()
         .expect("valid circuit")
         .run()
 }

@@ -2,7 +2,7 @@
 //! the consistency between yield evaluation and post-silicon configuration.
 
 use psbi::core::configure::{configure_chip, verify};
-use psbi::core::flow::{BufferInsertionFlow, FlowConfig, TargetPeriod};
+use psbi::core::flow::{BufferInsertionFlow, FlowConfig, SampleRequest, TargetPeriod};
 use psbi::netlist::bench_suite;
 use psbi::timing::DiffSolver;
 
@@ -21,7 +21,9 @@ fn cfg(samples: usize) -> FlowConfig {
 #[test]
 fn flow_improves_yield_on_small_demo() {
     let circuit = bench_suite::small_demo(3);
-    let flow = BufferInsertionFlow::new(&circuit, cfg(250)).unwrap();
+    let flow = BufferInsertionFlow::builder(&circuit, cfg(250))
+        .build()
+        .unwrap();
     let r = flow.run();
     assert!(r.nb >= 1, "expected at least one buffer at muT");
     assert!(
@@ -42,8 +44,14 @@ fn flow_improves_yield_on_small_demo() {
 #[test]
 fn results_are_reproducible() {
     let circuit = bench_suite::small_demo(4);
-    let a = BufferInsertionFlow::new(&circuit, cfg(150)).unwrap().run();
-    let b = BufferInsertionFlow::new(&circuit, cfg(150)).unwrap().run();
+    let a = BufferInsertionFlow::builder(&circuit, cfg(150))
+        .build()
+        .unwrap()
+        .run();
+    let b = BufferInsertionFlow::builder(&circuit, cfg(150))
+        .build()
+        .unwrap()
+        .run();
     assert_eq!(a.groups, b.groups);
     assert_eq!(a.yield_with_buffers, b.yield_with_buffers);
     assert_eq!(a.mu_t, b.mu_t);
@@ -54,14 +62,16 @@ fn yield_eval_and_configuration_agree() {
     // Every chip the yield evaluator accepts must be configurable, and the
     // produced settings must verify; every rejected chip must not be.
     let circuit = bench_suite::small_demo(5);
-    let flow = BufferInsertionFlow::new(&circuit, cfg(200)).unwrap();
+    let flow = BufferInsertionFlow::builder(&circuit, cfg(200))
+        .build()
+        .unwrap();
     let r = flow.run();
     let sg = flow.sequential_graph();
     let mut solver = DiffSolver::new();
     let mut arcs = Vec::new();
     let mut passes = 0;
     for chip in 0..120u64 {
-        let ic = flow.sample_constraints("yield", chip, r.period, r.step);
+        let ic = flow.chip_constraints(SampleRequest::new("yield", chip, r.period, r.step));
         let evaluator_says = r.deployment.chip_passes(sg, &ic, &mut solver, &mut arcs);
         let config = configure_chip(sg, &ic, &r.deployment);
         assert_eq!(
@@ -84,8 +94,14 @@ fn tighter_period_needs_more_buffers() {
     tight.target = TargetPeriod::SigmaFactor(0.0);
     let mut loose = cfg(200);
     loose.target = TargetPeriod::SigmaFactor(2.0);
-    let rt = BufferInsertionFlow::new(&circuit, tight).unwrap().run();
-    let rl = BufferInsertionFlow::new(&circuit, loose).unwrap().run();
+    let rt = BufferInsertionFlow::builder(&circuit, tight)
+        .build()
+        .unwrap()
+        .run();
+    let rl = BufferInsertionFlow::builder(&circuit, loose)
+        .build()
+        .unwrap()
+        .run();
     assert!(
         rt.nb >= rl.nb,
         "tight target should need at least as many buffers ({} vs {})",

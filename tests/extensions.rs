@@ -1,7 +1,7 @@
 //! Integration tests for the future-work extensions: speed binning and
 //! buffer-area estimation.
 
-use psbi::core::flow::{BufferInsertionFlow, FlowConfig, TargetPeriod};
+use psbi::core::flow::{BinningRequest, BufferInsertionFlow, FlowConfig, TargetPeriod};
 use psbi::netlist::bench_suite;
 
 fn flow_result(
@@ -16,7 +16,9 @@ fn flow_result(
         target: TargetPeriod::SigmaFactor(0.0),
         ..FlowConfig::default()
     };
-    let flow = BufferInsertionFlow::new(circuit, cfg).expect("valid circuit");
+    let flow = BufferInsertionFlow::builder(circuit, cfg)
+        .build()
+        .expect("valid circuit");
     let r = flow.run();
     (flow, r)
 }
@@ -26,7 +28,7 @@ fn speed_bins_are_consistent_with_yield() {
     let circuit = bench_suite::small_demo(14);
     let (flow, r) = flow_result(&circuit);
     let bins = [r.period, r.mu_t + 2.0 * r.sigma_t, r.mu_t + 4.0 * r.sigma_t];
-    let report = flow.evaluate_speed_bins(&r.deployment, &bins, r.step);
+    let report = flow.speed_bins(BinningRequest::new(&r.deployment, &bins, r.step));
 
     // Everyone is classified.
     assert_eq!(

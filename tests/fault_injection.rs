@@ -240,13 +240,17 @@ fn memo_corruption_is_detected_by_the_verifier() {
     let targets = [0.0, 2.0];
 
     let (clean, corrupt) = psbi::fault::with_spec("memo.replay.corrupt", || {
-        let corrupt_flow = BufferInsertionFlow::new(&circuit, cfg.clone()).expect("flow");
+        let corrupt_flow = BufferInsertionFlow::builder(&circuit, cfg.clone())
+            .build()
+            .expect("flow");
         let corrupt: Vec<_> = targets
             .iter()
             .map(|&k| corrupt_flow.run_target(TargetPeriod::SigmaFactor(k)))
             .collect();
         psbi::fault::clear();
-        let clean_flow = BufferInsertionFlow::new(&circuit, cfg.clone()).expect("flow");
+        let clean_flow = BufferInsertionFlow::builder(&circuit, cfg.clone())
+            .build()
+            .expect("flow");
         let clean: Vec<_> = targets
             .iter()
             .map(|&k| clean_flow.run_target(TargetPeriod::SigmaFactor(k)))

@@ -3,18 +3,22 @@
 //! witnesses) across the A1→A3→B1→B2 passes — and across adjacent targets
 //! of a fleet sweep — and deduplicating identical region subproblems
 //! across chips through the flow-level memo table must both be
-//! **bit-invisible**.  Every surface the flow produces is compared across
-//! the cache matrix (incremental on/off × cross-chip on/off), at 1 and 8
-//! workers:
+//! **bit-invisible**.  The same contract covers region-parallel search:
+//! fanning a chip's independent region solves out on the region pool
+//! commits results in pinned region order, so it must also be
+//! bit-invisible.  Every surface the flow produces is compared across
+//! the knob matrix (incremental on/off × cross-chip on/off ×
+//! region-parallel on/off), at 1 and 8 workers:
 //!
 //! * full `InsertionResult`s (modulo wall times and the caches' own
 //!   counters, which are non-canonical by contract),
 //! * fleet journal bytes and canonical report bytes.
 //!
-//! The `PSBI_NO_INCREMENTAL=1` / `PSBI_NO_CROSSCHIP=1` environment forms
-//! of the same contract are pinned by the CI determinism job (the env
-//! flags are read once per process, so this in-process test uses the
-//! equivalent config/option knobs instead).
+//! The `PSBI_NO_INCREMENTAL=1` / `PSBI_NO_CROSSCHIP=1` /
+//! `PSBI_NO_REGION_PARALLEL=1` environment forms of the same contract
+//! are pinned by the CI determinism job (the env flags are read once per
+//! process, so this in-process test uses the equivalent config/option
+//! knobs instead).
 
 use psbi::core::flow::{BufferInsertionFlow, FlowConfig, InsertionResult, TargetPeriod};
 use psbi::fleet::{run_campaign, CampaignReport, CampaignSpec, FleetOptions};
@@ -32,36 +36,49 @@ fn normalized(mut r: InsertionResult) -> InsertionResult {
 #[test]
 fn full_flow_is_bit_identical_across_the_cache_matrix() {
     let circuit = bench_suite::tiny_demo(42);
-    let cfg = |threads: usize, incremental: bool, cross_chip: bool| FlowConfig {
-        samples: 160,
-        yield_samples: 300,
-        calibration_samples: 300,
-        seed: 2024,
-        threads,
-        target: TargetPeriod::SigmaFactor(0.0),
-        record_histograms: 2,
-        incremental,
-        cross_chip,
-        ..FlowConfig::default()
-    };
+    let cfg =
+        |threads: usize, incremental: bool, cross_chip: bool, region_parallel: bool| FlowConfig {
+            samples: 160,
+            yield_samples: 300,
+            calibration_samples: 300,
+            seed: 2024,
+            threads,
+            target: TargetPeriod::SigmaFactor(0.0),
+            record_histograms: 2,
+            incremental,
+            cross_chip,
+            region_parallel,
+            ..FlowConfig::default()
+        };
     // Warm flows swept over adjacent targets (state arenas and memo
     // carried across run_target calls) versus a fully cold flow, across
     // the cache matrix and at both worker counts.
-    let reference_flow = BufferInsertionFlow::new(&circuit, cfg(1, false, false)).unwrap();
+    let reference_flow = BufferInsertionFlow::builder(&circuit, cfg(1, false, false, false))
+        .build()
+        .unwrap();
     assert!(!reference_flow.incremental_enabled());
     assert!(!reference_flow.cross_chip_enabled());
+    assert!(!reference_flow.region_parallel_enabled());
     let variants = [
-        ("incremental+crosschip w1", cfg(1, true, true)),
-        ("incremental+crosschip w8", cfg(8, true, true)),
-        ("incremental-only w8", cfg(8, true, false)),
-        ("crosschip-only w8", cfg(8, false, true)),
+        ("incremental+crosschip w1", cfg(1, true, true, true)),
+        ("incremental+crosschip w8", cfg(8, true, true, true)),
+        ("incremental-only w8", cfg(8, true, false, true)),
+        ("crosschip-only w8", cfg(8, false, true, true)),
+        ("no-region-parallel w8", cfg(8, true, true, false)),
+        (
+            "crosschip-only no-region-parallel w8",
+            cfg(8, false, true, false),
+        ),
+        ("cold region-parallel w8", cfg(8, false, false, true)),
     ];
     let flows: Vec<(&str, BufferInsertionFlow)> = variants
         .iter()
         .map(|(name, c)| {
             (
                 *name,
-                BufferInsertionFlow::new(&circuit, c.clone()).unwrap(),
+                BufferInsertionFlow::builder(&circuit, c.clone())
+                    .build()
+                    .unwrap(),
             )
         })
         .collect();
@@ -118,25 +135,33 @@ fn fleet_journal_bytes_are_identical_across_the_cache_matrix() {
         sigma_factors: vec![0.0, 0.25, 0.5],
         ..CampaignSpec::example()
     };
-    let opts = |workers: usize, incremental: bool, cross_chip: bool| FleetOptions {
-        workers,
-        incremental,
-        cross_chip,
-        ..FleetOptions::default()
-    };
+    let opts =
+        |workers: usize, incremental: bool, cross_chip: bool, region_parallel: bool| FleetOptions {
+            workers,
+            incremental,
+            cross_chip,
+            region_parallel,
+            ..FleetOptions::default()
+        };
     let mut journals: Vec<(PathBuf, Vec<u8>, String)> = Vec::new();
-    for (tag, workers, incremental, cross_chip) in [
-        ("on_on_w1", 1, true, true),
-        ("on_on_w8", 8, true, true),
-        ("off_off_w1", 1, false, false),
-        ("off_off_w8", 8, false, false),
-        ("on_off_w8", 8, true, false),
-        ("off_on_w8", 8, false, true),
+    for (tag, workers, incremental, cross_chip, region_parallel) in [
+        ("on_on_w1", 1, true, true, true),
+        ("on_on_w8", 8, true, true, true),
+        ("off_off_w1", 1, false, false, false),
+        ("off_off_w8", 8, false, false, false),
+        ("on_off_w8", 8, true, false, true),
+        ("off_on_w8", 8, false, true, true),
+        ("no_rp_w8", 8, true, true, false),
+        ("no_rp_w1", 1, true, true, false),
     ] {
         let path = tmp(tag);
         let _ = std::fs::remove_file(&path);
-        let outcome = run_campaign(&spec, &path, &opts(workers, incremental, cross_chip))
-            .expect("campaign runs");
+        let outcome = run_campaign(
+            &spec,
+            &path,
+            &opts(workers, incremental, cross_chip, region_parallel),
+        )
+        .expect("campaign runs");
         assert!(outcome.complete());
         let report = CampaignReport::from_outcome(&spec, &outcome).canonical_json();
         let bytes = std::fs::read(&path).expect("journal written");

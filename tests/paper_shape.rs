@@ -17,7 +17,10 @@ fn run_at(sigma: f64, seed: u64) -> InsertionResult {
         target: TargetPeriod::SigmaFactor(sigma),
         ..FlowConfig::default()
     };
-    BufferInsertionFlow::new(&circuit, cfg).unwrap().run()
+    BufferInsertionFlow::builder(&circuit, cfg)
+        .build()
+        .unwrap()
+        .run()
 }
 
 #[test]
