@@ -155,6 +155,50 @@ def main() -> int:
             "probe has no obs.disarmed_span_ns — disarmed-overhead ceiling skipped"
         )
 
+    # Search-pruning checks.  B&B node counts at one worker are a
+    # deterministic function of the workload — no hardware, no noise —
+    # so the probe must reproduce the committed counts *exactly* (0%
+    # tolerance); any drift means the search or its pruning rules
+    # changed and the baseline must be regenerated deliberately.  The
+    # committed baseline must also show the pruning rules alive (a
+    # nonzero pruned count and a node-reduction ratio above 1).
+    probe_sp = probe.get("search_pruning", {})
+    base_sp = baseline.get("search_pruning", {})
+    if probe_sp and base_sp:
+        for field in ("search_nodes", "search_nodes_unpruned"):
+            got, committed = probe_sp.get(field), base_sp.get(field)
+            ok = got == committed
+            failed_baseline |= not ok
+            notes.append(
+                f"search_pruning.{field}: probe {got} vs committed {committed} "
+                f"(exact match required) — "
+                f"{'✅ pass' if ok else '❌ FAIL: deterministic node count drifted'}"
+            )
+    elif probe_sp:
+        notes.append(
+            "baseline has no search_pruning section — node-count pin skipped "
+            f"(probe node_reduction: {probe_sp.get('node_reduction', 0):.3f}x)"
+        )
+    if base_sp:
+        pruned_total = (
+            base_sp.get("pruned_bound", 0)
+            + base_sp.get("pruned_dominance", 0)
+            + base_sp.get("pruned_symmetry", 0)
+        )
+        if pruned_total <= 0:
+            notes.append(
+                "baseline search_pruning pruned counters are all 0 — the "
+                "committed BENCH must show live pruning rules"
+            )
+            failed_baseline = True
+        if base_sp.get("node_reduction", 0.0) <= 1.0:
+            notes.append(
+                f"baseline search_pruning.node_reduction is "
+                f"{base_sp.get('node_reduction')} — the committed BENCH must "
+                "show the pruned search visiting fewer nodes (> 1.0)"
+            )
+            failed_baseline = True
+
     # The committed baseline must keep recording live cross-chip memo
     # activity: a regenerated BENCH_sampling.json with a dead memo (zero
     # hits / zero keys) means the dedup path stopped firing and must not

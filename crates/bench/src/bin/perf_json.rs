@@ -310,6 +310,62 @@ fn main() {
         "region-parallel changed the flow's canonical result"
     );
 
+    // Search-pruning trajectory: the same single-threaded flow with the
+    // B&B pruning rules (dominance, symmetry, bitset covering bounds)
+    // on versus off (the `PSBI_NO_SEARCH_PRUNE` semantics).  Node
+    // counts come from the flow's own diagnostics at 1 worker, so they
+    // are deterministic and host-independent — the perf gate pins them
+    // exactly, unlike the wall-clock ratios.  Results are bit-identical
+    // either way; only the number of B&B nodes visited differs.
+    let sp_on_cfg = FlowConfig {
+        threads: 1,
+        ..cfg.clone()
+    };
+    let sp_off_cfg = FlowConfig {
+        threads: 1,
+        search_prune: false,
+        ..cfg.clone()
+    };
+    // Search-stage seconds per run, isolated from the (identical)
+    // sampling/extraction work in the step totals: diff of the armed
+    // `solve.stage.search` span-histogram sum around each run.
+    let search_stage_s = || {
+        psbi_obs::metrics::snapshot()
+            .histogram("solve.stage.search")
+            .map(|h| h.sum as f64 / 1e9)
+            .unwrap_or(0.0)
+    };
+    let run_sp = |cfg: &FlowConfig| {
+        let mut search_s = f64::MAX;
+        let (step_s, r) = best_of(|| {
+            let before = search_stage_s();
+            let flow = BufferInsertionFlow::builder(&circuit, cfg.clone())
+                .build()
+                .expect("valid circuit");
+            let r = flow.run_target(TargetPeriod::SigmaFactor(0.0));
+            search_s = search_s.min(search_stage_s() - before);
+            (step_sum(&r), r)
+        });
+        (step_s, search_s, r)
+    };
+    let (sp_on_s, sp_on_search_s, sp_on_result) = run_sp(&sp_on_cfg);
+    let (sp_off_s, sp_off_search_s, sp_off_result) = run_sp(&sp_off_cfg);
+    assert_eq!(
+        (
+            sp_on_result.nb,
+            sp_on_result.yield_with_buffers,
+            &sp_on_result.groups
+        ),
+        (
+            sp_off_result.nb,
+            sp_off_result.yield_with_buffers,
+            &sp_off_result.groups
+        ),
+        "search pruning changed the flow's canonical result"
+    );
+    let sp_on = sp_on_result.diagnostics.total();
+    let sp_off = sp_off_result.diagnostics.total();
+
     // Fleet campaign vs the same jobs back to back.  The campaign path
     // journals every job and commits in order; the back-to-back path is
     // the pre-fleet workflow (a fresh flow per job, nothing shared).
@@ -486,6 +542,23 @@ fn main() {
         "      \"search_s\": {:.6},",
         stage_s("solve.stage.search")
     );
+    // Armed-only obs counters for this (multi-threaded) flow run.
+    // Informational: racy cross-chip memo hits skip whole searches, so
+    // these sums are only pinned exactly in the single-threaded
+    // `search_pruning` section below.
+    let counter = |name: &str| obs_flow.counter(name).unwrap_or(0);
+    let _ = writeln!(
+        json,
+        "      \"search_nodes\": {},",
+        counter("solve.search.nodes")
+    );
+    let _ = writeln!(
+        json,
+        "      \"search_pruned\": {},",
+        counter("solve.search.pruned.bound")
+            + counter("solve.search.pruned.dominance")
+            + counter("solve.search.pruned.symmetry")
+    );
     let _ = writeln!(json, "      \"milp_s\": {:.6}", stage_s("solve.stage.milp"));
     let _ = writeln!(json, "    }}");
     let _ = writeln!(json, "  }},");
@@ -524,6 +597,41 @@ fn main() {
         json,
         "    \"search_parallel_speedup\": {:.3}",
         rp_off_s / rp_on_s
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"search_pruning\": {{");
+    let _ = writeln!(json, "    \"threads\": 1,");
+    let _ = writeln!(json, "    \"pruned_step_s\": {sp_on_s:.6},");
+    let _ = writeln!(json, "    \"unpruned_step_s\": {sp_off_s:.6},");
+    let _ = writeln!(json, "    \"step_speedup\": {:.3},", sp_off_s / sp_on_s);
+    let _ = writeln!(json, "    \"pruned_search_s\": {sp_on_search_s:.6},");
+    let _ = writeln!(json, "    \"unpruned_search_s\": {sp_off_search_s:.6},");
+    let _ = writeln!(
+        json,
+        "    \"search_speedup\": {:.3},",
+        sp_off_search_s / sp_on_search_s
+    );
+    let _ = writeln!(json, "    \"search_nodes\": {},", sp_on.search_nodes);
+    let _ = writeln!(
+        json,
+        "    \"search_nodes_unpruned\": {},",
+        sp_off.search_nodes
+    );
+    let _ = writeln!(
+        json,
+        "    \"node_reduction\": {:.3},",
+        sp_off.search_nodes as f64 / sp_on.search_nodes.max(1) as f64
+    );
+    let _ = writeln!(json, "    \"pruned_bound\": {},", sp_on.search_pruned_bound);
+    let _ = writeln!(
+        json,
+        "    \"pruned_dominance\": {},",
+        sp_on.search_pruned_dominance
+    );
+    let _ = writeln!(
+        json,
+        "    \"pruned_symmetry\": {}",
+        sp_on.search_pruned_symmetry
     );
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"incremental\": {{");

@@ -151,6 +151,13 @@ pub struct FlowConfig {
     /// bit-identical either way — purely a performance knob.
     /// `PSBI_NO_REGION_PARALLEL=1` force-disables it process-wide.
     pub region_parallel: bool,
+    /// Prune the per-region support search with dominance elimination,
+    /// symmetry breaking and bitset covering bounds (see
+    /// [`crate::solve`]'s search module).  Every rule provably preserves
+    /// the pinned tie-break order, so results are bit-identical either
+    /// way — purely a performance knob; `PSBI_NO_SEARCH_PRUNE=1`
+    /// force-disables it process-wide (the byte-parity reference mode).
+    pub search_prune: bool,
 }
 
 impl Default for FlowConfig {
@@ -177,6 +184,7 @@ impl Default for FlowConfig {
             cross_chip: true,
             verify: false,
             region_parallel: true,
+            search_prune: true,
         }
     }
 }
@@ -191,6 +199,7 @@ impl FlowConfig {
     /// | `PSBI_NO_INCREMENTAL`    | [`FlowConfig::incremental`]    | disables |
     /// | `PSBI_NO_CROSSCHIP`      | [`FlowConfig::cross_chip`]     | disables |
     /// | `PSBI_NO_REGION_PARALLEL`| [`FlowConfig::region_parallel`]| disables |
+    /// | `PSBI_NO_SEARCH_PRUNE`   | [`FlowConfig::search_prune`]   | disables |
     /// | `PSBI_VERIFY`            | [`FlowConfig::verify`]         | enables  |
     ///
     /// For the `PSBI_NO_*` hatches any value other than empty or `0`
@@ -206,6 +215,7 @@ impl FlowConfig {
             cross_chip: cross_chip_env_enabled(),
             verify: verify_env_enabled(),
             region_parallel: region_parallel_env_enabled(),
+            search_prune: search_prune_env_enabled(),
             ..Self::default()
         }
     }
@@ -237,6 +247,16 @@ fn region_parallel_env_enabled() -> bool {
     static ON: OnceLock<bool> = OnceLock::new();
     *ON.get_or_init(|| {
         !std::env::var("PSBI_NO_REGION_PARALLEL").is_ok_and(|v| !v.is_empty() && v != "0")
+    })
+}
+
+/// Process-wide `PSBI_NO_SEARCH_PRUNE` escape hatch, read once: any value
+/// other than empty or `0` reverts every region search to the unpruned
+/// reference branch and bound (see [`FlowConfig::search_prune`]).
+fn search_prune_env_enabled() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| {
+        !std::env::var("PSBI_NO_SEARCH_PRUNE").is_ok_and(|v| !v.is_empty() && v != "0")
     })
 }
 
@@ -1038,6 +1058,14 @@ impl<'a> BufferInsertionFlow<'a> {
         self.region_pool.is_some()
     }
 
+    /// Whether this flow's region searches run with pruning (dominance,
+    /// symmetry, bitset bounds) enabled ([`FlowConfig::search_prune`]
+    /// gated by `PSBI_NO_SEARCH_PRUNE`).  Observability only — results
+    /// are bit-identical either way.
+    pub fn search_prune_enabled(&self) -> bool {
+        self.cfg.search_prune && search_prune_env_enabled()
+    }
+
     /// Whether `run_target` re-checks its result with the independent
     /// verifier ([`FlowConfig::verify`] or the `PSBI_VERIFY` environment
     /// switch).  The verifier only adds a [`crate::verify::VerifyReport`]
@@ -1390,7 +1418,8 @@ impl<'a> BufferInsertionFlow<'a> {
                     space,
                     objective,
                     &self.cfg.solver,
-                );
+                )
+                .search_prune(self.search_prune_enabled());
                 if let Some(m) = memo {
                     req = req.memo(m);
                 }
@@ -1400,8 +1429,13 @@ impl<'a> BufferInsertionFlow<'a> {
                 let mut session = solver.begin(req);
                 while !session.is_done() {
                     let tasks = session.plan(solver);
-                    let outcomes =
-                        solver.execute(&tasks, space, &self.cfg.solver, self.region_pool.as_ref());
+                    let outcomes = solver.execute(
+                        &tasks,
+                        space,
+                        &self.cfg.solver,
+                        self.region_pool.as_ref(),
+                        session.search_prune(),
+                    );
                     session.commit(solver, &outcomes);
                 }
                 let out = session.finish();

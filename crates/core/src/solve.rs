@@ -88,7 +88,7 @@ mod tests;
 
 use memo::MemoKey;
 pub use memo::RegionMemo;
-use search::{run_support_search, SearchPhase, SupportSearch};
+use search::{run_support_search, PruneScratch, SearchPhase, SearchStats, SupportSearch};
 use state::{CachedOutcome, CachedRegion};
 pub use state::{ChipSolveState, PassDiagnostics};
 
@@ -283,6 +283,8 @@ struct SearchScratch {
     ss_slot: Vec<u32>,
     ss_arcs: Vec<FeasArc>,
     ss_bounds: Vec<(i64, i64)>,
+    /// Pruning-machinery buffers (coverage bitsets, guard links).
+    ss_prune: PruneScratch,
 }
 
 impl SearchScratch {
@@ -298,7 +300,8 @@ impl SearchScratch {
         cons: &[RegCons],
         space: &BufferSpace,
         opts: &SolverOptions,
-    ) -> CachedOutcome {
+        prune: bool,
+    ) -> (CachedOutcome, SearchStats) {
         let m = ffs.len();
         // Map ff -> local slot.
         self.var_of.clear();
@@ -324,22 +327,32 @@ impl SearchScratch {
             violated: &violated_local,
             bounds: &space.bounds,
             best: None,
-            nodes: 0,
             node_cap: opts.bb_node_cap,
             exact: true,
+            prune,
+            stats: SearchStats::default(),
             vars_scratch: std::mem::take(&mut self.ss_vars),
             slot_scratch: std::mem::take(&mut self.ss_slot),
             arcs_scratch: std::mem::take(&mut self.ss_arcs),
             bounds_scratch: std::mem::take(&mut self.ss_bounds),
+            ps: std::mem::take(&mut self.ss_prune),
         };
         let phase = run_support_search(&mut search, m, opts.region_cap);
+        let stats = search.stats;
+        // Armed-only observability (byte-neutral): node counts are
+        // deterministic per region system + prune mode, unlike wall time.
+        psbi_obs::metrics::counter_add("solve.search.nodes", stats.nodes);
+        psbi_obs::metrics::counter_add("solve.search.pruned.bound", stats.pruned_bound);
+        psbi_obs::metrics::counter_add("solve.search.pruned.dominance", stats.pruned_dominance);
+        psbi_obs::metrics::counter_add("solve.search.pruned.symmetry", stats.pruned_symmetry);
         // Return the per-node scratch before the next task needs it.
-        let (sv, ssl, sa, sb) = search.into_scratch();
+        let (sv, ssl, sa, sb, sp) = search.into_scratch();
         self.ss_vars = sv;
         self.ss_slot = ssl;
         self.ss_arcs = sa;
         self.ss_bounds = sb;
-        match phase {
+        self.ss_prune = sp;
+        let outcome = match phase {
             SearchPhase::Infeasible => CachedOutcome::Infeasible,
             SearchPhase::Fallback { support, witness } => CachedOutcome::Feasible {
                 count: support.len(),
@@ -358,7 +371,8 @@ impl SearchScratch {
                 witness,
                 exact,
             },
-        }
+        };
+        (outcome, stats)
     }
 }
 
@@ -384,6 +398,7 @@ pub struct SolveRequest<'a> {
     memo: Option<&'a RegionMemo>,
     state: Option<&'a mut ChipSolveState>,
     pool: Option<&'a rayon::ThreadPool>,
+    search_prune: bool,
 }
 
 impl<'a> SolveRequest<'a> {
@@ -407,6 +422,7 @@ impl<'a> SolveRequest<'a> {
             memo: None,
             state: None,
             pool: None,
+            search_prune: true,
         }
     }
 
@@ -450,6 +466,20 @@ impl<'a> SolveRequest<'a> {
         self.pool = Some(pool);
         self
     }
+
+    /// Enables or disables the search's dominance / symmetry / bitset
+    /// pruning rules (see [`solve::search`](self) module docs).  On by
+    /// default; both modes return bit-identical results — the off mode is
+    /// the byte-parity reference the `PSBI_NO_SEARCH_PRUNE=1` flow hatch
+    /// maps to.  Deliberately **not** part of [`SolverOptions`]: the
+    /// options struct keys every region-memo entry, and two prune modes
+    /// of the same region system produce the same outcome, so keying on
+    /// the mode would only split the memo for nothing.
+    #[must_use]
+    pub fn search_prune(mut self, on: bool) -> Self {
+        self.search_prune = on;
+        self
+    }
 }
 
 /// Result of one [`SampleSolver::solve`]: the sample's solution plus the
@@ -475,9 +505,15 @@ pub struct RegionTask {
 
 /// One executed region search, opaque to callers: produced (in task
 /// order) by [`SampleSolver::execute`], consumed by
-/// [`SolveSession::commit`].
+/// [`SolveSession::commit`].  Carries the search's node/prune counters
+/// so `commit` can fold them into [`PassDiagnostics`] — replayed and
+/// memo-hit regions never reach `execute` and correctly contribute zero
+/// nodes.
 #[derive(Debug, Clone)]
-pub struct RegionOutcome(Arc<CachedOutcome>);
+pub struct RegionOutcome {
+    out: Arc<CachedOutcome>,
+    stats: SearchStats,
+}
 
 /// How one planned region obtains its outcome at commit time.
 enum Slot {
@@ -605,6 +641,12 @@ impl<'a> SolveSession<'a> {
         self.req.pool
     }
 
+    /// Whether this session's fresh searches run with pruning enabled
+    /// (see [`SolveRequest::search_prune`]).
+    pub fn search_prune(&self) -> bool {
+        self.req.search_prune
+    }
+
     /// Plans the current round: builds (or replays) the region
     /// decomposition, resolves every region against the cache tiers, and
     /// returns the regions that still need a fresh search as
@@ -713,6 +755,12 @@ impl<'a> SolveSession<'a> {
             self.n_tasks,
             "commit needs exactly one outcome per planned task"
         );
+        for o in outcomes {
+            self.diag.search_nodes += o.stats.nodes;
+            self.diag.search_pruned_bound += o.stats.pruned_bound;
+            self.diag.search_pruned_dominance += o.stats.pruned_dominance;
+            self.diag.search_pruned_symmetry += o.stats.pruned_symmetry;
+        }
         let space = self.req.space;
         let push = self.req.push;
         let opts = self.req.opts;
@@ -736,7 +784,7 @@ impl<'a> SolveSession<'a> {
                             hit
                         }
                         Slot::Fresh(task, key) => {
-                            let fresh = Arc::clone(&outcomes[task].0);
+                            let fresh = Arc::clone(&outcomes[task].out);
                             cr.record(cons, space, Arc::clone(&fresh));
                             publish(memo, key, &fresh);
                             fresh
@@ -757,7 +805,7 @@ impl<'a> SolveSession<'a> {
                         Slot::Replay => unreachable!("cold rounds never replay"),
                         Slot::Hit(hit) => hit,
                         Slot::Fresh(task, key) => {
-                            let fresh = Arc::clone(&outcomes[task].0);
+                            let fresh = Arc::clone(&outcomes[task].out);
                             publish(memo, key, &fresh);
                             fresh
                         }
@@ -822,7 +870,13 @@ impl SampleSolver {
         let mut session = self.begin(req);
         while !session.is_done() {
             let tasks = session.plan(self);
-            let outcomes = self.execute(&tasks, session.space(), session.opts(), pool);
+            let outcomes = self.execute(
+                &tasks,
+                session.space(),
+                session.opts(),
+                pool,
+                session.search_prune(),
+            );
             session.commit(self, &outcomes);
         }
         session.finish()
@@ -951,6 +1005,7 @@ impl SampleSolver {
         space: &BufferSpace,
         opts: &SolverOptions,
         pool: Option<&rayon::ThreadPool>,
+        prune: bool,
     ) -> Vec<RegionOutcome> {
         if tasks.is_empty() {
             return Vec::new();
@@ -970,12 +1025,16 @@ impl SampleSolver {
                                 .unwrap_or_else(std::sync::PoisonError::into_inner)
                                 .pop()
                                 .unwrap_or_default();
-                            let out = scratch.search_region(&t.ffs, &t.cons, space, opts);
+                            let (out, stats) =
+                                scratch.search_region(&t.ffs, &t.cons, space, opts, prune);
                             extra
                                 .lock()
                                 .unwrap_or_else(std::sync::PoisonError::into_inner)
                                 .push(scratch);
-                            RegionOutcome(Arc::new(out))
+                            RegionOutcome {
+                                out: Arc::new(out),
+                                stats,
+                            }
                         })
                         .collect()
                 })
@@ -984,9 +1043,13 @@ impl SampleSolver {
                 .iter()
                 .map(|t| {
                     let _span = psbi_obs::Span::enter("solve.region.task");
-                    RegionOutcome(Arc::new(
-                        self.search.search_region(&t.ffs, &t.cons, space, opts),
-                    ))
+                    let (out, stats) = self
+                        .search
+                        .search_region(&t.ffs, &t.cons, space, opts, prune);
+                    RegionOutcome {
+                        out: Arc::new(out),
+                        stats,
+                    }
                 })
                 .collect(),
         }

@@ -69,6 +69,12 @@ pub(crate) struct MemoKey {
     /// Tuning windows over `ffs`, in the same order.
     bounds: Box<[(i64, i64)]>,
     /// Solver limits the search runs under.
+    ///
+    /// The search-prune mode is deliberately *not* part of the key: the
+    /// shipped workloads produce bit-identical outcomes in both modes
+    /// (the pruning rules preserve the pinned tie-break order — see
+    /// `super::search`), so keying on it would only split the memo and
+    /// halve the hit rate when modes mix within one process.
     opts: SolverOptions,
 }
 

@@ -29,6 +29,68 @@
 //! seeded search can exhaust its node budget at a different point than an
 //! unseeded one and return an observably different fallback, breaking the
 //! `PSBI_NO_INCREMENTAL` bit-identity contract.)
+//!
+//! # Pruning (node elimination that preserves the pin)
+//!
+//! With `prune` enabled (the default; `PSBI_NO_SEARCH_PRUNE=1` reverts to
+//! the reference search) three rules cut the node count.  Each one is
+//! chosen so the *returned* `(count, support, witness, exact)` is provably
+//! the one the reference search returns — the pinned tie-break order above
+//! is preserved, not re-pinned:
+//!
+//! 1. **Bitset covering bounds.**  A support must contain an endpoint of
+//!    every violated constraint (both endpoints untuned ⇒ `0 ≤ bound < 0`
+//!    is false), so covering is a valid relaxation.  Per-slot coverage
+//!    masks over the violated constraints (`u64` words, maintained
+//!    incrementally down the DFS) make two lower bounds word-cheap: the
+//!    vertex-disjoint matching bound the reference search already used,
+//!    and a top-k popcount bound (the fewest undecided slots whose
+//!    coverage counts sum to the uncovered total).  A *valid* lower bound
+//!    never changes the result: a pruned subtree contains no support
+//!    strictly smaller than the incumbent, and incumbents are only
+//!    replaced by strictly smaller supports, so the incumbent sequence at
+//!    the nodes both searches visit is identical.
+//! 2. **Symmetry classes.**  Slots `u < v` are *interchangeable* when
+//!    their tuning windows are equal and swapping them maps the region's
+//!    constraint multiset onto itself.  Rule: skip `v`'s `In` branch
+//!    whenever such a `u` is currently `Out`.  Soundness: any support `S`
+//!    with `v ∈ S, u ∉ S` reachable below maps (by the swap) to an
+//!    equal-size feasible support inside `u`'s `In` subtree — and `u`
+//!    being `Out` means that subtree was fully explored *earlier*
+//!    (`In` before `Out`), so the incumbent is already ≤ `|S|` and the
+//!    skipped subtree could not have updated it.  Branching still happens
+//!    on whatever slot the pinned rule picks; interchangeable slots have
+//!    equal coverage scores, so the class's lowest slot is branched first
+//!    and acts as the representative.
+//! 3. **Dominance elimination.**  Slot `v` is *dominated* by `u` when the
+//!    swap maps the constraint multiset onto itself and `v`'s window is a
+//!    strict subset of `u`'s (the wider-window twin can do anything the
+//!    narrower one can).  Rule: skip `v`'s `In` branch whenever `u` is
+//!    `Out` — the same swap argument applies; the witness value moved
+//!    from `v` to `u` stays inside `u`'s wider window.  (Folding dominated
+//!    slots away at the root instead is unsound: a support may need *both*
+//!    twins.)
+//! 4. **Cascade lower bound.**  Once every violated constraint is covered
+//!    the covering bounds go blind, yet supports must often keep growing
+//!    because tuning one flip-flop violates the *tight non-violated*
+//!    constraints next to it — the regime where the reference search
+//!    drowns (it was the source of ~85% of its nodes on `s9234`, with the
+//!    big regions exhausting `bb_node_cap`).
+//!    [`SupportSearch::cascade_decide`] prices that regime: it repeatedly
+//!    extracts a negative cycle from the `In`-only system and frees the
+//!    cycle's undecided slots, each round proving one more slot is needed
+//!    (see its docs for the argument and for the quotient-graph
+//!    contraction that keeps rounds cheap).  The same call's round 0
+//!    doubles as the node's `In`-only probe, byte-identical witness
+//!    included.
+//!
+//! Because pruned nodes are a subset of the reference search's nodes,
+//! the one observable divergence between the two modes is
+//! [`SolverOptions::bb_node_cap`](super::SolverOptions::bb_node_cap):
+//! a region that exhausts the cap only in reference mode returns its
+//! greedy fallback there and the proven optimum here.  The CI parity
+//! legs (`PSBI_NO_SEARCH_PRUNE=1` determinism / fleet `cmp`) pin that
+//! the shipped workloads stay on the agreeing side.
 
 use super::{RegCons, NONE};
 use psbi_timing::feasibility::{Arc, DiffSolver};
@@ -38,6 +100,34 @@ pub(crate) enum Decision {
     In,
     Out,
     Undecided,
+}
+
+/// Node and prune counters of one region search.  Deterministic for a
+/// fixed region system and prune mode (the search is a pure function);
+/// aggregated into [`PassDiagnostics`](super::PassDiagnostics) and the
+/// armed-only obs counters `solve.search.nodes` /
+/// `solve.search.pruned.{bound,dominance,symmetry}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) struct SearchStats {
+    /// Branch-and-bound nodes visited (recursion entries).
+    pub(crate) nodes: u64,
+    /// Subtrees cut by the covering/matching lower bounds (including the
+    /// trivial incumbent bound — also counted in reference mode).
+    pub(crate) pruned_bound: u64,
+    /// `In` branches skipped because a dominating wider-window twin was
+    /// `Out`.
+    pub(crate) pruned_dominance: u64,
+    /// `In` branches skipped because a lower-slot interchangeable twin
+    /// was `Out`.
+    pub(crate) pruned_symmetry: u64,
+}
+
+impl SearchStats {
+    /// Total subtrees eliminated by any rule.
+    #[cfg(test)]
+    pub(crate) fn pruned_total(&self) -> u64 {
+        self.pruned_bound + self.pruned_dominance + self.pruned_symmetry
+    }
 }
 
 /// Outcome of one region's support search.
@@ -55,6 +145,65 @@ pub(crate) enum SearchPhase {
         witness: Vec<i64>,
         exact: bool,
     },
+}
+
+/// Reusable buffers of the pruning machinery: coverage bitsets, the
+/// incremental uncovered mask with its save/restore stack, and the
+/// symmetry/dominance guard links.  Owned by the per-thread
+/// `SearchScratch` and taken for each region, so a steady-state pass
+/// allocates nothing here.
+#[derive(Debug, Default)]
+pub(crate) struct PruneScratch {
+    /// Words per violated-constraint bitmask.
+    words: usize,
+    /// Per-slot coverage masks, `slot * words ..` — bit `i` set when the
+    /// slot is an in-region endpoint of the `i`-th violated constraint.
+    cov: Vec<u64>,
+    /// Violated constraints with no `In` endpoint yet (maintained down
+    /// the DFS: `In`-branching clears the slot's coverage bits).
+    uncovered: Vec<u64>,
+    /// Saved `uncovered` frames of the ancestors' `In` branches.
+    mask_stack: Vec<u64>,
+    /// Per violated constraint: its endpoints' local slots (or `NONE`).
+    vio_ends: Vec<(u32, u32)>,
+    /// Flattened guard links: `(guard slot, is_symmetry)` — when the
+    /// guard is `Out`, the owning slot's `In` branch is skipped.
+    pub(crate) links: Vec<(u32, bool)>,
+    /// `links` range of slot `v` is `link_start[v] .. link_start[v + 1]`.
+    pub(crate) link_start: Vec<u32>,
+    /// Per-node scratch: undecided slots' uncovered-coverage popcounts.
+    cover: Vec<u32>,
+    /// Per-node scratch: OR of the undecided slots' coverage masks.
+    reach: Vec<u64>,
+    /// Matching scratch: slots already claimed by a matched constraint.
+    used: Vec<bool>,
+    /// Incidence index over *all* region constraints (twin detection
+    /// compares whole rows, bounds included, not just violated ones).
+    inc_start: Vec<u32>,
+    inc: Vec<u32>,
+    inc_cursor: Vec<u32>,
+    /// Pairwise twin-check scratch: original and swapped incident rows.
+    pair_orig: Vec<(u32, u32, i64)>,
+    pair_swap: Vec<(u32, u32, i64)>,
+    pair_idx: Vec<u32>,
+    /// Cascade-bound scratch: the full-region constraint graph (every
+    /// slot a vertex, out-of-region endpoints contracted to the root),
+    /// built once per region.
+    casc_arcs: Vec<Arc>,
+    /// Cascade-bound scratch: per-slot windows of the current iteration.
+    casc_bounds: Vec<(i64, i64)>,
+    /// Cascade-bound scratch: one negative cycle's arc indices.
+    cycle: Vec<u32>,
+    /// Cascade-bound scratch: undecided slots freed so far.
+    claimed: Vec<bool>,
+    /// Cascade-bound scratch: active slots (In ∪ freed), ascending.
+    casc_active: Vec<u32>,
+    /// Cascade-bound scratch: slot → dense index (or `NONE`).
+    casc_dense: Vec<u32>,
+    /// Cascade-bound scratch: dense arc → template arc provenance.
+    casc_prov: Vec<u32>,
+    /// Cascade-bound scratch: the contracted arc list per round.
+    dense_arcs: Vec<Arc>,
 }
 
 /// Drives one region's support search to a [`SearchPhase`].
@@ -76,7 +225,10 @@ pub(crate) fn run_support_search(
         let (support, witness) = search.sparsify(&full_witness);
         return SearchPhase::Fallback { support, witness };
     }
-    search.recurse(&mut state);
+    if search.prune {
+        search.prepare_prune();
+    }
+    search.recurse(&mut state, true);
     match search.best.take() {
         Some((count, support, witness)) => SearchPhase::Best {
             count,
@@ -94,6 +246,23 @@ pub(crate) fn run_support_search(
     }
 }
 
+/// Verdict of one [`SupportSearch::cascade_decide`] run.
+enum Cascade {
+    /// The round-0 solve — byte-identical to the `In`-only probe — was
+    /// feasible: `In` alone is a support and the witness is in the solver.
+    InFeasible,
+    /// The node is pruned: any completion needs `≥ best` slots.
+    Prune,
+    /// A later round saw a feasible completion — which also proves the
+    /// full relaxation feasible, so the relaxed probe can be skipped.
+    Feasible,
+    /// Round 0 was infeasible and no incumbent set a round target; the
+    /// `In`-only verdict is settled but nothing else is.
+    Exhausted,
+    /// No verdict (defensive path); fall back to the legacy probes.
+    Unknown,
+}
+
 /// Branch-and-bound over support sets.
 pub(crate) struct SupportSearch<'a> {
     pub(crate) solver: &'a mut DiffSolver,
@@ -104,32 +273,47 @@ pub(crate) struct SupportSearch<'a> {
     pub(crate) bounds: &'a [(i64, i64)],
     /// `(count, support ffs, witness values per support entry)`.
     pub(crate) best: Option<(usize, Vec<u32>, Vec<i64>)>,
-    pub(crate) nodes: usize,
     pub(crate) node_cap: usize,
     pub(crate) exact: bool,
+    /// Dominance/symmetry/bitset pruning on (the production default) or
+    /// off (the byte-parity reference mode, `PSBI_NO_SEARCH_PRUNE=1`).
+    pub(crate) prune: bool,
+    pub(crate) stats: SearchStats,
     /// Per-node scratch, borrowed from [`super::SampleSolver`] for the
     /// region's lifetime and reused by every feasibility probe.
     pub(crate) vars_scratch: Vec<u32>,
     pub(crate) slot_scratch: Vec<u32>,
     pub(crate) arcs_scratch: Vec<Arc>,
     pub(crate) bounds_scratch: Vec<(i64, i64)>,
+    pub(crate) ps: PruneScratch,
 }
 
 impl SupportSearch<'_> {
     /// Returns the scratch buffers to their owner.
     #[allow(clippy::type_complexity)]
-    pub(crate) fn into_scratch(self) -> (Vec<u32>, Vec<u32>, Vec<Arc>, Vec<(i64, i64)>) {
+    pub(crate) fn into_scratch(
+        self,
+    ) -> (Vec<u32>, Vec<u32>, Vec<Arc>, Vec<(i64, i64)>, PruneScratch) {
         (
             self.vars_scratch,
             self.slot_scratch,
             self.arcs_scratch,
             self.bounds_scratch,
+            self.ps,
         )
     }
 
     /// Greedy fallback for oversized regions: start from the all-variables
     /// witness and drop tunings (smallest magnitude first) while the system
     /// stays feasible.  Returns `(support, witness values)`.
+    ///
+    /// Drops are batched: the whole candidate run is dropped with one
+    /// probe, bisecting on failure down to the reference one-at-a-time
+    /// greedy.  Support-set feasibility is monotone (a support's witness
+    /// stays valid when more variables are freed), so a batch that probes
+    /// feasible would also have been dropped element by element — the
+    /// batched walk provably returns the byte-identical support, it just
+    /// probes ~log instead of ~n times on the common all-droppable runs.
     fn sparsify(&mut self, full_witness: &[i64]) -> (Vec<u32>, Vec<i64>) {
         let m = self.region_ffs.len();
         let mut state: Vec<Decision> = (0..m)
@@ -142,14 +326,11 @@ impl SupportSearch<'_> {
             })
             .collect();
         // Candidates ordered by |value| ascending: cheap drops first.
+        // The order is part of the pinned fallback result — batching
+        // must not reorder it.
         let mut order: Vec<usize> = (0..m).filter(|&i| full_witness[i] != 0).collect();
         order.sort_by_key(|&i| full_witness[i].abs());
-        for &i in &order {
-            state[i] = Decision::Out;
-            if !self.feasible_support(&state, false) {
-                state[i] = Decision::In;
-            }
-        }
+        self.drop_batch(&mut state, &order);
         let support: Vec<u32> = state
             .iter()
             .enumerate()
@@ -163,6 +344,34 @@ impl SupportSearch<'_> {
         let mut witness = Vec::new();
         self.solver.copy_witness(support.len(), &mut witness);
         (support, witness)
+    }
+
+    /// Drops a run of sparsify candidates with one probe when the whole
+    /// run drops cleanly, recursing into halves on failure.  Equivalent
+    /// to the sequential greedy by induction: a feasible whole-run drop
+    /// implies (monotonicity) every one-at-a-time drop succeeds too, and
+    /// the left half is always settled before the right — exactly the
+    /// sequential prefix order.
+    fn drop_batch(&mut self, state: &mut [Decision], batch: &[usize]) {
+        if batch.is_empty() {
+            return;
+        }
+        for &i in batch {
+            state[i] = Decision::Out;
+        }
+        if self.feasible_support(state, false) {
+            return;
+        }
+        if batch.len() == 1 {
+            state[batch[0]] = Decision::In;
+            return;
+        }
+        for &i in batch {
+            state[i] = Decision::In;
+        }
+        let (left, right) = batch.split_at(batch.len() / 2);
+        self.drop_batch(state, left);
+        self.drop_batch(state, right);
     }
 
     /// Feasibility with support = In (or In ∪ Undecided when `relaxed`).
@@ -257,44 +466,492 @@ impl SupportSearch<'_> {
         lb
     }
 
-    fn recurse(&mut self, state: &mut Vec<Decision>) {
-        self.nodes += 1;
-        if self.nodes > self.node_cap {
+    /// One-time pruning setup for a region that will branch: coverage
+    /// bitsets, the root uncovered mask, and the symmetry/dominance
+    /// guard links.  Only runs with `prune` on, after the root relaxation
+    /// check, for regions within `region_cap` (≤ 48 slots by default, so
+    /// the pairwise twin scan is small).
+    pub(crate) fn prepare_prune(&mut self) {
+        let m = self.region_ffs.len();
+        let nv = self.violated.len();
+        let var_of = self.var_of;
+        let region_ffs = self.region_ffs;
+        let cons = self.cons;
+        let violated = self.violated;
+        let bounds = self.bounds;
+        let local = |ff: u32| -> u32 {
+            let v = var_of[ff as usize];
+            if v != NONE && (v as usize) < m {
+                v
+            } else {
+                NONE
+            }
+        };
+        let words = nv.div_ceil(64);
+        let ps = &mut self.ps;
+        ps.words = words;
+        ps.cov.clear();
+        ps.cov.resize(m * words, 0);
+        ps.vio_ends.clear();
+        for (bit, &vidx) in violated.iter().enumerate() {
+            let c = &cons[vidx];
+            let (la, lb) = (local(c.a), local(c.b));
+            ps.vio_ends.push((la, lb));
+            let (w, b) = (bit / 64, bit % 64);
+            if la != NONE {
+                ps.cov[la as usize * words + w] |= 1u64 << b;
+            }
+            if lb != NONE && lb != la {
+                ps.cov[lb as usize * words + w] |= 1u64 << b;
+            }
+        }
+        ps.uncovered.clear();
+        ps.uncovered.resize(words, 0);
+        for bit in 0..nv {
+            ps.uncovered[bit / 64] |= 1u64 << (bit % 64);
+        }
+        ps.mask_stack.clear();
+        ps.cover.clear();
+        ps.used.clear();
+        ps.used.resize(m, false);
+
+        // Incidence lists over the full constraint system (twin rows are
+        // compared bounds and all, not just the violated subset).
+        ps.inc_start.clear();
+        ps.inc_start.resize(m + 1, 0);
+        for c in cons {
+            let (la, lb) = (local(c.a), local(c.b));
+            if la != NONE {
+                ps.inc_start[la as usize + 1] += 1;
+            }
+            if lb != NONE && lb != la {
+                ps.inc_start[lb as usize + 1] += 1;
+            }
+        }
+        for i in 0..m {
+            ps.inc_start[i + 1] += ps.inc_start[i];
+        }
+        ps.inc.clear();
+        ps.inc.resize(ps.inc_start[m] as usize, 0);
+        ps.inc_cursor.clear();
+        ps.inc_cursor.extend_from_slice(&ps.inc_start[..m]);
+        for (ci, c) in cons.iter().enumerate() {
+            let (la, lb) = (local(c.a), local(c.b));
+            if la != NONE {
+                let cur = &mut ps.inc_cursor[la as usize];
+                ps.inc[*cur as usize] = ci as u32;
+                *cur += 1;
+            }
+            if lb != NONE && lb != la {
+                let cur = &mut ps.inc_cursor[lb as usize];
+                ps.inc[*cur as usize] = ci as u32;
+                *cur += 1;
+            }
+        }
+
+        // Guard links.  For every slot v (ascending — `link_start` is a
+        // prefix index) find the twins whose `Out` makes v's `In` branch
+        // redundant: lower interchangeable slots (symmetry, lowest slot
+        // is the class representative) and strictly-wider-window twins
+        // (dominance, either slot order — any `Out` guard was branched
+        // at an ancestor with its `In` subtree fully explored first).
+        ps.links.clear();
+        ps.link_start.clear();
+        ps.link_start.push(0);
+        for v in 0..m {
+            let wv = bounds[region_ffs[v] as usize];
+            for u in 0..m {
+                if u == v {
+                    continue;
+                }
+                let wu = bounds[region_ffs[u] as usize];
+                let equal = wu == wv;
+                let wider = wu.0 <= wv.0 && wu.1 >= wv.1 && !equal;
+                let sym = equal && u < v;
+                if !sym && !wider {
+                    continue;
+                }
+                // Degree prefilter: a swap maps v's row onto u's.
+                let deg = |s: usize| ps.inc_start[s + 1] - ps.inc_start[s];
+                if deg(u) != deg(v) {
+                    continue;
+                }
+                // Exact swap-invariance of the incident rows: constraints
+                // touching neither slot map to themselves, so comparing
+                // the union of the two incident lists (deduped — a
+                // constraint between the twins is in both) under the
+                // global-id swap decides invariance of the whole system.
+                ps.pair_idx.clear();
+                ps.pair_idx.extend_from_slice(
+                    &ps.inc[ps.inc_start[u] as usize..ps.inc_start[u + 1] as usize],
+                );
+                ps.pair_idx.extend_from_slice(
+                    &ps.inc[ps.inc_start[v] as usize..ps.inc_start[v + 1] as usize],
+                );
+                ps.pair_idx.sort_unstable();
+                ps.pair_idx.dedup();
+                let (fu, fv) = (region_ffs[u], region_ffs[v]);
+                let swap = |ff: u32| {
+                    if ff == fu {
+                        fv
+                    } else if ff == fv {
+                        fu
+                    } else {
+                        ff
+                    }
+                };
+                ps.pair_orig.clear();
+                ps.pair_swap.clear();
+                for &ci in &ps.pair_idx {
+                    let c = &cons[ci as usize];
+                    ps.pair_orig.push((c.a, c.b, c.bound));
+                    ps.pair_swap.push((swap(c.a), swap(c.b), c.bound));
+                }
+                ps.pair_orig.sort_unstable();
+                ps.pair_swap.sort_unstable();
+                if ps.pair_orig == ps.pair_swap {
+                    ps.links.push((u as u32, sym));
+                }
+            }
+            ps.link_start.push(ps.links.len() as u32);
+        }
+
+        // Cascade-bound graph: every slot a vertex (out-of-region
+        // endpoints contracted to the root index `m`), all constraints.
+        // Built once; only the per-slot windows change per probe.
+        ps.casc_arcs.clear();
+        for c in cons {
+            let (la, lb) = (local(c.a), local(c.b));
+            let va = if la == NONE { m as u32 } else { la };
+            let vb = if lb == NONE { m as u32 } else { lb };
+            if va == m as u32 && vb == m as u32 {
+                continue; // both outside: root-only, no cycle through slots
+            }
+            // k(a) − k(b) ≤ bound  →  arc b → a with weight bound.
+            ps.casc_arcs.push(Arc::new(vb, va, c.bound));
+        }
+    }
+
+    /// Combined `In`-only probe and cascade lower bound for the regime
+    /// the covering bound is blind to: every violated constraint is
+    /// covered, yet the support must still grow because tuning cascades
+    /// along tight non-violated constraints.
+    ///
+    /// Semantically each round solves the full-region system where `In`
+    /// and freed slots carry their real windows and everything else is
+    /// pinned to zero.  A variable pinned to `[0, 0]` is identified with
+    /// the root, so the solve runs on the *contracted* quotient graph —
+    /// vertices are just the active (`In` ∪ freed) slots — which keeps
+    /// the per-round cost proportional to the active set, not the
+    /// region.  (A negative cycle of the pinned graph splices into
+    /// contracted cycles at the root by dropping its non-negative
+    /// root-internal arcs, so infeasibility detection is exact; pinned
+    /// slots on the original cycle reappear as the contracted cycle
+    /// arcs' original endpoints, which is what claiming needs.)
+    ///
+    /// Round 0's active set is exactly the `In` slots in ascending slot
+    /// order and its arc list matches [`Self::feasible_support`]'s
+    /// assembly arc for arc, so a feasible round 0 *is* the `In`-only
+    /// probe: same system, same fixpoint distances, byte-identical
+    /// witness ([`Cascade::InFeasible`]).
+    ///
+    /// On an infeasible round, any feasible completion must include an
+    /// unclaimed undecided slot appearing on the recovered cycle: slots
+    /// already freed carry their widest windows (tightening them only
+    /// makes the cycle more negative), `In` slots are in every
+    /// completion, and pinned slots a completion leaves out stay
+    /// pinned — so avoiding the claimable set keeps the cycle negative.
+    /// Each round frees all such slots and proves the support needs one
+    /// more slot; `extra` rounds prove `≥ in_count + extra`.  Returns
+    /// [`Cascade::Prune`] when `extra` reaches `target = best −
+    /// in_count`, or when a cycle has no claimable slot at all — then no
+    /// completion is feasible.  [`Cascade::Feasible`] carries a proof
+    /// the caller reuses: the probe was feasible with only a *subset* of
+    /// the undecided slots freed, and pinning the rest to zero extends
+    /// any such witness to the full relaxation — so the relaxed probe is
+    /// known feasible and need not run.
+    fn cascade_decide(&mut self, state: &[Decision], target: Option<usize>) -> Cascade {
+        let m = state.len();
+        self.ps.claimed.clear();
+        self.ps.claimed.resize(m, false);
+        let mut extra = 0usize;
+        loop {
+            // Contracted system over the active (In ∪ freed) slots.
+            self.ps.casc_active.clear();
+            self.ps.casc_dense.clear();
+            self.ps.casc_dense.resize(m, NONE);
+            for (i, d) in state.iter().enumerate() {
+                if *d == Decision::In || self.ps.claimed[i] {
+                    self.ps.casc_dense[i] = self.ps.casc_active.len() as u32;
+                    self.ps.casc_active.push(i as u32);
+                }
+            }
+            let root = self.ps.casc_active.len() as u32;
+            self.ps.dense_arcs.clear();
+            self.ps.casc_prov.clear();
+            for (t, a) in self.ps.casc_arcs.iter().enumerate() {
+                let map = |v: u32| {
+                    if v == m as u32 {
+                        root
+                    } else {
+                        let dv = self.ps.casc_dense[v as usize];
+                        if dv == NONE {
+                            root
+                        } else {
+                            dv
+                        }
+                    }
+                };
+                let (f, to) = (map(a.from), map(a.to));
+                if f == root && to == root {
+                    if a.weight < 0 {
+                        // A violated constraint with no active endpoint:
+                        // impossible once covered (the gate), so bail to
+                        // the legacy probes rather than reason further.
+                        return Cascade::Unknown;
+                    }
+                    continue; // 0 ≤ weight: never binding, drop
+                }
+                self.ps.dense_arcs.push(Arc::new(f, to, a.weight));
+                self.ps.casc_prov.push(t as u32);
+            }
+            self.ps.casc_bounds.clear();
+            for &slot in &self.ps.casc_active {
+                self.ps
+                    .casc_bounds
+                    .push(self.bounds[self.region_ffs[slot as usize] as usize]);
+            }
+            let feasible = self.solver.decide_bounded_cycle(
+                self.ps.casc_active.len(),
+                &self.ps.dense_arcs,
+                &self.ps.casc_bounds,
+                &mut self.ps.cycle,
+            );
+            if feasible {
+                return if extra == 0 {
+                    Cascade::InFeasible
+                } else {
+                    Cascade::Feasible
+                };
+            }
+            let Some(target) = target else {
+                return Cascade::Exhausted; // no incumbent: verdict only
+            };
+            if self.ps.cycle.is_empty() {
+                return Cascade::Unknown; // defensive: no cycle recovered
+            }
+            // Claim the pinned-undecided endpoints of the cycle's
+            // constraint arcs (window arcs only touch active slots).
+            let mut any = false;
+            let nd = self.ps.dense_arcs.len();
+            for idx in 0..self.ps.cycle.len() {
+                let k = self.ps.cycle[idx] as usize;
+                if k >= nd {
+                    continue;
+                }
+                let a = &self.ps.casc_arcs[self.ps.casc_prov[k] as usize];
+                for v in [a.from, a.to] {
+                    let v = v as usize;
+                    if v < m && state[v] == Decision::Undecided && !self.ps.claimed[v] {
+                        self.ps.claimed[v] = true;
+                        any = true;
+                    }
+                }
+            }
+            if !any {
+                return Cascade::Prune; // dead: no completion breaks this cycle
+            }
+            extra += 1;
+            if extra >= target {
+                return Cascade::Prune;
+            }
+        }
+    }
+
+    /// Whether the pinned rules let `v`'s `In` branch be skipped at the
+    /// current state: `Some(is_symmetry)` when a guard twin is `Out`.
+    fn in_skip(&self, v: usize, state: &[Decision]) -> Option<bool> {
+        let s = self.ps.link_start[v] as usize;
+        let e = self.ps.link_start[v + 1] as usize;
+        self.ps.links[s..e]
+            .iter()
+            .find(|(u, _)| state[*u as usize] == Decision::Out)
+            .map(|&(_, sym)| sym)
+    }
+
+    /// Bitset lower bound on *additional* support slots: the max of the
+    /// vertex-disjoint matching bound and the top-k covering bound over
+    /// the uncovered violated constraints.  `None` means the node is
+    /// dead — some uncovered constraint has no undecided in-region
+    /// endpoint left, so no completion can be feasible.
+    fn bitset_lb(&mut self, state: &[Decision]) -> Option<usize> {
+        let words = self.ps.words;
+        let total: u32 = self.ps.uncovered.iter().map(|w| w.count_ones()).sum();
+        if total == 0 {
+            return Some(0);
+        }
+        // Matching: iterate uncovered violated constraints ascending (the
+        // same order as the reference scan) claiming disjoint endpoints.
+        for u in self.ps.used.iter_mut() {
+            *u = false;
+        }
+        let mut matching = 0usize;
+        for (bit, &(la, lb)) in self.ps.vio_ends.iter().enumerate() {
+            if self.ps.uncovered[bit / 64] & (1u64 << (bit % 64)) == 0 {
+                continue;
+            }
+            let mut usable = false;
+            for l in [la, lb] {
+                if l != NONE
+                    && state[l as usize] == Decision::Undecided
+                    && !self.ps.used[l as usize]
+                {
+                    usable = true;
+                }
+            }
+            if !usable {
+                continue;
+            }
+            for l in [la, lb] {
+                if l != NONE {
+                    self.ps.used[l as usize] = true;
+                }
+            }
+            matching += 1;
+        }
+        // Top-k covering: undecided slots' uncovered-coverage popcounts,
+        // largest first, until they sum to the uncovered total.  Also
+        // detects dead nodes (an uncovered constraint no undecided slot
+        // can reach).
+        self.ps.cover.clear();
+        self.ps.reach.clear();
+        self.ps.reach.resize(words, 0);
+        for (i, d) in state.iter().enumerate() {
+            if *d != Decision::Undecided {
+                continue;
+            }
+            let mut cnt = 0u32;
+            for w in 0..words {
+                let bits = self.ps.cov[i * words + w] & self.ps.uncovered[w];
+                self.ps.reach[w] |= bits;
+                cnt += bits.count_ones();
+            }
+            if cnt > 0 {
+                self.ps.cover.push(cnt);
+            }
+        }
+        let reach: u32 = self.ps.reach.iter().map(|w| w.count_ones()).sum();
+        if reach < total {
+            return None; // dead: some violated constraint is uncoverable
+        }
+        self.ps.cover.sort_unstable_by(|a, b| b.cmp(a));
+        let mut need = 0usize;
+        let mut got = 0u32;
+        for &c in &self.ps.cover {
+            need += 1;
+            got += c;
+            if got >= total {
+                break;
+            }
+        }
+        Some(matching.max(need))
+    }
+
+    fn recurse(&mut self, state: &mut Vec<Decision>, relaxed_ok: bool) {
+        self.stats.nodes += 1;
+        if self.stats.nodes > self.node_cap as u64 {
             self.exact = false;
             return;
         }
         let in_count = Self::in_count(state);
-        if let Some((best, _, _)) = &self.best {
+        if self.prune {
+            // Dead-node and lower-bound pruning on the bitset machinery.
+            // A dead node (uncoverable violated constraint) is pruned
+            // even without an incumbent — the reference search would
+            // fail its relaxation probe there and return all the same.
+            match self.bitset_lb(state) {
+                None => {
+                    self.stats.pruned_bound += 1;
+                    return;
+                }
+                Some(lb) => {
+                    if let Some((best, _, _)) = &self.best {
+                        if in_count >= *best || in_count + lb >= *best {
+                            self.stats.pruned_bound += 1;
+                            return;
+                        }
+                    }
+                }
+            }
+        } else if let Some((best, _, _)) = &self.best {
             if in_count >= *best {
+                self.stats.pruned_bound += 1;
                 return;
             }
             if in_count + self.matching_lb(state) >= *best {
+                self.stats.pruned_bound += 1;
                 return;
             }
         }
-        // Relaxation: can anything still work?
-        if !self.feasible_support(state, true) {
-            return;
-        }
-        // Is In alone already enough?
-        if self.feasible_support(state, false) {
-            let support: Vec<u32> = state
-                .iter()
-                .enumerate()
-                .filter(|(_, d)| **d == Decision::In)
-                .map(|(i, _)| self.region_ffs[i])
-                .collect();
-            let better = self
-                .best
-                .as_ref()
-                .is_none_or(|(c, _, _)| support.len() < *c);
-            if better {
-                // Witness values of support vars, in support order.
-                let mut values = Vec::new();
-                self.solver.copy_witness(support.len(), &mut values);
-                self.best = Some((support.len(), support, values));
+        // Probe order differs by mode but the pruned set of surviving
+        // nodes is identical (see the module docs): In-only feasibility
+        // implies relaxed feasibility (every excluded slot can take
+        // tuning 0, which every window contains), so checking In-only
+        // first never accepts a node the reference would reject.  The
+        // pruned path defers the relaxed probe to last so nodes killed
+        // by the cascade bound never pay a relaxation solve.
+        if self.prune {
+            let mut relaxed_known = relaxed_ok;
+            let mut in_only_settled = false;
+            // Post-covering regime: the merged probe answers the In-only
+            // question (round 0) and, with an incumbent, runs the cascade
+            // rounds the covering bound is blind to.  Before coverage the
+            // In-only probe fails during assembly for pennies and
+            // `bitset_lb` is the cheaper bound, so the legacy probes run.
+            if self.ps.uncovered.iter().all(|&w| w == 0) {
+                let target = self
+                    .best
+                    .as_ref()
+                    .map(|(best, _, _)| best.saturating_sub(in_count));
+                match self.cascade_decide(state, target) {
+                    Cascade::InFeasible => {
+                        self.record_incumbent(state);
+                        return;
+                    }
+                    Cascade::Prune => {
+                        self.stats.pruned_bound += 1;
+                        return;
+                    }
+                    Cascade::Feasible => {
+                        relaxed_known = true;
+                        in_only_settled = true;
+                    }
+                    Cascade::Exhausted => in_only_settled = true,
+                    Cascade::Unknown => {}
+                }
             }
-            return;
+            // Is In alone already enough?
+            if !in_only_settled && self.feasible_support(state, false) {
+                self.record_incumbent(state);
+                return;
+            }
+            // Relaxation: can anything still work?  An `In` branch keeps
+            // the parent's included set (In ∪ Undecided) unchanged, so
+            // the parent's feasible verdict carries over probe-free —
+            // as does a cascade round that saw a feasible completion.
+            if !relaxed_known && !self.feasible_support(state, true) {
+                return;
+            }
+        } else {
+            // Relaxation: can anything still work?
+            if !relaxed_ok && !self.feasible_support(state, true) {
+                return;
+            }
+            // Is In alone already enough?
+            if self.feasible_support(state, false) {
+                self.record_incumbent(state);
+                return;
+            }
         }
         // Branch: pick an undecided endpoint of an uncovered violated
         // constraint; fall back to any undecided vertex.
@@ -302,17 +959,84 @@ impl SupportSearch<'_> {
         let Some(v) = pick else {
             return; // everything decided yet infeasible with In
         };
-        state[v] = Decision::In;
-        self.recurse(state);
+        let skip_in = if self.prune {
+            self.in_skip(v, state)
+        } else {
+            None
+        };
+        match skip_in {
+            Some(true) => self.stats.pruned_symmetry += 1,
+            Some(false) => self.stats.pruned_dominance += 1,
+            None => {
+                state[v] = Decision::In;
+                if self.prune {
+                    let words = self.ps.words;
+                    let base = self.ps.mask_stack.len();
+                    for w in 0..words {
+                        let cur = self.ps.uncovered[w];
+                        self.ps.mask_stack.push(cur);
+                        self.ps.uncovered[w] = cur & !self.ps.cov[v * words + w];
+                    }
+                    self.recurse(state, true);
+                    for w in 0..words {
+                        self.ps.uncovered[w] = self.ps.mask_stack[base + w];
+                    }
+                    self.ps.mask_stack.truncate(base);
+                } else {
+                    self.recurse(state, true);
+                }
+            }
+        }
         state[v] = Decision::Out;
-        self.recurse(state);
+        self.recurse(state, false);
         state[v] = Decision::Undecided;
+    }
+
+    /// Installs the current `In` set as the incumbent when it is strictly
+    /// smaller than the best so far.  Must run directly after a feasible
+    /// In-only probe: the witness is read from the solver's last solve.
+    fn record_incumbent(&mut self, state: &[Decision]) {
+        let support: Vec<u32> = state
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| **d == Decision::In)
+            .map(|(i, _)| self.region_ffs[i])
+            .collect();
+        let better = self
+            .best
+            .as_ref()
+            .is_none_or(|(c, _, _)| support.len() < *c);
+        if better {
+            // Witness values of support vars, in support order.
+            let mut values = Vec::new();
+            self.solver.copy_witness(support.len(), &mut values);
+            self.best = Some((support.len(), support, values));
+        }
     }
 
     /// The pinned branch rule (see the module docs): the undecided
     /// variable appearing in the most uncovered violated constraints,
-    /// ties broken to the lowest region slot.
+    /// ties broken to the lowest region slot.  The pruned path computes
+    /// the identical score by popcount over the coverage masks, so both
+    /// modes branch the same variable at any shared state.
     fn pick_branch_var(&self, state: &[Decision]) -> Option<usize> {
+        if self.prune {
+            let words = self.ps.words;
+            let mut best: Option<(u32, usize)> = None;
+            for (i, d) in state.iter().enumerate() {
+                if *d != Decision::Undecided {
+                    continue;
+                }
+                let mut s = 0u32;
+                for w in 0..words {
+                    s += (self.ps.cov[i * words + w] & self.ps.uncovered[w]).count_ones();
+                }
+                if s > 0 && best.is_none_or(|(bs, _)| s > bs) {
+                    best = Some((s, i));
+                }
+            }
+            return best.map(|(_, i)| i).or_else(|| self.fallback_var(state));
+        }
         let mut score = vec![0usize; state.len()];
         for &v in self.violated {
             let c = &self.cons[v];
@@ -336,7 +1060,12 @@ impl SupportSearch<'_> {
                 best = Some((*s, i));
             }
         }
-        best.map(|(_, i)| i)
-            .or_else(|| state.iter().position(|d| *d == Decision::Undecided))
+        best.map(|(_, i)| i).or_else(|| self.fallback_var(state))
+    }
+
+    /// Fallback branch rule once every violated constraint is covered:
+    /// the first undecided slot (part of the pinned branch order).
+    fn fallback_var(&self, state: &[Decision]) -> Option<usize> {
+        state.iter().position(|d| *d == Decision::Undecided)
     }
 }

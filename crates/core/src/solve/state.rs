@@ -68,6 +68,20 @@ pub struct PassDiagnostics {
     /// usually a different chip of the same pass).  Schedule-dependent
     /// with more than one worker; results never are.
     pub cross_chip_hits: u64,
+    /// Branch-and-bound nodes visited by fresh region searches.  Each
+    /// search's count is a deterministic function of its region system
+    /// and the prune mode, but the *sum* inherits the memo caveat above:
+    /// a racy cross-chip hit skips a search entirely.  Single-worker
+    /// runs are exactly reproducible (what the perf gate pins).
+    pub search_nodes: u64,
+    /// Subtrees cut by the covering/matching lower bounds.
+    pub search_pruned_bound: u64,
+    /// `In` branches skipped by dominance elimination (wider-window twin
+    /// already explored).
+    pub search_pruned_dominance: u64,
+    /// `In` branches skipped by symmetry breaking (lower-slot
+    /// interchangeable twin already explored).
+    pub search_pruned_symmetry: u64,
 }
 
 impl PassDiagnostics {
@@ -78,6 +92,10 @@ impl PassDiagnostics {
         self.regions_reused += other.regions_reused;
         self.supports_rehit += other.supports_rehit;
         self.cross_chip_hits += other.cross_chip_hits;
+        self.search_nodes += other.search_nodes;
+        self.search_pruned_bound += other.search_pruned_bound;
+        self.search_pruned_dominance += other.search_pruned_dominance;
+        self.search_pruned_symmetry += other.search_pruned_symmetry;
     }
 }
 

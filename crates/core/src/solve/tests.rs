@@ -431,6 +431,41 @@ mod prop {
             }
         }
 
+        /// The pruned search is bit-identical to the reference B&B —
+        /// feasibility, support, witness and exactness — on random
+        /// instances, while never visiting more nodes.
+        #[test]
+        fn pruned_search_matches_reference_bit_for_bit(
+            n in 3usize..7,
+            raw_edges in proptest::collection::vec((0u32..7, 0u32..7), 1..10),
+            raw_setup in proptest::collection::vec(-4i64..6, 10),
+            raw_hold in proptest::collection::vec(-2i64..6, 10),
+            bufferless in proptest::collection::vec(any::<bool>(), 7),
+        ) {
+            let edges: Vec<(u32, u32)> = raw_edges
+                .into_iter()
+                .map(|(a, b)| (a % n as u32, b % n as u32))
+                .collect();
+            let m = edges.len();
+            let sg = graph(n, &edges);
+            let ic = constraints(&raw_setup[..m], &raw_hold[..m]);
+            let mut space = BufferSpace::floating(n, 5);
+            for (has, off) in space.has_buffer.iter_mut().zip(&bufferless) {
+                if *off {
+                    *has = false;
+                }
+            }
+            let opts = SolverOptions::default();
+            let ((pruned, pd), (reference, rd)) = solve_both_modes(&sg, &ic, &space, &opts);
+            prop_assert_eq!(&pruned, &reference,
+                "pruned vs reference diverged: {:?} vs {:?}", pd, rd);
+            prop_assert!(pd.search_nodes <= rd.search_nodes,
+                "pruned search visited {} nodes, reference {}", pd.search_nodes, rd.search_nodes);
+            if pruned.feasible {
+                check_valid(&sg, &ic, &space, &pruned);
+            }
+        }
+
         /// Cross-pass state never leaks stale answers: a pass sequence
         /// that mutates the insertion space between passes (narrowed
         /// windows as in III-A4, then a pruned buffer as in III-A2, then
@@ -958,6 +993,213 @@ fn node_cap_fallback_is_still_valid() {
     }
 }
 
+/// Runs the same cold request under the pruned search and the reference
+/// B&B, returning both results with their search diagnostics.
+fn solve_both_modes(
+    sg: &SequentialGraph,
+    ic: &IntegerConstraints,
+    space: &BufferSpace,
+    opts: &SolverOptions,
+) -> (
+    (SampleResult, PassDiagnostics),
+    (SampleResult, PassDiagnostics),
+) {
+    let run = |prune: bool| {
+        let mut s = SampleSolver::new();
+        let out = s.solve(
+            SolveRequest::new(sg, ic.as_view(), space, PushObjective::ToZero, opts)
+                .search_prune(prune),
+        );
+        (out.result, out.diag)
+    };
+    (run(true), run(false))
+}
+
+#[test]
+fn search_pruning_parity_on_symmetric_hub() {
+    // Six interchangeable leaves hang off a hub whose window is pinned
+    // to [0, 0], with every hub→leaf edge violated: the unique fix tunes
+    // all six leaves to +3 (the pinned hub merges the leaves into one
+    // region but cannot absorb anything itself).  Slots 1..6 form one
+    // symmetry class; on a region this small the cascade/covering bounds
+    // conclude before the symmetry guards get a turn (the guard-link
+    // construction itself is pinned white-box in
+    // `symmetry_guard_links_pin_the_lowest_slot_representative`), but the
+    // pruned search must still return the canonical outcome bit for bit.
+    let n = 7;
+    let edges: Vec<(u32, u32)> = (1..n as u32).map(|i| (0, i)).collect();
+    let sg = graph(n, &edges);
+    let ic = constraints(&vec![-3; n - 1], &vec![100; n - 1]);
+    let mut space = BufferSpace::floating(n, 10);
+    space.bounds[0] = (0, 0);
+    let opts = SolverOptions::default();
+    let ((pruned, pd), (reference, rd)) = solve_both_modes(&sg, &ic, &space, &opts);
+    assert_eq!(pruned, reference, "pruned search must be bit-identical");
+    assert!(pruned.feasible && pruned.exact);
+    check_valid(&sg, &ic, &space, &pruned);
+    // Golden representative: the canonical support in ascending slot
+    // order with the concentrated witness.
+    let want: Vec<(u32, i64)> = (1..n as u32).map(|i| (i, 3)).collect();
+    assert_eq!(pruned.tunings, want, "class representative drifted");
+    assert!(
+        pd.search_pruned_bound > 0,
+        "the covering/cascade bound must fire: {pd:?}"
+    );
+    assert_eq!(
+        rd.search_pruned_symmetry + rd.search_pruned_dominance,
+        0,
+        "the reference B&B runs no structural pruning rules"
+    );
+    assert!(
+        pd.search_nodes <= rd.search_nodes,
+        "pruned search visited {} nodes, reference {}",
+        pd.search_nodes,
+        rd.search_nodes
+    );
+}
+
+#[test]
+fn symmetry_guard_links_pin_the_lowest_slot_representative() {
+    // White-box pin of the symmetry-class representative rule: six
+    // leaves with identical windows hanging off a window-pinned hub are
+    // one interchangeable class, so every leaf's In branch must be
+    // guarded by exactly the *lower* leaves — the class's lowest slot is
+    // the representative and carries no guard itself.  The hub's window
+    // differs and its constraint row is not swap-invariant with any
+    // leaf, so it gets no guards and guards nobody.
+    let m = 7usize;
+    let region_ffs: Vec<u32> = (0..m as u32).collect();
+    let var_of: Vec<u32> = (0..m as u32).collect();
+    let mut cons = Vec::new();
+    for i in 1..m as u32 {
+        cons.push(RegCons {
+            a: 0,
+            b: i,
+            bound: -3,
+        });
+        cons.push(RegCons {
+            a: i,
+            b: 0,
+            bound: 100,
+        });
+    }
+    let violated: Vec<usize> = cons
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.bound < 0)
+        .map(|(i, _)| i)
+        .collect();
+    let mut bounds = vec![(-10i64, 10); m];
+    bounds[0] = (0, 0);
+    let mut solver = DiffSolver::new();
+    let mut s = search::SupportSearch {
+        solver: &mut solver,
+        var_of: &var_of,
+        region_ffs: &region_ffs,
+        cons: &cons,
+        violated: &violated,
+        bounds: &bounds,
+        best: None,
+        node_cap: 1_000,
+        exact: true,
+        prune: true,
+        stats: search::SearchStats::default(),
+        vars_scratch: Vec::new(),
+        slot_scratch: Vec::new(),
+        arcs_scratch: Vec::new(),
+        bounds_scratch: Vec::new(),
+        ps: Default::default(),
+    };
+    s.prepare_prune();
+    for v in 0..m {
+        let lo = s.ps.link_start[v] as usize;
+        let hi = s.ps.link_start[v + 1] as usize;
+        let links = &s.ps.links[lo..hi];
+        if v == 0 {
+            assert!(links.is_empty(), "the pinned hub must have no guards");
+        } else {
+            let want: Vec<(u32, bool)> = (1..v as u32).map(|u| (u, true)).collect();
+            assert_eq!(
+                links,
+                &want[..],
+                "slot {v}'s In branch must be guarded by every lower class member"
+            );
+        }
+    }
+}
+
+#[test]
+fn search_pruning_parity_on_cascade_chain() {
+    // An equality-tied chain split by one violated edge: every zero-slack
+    // edge pins its neighbours together, so fixing the violation drags a
+    // whole half-chain along.  The reference B&B proves each too-small
+    // subset infeasible one probe at a time; the cascade lower bound
+    // (rule 4) prices the drag chain per node and cuts far earlier —
+    // with the identical outcome.
+    let n = 10;
+    let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+    let sg = graph(n, &edges);
+    let mut setup = vec![0i64; n - 1];
+    let mut hold = vec![0i64; n - 1];
+    setup[4] = -4;
+    hold[4] = 100;
+    let ic = constraints(&setup, &hold);
+    let space = BufferSpace::floating(n, 10);
+    let opts = SolverOptions::default();
+    let ((pruned, pd), (reference, rd)) = solve_both_modes(&sg, &ic, &space, &opts);
+    assert_eq!(pruned, reference, "pruned search must be bit-identical");
+    assert!(pruned.feasible && pruned.exact);
+    check_valid(&sg, &ic, &space, &pruned);
+    // Either half-chain shifted by 4 is optimal: five buffers.
+    assert_eq!(pruned.count(), 5);
+    assert!(
+        pd.search_pruned_bound > 0,
+        "the cascade/covering bound must fire on the drag chain: {pd:?}"
+    );
+    assert!(
+        pd.search_nodes < rd.search_nodes,
+        "pruned search visited {} nodes, reference {}",
+        pd.search_nodes,
+        rd.search_nodes
+    );
+}
+
+#[test]
+fn search_stats_pruned_total_sums_all_rules() {
+    let stats = search::SearchStats {
+        nodes: 10,
+        pruned_bound: 3,
+        pruned_dominance: 2,
+        pruned_symmetry: 1,
+    };
+    assert_eq!(stats.pruned_total(), 6);
+}
+
+#[test]
+fn sparsified_fallback_support_is_pinned() {
+    // Same fixture as `oversized_region_falls_back_to_sparsified_witness`
+    // but pinning the exact outcome: the batched drop pass in
+    // `sparsify_witness` must keep returning byte-identical tunings to
+    // the one-at-a-time reference it replaced.
+    let n = 12;
+    let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+    let sg = graph(n, &edges);
+    let mut setup = vec![6i64; n - 1];
+    setup[5] = -3;
+    let hold = vec![8i64; n - 1];
+    let ic = constraints(&setup, &hold);
+    let space = BufferSpace::floating(n, 10);
+    let opts = SolverOptions {
+        region_cap: 2,
+        ..SolverOptions::default()
+    };
+    let mut s = SampleSolver::new();
+    let r = solve_plain(&mut s, &sg, &ic, &space, PushObjective::ToZero, &opts);
+    assert!(r.feasible);
+    assert!(!r.exact);
+    assert_eq!(r.tunings, vec![(6, 3)], "fallback support drifted");
+}
+
 #[test]
 fn unfixable_cycle_detected_by_global_screen() {
     // Ring 0→1→2→0 with negative total slack: tuning-invariant, dead chip.
@@ -1026,7 +1268,7 @@ fn region_parallel_commits_in_pinned_region_order() {
         }
         let mut outcomes: Vec<Option<RegionOutcome>> = vec![None; tasks.len()];
         for i in (0..tasks.len()).rev() {
-            let got = s.execute(std::slice::from_ref(&tasks[i]), &space, &opts, None);
+            let got = s.execute(std::slice::from_ref(&tasks[i]), &space, &opts, None, true);
             outcomes[i] = got.into_iter().next();
         }
         let outcomes: Vec<RegionOutcome> = outcomes

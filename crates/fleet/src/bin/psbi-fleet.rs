@@ -8,8 +8,8 @@
 //!                   [--workers N] [--max-jobs K] [--report out.json]
 //!                   [--with-timings] [--quiet] [--progress]
 //!                   [--no-incremental] [--no-cross-chip]
-//!                   [--no-region-parallel] [--retries N]
-//!                   [--verify] [--trace trace.json]
+//!                   [--no-region-parallel] [--no-search-prune]
+//!                   [--retries N] [--verify] [--trace trace.json]
 //! psbi-fleet report --spec campaign.json --journal c.journal
 //!                   [--json out.json] [--with-timings]
 //! ```
@@ -84,8 +84,8 @@ fn usage() -> ExitCode {
          \x20                   [--workers N] [--max-jobs K] [--report out.json]\n\
          \x20                   [--with-timings] [--quiet] [--progress]\n\
          \x20                   [--no-incremental] [--no-cross-chip]\n\
-         \x20                   [--no-region-parallel] [--retries N]\n\
-         \x20                   [--verify] [--trace trace.json]\n\
+         \x20                   [--no-region-parallel] [--no-search-prune]\n\
+         \x20                   [--retries N] [--verify] [--trace trace.json]\n\
          \x20 psbi-fleet report --spec campaign.json --journal c.journal\n\
          \x20                   [--json out.json] [--with-timings]\n\
          \n\
@@ -204,6 +204,7 @@ fn cmd_run(args: &Args) -> Result<(), FleetError> {
         incremental: !args.has("no-incremental"),
         cross_chip: !args.has("no-cross-chip"),
         region_parallel: !args.has("no-region-parallel"),
+        search_prune: !args.has("no-search-prune"),
         retries: args.get("retries").unwrap_or(2),
         // PSBI_VERIFY=1 force-enables verification inside the flow even
         // without the flag.

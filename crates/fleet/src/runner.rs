@@ -78,6 +78,13 @@ pub struct FleetOptions {
     /// bit-identical either way; `PSBI_NO_REGION_PARALLEL=1` overrides
     /// it process-wide.
     pub region_parallel: bool,
+    /// Prune the per-region support search (dominance, symmetry classes,
+    /// bitset covering and cascade bounds — see
+    /// `psbi_core::solve::SolveRequest::search_prune`).  The shipped
+    /// workloads are bit-identical either way, so this is a performance
+    /// knob outside the fingerprinted [`CampaignSpec`];
+    /// `PSBI_NO_SEARCH_PRUNE=1` overrides it process-wide.
+    pub search_prune: bool,
     /// How many times a panicking job is re-executed before it is
     /// quarantined.  Retries are deterministic: job `i` always re-runs
     /// the same pure function, so a retry either reproduces the panic
@@ -101,6 +108,7 @@ impl Default for FleetOptions {
             incremental: true,
             cross_chip: true,
             region_parallel: true,
+            search_prune: true,
             retries: 2,
             verify: false,
         }
@@ -356,6 +364,7 @@ pub fn run_campaign(
     cfg.incremental = opts.incremental;
     cfg.cross_chip = opts.cross_chip;
     cfg.region_parallel = opts.region_parallel;
+    cfg.search_prune = opts.search_prune;
     cfg.verify = opts.verify;
     let flows: Vec<Option<BufferInsertionFlow>> = circuits
         .iter()

@@ -83,6 +83,8 @@ pub struct DiffSolver {
     queue: std::collections::VecDeque<u32>,
     /// Scratch for the bounded forms: input arcs + bound arcs combined.
     bound_arcs: Vec<Arc>,
+    /// Parent arc per node (cycle-extracting core only).
+    parent_arc: Vec<u32>,
     /// Witness of the last feasible bounded call (see module docs).
     warm: Vec<i64>,
     /// Whether `warm` holds a usable assignment (sized for `warm.len()`
@@ -246,6 +248,139 @@ impl DiffSolver {
     /// [`DiffSolver::copy_witness`].
     pub fn decide_bounded(&mut self, n: usize, arcs: &[Arc], bounds: &[(i64, i64)]) -> bool {
         self.solve_bounded_core(n, arcs, bounds)
+    }
+
+    /// Like [`DiffSolver::decide_bounded`], but on infeasibility writes
+    /// the *arc indices* of one negative cycle into `cycle` (cleared
+    /// first).  Indices `< arcs.len()` refer to the caller's arcs; larger
+    /// ones are the internal window bound arcs (`arcs.len() + 2·i` is
+    /// variable `i`'s upper-bound arc, `… + 2·i + 1` its lower).  A
+    /// separate SPFA core keeps the parent-tracking cost out of the plain
+    /// decide path.
+    pub fn decide_bounded_cycle(
+        &mut self,
+        n: usize,
+        arcs: &[Arc],
+        bounds: &[(i64, i64)],
+        cycle: &mut Vec<u32>,
+    ) -> bool {
+        assert_eq!(bounds.len(), n, "one bound pair per variable");
+        let root = n as u32;
+        let mut all = std::mem::take(&mut self.bound_arcs);
+        all.clear();
+        all.reserve(arcs.len() + 2 * n);
+        all.extend_from_slice(arcs);
+        for (i, (lo, hi)) in bounds.iter().enumerate() {
+            assert!(lo <= hi, "bound lo > hi for variable {i}");
+            all.push(Arc::new(root, i as u32, *hi));
+            all.push(Arc::new(i as u32, root, -*lo));
+        }
+        let feasible = self.solve_core_cycle(n + 1, root, &all, cycle);
+        self.bound_arcs = all;
+        feasible
+    }
+
+    /// SPFA with per-node parent arcs; on a negative cycle, recovers its
+    /// arc set.  Mirrors [`solve_core`] exactly apart from the parent
+    /// bookkeeping — kept separate so the hot probe path pays nothing.
+    ///
+    /// [`solve_core`]: DiffSolver::solve_core
+    fn solve_core_cycle(
+        &mut self,
+        n: usize,
+        source: u32,
+        arcs: &[Arc],
+        cycle: &mut Vec<u32>,
+    ) -> bool {
+        assert!((source as usize) < n, "source out of range");
+        cycle.clear();
+        self.head.clear();
+        self.head.resize(n, NO_ARC);
+        self.next_out.clear();
+        self.next_out.resize(arcs.len(), NO_ARC);
+        self.arc_to.clear();
+        self.arc_w.clear();
+        for (k, a) in arcs.iter().enumerate() {
+            assert!(
+                (a.from as usize) < n && (a.to as usize) < n,
+                "arc out of range"
+            );
+            self.arc_to.push(a.to);
+            self.arc_w.push(a.weight);
+            self.next_out[k] = self.head[a.from as usize];
+            self.head[a.from as usize] = k as u32;
+        }
+        self.dist.clear();
+        self.dist.resize(n, INF);
+        self.path_len.clear();
+        self.path_len.resize(n, 0);
+        self.in_queue.clear();
+        self.in_queue.resize(n, false);
+        self.queue.clear();
+        self.parent_arc.clear();
+        self.parent_arc.resize(n, NO_ARC);
+
+        self.dist[source as usize] = 0;
+        self.queue.push_back(source);
+        self.in_queue[source as usize] = true;
+
+        while let Some(u) = self.queue.pop_front() {
+            self.in_queue[u as usize] = false;
+            let du = self.dist[u as usize];
+            let lu = self.path_len[u as usize];
+            let mut k = self.head[u as usize];
+            while k != NO_ARC {
+                let v = self.arc_to[k as usize];
+                let nd = du + self.arc_w[k as usize];
+                if nd < self.dist[v as usize] {
+                    self.dist[v as usize] = nd.max(-INF);
+                    self.path_len[v as usize] = lu + 1;
+                    self.parent_arc[v as usize] = k;
+                    if self.path_len[v as usize] >= n as u32 {
+                        self.extract_cycle(n, v, arcs, cycle);
+                        return false;
+                    }
+                    if !self.in_queue[v as usize] {
+                        self.in_queue[v as usize] = true;
+                        self.queue.push_back(v);
+                    }
+                }
+                k = self.next_out[k as usize];
+            }
+        }
+
+        for a in arcs {
+            if self.witness_value(a.to as usize) - self.witness_value(a.from as usize) > a.weight {
+                // Inconsistency among source-unreachable variables.  The
+                // bounded form connects every variable to the root, so
+                // this cannot happen there; report infeasible with an
+                // empty cycle and let callers fall back gracefully.
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Walks parent arcs back from `v` (whose path length reached `n`) to
+    /// find a vertex inside the negative cycle, then collects the cycle's
+    /// arc indices (each cycle vertex's entering parent arc).
+    fn extract_cycle(&self, n: usize, v: u32, arcs: &[Arc], cycle: &mut Vec<u32>) {
+        // n parent steps from v always land inside the cycle.
+        let mut cur = v;
+        for _ in 0..n {
+            let pa = self.parent_arc[cur as usize];
+            debug_assert!(pa != NO_ARC, "cycle walk fell off the parent chain");
+            cur = arcs[pa as usize].from;
+        }
+        let start = cur;
+        loop {
+            let pa = self.parent_arc[cur as usize];
+            cycle.push(pa);
+            cur = arcs[pa as usize].from;
+            if cur == start {
+                break;
+            }
+        }
     }
 
     /// Copies the first `n` witness values of the most recent *feasible*
@@ -454,6 +589,104 @@ mod tests {
             let want = cold.solve_bounded(3, &arcs, &bounds).is_feasible();
             assert_eq!(got, want, "chip {chip}: warm {got} vs cold {want}");
         }
+    }
+
+    /// Decodes an arc index reported by [`DiffSolver::decide_bounded_cycle`]
+    /// back into the `(from, to, weight)` it stands for, mirroring the
+    /// documented layout: indices `< arcs.len()` are caller arcs,
+    /// `arcs.len() + 2·i` is variable `i`'s upper-bound arc (root → i,
+    /// weight hi) and `arcs.len() + 2·i + 1` its lower-bound arc
+    /// (i → root, weight −lo).
+    fn decode_cycle_arc(
+        idx: u32,
+        n: usize,
+        arcs: &[Arc],
+        bounds: &[(i64, i64)],
+    ) -> (u32, u32, i64) {
+        let root = n as u32;
+        let idx = idx as usize;
+        if idx < arcs.len() {
+            let a = &arcs[idx];
+            (a.from, a.to, a.weight)
+        } else {
+            let off = idx - arcs.len();
+            let i = (off / 2) as u32;
+            if off.is_multiple_of(2) {
+                (root, i, bounds[i as usize].1)
+            } else {
+                (i, root, -bounds[i as usize].0)
+            }
+        }
+    }
+
+    /// Asserts the reported cycle is closed (each arc's tail is the next
+    /// arc's head — the extraction walks parent arcs backwards) and has
+    /// negative total weight under the documented index encoding.
+    fn assert_closed_negative_cycle(cycle: &[u32], n: usize, arcs: &[Arc], bounds: &[(i64, i64)]) {
+        assert!(!cycle.is_empty(), "infeasible solve must report a cycle");
+        let decoded: Vec<_> = cycle
+            .iter()
+            .map(|&i| decode_cycle_arc(i, n, arcs, bounds))
+            .collect();
+        let total: i64 = decoded.iter().map(|(_, _, w)| w).sum();
+        assert!(total < 0, "cycle weight {total} not negative: {decoded:?}");
+        for k in 0..decoded.len() {
+            let next = decoded[(k + 1) % decoded.len()];
+            assert_eq!(decoded[k].0, next.1, "cycle not closed: {decoded:?}");
+        }
+    }
+
+    #[test]
+    fn cycle_reports_caller_arc_indices() {
+        let mut s = DiffSolver::new();
+        // x0 − x1 ≤ −3 and x1 − x0 ≤ 2: the two caller arcs close a −1
+        // cycle on their own; the windows are slack and take no part.
+        let arcs = [Arc::new(1, 0, -3), Arc::new(0, 1, 2)];
+        let bounds = [(-10i64, 10), (-10, 10)];
+        let mut cycle = Vec::new();
+        assert!(!s.decide_bounded_cycle(2, &arcs, &bounds, &mut cycle));
+        assert!(!s.decide_bounded(2, &arcs, &bounds));
+        let mut sorted = cycle.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1], "cycle must name the two caller arcs");
+        assert_closed_negative_cycle(&cycle, 2, &arcs, &bounds);
+    }
+
+    #[test]
+    fn cycle_reports_window_bound_arcs() {
+        let mut s = DiffSolver::new();
+        // x0 − x1 ≤ −5 is consistent on its own; only the windows
+        // (x0 ≥ 3, x1 ≤ 3) close a negative cycle through the root.
+        let arcs = [Arc::new(1, 0, -5)];
+        let bounds = [(3i64, 10), (0, 3)];
+        let mut cycle = Vec::new();
+        assert!(!s.decide_bounded_cycle(2, &arcs, &bounds, &mut cycle));
+        let mut sorted = cycle.clone();
+        sorted.sort_unstable();
+        // Caller arc 0, x0's lower-bound arc (1 + 2·0 + 1 = 2) and x1's
+        // upper-bound arc (1 + 2·1 = 3).
+        assert_eq!(sorted, vec![0, 2, 3]);
+        assert_closed_negative_cycle(&cycle, 2, &arcs, &bounds);
+    }
+
+    #[test]
+    fn cycle_variant_feasible_matches_plain_witness() {
+        let mut s = DiffSolver::new();
+        let arcs = [Arc::new(1, 0, -5)];
+        let bounds = [(-10i64, 10), (-10, 10)];
+        let mut cycle = vec![7]; // stale content must be cleared
+        assert!(s.decide_bounded_cycle(2, &arcs, &bounds, &mut cycle));
+        assert!(cycle.is_empty(), "feasible decide must clear the cycle");
+        let mut w = Vec::new();
+        s.copy_witness(2, &mut w);
+        assert!(w[0] - w[1] <= -5);
+        // Fixpoint distances are unique, so the cycle-tracking core must
+        // land on the same witness as the plain decide path.
+        let mut plain = DiffSolver::new();
+        assert!(plain.decide_bounded(2, &arcs, &bounds));
+        let mut pw = Vec::new();
+        plain.copy_witness(2, &mut pw);
+        assert_eq!(w, pw);
     }
 
     #[test]
