@@ -12,7 +12,22 @@
 //!                   [--retries N] [--verify] [--trace trace.json]
 //! psbi-fleet report --spec campaign.json --journal c.journal
 //!                   [--json out.json] [--with-timings]
+//! psbi-fleet serve  [--addr HOST:PORT] [--max-campaigns N] [--lease-jobs K]
+//!                   [--lease-ms MS] [--heartbeat-ms MS]
+//!                   [--inline-grace-ms MS] [--once] [--addr-file PATH]
+//!                   [--quiet]
+//! psbi-fleet worker [--addr HOST:PORT] [--name X] [--backoff-min-ms MS]
+//!                   [--backoff-max-ms MS] [--max-idle-ms MS] [--quiet]
+//! psbi-fleet submit --spec campaign.json --journal c.journal
+//!                   [--addr HOST:PORT] [--retries N] [--verify] [--quiet]
 //! ```
+//!
+//! `serve`/`worker`/`submit` are the distributed front-end: a dispatcher
+//! partitions the job grid into leases executed by worker processes and
+//! merges their results into the same append-only journal `run` writes —
+//! byte-identical for any worker count or kill pattern.  `--addr`
+//! defaults to `PSBI_DISPATCH_ADDR` (then 127.0.0.1:7171); `--journal`
+//! on `submit` is a **dispatcher-side** path.
 //!
 //! `--trace` writes a Chrome trace-event JSON file covering the whole
 //! campaign (sampling batches, flow passes, solver stages, job
@@ -32,7 +47,10 @@
 //! spec=3, io=4, journal=5, circuit=6, corrupt journal=7, worker crash=8,
 //! verification failure=9 — see `FleetError::code`.
 
-use psbi_fleet::{run_campaign, CampaignReport, CampaignSpec, FleetError, FleetOptions, Journal};
+use psbi_fleet::{
+    run_campaign, run_worker, serve, submit_campaign, CampaignReport, CampaignSpec, FleetError,
+    FleetOptions, Journal, ServeOptions, SubmitOptions, WorkerOptions,
+};
 use psbi_netlist::bench_suite::CircuitRef;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -88,13 +106,23 @@ fn usage() -> ExitCode {
          \x20                   [--retries N] [--verify] [--trace trace.json]\n\
          \x20 psbi-fleet report --spec campaign.json --journal c.journal\n\
          \x20                   [--json out.json] [--with-timings]\n\
+         \x20 psbi-fleet serve  [--addr HOST:PORT] [--max-campaigns N] [--lease-jobs K]\n\
+         \x20                   [--lease-ms MS] [--heartbeat-ms MS]\n\
+         \x20                   [--inline-grace-ms MS] [--once] [--addr-file PATH] [--quiet]\n\
+         \x20 psbi-fleet worker [--addr HOST:PORT] [--name X] [--backoff-min-ms MS]\n\
+         \x20                   [--backoff-max-ms MS] [--max-idle-ms MS] [--quiet]\n\
+         \x20 psbi-fleet submit --spec campaign.json --journal c.journal\n\
+         \x20                   [--addr HOST:PORT] [--retries N] [--verify] [--quiet]\n\
          \n\
          circuits: paper suite names (s9234, ...), demo classes\n\
          (tiny_demo:SEED, small_demo:SEED, medium_demo:SEED) or\n\
          sized:NAME:FFS:GATES:SEED\n\
          \n\
+         --addr defaults to PSBI_DISPATCH_ADDR, then 127.0.0.1:7171\n\
+         \n\
          exit codes: 2 usage, 3 spec, 4 io, 5 journal, 6 circuit,\n\
-         7 corrupt journal, 8 worker crash, 9 verification failure"
+         7 corrupt journal, 8 worker crash, 9 verification failure,\n\
+         10 dispatch error"
     );
     ExitCode::from(2)
 }
@@ -255,6 +283,80 @@ fn cmd_report(args: &Args) -> Result<(), FleetError> {
     Ok(())
 }
 
+fn cmd_serve(args: &Args) -> Result<(), FleetError> {
+    let mut opts = ServeOptions::default();
+    if let Some(addr) = args.get::<String>("addr") {
+        opts.addr = addr;
+    }
+    if let Some(n) = args.get("max-campaigns") {
+        opts.max_campaigns = n;
+    }
+    if let Some(k) = args.get("lease-jobs") {
+        opts.lease_jobs = k;
+    }
+    if let Some(ms) = args.get("lease-ms") {
+        opts.lease_ms = ms;
+        opts.heartbeat_ms = (ms / 4).max(1);
+    }
+    if let Some(ms) = args.get("heartbeat-ms") {
+        opts.heartbeat_ms = ms;
+    }
+    if let Some(ms) = args.get("inline-grace-ms") {
+        opts.inline_grace_ms = ms;
+    }
+    opts.once = args.has("once");
+    opts.progress = args.has("progress") || !args.has("quiet");
+    opts.addr_file = args.get::<String>("addr-file").map(PathBuf::from);
+    serve(opts)
+}
+
+fn cmd_worker(args: &Args) -> Result<(), FleetError> {
+    let mut opts = WorkerOptions::default();
+    if let Some(addr) = args.get::<String>("addr") {
+        opts.addr = addr;
+    }
+    if let Some(name) = args.get::<String>("name") {
+        opts.name = name;
+    }
+    if let Some(ms) = args.get("backoff-min-ms") {
+        opts.backoff_min_ms = ms;
+    }
+    if let Some(ms) = args.get("backoff-max-ms") {
+        opts.backoff_max_ms = ms;
+    }
+    opts.max_idle_ms = args.get("max-idle-ms");
+    opts.progress = args.has("progress") || !args.has("quiet");
+    run_worker(&opts)
+}
+
+fn cmd_submit(args: &Args) -> Result<(), FleetError> {
+    let spec_path: String = args
+        .get("spec")
+        .ok_or_else(|| FleetError::Spec("--spec <campaign.json> is required".into()))?;
+    let spec_text = std::fs::read_to_string(&spec_path).map_err(|e| {
+        FleetError::Io(std::io::Error::new(
+            e.kind(),
+            format!("reading `{spec_path}`: {e}"),
+        ))
+    })?;
+    let journal = journal_path(args)?;
+    let mut opts = SubmitOptions::default();
+    if let Some(addr) = args.get::<String>("addr") {
+        opts.addr = addr;
+    }
+    if let Some(retries) = args.get("retries") {
+        opts.retries = retries;
+    }
+    opts.verify = args.has("verify");
+    opts.progress = args.has("progress") || !args.has("quiet");
+    let outcome = submit_campaign(&spec_text, &journal.display().to_string(), &opts)?;
+    println!(
+        "campaign {} complete: {}/{} jobs journaled ({} quarantined, {} resumed)",
+        outcome.campaign, outcome.committed, outcome.total, outcome.quarantined, outcome.resumed
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let command = match std::env::args().nth(1) {
         Some(c) => c,
@@ -266,6 +368,9 @@ fn main() -> ExitCode {
         "plan" => cmd_plan(&args),
         "run" => cmd_run(&args),
         "report" => cmd_report(&args),
+        "serve" => cmd_serve(&args),
+        "worker" => cmd_worker(&args),
+        "submit" => cmd_submit(&args),
         "--help" | "-h" | "help" => return usage(),
         other => {
             eprintln!("psbi-fleet: unknown command `{other}`\n");

@@ -30,6 +30,11 @@ pub enum FleetError {
     Worker(String),
     /// The independent result verifier flagged at least one job.
     Verify(String),
+    /// The dispatch layer failed: a protocol violation, an unreachable or
+    /// lost dispatcher, or a campaign the dispatcher rejected.  Worker
+    /// deaths and dropped connections are NOT this error — those are
+    /// recovered by lease expiry and re-dispatch.
+    Dispatch(String),
 }
 
 impl FleetError {
@@ -44,6 +49,7 @@ impl FleetError {
             FleetError::Corrupt { .. } => 7,
             FleetError::Worker(_) => 8,
             FleetError::Verify(_) => 9,
+            FleetError::Dispatch(_) => 10,
         }
     }
 }
@@ -63,6 +69,7 @@ impl std::fmt::Display for FleetError {
             ),
             FleetError::Worker(m) => write!(f, "worker error: {m}"),
             FleetError::Verify(m) => write!(f, "verification failed: {m}"),
+            FleetError::Dispatch(m) => write!(f, "dispatch error: {m}"),
         }
     }
 }
@@ -92,6 +99,7 @@ mod tests {
             },
             FleetError::Worker(String::new()),
             FleetError::Verify(String::new()),
+            FleetError::Dispatch(String::new()),
         ];
         let mut codes: Vec<u8> = errors.iter().map(FleetError::code).collect();
         codes.sort_unstable();

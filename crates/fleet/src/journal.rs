@@ -34,6 +34,13 @@
 //!   [`FleetError::Corrupt`] naming the exact record and leaves the file
 //!   untouched.
 //!
+//! The same refusal covers a record that checksums and parses but sits at
+//! the wrong position: an out-of-sequence job index, or a sequenced record
+//! beyond the spec's job grid.  A kill tears bytes — it cannot forge a
+//! valid checksum over the wrong index — so both shapes are corruption
+//! (or a spec/journal mix-up), never a torn tail, and are never silently
+//! truncated.
+//!
 //! The header carries `"psbi_fleet_journal":2`; v1 journals (no
 //! checksums) are refused through the usual header-mismatch path, so a
 //! resumed campaign can never mix checksummed and unchecksummed records.
@@ -400,6 +407,7 @@ fn replay_bytes(text: &str, spec: &CampaignSpec) -> Result<Replayed, FleetError>
             spec.fingerprint()
         )));
     }
+    let max_jobs = spec.jobs().len();
     let mut records = Vec::new();
     let mut valid_len = (header_end + 1) as u64;
     let mut offset = header_end + 1;
@@ -408,14 +416,32 @@ fn replay_bytes(text: &str, spec: &CampaignSpec) -> Result<Replayed, FleetError>
         let line = &text[offset..offset + nl];
         let line_end = offset + nl + 1;
         match JobRecord::from_json_line(line) {
-            Ok(record) if record.job == records.len() => {
+            Ok(record) if record.job == records.len() && records.len() < max_jobs => {
                 records.push(record);
                 valid_len = line_end as u64;
                 offset = line_end;
             }
             Ok(record) => {
-                bad = Some((line_end, format!("record claims job {}", record.job)));
-                break;
+                // A record that checksums and parses but sits at the wrong
+                // position: either it claims an out-of-sequence job index,
+                // or the grid is already full and it is a record the spec
+                // has no job for.  A kill tears bytes — it cannot forge a
+                // valid checksum over the wrong index — so this is
+                // corruption (or a spec/journal mix-up), never a torn
+                // tail.  Refuse outright; truncating would silently drop
+                // what somebody committed.
+                return Err(FleetError::Corrupt {
+                    record: records.len(),
+                    detail: if records.len() >= max_jobs {
+                        format!("journal holds more records than the spec's {max_jobs}-job grid")
+                    } else {
+                        format!(
+                            "record claims job {} where job {} was expected",
+                            record.job,
+                            records.len()
+                        )
+                    },
+                });
             }
             Err(FleetError::Journal(m)) => {
                 bad = Some((line_end, m));
@@ -782,18 +808,61 @@ mod tests {
     }
 
     #[test]
-    fn out_of_sequence_tail_is_dropped() {
+    fn out_of_sequence_record_is_corruption_not_a_torn_tail() {
         let spec = CampaignSpec::example();
         let path = tmp_path("seq");
         let _ = std::fs::remove_file(&path);
         let (mut journal, _) = Journal::open(&path, &spec).unwrap();
         journal.append(&record(0)).unwrap();
-        // A record claiming the wrong index (e.g. manual tampering).
+        // A record claiming the wrong index (e.g. manual tampering, or two
+        // journals spliced together).  A kill tears bytes; it cannot forge
+        // a valid checksum over the wrong index — so replay must refuse,
+        // not silently truncate committed-looking history.
         journal.append(&record(5)).unwrap();
         drop(journal);
-        let (journal, records) = Journal::open(&path, &spec).unwrap();
+        let damaged = std::fs::read(&path).unwrap();
+        match Journal::open(&path, &spec) {
+            Err(FleetError::Corrupt { record, detail }) => {
+                assert_eq!(record, 1);
+                assert!(detail.contains("claims job 5"), "{detail}");
+            }
+            Ok(_) => panic!("expected Corrupt, journal opened"),
+            Err(e) => panic!("expected Corrupt, got {e}"),
+        }
+        // Refusal must not modify the file.
+        assert_eq!(std::fs::read(&path).unwrap(), damaged);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn journal_longer_than_the_job_grid_is_corrupt() {
+        // Resume against a spec whose grid is *shorter* than the journal
+        // (same fingerprint is impossible, but a record count beyond the
+        // grid can be faked by appending sequenced records): the extra
+        // records must be refused, not truncated into a "resumed" run.
+        let spec = CampaignSpec::example();
+        let total = spec.jobs().len();
+        let path = tmp_path("overlong");
+        let _ = std::fs::remove_file(&path);
+        let (mut journal, _) = Journal::open(&path, &spec).unwrap();
+        for job in 0..=total {
+            journal.append(&record(job)).unwrap();
+        }
         drop(journal);
-        assert_eq!(records.len(), 1);
+        let damaged = std::fs::read(&path).unwrap();
+        match Journal::open(&path, &spec) {
+            Err(FleetError::Corrupt { record, detail }) => {
+                assert_eq!(record, total);
+                assert!(detail.contains("more records"), "{detail}");
+            }
+            Ok(_) => panic!("expected Corrupt, journal opened"),
+            Err(e) => panic!("expected Corrupt, got {e}"),
+        }
+        assert_eq!(std::fs::read(&path).unwrap(), damaged);
+        assert!(matches!(
+            Journal::replay(&path, &spec),
+            Err(FleetError::Corrupt { .. })
+        ));
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -27,6 +27,14 @@
 //!   human-readable and JSON form; wall times are quarantined in a
 //!   non-canonical section so the canonical report stays deterministic.
 //!
+//! * **Distributed dispatch** ([`dispatch`], [`worker`], [`proto`]): a
+//!   long-running `psbi-fleet serve` dispatcher partitions the job grid
+//!   into deadline-carrying **leases** executed by `psbi-fleet worker`
+//!   processes over a line-delimited JSON TCP protocol, merging results
+//!   through the same reorder buffer into the same journal — byte-identical
+//!   to a single-process run for any worker count, join/leave order or
+//!   kill pattern (`crates/fleet/tests/dispatch_determinism.rs` pins this).
+//!
 //! The `psbi-fleet` binary wraps all of it:
 //!
 //! ```text
@@ -34,12 +42,10 @@
 //! psbi-fleet plan --spec campaign.json       # show the job grid
 //! psbi-fleet run  --spec campaign.json --journal c.journal [--workers N]
 //! psbi-fleet report --spec campaign.json --journal c.journal --json report.json
+//! psbi-fleet serve --addr 127.0.0.1:7171     # dispatcher (campaigns + workers)
+//! psbi-fleet worker --addr 127.0.0.1:7171    # lease executor (any machine)
+//! psbi-fleet submit --addr 127.0.0.1:7171 --spec campaign.json --journal c.journal
 //! ```
-//!
-//! Deferred (recorded in `ROADMAP.md`): multi-process / multi-machine
-//! dispatch.  The journal format and job-index sharding were designed so a
-//! future dispatcher can partition the grid across machines and merge
-//! journals, but this crate executes within one process.
 //!
 //! # Example
 //!
@@ -59,15 +65,20 @@
 //! std::fs::remove_file(&journal).unwrap();
 //! ```
 
+pub mod dispatch;
 pub mod error;
 pub mod journal;
 pub mod json;
+pub mod proto;
 pub mod report;
 pub mod runner;
 pub mod spec;
+pub mod worker;
 
+pub use dispatch::{serve, DispatchHandle, Dispatcher, ServeOptions};
 pub use error::FleetError;
 pub use journal::{JobRecord, Journal};
 pub use report::{CampaignReport, SigmaSummary};
 pub use runner::{run_campaign, CampaignOutcome, FleetOptions};
 pub use spec::{CampaignSpec, JobSpec};
+pub use worker::{run_worker, submit_campaign, SubmitOptions, SubmitOutcome, WorkerOptions};

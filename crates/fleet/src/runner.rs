@@ -217,7 +217,7 @@ fn lock_commit<'a>(state: &'a Mutex<CommitState>) -> MutexGuard<'a, CommitState>
 
 /// Best-effort human-readable panic payload (deterministic for string
 /// panics, which is all the fault harness and the flow ever raise).
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -235,7 +235,7 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// panic strikes are simply not returned to the pool, shared mutexes
 /// recover from poisoning, and every retry recomputes from the same
 /// deterministic inputs.
-fn execute_job(
+pub(crate) fn execute_job(
     flow: &BufferInsertionFlow,
     job: &JobSpec,
     retries: usize,
@@ -261,6 +261,79 @@ fn execute_job(
         }
     }
     Err(fault)
+}
+
+/// Runs a batch of grid jobs sequentially, quarantining past the retry
+/// budget, handing each finished [`JobRecord`] to `emit` — the shared
+/// execution core of the dispatch worker and the dispatcher's inline
+/// fallback, which differ only in where records go (the wire vs the
+/// journal).  Jobs are grouped by circuit; each needed circuit is
+/// materialised once, served by one flow over the shared `pool`, and its
+/// solver state is released when its last batch job finishes.  `emit`'s
+/// second argument is the independent verifier's failure report when
+/// `verify` is set and the re-check failed (non-canonical — it never
+/// reaches the journal); `emit` returning `Ok(false)` stops the batch
+/// early (lease expired, connection lost) — remaining jobs are simply
+/// not run.
+///
+/// # Errors
+///
+/// Circuit materialisation / flow construction failures, and whatever
+/// `emit` raises.
+pub(crate) fn execute_batch(
+    spec: &CampaignSpec,
+    jobs: &[JobSpec],
+    pool: &Arc<WorkspacePool>,
+    retries: usize,
+    verify: bool,
+    emit: &mut dyn FnMut(JobRecord, Option<String>) -> Result<bool, FleetError>,
+) -> Result<(), FleetError> {
+    let mut by_circuit: BTreeMap<usize, Vec<&JobSpec>> = BTreeMap::new();
+    for job in jobs {
+        by_circuit.entry(job.circuit_index).or_default().push(job);
+    }
+    let mut cfg = spec.flow_config();
+    cfg.verify = verify;
+    for jobs in by_circuit.into_values() {
+        let circuit = jobs[0].circuit.materialize().map_err(FleetError::Circuit)?;
+        let flow = BufferInsertionFlow::builder(&circuit, cfg.clone())
+            .pool(Arc::clone(pool))
+            .build()
+            .map_err(|e| FleetError::Circuit(format!("{}: {e}", circuit.name)))?;
+        let mut stop = false;
+        for job in jobs {
+            let _job_span = psbi_obs::Span::enter_with("fleet.job", &[("job", job.index as u64)]);
+            let executed = {
+                let _timer = psbi_obs::metrics::timer("fleet.job.wall");
+                execute_job(&flow, job, retries)
+            };
+            let (record, verify_failed) = match executed {
+                Ok(result) => {
+                    let verify_failed = result
+                        .diagnostics
+                        .verify
+                        .as_ref()
+                        .filter(|report| !report.passed)
+                        .map(ToString::to_string);
+                    (JobRecord::from_result(job, &result), verify_failed)
+                }
+                Err(fault) => {
+                    psbi_obs::metrics::counter_add("fleet.jobs.quarantined", 1);
+                    (JobRecord::quarantined(job, fault), None)
+                }
+            };
+            psbi_obs::metrics::counter_add("fleet.jobs.executed", 1);
+            if !emit(record, verify_failed)? {
+                stop = true;
+                break;
+            }
+        }
+        flow.release_solver_state();
+        if stop {
+            break;
+        }
+    }
+    Ok(())
 }
 
 /// RAII flush of both obs sinks when `run_campaign` returns (any path):
@@ -314,10 +387,14 @@ pub fn run_campaign(
 
     let (journal, existing) = Journal::open(journal_path, spec)?;
     let resumed = existing.len();
+    // `Journal::open` refuses (FleetError::Corrupt) any journal holding
+    // more records than the spec's grid, so `resumed <= total` here; the
+    // guard stays as a cheap backstop against future replay changes.
     if resumed > total {
-        return Err(FleetError::Journal(format!(
-            "journal holds {resumed} records but the grid has {total} jobs"
-        )));
+        return Err(FleetError::Corrupt {
+            record: total,
+            detail: format!("journal holds {resumed} records but the grid has {total} jobs"),
+        });
     }
     let end = match opts.max_jobs {
         Some(k) => total.min(resumed + k),

@@ -20,9 +20,12 @@
 //!
 //! Buffered events are written by [`flush`] as a Chrome trace-event JSON
 //! array — load the file in Perfetto (<https://ui.perfetto.dev>) or
-//! `chrome://tracing`.  Flushing rewrites the whole file from the
-//! retained buffers, so it is safe to flush more than once (e.g. the
-//! fleet runner flushes after every campaign).
+//! `chrome://tracing`.  Flushing **streams**: each call drains the
+//! buffers and appends only the new events, rewriting just the closing
+//! bracket, so a long-running process (the dispatcher flushes
+//! periodically) pays for the events since the last flush — not an
+//! ever-growing whole-file rewrite — and the file is a complete, valid
+//! JSON array after every flush.
 //!
 //! # Determinism contract
 //!
@@ -48,6 +51,22 @@ static OUT_PATH: Mutex<Option<PathBuf>> = Mutex::new(None);
 static BUFFERS: Mutex<Vec<Arc<ThreadBuffer>>> = Mutex::new(Vec::new());
 /// Monotone trace-local thread ids, assigned on first event per thread.
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+/// Incremental-flush position: where the JSON array body ends in the
+/// armed file (reset by [`arm`]/[`disarm`], so a fresh arming starts a
+/// fresh file).
+static STREAM: Mutex<Option<StreamState>> = Mutex::new(None);
+
+/// Append cursor for the streamed trace file.
+struct StreamState {
+    /// The file this cursor is valid for.
+    path: PathBuf,
+    /// Byte offset just past the last written event (before the
+    /// closing `\n]\n`).
+    body_len: u64,
+    /// Whether at least one event line has been written (controls the
+    /// `,\n` separator on the next append).
+    written: bool,
+}
 
 /// One buffered trace event.
 #[derive(Debug, Clone)]
@@ -103,6 +122,7 @@ pub fn enabled() -> bool {
 /// buffered by a previous arming.
 pub fn arm(path: impl Into<PathBuf>) {
     clear_events();
+    *lock(&STREAM) = None;
     *lock(&OUT_PATH) = Some(path.into());
     ARMED.store(true, Ordering::Relaxed);
 }
@@ -112,6 +132,7 @@ pub fn arm(path: impl Into<PathBuf>) {
 pub fn disarm() {
     ARMED.store(false, Ordering::Relaxed);
     *lock(&OUT_PATH) = None;
+    *lock(&STREAM) = None;
     clear_events();
 }
 
@@ -178,9 +199,35 @@ impl Drop for Span {
     }
 }
 
-/// Writes every buffered event to the armed path as a Chrome trace-event
-/// JSON array and returns that path, or `Ok(None)` when tracing was never
-/// armed.  Buffers are retained, so later flushes rewrite a superset.
+fn render_event(out: &mut String, ev: &Event, tid: u64, pid: u32) {
+    let _ = write!(
+        out,
+        "{{\"name\":\"{}\",\"cat\":\"psbi\",\"ph\":\"{}\",\"pid\":{pid},\
+         \"tid\":{tid},\"ts\":{}.{:03}",
+        ev.name,
+        ev.phase as char,
+        ev.ts_ns / 1_000,
+        ev.ts_ns % 1_000,
+    );
+    if !ev.args.is_empty() {
+        out.push_str(",\"args\":{");
+        for (i, (k, v)) in ev.args.iter().enumerate() {
+            let comma = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{comma}\"{k}\":{v}");
+        }
+        out.push('}');
+    }
+    out.push('}');
+}
+
+/// Streams buffered events to the armed path and returns that path, or
+/// `Ok(None)` when tracing was never armed.
+///
+/// The first flush after arming writes a fresh file; every later flush
+/// **drains** the thread buffers and appends only the events gathered
+/// since the previous flush, then rewrites the closing `]` — the file is
+/// a complete, valid Chrome trace-event JSON array after every call, and
+/// flush cost is proportional to new events, not file size.
 ///
 /// # Errors
 ///
@@ -189,40 +236,54 @@ pub fn flush() -> std::io::Result<Option<PathBuf>> {
     let Some(path) = lock(&OUT_PATH).clone() else {
         return Ok(None);
     };
+    // Drain (not copy) every buffer, in stable tid order.  Events pushed
+    // concurrently with the drain are simply picked up next flush.
     let mut buffers = lock(&BUFFERS).clone();
     buffers.sort_by_key(|b| b.tid);
     let pid = std::process::id();
-    let mut out = String::from("[\n");
-    let mut first = true;
+    let mut chunk = String::new();
     for buf in &buffers {
-        for ev in lock(&buf.events).iter() {
-            if !first {
-                out.push_str(",\n");
+        let events = std::mem::take(&mut *lock(&buf.events));
+        for ev in &events {
+            if !chunk.is_empty() {
+                chunk.push_str(",\n");
             }
-            first = false;
-            let _ = write!(
-                out,
-                "{{\"name\":\"{}\",\"cat\":\"psbi\",\"ph\":\"{}\",\"pid\":{pid},\
-                 \"tid\":{},\"ts\":{}.{:03}",
-                ev.name,
-                ev.phase as char,
-                buf.tid,
-                ev.ts_ns / 1_000,
-                ev.ts_ns % 1_000,
-            );
-            if !ev.args.is_empty() {
-                out.push_str(",\"args\":{");
-                for (i, (k, v)) in ev.args.iter().enumerate() {
-                    let comma = if i == 0 { "" } else { "," };
-                    let _ = write!(out, "{comma}\"{k}\":{v}");
-                }
-                out.push('}');
-            }
-            out.push('}');
+            render_event(&mut chunk, ev, buf.tid, pid);
         }
     }
-    out.push_str("\n]\n");
-    std::fs::write(&path, out)?;
+    let mut stream = lock(&STREAM);
+    match stream.as_mut().filter(|s| s.path == path) {
+        None => {
+            let mut out = String::from("[\n");
+            out.push_str(&chunk);
+            let body_len = out.len() as u64;
+            out.push_str("\n]\n");
+            std::fs::write(&path, out)?;
+            *stream = Some(StreamState {
+                path: path.clone(),
+                body_len,
+                written: !chunk.is_empty(),
+            });
+        }
+        Some(s) => {
+            use std::io::{Seek as _, SeekFrom, Write as _};
+            let mut file = std::fs::OpenOptions::new().write(true).open(&path)?;
+            file.seek(SeekFrom::Start(s.body_len))?;
+            let mut tail = String::new();
+            if !chunk.is_empty() {
+                if s.written {
+                    tail.push_str(",\n");
+                }
+                tail.push_str(&chunk);
+            }
+            s.body_len += tail.len() as u64;
+            s.written = s.written || !chunk.is_empty();
+            tail.push_str("\n]\n");
+            file.write_all(tail.as_bytes())?;
+            // Trim any stale bytes if an external writer grew the file.
+            file.set_len(s.body_len + 3)?;
+        }
+    }
     Ok(Some(path))
 }
 
@@ -303,6 +364,56 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(!text.contains("test.stale"));
         assert!(text.contains("test.fresh"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn streaming_flush_appends_without_duplicating() {
+        let path = tmp("stream");
+        with_trace(&path, || {
+            {
+                let _a = Span::enter("test.first_batch");
+            }
+            flush().unwrap();
+            let mid = std::fs::read_to_string(&path).unwrap();
+            // Valid, complete JSON after the intermediate flush.
+            assert!(mid.trim_start().starts_with('['));
+            assert!(mid.trim_end().ends_with(']'));
+            assert_eq!(mid.matches("test.first_batch").count(), 2); // B + E
+            {
+                let _b = Span::enter("test.second_batch");
+            }
+            // with_trace's final flush appends the second batch.
+        });
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.trim_end().ends_with(']'));
+        // Each span exactly once (B + E): the second flush appended the
+        // new events instead of rewriting (and duplicating) the old.
+        assert_eq!(text.matches("test.first_batch").count(), 2);
+        assert_eq!(text.matches("test.second_batch").count(), 2);
+        // Still one well-formed array: exactly one opening bracket line.
+        assert_eq!(text.matches('[').count(), 1);
+        assert_eq!(text.matches(']').count(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_flushes_keep_the_file_valid() {
+        let path = tmp("empty_stream");
+        with_trace(&path, || {
+            flush().unwrap();
+            flush().unwrap();
+            {
+                let _s = Span::enter("test.after_empties");
+            }
+            flush().unwrap();
+            flush().unwrap();
+        });
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.trim_start().starts_with('['));
+        assert!(text.trim_end().ends_with(']'));
+        assert_eq!(text.matches("test.after_empties").count(), 2);
+        assert!(!text.contains(",,"), "double separators in {text}");
         let _ = std::fs::remove_file(&path);
     }
 
