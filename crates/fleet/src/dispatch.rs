@@ -29,6 +29,11 @@
 //!   grant/expire/done events so a restarted dispatcher can report how
 //!   many leases the crash orphaned.  Orphaned leases need no repair:
 //!   their jobs were never committed, so they are simply pending again.
+//!   Campaign ids restart with the dispatcher, so every result must
+//!   carry its spec fingerprint (checked against the campaign's, plus a
+//!   grid-identity check of the record itself) — a worker surviving the
+//!   restart with cached results for an *old* campaign that shared the
+//!   id can never graft foreign bytes into the new campaign's journal.
 //! * **No worker ever connects** — after `inline_grace_ms` the
 //!   dispatcher degrades to inline execution in-process (same
 //!   [`crate::runner::execute_batch`] core the workers use), so a
@@ -52,7 +57,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
-fn env_u64(name: &str, default: u64) -> u64 {
+pub(crate) fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name)
         .ok()
         .and_then(|v| v.parse().ok())
@@ -200,6 +205,11 @@ struct Campaign {
     /// Canonical spec text embedded in every lease (identical bytes on
     /// both sides ⇒ identical fingerprint and grid).
     spec_text: String,
+    /// [`CampaignSpec::fingerprint`] of `spec_text` — every incoming
+    /// result must present it, so a record computed for a different
+    /// campaign that happens to share this campaign's id (ids restart
+    /// on dispatcher restart) can never reach the journal.
+    fingerprint: String,
     jobs: Vec<JobSpec>,
     journal: Journal,
     journal_path: PathBuf,
@@ -773,6 +783,7 @@ fn admit_campaign(
     t.campaigns.insert(
         id,
         Campaign {
+            fingerprint: spec.fingerprint(),
             spec,
             spec_text,
             jobs,
@@ -857,9 +868,10 @@ fn handle_submitter(
             .get_mut(&id)
             .expect("only this thread retires the campaign");
         if let Some((code, message)) = c.failed.clone() {
-            // Wait out in-flight leases so late results do not race the
-            // retirement below (they would be acked as duplicates, but
-            // an orderly drain keeps the lease log tidy).
+            // Outstanding leases are expired (`campaign-failed`) during
+            // retirement below, so the advisory lease log closes every
+            // grant; a late result for the retired campaign is acked as
+            // a duplicate.
             break CampaignEnd::Failed { code, message };
         }
         if c.done() {
@@ -910,11 +922,24 @@ fn handle_submitter(
             .is_ok();
         }
     };
-    // Retire: drop the journal handle (and its advisory lock) before
-    // announcing the result, so a submitter chaining a `report` or a
-    // follow-up campaign never races the lock.
+    // Retire: close out whatever leases are still outstanding (a failed
+    // campaign abandons them; a completed one has none) so the advisory
+    // lease log matches reality — a grant left open here would read as
+    // a crash orphan on the journal's next open — then drop the journal
+    // handle (and its advisory lock) before announcing the result, so a
+    // submitter chaining a `report` or a follow-up campaign never races
+    // the lock.
     {
         let mut t = lock_table(state);
+        if let Some(c) = t.campaigns.get_mut(&id) {
+            let reason = match &end {
+                CampaignEnd::Done { .. } => "campaign-done",
+                CampaignEnd::Failed { .. } => "campaign-failed",
+            };
+            for lid in c.leases.keys().copied().collect::<Vec<u64>>() {
+                c.expire_lease(lid, reason);
+            }
+        }
         t.campaigns.remove(&id);
         update_gauges(&t);
     }
@@ -1069,6 +1094,7 @@ fn worker_session(
             Msg::Result {
                 lease,
                 campaign,
+                fingerprint,
                 record,
                 verify_failed,
             } => {
@@ -1097,10 +1123,40 @@ fn worker_session(
                 {
                     let mut t = lock_table(state);
                     if let Some(c) = t.campaigns.get_mut(&campaign) {
+                        // The record must be the pure function of (this
+                        // campaign's spec, its job index) it claims to
+                        // be.  A fingerprint mismatch means the worker
+                        // computed it for a *different* campaign that
+                        // shared the id across a dispatcher restart;
+                        // the grid-identity check catches the same
+                        // confusion from a worker that never learned
+                        // fingerprints.  Either way the bytes are
+                        // foreign: drop the connection (no ack) and let
+                        // the lease machinery re-dispatch.
+                        if fingerprint != c.fingerprint {
+                            return Err(FleetError::Dispatch(format!(
+                                "result for campaign {campaign} carries spec fingerprint \
+                                 {fingerprint}, expected {}",
+                                c.fingerprint
+                            )));
+                        }
                         if job >= c.total {
                             return Err(FleetError::Dispatch(format!(
                                 "result names job {job} outside the {}-job grid",
                                 c.total
+                            )));
+                        }
+                        let expected = &c.jobs[job];
+                        if parsed.circuit_id != expected.circuit.id()
+                            || parsed.sigma_factor.to_bits() != expected.sigma_factor.to_bits()
+                        {
+                            return Err(FleetError::Dispatch(format!(
+                                "record for job {job} does not match the campaign grid \
+                                 (circuit `{}` σ {}, expected `{}` σ {})",
+                                parsed.circuit_id,
+                                parsed.sigma_factor,
+                                expected.circuit.id(),
+                                expected.sigma_factor
                             )));
                         }
                         accept_record(
@@ -1179,6 +1235,7 @@ mod tests {
         let (lease_log, _, _) = LeaseLog::open(&lease_path).unwrap();
         let mut c = Campaign {
             spec_text: spec.to_json(),
+            fingerprint: spec.fingerprint(),
             jobs: jobs.clone(),
             spec,
             journal,
@@ -1252,6 +1309,7 @@ mod tests {
         let total = jobs.len();
         let mut c = Campaign {
             spec_text: spec.to_json(),
+            fingerprint: spec.fingerprint(),
             jobs: jobs.clone(),
             spec,
             journal,

@@ -91,6 +91,13 @@ pub enum Msg {
         lease: u64,
         /// Campaign id.
         campaign: u64,
+        /// [`crate::CampaignSpec::fingerprint`] of the spec the record
+        /// was computed from.  Campaign ids restart when a dispatcher
+        /// restarts, so an id alone can name a *different* campaign
+        /// across sessions; the fingerprint cannot.  The dispatcher
+        /// rejects a result whose fingerprint does not match the
+        /// campaign's, so stale bytes never reach a journal.
+        fingerprint: String,
         /// The checksummed journal line of the record.
         record: String,
         /// Independent-verifier failure report when the lease requested
@@ -210,6 +217,7 @@ impl Msg {
             Msg::Result {
                 lease,
                 campaign,
+                fingerprint,
                 record,
                 verify_failed,
             } => {
@@ -220,7 +228,8 @@ impl Msg {
                 };
                 format!(
                     "{{\"type\":\"result\",\"lease\":{lease},\"campaign\":{campaign},\
-                     \"record\":\"{}\"{verify}}}",
+                     \"fingerprint\":\"{}\",\"record\":\"{}\"{verify}}}",
+                    escape(fingerprint),
                     escape(record)
                 )
             }
@@ -327,6 +336,7 @@ impl Msg {
             "result" => Msg::Result {
                 lease: u64_of("lease")?,
                 campaign: u64_of("campaign")?,
+                fingerprint: str_of("fingerprint")?,
                 record: str_of("record")?,
                 verify_failed: match v.get("verify_failed") {
                     Some(_) => str_of("verify_failed")?,
@@ -440,12 +450,14 @@ mod tests {
             Msg::Result {
                 lease: 9,
                 campaign: 3,
+                fingerprint: "00ffee0123456789".into(),
                 record: "{\"job\":4,\"crc\":\"00ff\"}".into(),
                 verify_failed: String::new(),
             },
             Msg::Result {
                 lease: 9,
                 campaign: 3,
+                fingerprint: "00ffee0123456789".into(),
                 record: "{\"job\":4,\"crc\":\"00ff\"}".into(),
                 verify_failed: "check 3 failed".into(),
             },
@@ -491,6 +503,7 @@ mod tests {
         let wire = Msg::Result {
             lease: 1,
             campaign: 1,
+            fingerprint: spec.fingerprint(),
             record: record.to_json_line(),
             verify_failed: String::new(),
         };

@@ -20,7 +20,16 @@
 //!   the worker resumes from its last acknowledged record — re-leased
 //!   jobs it already computed are *re-sent*, not re-computed (and if
 //!   someone else committed them first, the dispatcher discards the
-//!   duplicate; the bytes are identical either way).
+//!   duplicate; the bytes are identical either way).  The cache is
+//!   keyed by **spec fingerprint**, never by dispatcher-assigned
+//!   campaign id: ids restart when a dispatcher restarts, so an id can
+//!   name a different campaign across sessions — the fingerprint
+//!   cannot, and a cached record is valid for *any* campaign with the
+//!   same fingerprint because it is a pure function of (spec, job).
+//! * **Read/write timeouts** on the dispatcher socket, renewed from
+//!   each lease's deadline: a stalled-but-alive dispatcher (or a
+//!   half-open connection) surfaces as a lost connection and the
+//!   reconnect path takes over, instead of wedging the worker forever.
 //! * **`worker.result.torn`** tears the result line mid-write and drops
 //!   the connection, exercising the dispatcher's framing rejection.
 //!
@@ -97,15 +106,82 @@ enum LeaseEnd {
     ConnLost,
 }
 
+/// Parsed specs retained at once (each with its unacked records).  A
+/// long-running worker serves many campaigns; beyond this bound the
+/// least-recently-leased spec is evicted together with its unacked
+/// records — correctness never depends on the cache (an evicted record
+/// is simply recomputed if its job is ever re-leased).
+const MAX_CACHED_SPECS: usize = 8;
+
+/// One parsed-spec cache entry: the spec, its expanded grid, the
+/// fingerprint of its canonical text, and an LRU stamp.
+struct SpecEntry {
+    spec: CampaignSpec,
+    grid: Vec<JobSpec>,
+    fingerprint: String,
+    stamp: u64,
+}
+
 /// Per-process worker state that must survive reconnects: the shared
 /// workspace pool, parsed specs (keyed by their canonical text) and the
 /// unacknowledged-result cache.
 struct WorkerMemory {
     pool: Arc<WorkspacePool>,
-    specs: HashMap<String, (CampaignSpec, Vec<JobSpec>)>,
-    /// Computed but never acknowledged: `(campaign, job)` → the exact
-    /// record line (+ verifier failure report) to re-send.
-    unacked: HashMap<(u64, usize), (String, String)>,
+    specs: HashMap<String, SpecEntry>,
+    /// Computed but never acknowledged: `(spec fingerprint, job)` → the
+    /// exact record line (+ verifier failure report) to re-send.  Keyed
+    /// by fingerprint, not campaign id — see the module docs.
+    unacked: HashMap<(String, usize), (String, String)>,
+    /// Monotone LRU clock for [`SpecEntry::stamp`].
+    clock: u64,
+}
+
+/// Looks up (or parses and caches) a lease's spec, returning the spec,
+/// its grid and its fingerprint.  Keeps the cache LRU-bounded to
+/// [`MAX_CACHED_SPECS`]: eviction drops the spec entry *and* every
+/// unacked record computed under its fingerprint, so a long-running
+/// worker never accumulates dead campaigns.
+fn remember_spec(
+    memory: &mut WorkerMemory,
+    spec_text: &str,
+) -> Result<(CampaignSpec, Vec<JobSpec>, String), FleetError> {
+    memory.clock += 1;
+    let clock = memory.clock;
+    if let Some(entry) = memory.specs.get_mut(spec_text) {
+        entry.stamp = clock;
+        return Ok((
+            entry.spec.clone(),
+            entry.grid.clone(),
+            entry.fingerprint.clone(),
+        ));
+    }
+    let spec = CampaignSpec::from_json(spec_text)?;
+    let grid = spec.jobs();
+    let fingerprint = spec.fingerprint();
+    if memory.specs.len() >= MAX_CACHED_SPECS {
+        if let Some(oldest) = memory
+            .specs
+            .iter()
+            .min_by_key(|(_, e)| e.stamp)
+            .map(|(text, _)| text.clone())
+        {
+            if let Some(evicted) = memory.specs.remove(&oldest) {
+                memory
+                    .unacked
+                    .retain(|(fp, _), _| *fp != evicted.fingerprint);
+            }
+        }
+    }
+    memory.specs.insert(
+        spec_text.to_string(),
+        SpecEntry {
+            spec: spec.clone(),
+            grid: grid.clone(),
+            fingerprint: fingerprint.clone(),
+            stamp: clock,
+        },
+    );
+    Ok((spec, grid, fingerprint))
 }
 
 /// Runs a worker until the dispatcher says `shutdown` (or `max_idle_ms`
@@ -120,6 +196,7 @@ pub fn run_worker(opts: &WorkerOptions) -> Result<(), FleetError> {
         pool: Arc::new(WorkspacePool::new()),
         specs: HashMap::new(),
         unacked: HashMap::new(),
+        clock: 0,
     };
     let mut backoff = Duration::from_millis(opts.backoff_min_ms.max(1));
     let mut last_contact = Instant::now();
@@ -163,6 +240,17 @@ fn send(writer: &Arc<Mutex<TcpStream>>, msg: &Msg) -> Result<(), FleetError> {
     write_msg(&mut *w, msg).map_err(FleetError::Io)
 }
 
+/// Applies the session IO timeouts — `lease_ms.max(500) * 4`, mirroring
+/// the dispatcher's own worker-read timeout.  A timed-out read or write
+/// surfaces as an IO error, which every caller already treats as a lost
+/// connection, so a stalled (not dead) dispatcher hands control to the
+/// reconnect/backoff path instead of wedging the worker forever.
+fn set_io_timeouts(stream: &TcpStream, lease_ms: u64) {
+    let timeout = Duration::from_millis(lease_ms.max(500).saturating_mul(4));
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+}
+
 /// One connected session: hello, then request/execute leases until the
 /// connection ends.
 fn session(
@@ -170,6 +258,12 @@ fn session(
     stream: TcpStream,
     memory: &mut WorkerMemory,
 ) -> Result<SessionEnd, FleetError> {
+    // Until a lease names its actual deadline, time IO out against the
+    // configured (or default) lease window.
+    set_io_timeouts(
+        &stream,
+        crate::dispatch::env_u64("PSBI_DISPATCH_LEASE_MS", 10_000),
+    );
     let mut reader = BufReader::new(stream.try_clone()?);
     let writer = Arc::new(Mutex::new(stream));
     send(
@@ -192,7 +286,7 @@ fn session(
                 campaign,
                 spec,
                 jobs,
-                deadline_ms: _,
+                deadline_ms,
                 heartbeat_ms,
                 retries,
                 verify,
@@ -204,6 +298,7 @@ fn session(
                         jobs.len()
                     );
                 }
+                set_io_timeouts(reader.get_ref(), deadline_ms);
                 let ctx = LeaseCtx {
                     lease,
                     campaign,
@@ -262,17 +357,7 @@ fn run_lease(
     memory: &mut WorkerMemory,
     ctx: LeaseCtx,
 ) -> Result<LeaseEnd, FleetError> {
-    let (spec, grid) = match memory.specs.get(&ctx.spec_text) {
-        Some(entry) => entry.clone(),
-        None => {
-            let spec = CampaignSpec::from_json(&ctx.spec_text)?;
-            let grid = spec.jobs();
-            memory
-                .specs
-                .insert(ctx.spec_text.clone(), (spec.clone(), grid.clone()));
-            (spec, grid)
-        }
-    };
+    let (spec, grid, fingerprint) = remember_spec(memory, &ctx.spec_text)?;
     for &j in &ctx.jobs {
         if j >= grid.len() {
             return Err(FleetError::Dispatch(format!(
@@ -306,7 +391,7 @@ fn run_lease(
             }
         })
     };
-    let end = run_lease_inner(reader, writer, memory, &ctx, &spec, &grid);
+    let end = run_lease_inner(reader, writer, memory, &ctx, &fingerprint, &spec, &grid);
     stop.store(true, Ordering::Relaxed);
     beat.join().ok();
     end
@@ -319,15 +404,29 @@ fn run_lease_inner(
     writer: &Arc<Mutex<TcpStream>>,
     memory: &mut WorkerMemory,
     ctx: &LeaseCtx,
+    fingerprint: &str,
     spec: &CampaignSpec,
     grid: &[JobSpec],
 ) -> Result<LeaseEnd, FleetError> {
     // Phase 1: re-send computed-but-unacked records for this lease's
     // jobs (resume from the last acknowledged record, no recompute).
+    // The cache is fingerprint-keyed, so a record cached before a
+    // dispatcher restart is only ever re-sent for a campaign with the
+    // *same* spec — for which its bytes are correct by construction.
     let mut fresh: Vec<JobSpec> = Vec::new();
     for &j in &ctx.jobs {
-        if let Some((line, verify_failed)) = memory.unacked.get(&(ctx.campaign, j)).cloned() {
-            match send_and_await(reader, writer, memory, ctx, j, &line, &verify_failed)? {
+        let key = (fingerprint.to_string(), j);
+        if let Some((line, verify_failed)) = memory.unacked.get(&key).cloned() {
+            match send_and_await(
+                reader,
+                writer,
+                memory,
+                ctx,
+                fingerprint,
+                j,
+                &line,
+                &verify_failed,
+            )? {
                 AckWait::Acked => {}
                 AckWait::Abandon => return Ok(LeaseEnd::Continue),
                 AckWait::Shutdown => return Ok(LeaseEnd::Shutdown),
@@ -347,10 +446,20 @@ fn run_lease_inner(
         let job = record.job;
         let line = record.to_json_line();
         let verify_failed = verify_failed.unwrap_or_default();
-        memory
-            .unacked
-            .insert((ctx.campaign, job), (line.clone(), verify_failed.clone()));
-        match send_and_await(reader, writer, memory, ctx, job, &line, &verify_failed) {
+        memory.unacked.insert(
+            (fingerprint.to_string(), job),
+            (line.clone(), verify_failed.clone()),
+        );
+        match send_and_await(
+            reader,
+            writer,
+            memory,
+            ctx,
+            fingerprint,
+            job,
+            &line,
+            &verify_failed,
+        ) {
             Ok(AckWait::Acked) => Ok(true),
             Ok(AckWait::Abandon) => Ok(false),
             Ok(AckWait::Shutdown) => {
@@ -375,11 +484,13 @@ fn run_lease_inner(
 /// Sends one result line and blocks until the dispatcher's verdict.
 /// Under `worker.result.torn`, half the line is written and the
 /// connection killed instead.
+#[allow(clippy::too_many_arguments)]
 fn send_and_await(
     reader: &mut BufReader<TcpStream>,
     writer: &Arc<Mutex<TcpStream>>,
     memory: &mut WorkerMemory,
     ctx: &LeaseCtx,
+    fingerprint: &str,
     job: usize,
     line: &str,
     verify_failed: &str,
@@ -387,6 +498,7 @@ fn send_and_await(
     let msg = Msg::Result {
         lease: ctx.lease,
         campaign: ctx.campaign,
+        fingerprint: fingerprint.to_string(),
         record: line.to_string(),
         verify_failed: verify_failed.to_string(),
     };
@@ -407,7 +519,7 @@ fn send_and_await(
     loop {
         match read_msg(reader) {
             Ok(Some(Msg::Ack { campaign, job: j })) if campaign == ctx.campaign && j == job => {
-                memory.unacked.remove(&(ctx.campaign, job));
+                memory.unacked.remove(&(fingerprint.to_string(), job));
                 return Ok(AckWait::Acked);
             }
             Ok(Some(Msg::Ack { .. })) => {} // stale ack from an earlier lease
@@ -580,6 +692,51 @@ pub fn submit_campaign(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn fresh_memory() -> WorkerMemory {
+        WorkerMemory {
+            pool: Arc::new(WorkspacePool::new()),
+            specs: HashMap::new(),
+            unacked: HashMap::new(),
+            clock: 0,
+        }
+    }
+
+    fn named_spec_text(name: &str) -> String {
+        let mut spec = CampaignSpec::example();
+        spec.name = name.into();
+        spec.to_json()
+    }
+
+    #[test]
+    fn spec_cache_is_lru_bounded_and_eviction_purges_unacked() {
+        let mut memory = fresh_memory();
+        let first = named_spec_text("lru_first");
+        let (_, _, first_fp) = remember_spec(&mut memory, &first).unwrap();
+        memory
+            .unacked
+            .insert((first_fp.clone(), 0), ("line".into(), String::new()));
+        for i in 1..MAX_CACHED_SPECS {
+            remember_spec(&mut memory, &named_spec_text(&format!("lru_{i}"))).unwrap();
+        }
+        assert_eq!(memory.specs.len(), MAX_CACHED_SPECS);
+
+        // A re-lease bumps the first spec's stamp, so the next insert
+        // evicts `lru_1` (now the oldest), not the first spec.
+        remember_spec(&mut memory, &first).unwrap();
+        remember_spec(&mut memory, &named_spec_text("lru_overflow")).unwrap();
+        assert_eq!(memory.specs.len(), MAX_CACHED_SPECS);
+        assert!(memory.specs.contains_key(&first));
+        assert!(!memory.specs.contains_key(&named_spec_text("lru_1")));
+        assert!(memory.unacked.contains_key(&(first_fp.clone(), 0)));
+
+        // Push the first spec out: its unacked records go with it.
+        for i in 0..MAX_CACHED_SPECS {
+            remember_spec(&mut memory, &named_spec_text(&format!("flood_{i}"))).unwrap();
+        }
+        assert!(!memory.specs.contains_key(&first));
+        assert!(memory.unacked.is_empty());
+    }
 
     #[test]
     fn error_codes_round_trip_through_the_wire_mapping() {

@@ -173,6 +173,31 @@ fn distributed_run(spec: &CampaignSpec, journal: &Path, workers: usize, opts: Se
     }
 }
 
+/// Lease ids granted but never closed (done/expired) in the advisory
+/// lease log — the signature a *crash* leaves behind; an orderly run,
+/// even a failed one, must close every grant.
+fn open_lease_ids(journal: &Path) -> Vec<u64> {
+    let lease_log = PathBuf::from(format!("{}.leases", journal.display()));
+    let text = std::fs::read_to_string(&lease_log).unwrap_or_default();
+    let mut open = std::collections::BTreeSet::new();
+    for line in text.lines() {
+        let Some(idx) = line.find("\"lease\":") else {
+            continue;
+        };
+        let rest = &line[idx + 8..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        let Ok(id) = rest[..end].parse::<u64>() else {
+            continue;
+        };
+        if line.contains("\"ev\":\"grant\"") {
+            open.insert(id);
+        } else if line.contains("\"ev\":\"done\"") || line.contains("\"ev\":\"expire\"") {
+            open.remove(&id);
+        }
+    }
+    open.into_iter().collect()
+}
+
 fn expire_events(journal: &Path) -> usize {
     let lease_log = PathBuf::from(format!("{}.leases", journal.display()));
     std::fs::read_to_string(&lease_log)
@@ -456,6 +481,161 @@ fn dispatcher_errors_map_back_to_local_exit_codes() {
             .join()
             .expect("dispatcher thread")
             .expect("dispatcher run");
+        cleanup(&journal);
+    });
+}
+
+/// The stale-cache scenario: a worker that survived a dispatcher
+/// restart re-sends a record computed for a *different* campaign whose
+/// id collided with the new one.  The dispatcher must refuse it twice
+/// over — by spec fingerprint, and by grid identity when the
+/// fingerprint is forged — and the campaign must still finish
+/// byte-identical to the single-process reference.
+#[test]
+fn foreign_results_are_rejected_never_journaled() {
+    psbi_fault::with_spec("", || {
+        use psbi_fleet::proto::{read_msg, write_msg, Msg};
+        use psbi_fleet::JobRecord;
+        use std::io::BufReader;
+        use std::net::TcpStream;
+
+        let spec = quick_spec();
+        let (ref_bytes, ref_report) = reference(&spec, "foreign");
+        let journal = tmp("foreign");
+        let _ = std::fs::remove_file(&journal);
+        let (addr, handle, dispatcher) = spawn_dispatcher(serve_opts(false));
+        let submit = {
+            let spec_text = spec.to_json();
+            let journal = journal.display().to_string();
+            let opts = submit_opts(&addr);
+            std::thread::spawn(move || submit_campaign(&spec_text, &journal, &opts))
+        };
+
+        // Hand-rolled worker half: hello, then poll until a lease lands.
+        let take_lease = |name: &str| -> (BufReader<TcpStream>, TcpStream, u64, u64, String) {
+            let stream = TcpStream::connect(&addr).expect("rogue connect");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(10)))
+                .expect("read timeout");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+            let mut writer = stream;
+            write_msg(
+                &mut writer,
+                &Msg::Hello {
+                    worker: name.into(),
+                },
+            )
+            .expect("hello");
+            loop {
+                write_msg(&mut writer, &Msg::Request).expect("request");
+                match read_msg(&mut reader).expect("rogue read") {
+                    Some(Msg::Wait { ms }) => {
+                        std::thread::sleep(Duration::from_millis(ms.min(100)));
+                    }
+                    Some(Msg::Lease {
+                        lease,
+                        campaign,
+                        spec: spec_text,
+                        ..
+                    }) => return (reader, writer, lease, campaign, spec_text),
+                    other => panic!("expected lease or wait, got {other:?}"),
+                }
+            }
+        };
+        let expect_drop = |reader: &mut BufReader<TcpStream>, leg: &str| match read_msg(reader) {
+            Ok(None) | Err(_) => {} // connection dropped, no ack: correct
+            Ok(Some(msg)) => panic!("{leg}: rejected result was answered with {msg:?}"),
+        };
+
+        // Leg 1: record from a spec with a different fingerprint (same
+        // grid shape, so only the fingerprint can catch it).
+        let mut other = quick_spec();
+        other.name = "dispatch_foreign_other".into();
+        let (mut reader, mut writer, lease, campaign, _) = take_lease("stale-cache");
+        write_msg(
+            &mut writer,
+            &Msg::Result {
+                lease,
+                campaign,
+                fingerprint: other.fingerprint(),
+                record: JobRecord::quarantined(&other.jobs()[0], "stale".into()).to_json_line(),
+                verify_failed: String::new(),
+            },
+        )
+        .expect("send stale result");
+        expect_drop(&mut reader, "fingerprint mismatch");
+
+        // Leg 2: correctly-fingerprinted message whose record belongs to
+        // a different grid — the circuit/sigma identity check refuses it.
+        let (mut reader, mut writer, lease, campaign, spec_text) = take_lease("wrong-grid");
+        let fingerprint = CampaignSpec::from_json(&spec_text)
+            .expect("leased spec parses")
+            .fingerprint();
+        write_msg(
+            &mut writer,
+            &Msg::Result {
+                lease,
+                campaign,
+                fingerprint,
+                record: JobRecord::quarantined(&slow_spec().jobs()[0], "foreign".into())
+                    .to_json_line(),
+                verify_failed: String::new(),
+            },
+        )
+        .expect("send foreign result");
+        expect_drop(&mut reader, "grid mismatch");
+
+        // An honest worker finishes the campaign; nothing the rogues
+        // sent may have reached the journal.
+        let worker = spawn_worker(&addr, "honest");
+        let outcome = submit.join().expect("submit thread").expect("submit");
+        assert_eq!(outcome.committed, spec.jobs().len());
+        handle.shutdown();
+        dispatcher
+            .join()
+            .expect("dispatcher thread")
+            .expect("dispatcher run");
+        worker.join().expect("worker thread").expect("worker run");
+        assert_matches_reference(&spec, &journal, &ref_bytes, &ref_report, "foreign results");
+        assert_eq!(
+            open_lease_ids(&journal),
+            Vec::<u64>::new(),
+            "run left open grants in the lease log"
+        );
+        cleanup(&journal);
+    });
+}
+
+/// A campaign that fails mid-flight (torn journal write) is retired
+/// while a worker still holds a lease over its remaining jobs.  The
+/// retirement must close that lease in the advisory log, or the next
+/// `LeaseLog::open` would misreport it as a crash orphan.
+#[test]
+fn failed_campaign_retirement_closes_its_leases() {
+    let spec = slow_spec();
+    psbi_fault::with_spec("journal.write.torn@times=1", || {
+        let journal = tmp("failretire");
+        let _ = std::fs::remove_file(&journal);
+        let (addr, handle, dispatcher) = spawn_dispatcher(serve_opts(false));
+        let worker = spawn_worker(&addr, "doomed");
+        let err = submit_campaign(
+            &spec.to_json(),
+            &journal.display().to_string(),
+            &submit_opts(&addr),
+        )
+        .expect_err("torn journal write must fail the campaign");
+        assert_eq!(err.code(), 4, "expected IO class, got: {err}");
+        handle.shutdown();
+        dispatcher
+            .join()
+            .expect("dispatcher thread")
+            .expect("dispatcher run");
+        worker.join().expect("worker thread").expect("worker run");
+        assert_eq!(
+            open_lease_ids(&journal),
+            Vec::<u64>::new(),
+            "failed campaign left open grants in the lease log"
+        );
         cleanup(&journal);
     });
 }

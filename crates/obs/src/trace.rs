@@ -231,60 +231,93 @@ fn render_event(out: &mut String, ev: &Event, tid: u64, pid: u32) {
 ///
 /// # Errors
 ///
-/// Propagates the underlying file write error.
+/// Propagates the underlying file write error.  A failed flush loses
+/// nothing: the drained events are re-queued (ahead of any pushed since)
+/// and the stream cursor stays at the previous valid tail, so the next
+/// flush retries them and overwrites any partial append.
 pub fn flush() -> std::io::Result<Option<PathBuf>> {
     let Some(path) = lock(&OUT_PATH).clone() else {
         return Ok(None);
     };
-    // Drain (not copy) every buffer, in stable tid order.  Events pushed
+    // Drain (not copy) every buffer, in stable tid order, remembering
+    // which events came from which buffer: a failed write puts them
+    // back, so a transient IO error (full disk) delays events to the
+    // next flush instead of silently dropping them.  Events pushed
     // concurrently with the drain are simply picked up next flush.
     let mut buffers = lock(&BUFFERS).clone();
     buffers.sort_by_key(|b| b.tid);
     let pid = std::process::id();
     let mut chunk = String::new();
+    let mut drained: Vec<(Arc<ThreadBuffer>, Vec<Event>)> = Vec::new();
     for buf in &buffers {
         let events = std::mem::take(&mut *lock(&buf.events));
+        if events.is_empty() {
+            continue;
+        }
         for ev in &events {
             if !chunk.is_empty() {
                 chunk.push_str(",\n");
             }
             render_event(&mut chunk, ev, buf.tid, pid);
         }
+        drained.push((Arc::clone(buf), events));
     }
     let mut stream = lock(&STREAM);
+    let io = write_chunk(&mut stream, &path, &chunk);
+    if io.is_err() {
+        // Put the drained events back, ahead of anything pushed since,
+        // so the next flush retries them in order.  The stream cursor
+        // was not advanced (see write_chunk), so that retry simply
+        // overwrites whatever partial tail this attempt left behind.
+        for (buf, mut events) in drained {
+            let mut slot = lock(&buf.events);
+            events.append(&mut slot);
+            *slot = events;
+        }
+    }
+    io.map(|()| Some(path))
+}
+
+/// Writes one rendered event chunk to the streamed trace file.  The
+/// stream cursor (`body_len`/`written`) moves only after every byte is
+/// down — a failed or partial append leaves it pointing at the previous
+/// valid tail, which the next flush seeks to and overwrites, so the file
+/// self-heals instead of accumulating a permanently desynced cursor.
+fn write_chunk(stream: &mut Option<StreamState>, path: &Path, chunk: &str) -> std::io::Result<()> {
     match stream.as_mut().filter(|s| s.path == path) {
         None => {
             let mut out = String::from("[\n");
-            out.push_str(&chunk);
+            out.push_str(chunk);
             let body_len = out.len() as u64;
             out.push_str("\n]\n");
-            std::fs::write(&path, out)?;
+            std::fs::write(path, out)?;
             *stream = Some(StreamState {
-                path: path.clone(),
+                path: path.to_path_buf(),
                 body_len,
                 written: !chunk.is_empty(),
             });
         }
         Some(s) => {
             use std::io::{Seek as _, SeekFrom, Write as _};
-            let mut file = std::fs::OpenOptions::new().write(true).open(&path)?;
+            let mut file = std::fs::OpenOptions::new().write(true).open(path)?;
             file.seek(SeekFrom::Start(s.body_len))?;
             let mut tail = String::new();
             if !chunk.is_empty() {
                 if s.written {
                     tail.push_str(",\n");
                 }
-                tail.push_str(&chunk);
+                tail.push_str(chunk);
             }
-            s.body_len += tail.len() as u64;
-            s.written = s.written || !chunk.is_empty();
+            let body_grow = tail.len() as u64;
             tail.push_str("\n]\n");
             file.write_all(tail.as_bytes())?;
             // Trim any stale bytes if an external writer grew the file.
-            file.set_len(s.body_len + 3)?;
+            file.set_len(s.body_len + body_grow + 3)?;
+            s.body_len += body_grow;
+            s.written = s.written || !chunk.is_empty();
         }
     }
-    Ok(Some(path))
+    Ok(())
 }
 
 /// Runs `f` with tracing armed to `path`, flushing and disarming
@@ -415,6 +448,30 @@ mod tests {
         assert_eq!(text.matches("test.after_empties").count(), 2);
         assert!(!text.contains(",,"), "double separators in {text}");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn failed_flush_requeues_events_for_the_next_attempt() {
+        // Arm at a path whose parent directory does not exist yet: the
+        // first flush fails, and must NOT discard the drained events —
+        // once the directory appears, the next flush writes them all.
+        let dir =
+            std::env::temp_dir().join(format!("psbi_obs_trace_requeue_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("trace.json");
+        with_trace(&path, || {
+            {
+                let _s = Span::enter("test.requeued");
+            }
+            assert!(flush().is_err(), "flush into a missing dir must fail");
+            std::fs::create_dir_all(&dir).unwrap();
+            // with_trace's final flush retries and must carry the event.
+        });
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.trim_start().starts_with('['));
+        assert!(text.trim_end().ends_with(']'));
+        assert_eq!(text.matches("test.requeued").count(), 2); // B + E
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
